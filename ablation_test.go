@@ -1,0 +1,111 @@
+package genesis
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: what each
+// mechanism buys, measured by switching it off.
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/specs"
+	"repro/internal/workloads"
+)
+
+// inxBenefit measures interchange's average scalar benefit over the
+// workloads under a given locality penalty.
+func inxBenefit(b *testing.B, cfg interp.Config) float64 {
+	b.Helper()
+	var total float64
+	for _, w := range workloads.All {
+		before, err := interp.Run(w.Program(), w.Input, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := w.Program()
+		if _, err := specs.MustCompile("INX").ApplyAll(p); err != nil {
+			b.Fatal(err)
+		}
+		after, err := interp.Run(p, w.Input, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += interp.Benefit(before.Counts, after.Counts, interp.Scalar, interp.DefaultModel)
+	}
+	return 100 * total / float64(len(workloads.All))
+}
+
+// BenchmarkAblationMemoryModel ablates the locality (stride-stall) model:
+// interchange's benefit should collapse to ~zero without it — the benefit
+// the paper attributes to INX is a memory-behaviour effect, not an
+// operation-count effect.
+func BenchmarkAblationMemoryModel(b *testing.B) {
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		with = inxBenefit(b, interp.Config{})
+		without = inxBenefit(b, interp.Config{NoMemPenalty: true})
+	}
+	b.ReportMetric(with, "INX-benefit%")
+	b.ReportMetric(without, "INX-benefit-nomem%")
+	if without >= with {
+		b.Fatalf("ablation inverted: with=%v without=%v", with, without)
+	}
+	if without > 0.01 {
+		b.Fatalf("without the locality model INX should be benefit-neutral, got %v", without)
+	}
+}
+
+// BenchmarkAblationMemoryPenaltySweep sweeps the stall penalty, showing the
+// benefit estimate scales with the assumed memory-hierarchy cost (the
+// paper's remark that some benefits only appear "if various types of memory
+// hierarchies are part of the parallel system").
+func BenchmarkAblationMemoryPenaltySweep(b *testing.B) {
+	var at1, at3, at8 float64
+	for i := 0; i < b.N; i++ {
+		at1 = inxBenefit(b, interp.Config{MemPenalty: 1})
+		at3 = inxBenefit(b, interp.Config{MemPenalty: 3})
+		at8 = inxBenefit(b, interp.Config{MemPenalty: 8})
+	}
+	b.ReportMetric(at1, "benefit@1%")
+	b.ReportMetric(at3, "benefit@3%")
+	b.ReportMetric(at8, "benefit@8%")
+	if !(at1 < at3 && at3 < at8) {
+		b.Fatalf("benefit must grow with the penalty: %v %v %v", at1, at3, at8)
+	}
+}
+
+// BenchmarkAblationRecompute ablates dependence recomputation between
+// applications (the interactive choice in the paper's constructor):
+// without recomputation the optimizer sees stale dependences and finds
+// fewer (or at best equal) application points — cheaper, but incomplete.
+func BenchmarkAblationRecompute(b *testing.B) {
+	var withApps, withoutApps, withChecks, withoutChecks int
+	for i := 0; i < b.N; i++ {
+		withApps, withoutApps, withChecks, withoutChecks = 0, 0, 0, 0
+		for _, w := range workloads.All {
+			p1 := w.Program()
+			o1 := specs.MustCompile("CTP")
+			apps1, err := o1.ApplyAll(p1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			withApps += len(apps1)
+			withChecks += o1.Cost().Checks()
+
+			p2 := w.Program()
+			o2 := specs.MustCompile("CTP", withoutRecomputeOpt()...)
+			apps2, err := o2.ApplyAll(p2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			withoutApps += len(apps2)
+			withoutChecks += o2.Cost().Checks()
+		}
+	}
+	b.ReportMetric(float64(withApps), "apps-recompute")
+	b.ReportMetric(float64(withoutApps), "apps-stale")
+	b.ReportMetric(float64(withChecks), "checks-recompute")
+	b.ReportMetric(float64(withoutChecks), "checks-stale")
+	if withoutApps > withApps {
+		b.Fatalf("stale dependences cannot create applications: %d > %d", withoutApps, withApps)
+	}
+}

@@ -1,0 +1,207 @@
+package genesis
+
+// The benchmarks regenerate every Section-4 result of the paper as a
+// testing.B target (run `go test -bench=. -benchmem`); see DESIGN.md's
+// per-experiment index and EXPERIMENTS.md for the paper-vs-measured record.
+// Custom metrics report the experiment's headline numbers alongside the
+// usual ns/op.
+
+import (
+	"testing"
+
+	"repro/dep"
+	"repro/internal/codegen"
+	"repro/internal/experiments"
+	"repro/internal/gospel"
+	"repro/internal/interp"
+	"repro/internal/proggen"
+	"repro/internal/specs"
+	"repro/internal/workloads"
+)
+
+// BenchmarkE1QualityVsHandCoded regenerates E1: generated optimizers against
+// the hand-coded suite on every workload.
+func BenchmarkE1QualityVsHandCoded(b *testing.B) {
+	var agreement, rows int
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunE1()
+		agreement, rows = r.Agreement, len(r.Rows)
+	}
+	b.ReportMetric(float64(agreement), "agree")
+	b.ReportMetric(float64(rows), "pairs")
+}
+
+// BenchmarkE2ApplicationPoints regenerates E2: the application-point census
+// and CTP's enablement counts.
+func BenchmarkE2ApplicationPoints(b *testing.B) {
+	var r experiments.E2Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.RunE2()
+	}
+	b.ReportMetric(float64(r.Points["CTP"]), "CTP-points")
+	b.ReportMetric(float64(r.Enabled["DCE"]), "enabled-DCE")
+	b.ReportMetric(float64(r.Enabled["CFO"]), "enabled-CFO")
+	b.ReportMetric(float64(r.Enabled["LUR"]), "enabled-LUR")
+}
+
+// BenchmarkE3Orderings regenerates E3: the six orderings of FUS, INX, LUR
+// on the interaction program.
+func BenchmarkE3Orderings(b *testing.B) {
+	var distinct int
+	for i := 0; i < b.N; i++ {
+		distinct = experiments.RunE3().DistinctPrograms
+	}
+	b.ReportMetric(float64(distinct), "programs")
+}
+
+// BenchmarkE4CostBenefit regenerates E4: per-optimization cost and expected
+// benefit under the three architectural models.
+func BenchmarkE4CostBenefit(b *testing.B) {
+	var inxChecks int
+	var inxBenefit float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunE4()
+		row, _ := r.Row("INX")
+		inxChecks, inxBenefit = row.Checks, row.BenefitScalar
+	}
+	b.ReportMetric(float64(inxChecks), "INX-checks")
+	b.ReportMetric(inxBenefit, "INX-benefit%")
+}
+
+// BenchmarkE5SpecVariants regenerates E5: the LUR bound-check-order cost
+// comparison.
+func BenchmarkE5SpecVariants(b *testing.B) {
+	var upper, lower int
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunE5()
+		upper, lower = r.UpperFirstChecks, r.LowerFirstChecks
+	}
+	b.ReportMetric(float64(upper), "upper-first")
+	b.ReportMetric(float64(lower), "lower-first")
+}
+
+// BenchmarkE6MembershipStrategies regenerates E6: members-first vs
+// deps-first vs the heuristic.
+func BenchmarkE6MembershipStrategies(b *testing.B) {
+	var wins, rows int
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunE6()
+		wins, rows = r.HeuristicWins, len(r.Rows)
+	}
+	b.ReportMetric(float64(wins), "heuristic-wins")
+	b.ReportMetric(float64(rows), "opts")
+}
+
+// BenchmarkE7GeneratedSize regenerates E7: the implementation-size
+// statistics of the emitted code.
+func BenchmarkE7GeneratedSize(b *testing.B) {
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		avg = experiments.RunE7().AvgGenerated
+	}
+	b.ReportMetric(avg, "avg-lines")
+}
+
+// --- microbenchmarks of the substrates ---
+
+// BenchmarkDependenceAnalysis measures one full dependence-graph
+// computation over the whole workload suite.
+func BenchmarkDependenceAnalysis(b *testing.B) {
+	progs := make([]func() int, 0, len(workloads.All))
+	for _, w := range workloads.All {
+		w := w
+		progs = append(progs, func() int {
+			return len(dep.Compute(w.Program()).Deps)
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range progs {
+			f()
+		}
+	}
+}
+
+// BenchmarkOptimizerCompile measures compiling all built-in specifications
+// (GENesis's generation step).
+func BenchmarkOptimizerCompile(b *testing.B) {
+	names := specs.Names()
+	for i := 0; i < b.N; i++ {
+		for _, n := range names {
+			if _, err := specs.Compile(n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkApplyCTP measures one full constant-propagation fixpoint on the
+// workload suite.
+func BenchmarkApplyCTP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, w := range workloads.All {
+			p := w.Program()
+			o := specs.MustCompile("CTP")
+			if _, err := o.ApplyAll(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkDependenceAnalysisLarge scales the dependence analysis to a
+// generated ~200-statement program.
+func BenchmarkDependenceAnalysisLarge(b *testing.B) {
+	p := proggen.Generate(1, proggen.Config{MaxStmts: 200})
+	b.ReportMetric(float64(p.Len()), "stmts")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dep.Compute(p)
+	}
+}
+
+// BenchmarkApplyPipelineLarge runs a five-optimization pipeline over a
+// generated large program.
+func BenchmarkApplyPipelineLarge(b *testing.B) {
+	pipeline := []string{"CTP", "CFO", "DCE", "FUS", "PAR"}
+	for i := 0; i < b.N; i++ {
+		p := proggen.Generate(2, proggen.Config{MaxStmts: 120})
+		for _, name := range pipeline {
+			o := specs.MustCompile(name)
+			if _, err := o.ApplyAll(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkGenerateCode measures emitting Go source for the whole suite.
+func BenchmarkGenerateCode(b *testing.B) {
+	var sp []*gospel.Spec
+	for _, name := range specs.Names() {
+		s, err := gospel.ParseAndCheck(name, specs.Sources[name])
+		if err != nil {
+			b.Fatal(err)
+		}
+		sp = append(sp, s)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range sp {
+			if _, err := codegen.Generate(s, codegen.Options{Package: "main"}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkInterpreter measures executing the workload suite.
+func BenchmarkInterpreter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, w := range workloads.All {
+			if _, err := interp.Run(w.Program(), w.Input, interp.Config{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package cmd_test builds the three command-line tools with the real Go
+// toolchain and exercises their primary flags end to end.
+package cmd_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `
+PROGRAM demo
+INTEGER n, i
+REAL a(16), s
+n = 16
+s = 0.0
+DO i = 1, n
+  a(i) = i * 2.0
+ENDDO
+DO i = 1, 16
+  s = s + a(i)
+ENDDO
+PRINT s
+END
+`
+
+type binaries struct {
+	genesis, opt, experiments string
+}
+
+func buildAll(t *testing.T) binaries {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("short mode: skipping CLI builds")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("no go toolchain")
+	}
+	dir := t.TempDir()
+	b := binaries{
+		genesis:     filepath.Join(dir, "genesis"),
+		opt:         filepath.Join(dir, "opt"),
+		experiments: filepath.Join(dir, "experiments"),
+	}
+	for tool, out := range map[string]string{
+		"./cmd/genesis": b.genesis, "./cmd/opt": b.opt, "./cmd/experiments": b.experiments,
+	} {
+		cmd := exec.Command(goBin, "build", "-o", out, tool)
+		cmd.Dir = ".." // repo root
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", tool, err, msg)
+		}
+	}
+	return b
+}
+
+func writeSample(t *testing.T) string {
+	t.Helper()
+	f := filepath.Join(t.TempDir(), "demo.mf")
+	if err := os.WriteFile(f, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestCLIs(t *testing.T) {
+	b := buildAll(t)
+	prog := writeSample(t)
+
+	t.Run("genesis list", func(t *testing.T) {
+		out, err := exec.Command(b.genesis, "-list").CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		for _, want := range []string{"CTP", "INX", "FUS", "NRM"} {
+			if !strings.Contains(string(out), want) {
+				t.Errorf("list missing %s", want)
+			}
+		}
+	})
+
+	t.Run("genesis generate builtin", func(t *testing.T) {
+		out, err := exec.Command(b.genesis, "-builtin", "CTP", "-main").CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		for _, want := range []string{"package main", "applyCTP", "optlib.Main"} {
+			if !strings.Contains(string(out), want) {
+				t.Errorf("generated code missing %q", want)
+			}
+		}
+	})
+
+	t.Run("genesis generate from file", func(t *testing.T) {
+		spec := filepath.Join(t.TempDir(), "ide.gos")
+		src := `
+TYPE
+  Stmt: Si;
+PRECOND
+  Code_Pattern
+    any Si: Si.opc == add AND (Si.opr_3 == 0);
+  Depend
+ACTION
+  modify(Si.opc, assign);
+`
+		if err := os.WriteFile(spec, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		outFile := filepath.Join(t.TempDir(), "gen.go")
+		out, err := exec.Command(b.genesis, "-spec", spec, "-name", "MYIDE", "-o", outFile).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		data, err := os.ReadFile(outFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), "applyMYIDE") {
+			t.Error("generated file missing applyMYIDE")
+		}
+	})
+
+	t.Run("opt batch", func(t *testing.T) {
+		out, err := exec.Command(b.opt, "-opts", "CTP,FUS", "-run", prog).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		text := string(out)
+		if !strings.Contains(text, "CTP: 1 application(s)") ||
+			!strings.Contains(text, "FUS: 1 application(s)") {
+			t.Errorf("application counts missing:\n%s", text)
+		}
+		if !strings.Contains(text, "272") { // 2·(1+…+16)
+			t.Errorf("execution output missing:\n%s", text)
+		}
+	})
+
+	t.Run("opt minif round trip", func(t *testing.T) {
+		out, err := exec.Command(b.opt, "-opts", "CTP", "-minif", prog).Output()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f2 := filepath.Join(t.TempDir(), "rt.mf")
+		if err := os.WriteFile(f2, out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out2, err := exec.Command(b.opt, "-opts", "", "-run", f2).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out2)
+		}
+		if !strings.Contains(string(out2), "272") {
+			t.Errorf("re-parsed program lost behaviour:\n%s", out2)
+		}
+	})
+
+	t.Run("opt points", func(t *testing.T) {
+		out, err := exec.Command(b.opt, "-points", prog).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "CTP  1") {
+			t.Errorf("points census wrong:\n%s", out)
+		}
+	})
+
+	t.Run("opt interactive", func(t *testing.T) {
+		cmd := exec.Command(b.opt, "-i", prog)
+		cmd.Stdin = strings.NewReader("points CTP\napplyall CTP\nrun\nquit\n")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		text := string(out)
+		if !strings.Contains(text, "1 application(s)") || !strings.Contains(text, "272") {
+			t.Errorf("interactive session output:\n%s", text)
+		}
+	})
+
+	t.Run("experiments e5", func(t *testing.T) {
+		out, err := exec.Command(b.experiments, "-e", "e5").CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "upper-bound-first") {
+			t.Errorf("e5 table missing:\n%s", out)
+		}
+	})
+}
+
+func TestOptUserSpec(t *testing.T) {
+	b := buildAll(t)
+	dir := t.TempDir()
+	prog := filepath.Join(dir, "neg.mf")
+	if err := os.WriteFile(prog, []byte(`
+PROGRAM neg
+REAL y, t, x
+READ y
+t = 0.0 - y
+x = 0.0 - t
+PRINT x
+END
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(b.opt, "-spec", "../examples/specs/negate.gos",
+		"-run", "-input", "5.0", prog).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "NEGATE: 1 application(s)") {
+		t.Errorf("user spec did not apply:\n%s", text)
+	}
+	if !strings.Contains(text, "x := y") || !strings.Contains(text, "\n5\n") {
+		t.Errorf("double negation not eliminated or wrong output:\n%s", text)
+	}
+}

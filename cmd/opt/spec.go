@@ -1,0 +1,8 @@
+package main
+
+import "repro/internal/gospel"
+
+// parseChecked parses and semantically checks a specification.
+func parseChecked(name, src string) (*gospel.Spec, error) {
+	return gospel.ParseAndCheck(name, src)
+}

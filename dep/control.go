@@ -1,0 +1,36 @@
+package dep
+
+import "repro/ir"
+
+// controlDeps records control dependences: per the paper, "if Si is an IF
+// condition then all of the statements within the THEN and the ELSE are
+// control dependent on Si"; analogously every statement in a loop body is
+// control dependent on the loop header (whether the body executes depends
+// on the header's trip test).
+func (g *Graph) controlDeps() {
+	p := g.Prog
+	for _, s := range p.Stmts() {
+		switch s.Kind {
+		case ir.SIf:
+			_, endif := ir.MatchingEndIf(p, s)
+			if endif == nil {
+				continue
+			}
+			for i := p.Index(s) + 1; i < p.Index(endif); i++ {
+				t := p.At(i)
+				if t.Kind == ir.SElse {
+					continue
+				}
+				g.add(Dependence{Kind: Control, Src: s, Dst: t})
+			}
+		case ir.SDoHead:
+			end := ir.MatchingEnd(p, s)
+			if end == nil {
+				continue
+			}
+			for i := p.Index(s) + 1; i < p.Index(end); i++ {
+				g.add(Dependence{Kind: Control, Src: s, Dst: p.At(i)})
+			}
+		}
+	}
+}

@@ -1,0 +1,320 @@
+// Package dep computes the data and control dependences GOSpeL
+// preconditions are written in terms of: flow (δ), anti (δ̄), output (δ°)
+// and control (δᶜ) dependences, each annotated with a direction vector over
+// the loops common to the two statements (the paper, Section 2).
+//
+// Scalars are analyzed with the reaching-definitions / upward-exposed-uses
+// dataflow from internal/dataflow, split into loop-independent and
+// loop-carried dependences by re-running the analysis on the acyclic
+// (back-edge-free) flow graph. Array references are analyzed pairwise with
+// classical subscript tests (ZIV, strong SIV, and a GCD fallback), producing
+// per-level direction sets.
+package dep
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dataflow"
+	"repro/ir"
+)
+
+// Kind is the dependence type.
+type Kind int
+
+const (
+	Flow Kind = iota
+	Anti
+	Output
+	Control
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Flow:
+		return "flow"
+	case Anti:
+		return "anti"
+	case Output:
+		return "output"
+	case Control:
+		return "control"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// DirSet is a set of possible directions at one loop level, a bitmask over
+// {<, =, >}.
+type DirSet uint8
+
+const (
+	DirLT  DirSet = 1 << iota // source iteration earlier (forward, '<')
+	DirEQ                     // same iteration ('=')
+	DirGT                     // source iteration later (backward, '>')
+	DirAny = DirLT | DirEQ | DirGT
+)
+
+// Has reports whether d includes dir.
+func (d DirSet) Has(dir DirSet) bool { return d&dir != 0 }
+
+// Intersect returns the intersection.
+func (d DirSet) Intersect(o DirSet) DirSet { return d & o }
+
+// Reverse maps each direction to its opposite (swap of source and sink).
+func (d DirSet) Reverse() DirSet {
+	var r DirSet
+	if d.Has(DirLT) {
+		r |= DirGT
+	}
+	if d.Has(DirGT) {
+		r |= DirLT
+	}
+	if d.Has(DirEQ) {
+		r |= DirEQ
+	}
+	return r
+}
+
+func (d DirSet) String() string {
+	switch d {
+	case DirAny:
+		return "*"
+	case DirLT:
+		return "<"
+	case DirEQ:
+		return "="
+	case DirGT:
+		return ">"
+	case 0:
+		return "∅"
+	}
+	var b strings.Builder
+	if d.Has(DirLT) {
+		b.WriteByte('<')
+	}
+	if d.Has(DirEQ) {
+		b.WriteByte('=')
+	}
+	if d.Has(DirGT) {
+		b.WriteByte('>')
+	}
+	return b.String()
+}
+
+// Vector is a direction vector: one DirSet per common loop, outermost first.
+// A nil/empty vector means the statements share no loop (loop-independent
+// dependence at nesting level zero).
+type Vector []DirSet
+
+func (v Vector) String() string {
+	if len(v) == 0 {
+		return "()"
+	}
+	parts := make([]string, len(v))
+	for i, d := range v {
+		parts[i] = d.String()
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// Clone returns a copy of the vector.
+func (v Vector) Clone() Vector { return append(Vector{}, v...) }
+
+// Matches reports whether this dependence vector is compatible with a
+// requested pattern, where each pattern element is a DirSet (use DirAny for
+// the paper's '*'). An empty pattern (direction vector omitted in the
+// specification) matches any vector. When the lengths differ the shorter
+// side is padded: a dependence vector extends with '=' (the dependence is
+// loop-independent with respect to loops it is not carried by — this is
+// what lets the paper write flow_dep(Si, Sj, (=)) for statements at any
+// nesting depth), and a pattern extends with '*' (unconstrained inner
+// levels).
+func (v Vector) Matches(pattern Vector) bool {
+	if len(pattern) == 0 {
+		return true
+	}
+	n := len(v)
+	if len(pattern) > n {
+		n = len(pattern)
+	}
+	for i := 0; i < n; i++ {
+		ve, pe := DirEQ, DirAny
+		if i < len(v) {
+			ve = v[i]
+		}
+		if i < len(pattern) {
+			pe = pattern[i]
+		}
+		if ve.Intersect(pe) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Dependence is one edge of the dependence graph: Src δ Dst.
+type Dependence struct {
+	Kind Kind
+	Src  *ir.Stmt
+	Dst  *ir.Stmt
+	// Vec has one entry per loop common to Src and Dst, outermost first.
+	Vec Vector
+	// Var is the variable (scalar or array name) causing the dependence;
+	// empty for control dependences.
+	Var string
+	// SrcPos / DstPos are the operand positions involved at each end
+	// (the paper's optional (S, pos) result); 0 when not applicable
+	// (e.g. subscript uses or control dependences).
+	SrcPos int
+	DstPos int
+	// Carried reports a loop-carried dependence (some level is not '=').
+	Carried bool
+	// Level is the carrying loop level (1 = outermost common loop);
+	// 0 for loop-independent dependences.
+	Level int
+}
+
+func (d Dependence) String() string {
+	return fmt.Sprintf("%s_dep(S%d → S%d, %s, %s)", d.Kind, d.Src.ID, d.Dst.ID, d.Var, d.Vec)
+}
+
+// Graph is the dependence graph of one program snapshot. It is invalidated
+// by transformation; recompute after each applied optimization (the paper's
+// interface offers the same choice).
+type Graph struct {
+	Prog *ir.Program
+	Deps []Dependence
+
+	// Entry is a synthetic statement standing for the implicit
+	// zero-initialization of every scalar at program entry. A flow
+	// dependence Entry → S marks a possibly-uninitialized use: the value
+	// read at S is not always produced by an explicit definition, so
+	// single-reaching-definition reasoning (constant and copy propagation)
+	// must treat Entry as another reaching definition. Entry is not part
+	// of the program's statement list.
+	Entry *ir.Stmt
+
+	// flow retains the underlying dataflow analysis (liveness etc.) for
+	// clients such as the benefit estimator.
+	flow *dataflow.Analysis
+
+	from map[*ir.Stmt][]int
+	to   map[*ir.Stmt][]int
+}
+
+// Dataflow returns the dataflow analysis computed for this snapshot.
+func (g *Graph) Dataflow() *dataflow.Analysis { return g.flow }
+
+// Compute builds the full dependence graph for p.
+func Compute(p *ir.Program) *Graph {
+	g := &Graph{
+		Prog:  p,
+		Entry: &ir.Stmt{Kind: ir.SAssign},
+		from:  make(map[*ir.Stmt][]int),
+		to:    make(map[*ir.Stmt][]int),
+	}
+	g.scalarDeps()
+	g.arrayDeps()
+	g.controlDeps()
+	return g
+}
+
+func (g *Graph) add(d Dependence) {
+	if d.Src == nil || d.Dst == nil {
+		return
+	}
+	// Deduplicate identical edges (same kind/ends/var/vector).
+	for _, di := range g.from[d.Src] {
+		e := g.Deps[di]
+		if e.Kind == d.Kind && e.Dst == d.Dst && e.Var == d.Var &&
+			e.SrcPos == d.SrcPos && e.DstPos == d.DstPos && vecEqual(e.Vec, d.Vec) {
+			return
+		}
+	}
+	idx := len(g.Deps)
+	g.Deps = append(g.Deps, d)
+	g.from[d.Src] = append(g.from[d.Src], idx)
+	g.to[d.Dst] = append(g.to[d.Dst], idx)
+}
+
+func vecEqual(a, b Vector) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// From returns the dependences emanating from s.
+func (g *Graph) From(s *ir.Stmt) []Dependence {
+	return g.pick(g.from[s])
+}
+
+// To returns the dependences terminating at s.
+func (g *Graph) To(s *ir.Stmt) []Dependence {
+	return g.pick(g.to[s])
+}
+
+func (g *Graph) pick(idxs []int) []Dependence {
+	out := make([]Dependence, 0, len(idxs))
+	for _, i := range idxs {
+		out = append(out, g.Deps[i])
+	}
+	return out
+}
+
+// Query returns all dependences of the given kind between src and dst
+// matching the direction pattern. Either src or dst may be nil as a
+// wildcard. This is the paper's dep routine (Fig. 7) generalized to return
+// the full match set; the engine layers the LST/IF search modes on top.
+func (g *Graph) Query(kind Kind, src, dst *ir.Stmt, pattern Vector) []Dependence {
+	var candidates []int
+	switch {
+	case src != nil:
+		candidates = g.from[src]
+	case dst != nil:
+		candidates = g.to[dst]
+	default:
+		candidates = make([]int, len(g.Deps))
+		for i := range g.Deps {
+			candidates[i] = i
+		}
+	}
+	var out []Dependence
+	for _, i := range candidates {
+		d := g.Deps[i]
+		if d.Kind != kind {
+			continue
+		}
+		if src != nil && d.Src != src {
+			continue
+		}
+		if dst != nil && d.Dst != dst {
+			continue
+		}
+		if !d.Vec.Matches(pattern) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// Exists reports whether any dependence matches the query.
+func (g *Graph) Exists(kind Kind, src, dst *ir.Stmt, pattern Vector) bool {
+	return len(g.Query(kind, src, dst, pattern)) > 0
+}
+
+// String renders the graph for debugging.
+func (g *Graph) String() string {
+	var b strings.Builder
+	for _, d := range g.Deps {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

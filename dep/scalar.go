@@ -1,0 +1,194 @@
+package dep
+
+import (
+	"repro/internal/dataflow"
+	"repro/ir"
+)
+
+// scalarDeps derives flow, anti and output dependences between scalar
+// accesses from the dataflow facts. Each dependence is classified as
+// loop-independent (present on the forward-only graph) and/or loop-carried
+// at level k (the fact survives one iteration of common loop k and the sink
+// access is exposed from that loop's body entry).
+func (g *Graph) scalarDeps() {
+	p := g.Prog
+	a := dataflow.Analyze(p)
+	g.flow = a
+
+	// Flow dependences: def d at s reaching scalar use u at t.
+	for ui, u := range a.Uses {
+		if u.IsArray {
+			continue
+		}
+		t := p.At(u.StmtIdx)
+		for di, d := range a.Defs {
+			if d.IsArray || d.Name != u.Name {
+				continue
+			}
+			s := p.At(d.StmtIdx)
+			if !a.ReachIn[u.StmtIdx].Has(di) {
+				continue
+			}
+			common := ir.CommonLoops(p, s, t)
+			if a.ReachInF[u.StmtIdx].Has(di) && d.StmtIdx < u.StmtIdx {
+				g.add(Dependence{
+					Kind: Flow, Src: s, Dst: t, Var: d.Name,
+					Vec: eqVector(len(common)), SrcPos: 1, DstPos: u.Pos,
+				})
+			}
+			for k, l := range common {
+				if !l.Contains(p, s) {
+					continue // carried deps need the source inside the loop
+				}
+				endIdx := p.Index(l.End)
+				headIdx := p.Index(l.Head)
+				if a.ReachInF[endIdx].Has(di) && a.ExposedUses[headIdx].Has(ui) {
+					g.add(Dependence{
+						Kind: Flow, Src: s, Dst: t, Var: d.Name,
+						Vec: carriedVector(len(common), k), SrcPos: 1, DstPos: u.Pos,
+						Carried: true, Level: k + 1,
+					})
+				}
+			}
+		}
+	}
+
+	// Anti dependences: scalar use u at s reaching a scalar def at t.
+	for di, d := range a.Defs {
+		if d.IsArray {
+			continue
+		}
+		t := p.At(d.StmtIdx)
+		for ui, u := range a.Uses {
+			if u.IsArray || u.Name != d.Name {
+				continue
+			}
+			s := p.At(u.StmtIdx)
+			if !a.UseReachIn[d.StmtIdx].Has(ui) {
+				continue
+			}
+			common := ir.CommonLoops(p, s, t)
+			if a.UseReachInF[d.StmtIdx].Has(ui) && u.StmtIdx < d.StmtIdx {
+				g.add(Dependence{
+					Kind: Anti, Src: s, Dst: t, Var: d.Name,
+					Vec: eqVector(len(common)), SrcPos: u.Pos, DstPos: 1,
+				})
+			}
+			for k, l := range common {
+				if !l.Contains(p, s) {
+					continue
+				}
+				endIdx := p.Index(l.End)
+				headIdx := p.Index(l.Head)
+				if a.UseReachInF[endIdx].Has(ui) && a.ExposedDefs[headIdx].Has(di) {
+					g.add(Dependence{
+						Kind: Anti, Src: s, Dst: t, Var: d.Name,
+						Vec: carriedVector(len(common), k), SrcPos: u.Pos, DstPos: 1,
+						Carried: true, Level: k + 1,
+					})
+				}
+			}
+		}
+	}
+
+	// Output dependences: scalar def at s reaching a scalar redefinition at t.
+	for dj, e := range a.Defs {
+		if e.IsArray {
+			continue
+		}
+		t := p.At(e.StmtIdx)
+		for di, d := range a.Defs {
+			if di == dj || d.IsArray || d.Name != e.Name {
+				continue
+			}
+			s := p.At(d.StmtIdx)
+			if !a.ReachIn[e.StmtIdx].Has(di) {
+				continue
+			}
+			common := ir.CommonLoops(p, s, t)
+			if a.ReachInF[e.StmtIdx].Has(di) && d.StmtIdx < e.StmtIdx {
+				g.add(Dependence{
+					Kind: Output, Src: s, Dst: t, Var: d.Name,
+					Vec: eqVector(len(common)), SrcPos: 1, DstPos: 1,
+				})
+			}
+			for k, l := range common {
+				if !l.Contains(p, s) {
+					continue
+				}
+				endIdx := p.Index(l.End)
+				headIdx := p.Index(l.Head)
+				if a.ReachInF[endIdx].Has(di) && a.ExposedDefs[headIdx].Has(dj) {
+					g.add(Dependence{
+						Kind: Output, Src: s, Dst: t, Var: d.Name,
+						Vec: carriedVector(len(common), k), SrcPos: 1, DstPos: 1,
+						Carried: true, Level: k + 1,
+					})
+				}
+			}
+		}
+	}
+
+	// Possibly-uninitialized uses: the implicit zero definition at program
+	// entry reaches every upward-exposed scalar use, giving it a second
+	// "definition" that propagation-style optimizations must respect.
+	a.UpwardExposed.ForEach(func(ui int) {
+		u := a.Uses[ui]
+		if u.IsArray {
+			return
+		}
+		g.add(Dependence{
+			Kind: Flow, Src: g.Entry, Dst: p.At(u.StmtIdx), Var: u.Name,
+			SrcPos: 0, DstPos: u.Pos,
+		})
+	})
+
+	// Self output/anti carried for a statement redefining the same scalar
+	// (e.g. "s = s + 1"): the def in iteration i and the def in iteration
+	// i+1 conflict. The general loops above cover distinct statements; the
+	// self-output case (di == dj) needs its own pass.
+	for di, d := range a.Defs {
+		if d.IsArray {
+			continue
+		}
+		s := p.At(d.StmtIdx)
+		common := ir.EnclosingLoops(p, s)
+		for k, l := range common {
+			endIdx := p.Index(l.End)
+			headIdx := p.Index(l.Head)
+			if a.ReachInF[endIdx].Has(di) && a.ExposedDefs[headIdx].Has(di) {
+				g.add(Dependence{
+					Kind: Output, Src: s, Dst: s, Var: d.Name,
+					Vec: carriedVector(len(common), k), SrcPos: 1, DstPos: 1,
+					Carried: true, Level: k + 1,
+				})
+			}
+		}
+	}
+}
+
+// eqVector returns an all-'=' vector of length n.
+func eqVector(n int) Vector {
+	v := make(Vector, n)
+	for i := range v {
+		v[i] = DirEQ
+	}
+	return v
+}
+
+// carriedVector returns (=,...,=,<,*,...,*) with '<' at position k
+// (0-based) in a vector of length n.
+func carriedVector(n, k int) Vector {
+	v := make(Vector, n)
+	for i := range v {
+		switch {
+		case i < k:
+			v[i] = DirEQ
+		case i == k:
+			v[i] = DirLT
+		default:
+			v[i] = DirAny
+		}
+	}
+	return v
+}

@@ -1,0 +1,57 @@
+// Costbenefit: the paper's cost/benefit experiment as a runnable example.
+// Every built-in optimization is applied to the workload suite while the
+// engine counts precondition checks and transformation operations (the
+// paper's estimated-cost metric); the interpreter then estimates each
+// optimization's benefit under scalar, vector and multiprocessor models.
+//
+//	go run ./examples/costbenefit
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/interp"
+	"repro/internal/workloads"
+)
+
+func main() {
+	fmt.Printf("%-5s %6s %8s %6s %9s %9s %9s\n",
+		"opt", "apps", "checks", "ops", "scalar%", "vector%", "mp%")
+	for _, name := range genesis.TenOptimizations() {
+		o, err := genesis.BuiltIn(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		apps := 0
+		var bS, bV, bM float64
+		for _, w := range workloads.All {
+			ref, err := interp.Run(w.Program(), w.Input, interp.Config{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			p := w.Program()
+			n, err := o.ApplyAll(p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			apps += n
+			r, err := interp.Run(p, w.Input, interp.Config{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			m := interp.DefaultModel
+			bS += interp.Benefit(ref.Counts, r.Counts, interp.Scalar, m)
+			bV += interp.Benefit(ref.Counts, r.Counts, interp.Vector, m)
+			bM += interp.Benefit(ref.Counts, r.Counts, interp.Multiprocessor, m)
+		}
+		c := o.Cost()
+		n := float64(len(workloads.All))
+		fmt.Printf("%-5s %6d %8d %6d %9.2f %9.2f %9.2f\n",
+			name, apps, c.Checks(), c.ActionOps,
+			100*bS/n, 100*bV/n, 100*bM/n)
+	}
+	fmt.Println("\ncost = precondition checks + transformation operations (the paper's estimate)")
+	fmt.Println("benefit = relative estimated execution-time reduction per architecture")
+}

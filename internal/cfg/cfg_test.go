@@ -1,0 +1,199 @@
+package cfg
+
+import (
+	"testing"
+
+	"repro/internal/frontend"
+	"repro/ir"
+)
+
+func has(edges []int, t int) bool {
+	for _, e := range edges {
+		if e == t {
+			return true
+		}
+	}
+	return false
+}
+
+func TestStraightLine(t *testing.T) {
+	p := frontend.MustParse("PROGRAM p\nINTEGER x, y\nx = 1\ny = 2\nPRINT y\nEND")
+	g := Build(p)
+	if !has(g.Succ[0], 1) || !has(g.Succ[1], 2) {
+		t.Fatalf("fallthrough edges missing:\n%s", g)
+	}
+	if len(g.Succ[2]) != 0 {
+		t.Fatalf("last statement must have no successors")
+	}
+	if !has(g.Pred[1], 0) {
+		t.Fatal("pred edges missing")
+	}
+}
+
+func TestLoopEdges(t *testing.T) {
+	src := `
+PROGRAM p
+INTEGER i, s
+s = 0
+DO i = 1, 10
+  s = s + i
+ENDDO
+PRINT s
+END
+`
+	p := frontend.MustParse(src)
+	g := Build(p)
+	// 0: s=0, 1: do, 2: s=s+i, 3: enddo, 4: print
+	if !has(g.Succ[1], 2) {
+		t.Error("DO → body missing")
+	}
+	if !has(g.Succ[1], 4) {
+		t.Error("DO → zero-trip exit missing")
+	}
+	if !has(g.Succ[3], 1) {
+		t.Error("ENDDO → DO back edge missing")
+	}
+	if has(g.Succ[3], 4) {
+		t.Error("ENDDO should not fall through; exit is modeled at the head")
+	}
+}
+
+func TestEmptyLoopBody(t *testing.T) {
+	p := frontend.MustParse("PROGRAM p\nINTEGER i\nDO i = 1, 3\nENDDO\nEND")
+	g := Build(p)
+	if !has(g.Succ[0], 1) {
+		t.Error("DO → ENDDO missing for empty body")
+	}
+	if !has(g.Succ[1], 0) {
+		t.Error("back edge missing")
+	}
+}
+
+func TestIfElseEdges(t *testing.T) {
+	src := `
+PROGRAM p
+INTEGER x, y
+READ x
+IF (x > 0) THEN
+  y = 1
+ELSE
+  y = 2
+ENDIF
+PRINT y
+END
+`
+	p := frontend.MustParse(src)
+	g := Build(p)
+	// 0: read, 1: if, 2: y=1, 3: else, 4: y=2, 5: endif, 6: print
+	if !has(g.Succ[1], 2) || !has(g.Succ[1], 4) {
+		t.Fatalf("IF must branch to both arms:\n%s", g)
+	}
+	if !has(g.Succ[3], 5) {
+		t.Error("ELSE must jump to ENDIF")
+	}
+	if has(g.Succ[3], 4) {
+		t.Error("THEN branch must not fall into ELSE branch")
+	}
+	if !has(g.Succ[2], 3) {
+		t.Error("then-body falls through to the ELSE marker (which jumps)")
+	}
+	if !has(g.Succ[5], 6) {
+		t.Error("ENDIF falls through")
+	}
+}
+
+func TestIfWithoutElse(t *testing.T) {
+	src := `
+PROGRAM p
+INTEGER x
+READ x
+IF (x > 0) THEN
+  x = 0
+ENDIF
+PRINT x
+END
+`
+	p := frontend.MustParse(src)
+	g := Build(p)
+	// 0: read, 1: if, 2: x=0, 3: endif, 4: print
+	if !has(g.Succ[1], 2) || !has(g.Succ[1], 3) {
+		t.Fatalf("IF without ELSE must branch to body and ENDIF:\n%s", g)
+	}
+}
+
+func TestReachable(t *testing.T) {
+	p := frontend.MustParse("PROGRAM p\nINTEGER x\nx = 1\nPRINT x\nEND")
+	g := Build(p)
+	r := g.Reachable()
+	for i, ok := range r {
+		if !ok {
+			t.Errorf("stmt %d unreachable", i)
+		}
+	}
+}
+
+func TestBlocks(t *testing.T) {
+	src := `
+PROGRAM p
+INTEGER x, y
+x = 1
+y = 2
+IF (x > 0) THEN
+  y = 3
+ENDIF
+PRINT y
+END
+`
+	p := frontend.MustParse(src)
+	g := Build(p)
+	blocks := g.Blocks()
+	if len(blocks) < 3 {
+		t.Fatalf("expected ≥3 blocks, got %d: %v", len(blocks), blocks)
+	}
+	// First block must contain the two straight-line assignments + if.
+	if blocks[0].Start != 0 {
+		t.Errorf("first block starts at %d", blocks[0].Start)
+	}
+	// Every statement must be covered exactly once.
+	covered := make([]bool, p.Len())
+	for _, b := range blocks {
+		for i := b.Start; i <= b.End; i++ {
+			if covered[i] {
+				t.Fatalf("stmt %d in two blocks", i)
+			}
+			covered[i] = true
+		}
+	}
+	for i, c := range covered {
+		if !c {
+			t.Errorf("stmt %d not in any block", i)
+		}
+	}
+}
+
+func TestNestedLoopGraph(t *testing.T) {
+	src := `
+PROGRAM p
+INTEGER i, j
+REAL a(10,10)
+DO i = 1, 10
+  DO j = 1, 10
+    a(i,j) = 0.0
+  ENDDO
+ENDDO
+END
+`
+	p := frontend.MustParse(src)
+	g := Build(p)
+	// 0: do i, 1: do j, 2: assign, 3: enddo j, 4: enddo i
+	if !has(g.Succ[3], 1) {
+		t.Error("inner back edge missing")
+	}
+	if !has(g.Succ[4], 0) {
+		t.Error("outer back edge missing")
+	}
+	if !has(g.Succ[1], 4) {
+		t.Error("inner zero-trip exit should reach outer ENDDO")
+	}
+	_ = ir.Loops(p)
+}

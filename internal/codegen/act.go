@@ -1,0 +1,409 @@
+package codegen
+
+import (
+	"strings"
+
+	"repro/internal/gospel"
+)
+
+// emitAct emits the actXXX function: the ACTION section translated into
+// calls on the transformation primitives, taking the bound elements as
+// parameters. Any primitive failure returns an error; the apply site rolls
+// the program back.
+func (g *gen) emitAct() error {
+	name := g.spec.Name
+	var params []string
+	actSyms := map[string]sym{}
+	for _, b := range g.bound {
+		switch b.kind {
+		case symStmt:
+			params = append(params, ident(b.name)+" *ir.Stmt")
+		case symLoop:
+			params = append(params, ident(b.name)+" ir.Loop")
+		case symPos:
+			params = append(params, ident(b.name)+" int")
+		case symSet:
+			params = append(params, ident(b.name)+" []*ir.Stmt")
+		}
+		actSyms[b.name] = sym{b.kind, ident(b.name)}
+	}
+	g.syms = actSyms
+
+	g.line("// act%s performs the ACTION section at one application point.", name)
+	g.line("func act%s(p *ir.Program, %s) error {", name, strings.Join(params, ", "))
+	g.indent++
+	// Silence any parameters a particular action list does not touch.
+	for _, b := range g.bound {
+		g.line("_ = %s", ident(b.name))
+	}
+	if err := g.emitActions(g.spec.Actions); err != nil {
+		return err
+	}
+	g.line("return nil")
+	g.indent--
+	g.line("}")
+	return nil
+}
+
+func (g *gen) emitActions(actions []gospel.Action) error {
+	for _, a := range actions {
+		if err := g.emitAction(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *gen) emitAction(a gospel.Action) error {
+	switch a := a.(type) {
+	case gospel.DeleteAction:
+		t, err := g.expr(a.Target)
+		if err != nil {
+			return err
+		}
+		if t.cat != cStmt {
+			return g.errf("delete target must be a statement")
+		}
+		g.line("// delete(%s)", a.Target)
+		g.line("if p.Index(%s) < 0 {", t.src)
+		g.line("\treturn optlib.ErrGone")
+		g.line("}")
+		g.line("p.Delete(%s)", t.src)
+		return nil
+
+	case gospel.MoveAction:
+		src, err := g.expr(a.Src)
+		if err != nil {
+			return err
+		}
+		anchor, err := g.expr(a.After)
+		if err != nil {
+			return err
+		}
+		g.line("// move(%s, %s)", a.Src, a.After)
+		g.line("if p.Index(%s) < 0 {", src.src)
+		g.line("\treturn optlib.ErrGone")
+		g.line("}")
+		g.line("p.Move(%s, %s)", src.src, anchor.src)
+		return nil
+
+	case gospel.CopyAction:
+		src, err := g.expr(a.Src)
+		if err != nil {
+			return err
+		}
+		anchor, err := g.expr(a.After)
+		if err != nil {
+			return err
+		}
+		g.line("// copy(%s, %s, %s)", a.Src, a.After, a.Name)
+		g.line("%s := p.Copy(%s, %s)", ident(a.Name), src.src, anchor.src)
+		g.syms[a.Name] = sym{symStmt, ident(a.Name)}
+		return nil
+
+	case gospel.AddAction:
+		anchor, err := g.expr(a.After)
+		if err != nil {
+			return err
+		}
+		desc, err := g.expr(a.Desc)
+		if err != nil {
+			return err
+		}
+		if desc.cat != cStmt {
+			return g.errf("add description must evaluate to a statement template")
+		}
+		g.line("// add(%s, %s, %s)", a.After, a.Desc, a.Name)
+		g.line("%s := p.InsertAfter(%s, ir.CloneStmt(%s))", ident(a.Name), anchor.src, desc.src)
+		g.syms[a.Name] = sym{symStmt, ident(a.Name)}
+		return nil
+
+	case gospel.ModifyAction:
+		return g.emitModify(a)
+
+	case gospel.ForallAction:
+		set, err := g.setExpr(a.Set)
+		if err != nil {
+			return err
+		}
+		snap := g.fresh("set")
+		g.line("// forall %s in %s", a.Var, a.Set)
+		g.line("%s := append([]*ir.Stmt{}, %s...)", snap, set)
+		g.line("for _, %s := range %s {", ident(a.Var), snap)
+		g.indent++
+		g.line("if p.Index(%s) < 0 {", ident(a.Var))
+		g.line("\tcontinue")
+		g.line("}")
+		g.syms[a.Var] = sym{symStmt, ident(a.Var)}
+		if err := g.emitActions(a.Body); err != nil {
+			return err
+		}
+		g.indent--
+		g.line("}")
+		delete(g.syms, a.Var)
+		return nil
+	}
+	return g.errf("unsupported action")
+}
+
+// emitModify translates the overloaded Modify primitive.
+func (g *gen) emitModify(a gospel.ModifyAction) error {
+	g.line("// modify(%s, %s)", a.Target, a.Value)
+
+	// Whole-statement substitution: modify(S, subst(v, expr)).
+	if call, ok := a.Value.(gospel.Call); ok && call.Fn == "subst" {
+		t, err := g.expr(a.Target)
+		if err != nil {
+			return err
+		}
+		if t.cat != cStmt {
+			return g.errf("subst target must be a statement")
+		}
+		varSrc, err := g.lcvName(call.Args[0])
+		if err != nil {
+			return err
+		}
+		replSrc, err := g.linearize(call.Args[1])
+		if err != nil {
+			return err
+		}
+		g.line("if err := optlib.SubstStmt(%s, %s, %s); err != nil {", t.src, varSrc, replSrc)
+		g.line("\treturn err")
+		g.line("}")
+		return nil
+	}
+
+	// Opcode / loop-kind modification: the value is a literal.
+	if tgt, ok := a.Target.(gospel.Attr); ok && (tgt.Name == "opc" || tgt.Name == "kind") {
+		base, err := g.expr(tgt.Base)
+		if err != nil {
+			return err
+		}
+		stmtSrc := base.src
+		if base.cat == cLoop {
+			stmtSrc += ".Head"
+		}
+		lit, err := litName(a.Value)
+		if err != nil {
+			return g.errf("opcode modification needs a literal value: %v", err)
+		}
+		g.line("if err := optlib.ModifyOpc(%s, %q); err != nil {", stmtSrc, lit)
+		g.line("\treturn err")
+		g.line("}")
+		return nil
+	}
+
+	// Operand modification.
+	stmtSrc, slot, err := g.operandLvalue(a.Target)
+	if err != nil {
+		return err
+	}
+	valSrc, err := g.operandValue(a.Value)
+	if err != nil {
+		return err
+	}
+	g.line("if err := optlib.ModifyOperand(%s, %s, %s); err != nil {", stmtSrc, slot, valSrc)
+	g.line("\treturn err")
+	g.line("}")
+	return nil
+}
+
+// operandLvalue resolves a modify target to (statement expression, slot).
+func (g *gen) operandLvalue(target gospel.Expr) (string, string, error) {
+	switch t := target.(type) {
+	case gospel.Call:
+		if t.Fn != "operand" || len(t.Args) != 2 {
+			return "", "", g.errf("modify target call must be operand(S, pos)")
+		}
+		sv, err := g.expr(t.Args[0])
+		if err != nil {
+			return "", "", err
+		}
+		pv, err := g.expr(t.Args[1])
+		if err != nil {
+			return "", "", err
+		}
+		return sv.src, pv.src, nil
+	case gospel.Attr:
+		base, err := g.expr(t.Base)
+		if err != nil {
+			return "", "", err
+		}
+		stmtSrc := base.src
+		if base.cat == cLoop {
+			stmtSrc += ".Head"
+		} else if base.cat != cStmt {
+			return "", "", g.errf("modify target base must be a statement or loop")
+		}
+		switch t.Name {
+		case "opr_1", "init":
+			return stmtSrc, "1", nil
+		case "opr_2", "final":
+			return stmtSrc, "2", nil
+		case "opr_3", "step":
+			return stmtSrc, "3", nil
+		}
+		return "", "", g.errf("cannot assign attribute %q", t.Name)
+	}
+	return "", "", g.errf("unsupported modify target")
+}
+
+// operandValue translates a modify value into an ir.Operand expression,
+// hoisting eval(...) computations with error checks.
+func (g *gen) operandValue(value gospel.Expr) (string, error) {
+	if call, ok := value.(gospel.Call); ok && call.Fn == "eval" {
+		return g.emitEval(call.Args[0])
+	}
+	v, err := g.expr(value)
+	if err != nil {
+		return "", err
+	}
+	switch v.cat {
+	case cOperand:
+		return v.src, nil
+	case cNum:
+		return "ir.IntOp(int64(" + v.src + "))", nil
+	}
+	return "", g.errf("modify value must be an operand or number")
+}
+
+// emitEval hoists an eval(...) computation: eval(S) folds a statement,
+// eval(a op b) folds constant operands. Nested arithmetic hoists each
+// sub-expression.
+func (g *gen) emitEval(arg gospel.Expr) (string, error) {
+	name := g.fresh("ev")
+	if bin, ok := arg.(gospel.Binary); ok {
+		l, err := g.emitEvalArg(bin.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := g.emitEvalArg(bin.R)
+		if err != nil {
+			return "", err
+		}
+		g.line("%s, %sOK := optlib.EvalArith(%q, %s, %s)", name, name, bin.Op, l, r)
+	} else {
+		v, err := g.expr(arg)
+		if err != nil {
+			return "", err
+		}
+		switch v.cat {
+		case cStmt:
+			g.line("%s, %sOK := optlib.EvalStmt(%s)", name, name, v.src)
+		case cOperand:
+			return v.src, nil
+		default:
+			return "", g.errf("eval() argument must be a statement or arithmetic expression")
+		}
+	}
+	g.line("if !%sOK {", name)
+	g.line("\treturn optlib.ErrNotConst")
+	g.line("}")
+	return name, nil
+}
+
+// emitEvalArg resolves one operand of an eval arithmetic expression,
+// recursing into nested arithmetic.
+func (g *gen) emitEvalArg(e gospel.Expr) (string, error) {
+	if _, ok := e.(gospel.Binary); ok {
+		return g.emitEval(e)
+	}
+	return g.operandValue(e)
+}
+
+// lcvName extracts the substituted variable's name expression from the
+// first subst argument (an L.lcv attribute or a bound operand).
+func (g *gen) lcvName(arg gospel.Expr) (string, error) {
+	if attr, ok := arg.(gospel.Attr); ok && attr.Name == "lcv" {
+		base, err := g.expr(attr.Base)
+		if err != nil {
+			return "", err
+		}
+		if base.cat != cLoop {
+			return "", g.errf("lcv of non-loop")
+		}
+		return base.src + ".LCV()", nil
+	}
+	return "", g.errf("subst variable must be a loop's lcv")
+}
+
+// linearize emits an ir.LinExpr expression for a subst replacement,
+// hoisting constant extractions.
+func (g *gen) linearize(e gospel.Expr) (string, error) {
+	switch e := e.(type) {
+	case gospel.Num:
+		return "optlib.LinConst(" + e.Text + ")", nil
+	case gospel.Binary:
+		l, err := g.linearize(e.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := g.linearize(e.R)
+		if err != nil {
+			return "", err
+		}
+		switch e.Op {
+		case "+":
+			return "optlib.LinAdd(" + l + ", " + r + ")", nil
+		case "-":
+			return "optlib.LinSub(" + l + ", " + r + ")", nil
+		case "*":
+			name := g.fresh("lm")
+			g.line("%s, %sOK := optlib.LinMul(%s, %s)", name, name, l, r)
+			g.line("if !%sOK {", name)
+			g.line("	return optlib.ErrNotConst")
+			g.line("}")
+			return name, nil
+		}
+		return "", g.errf("substitution expressions support +, - and constant *")
+	case gospel.Attr:
+		if e.Name == "lcv" {
+			base, err := g.expr(e.Base)
+			if err != nil {
+				return "", err
+			}
+			return "optlib.LinVar(" + base.src + ".LCV())", nil
+		}
+		// Operand-valued attribute: must be constant at apply time.
+		v, err := g.expr(e)
+		if err != nil {
+			return "", err
+		}
+		if v.cat != cOperand {
+			return "", g.errf("cannot linearize %s", e)
+		}
+		name := g.fresh("k")
+		g.line("%s, %sOK := optlib.ConstInt(%s)", name, name, v.src)
+		g.line("if !%sOK {", name)
+		g.line("\treturn optlib.ErrNotConst")
+		g.line("}")
+		return "optlib.LinConst(" + name + ")", nil
+	case gospel.Call:
+		if e.Fn == "eval" {
+			opSrc, err := g.emitEval(e.Args[0])
+			if err != nil {
+				return "", err
+			}
+			name := g.fresh("k")
+			g.line("%s, %sOK := optlib.ConstInt(%s)", name, name, opSrc)
+			g.line("if !%sOK {", name)
+			g.line("\treturn optlib.ErrNotConst")
+			g.line("}")
+			return "optlib.LinConst(" + name + ")", nil
+		}
+	}
+	return "", g.errf("unsupported substitution expression")
+}
+
+// litName extracts a literal name from a value expression.
+func litName(e gospel.Expr) (string, error) {
+	switch e := e.(type) {
+	case gospel.Lit:
+		return e.Name, nil
+	case gospel.Ident:
+		if _, ok := literalCats[e.Name]; ok {
+			return e.Name, nil
+		}
+	}
+	return "", &gospel.Error{Msg: "not a literal"}
+}

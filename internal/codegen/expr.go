@@ -1,0 +1,452 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/dep"
+	"repro/internal/gospel"
+)
+
+// value categories for emitted expressions.
+type vcat int
+
+const (
+	cStmt vcat = iota
+	cLoop
+	cOperand
+	cNum
+	cBool
+	cSet
+	cOpcLit  // string literal for opc comparison
+	cKindLit // string literal for kind comparison
+	cTypeLit // string literal for operand-type comparison
+)
+
+// emitted is a translated expression: Go source plus its category.
+type emitted struct {
+	src string
+	cat vcat
+}
+
+// vecLiteral renders a dep.Vector as an optlib.Vec(...) call ("nil" when
+// empty).
+func vecLiteral(v dep.Vector) string {
+	if len(v) == 0 {
+		return "nil"
+	}
+	parts := make([]string, len(v))
+	for i, d := range v {
+		parts[i] = fmt.Sprintf("%q", d.String())
+	}
+	return "optlib.Vec(" + strings.Join(parts, ", ") + ")"
+}
+
+func dirSetLiteral(d dep.DirSet) string {
+	return fmt.Sprintf("optlib.Dir(%q)", d.String())
+}
+
+// boolExpr translates a GOSpeL boolean expression into Go source.
+func (g *gen) boolExpr(e gospel.Expr) (string, error) {
+	v, err := g.expr(e)
+	if err != nil {
+		return "", err
+	}
+	if v.cat != cBool {
+		return "", g.errf("expected boolean expression, got %s", v.src)
+	}
+	return v.src, nil
+}
+
+// setExpr translates a set expression (loop body, path, inter, union, or an
+// all-bound set variable).
+func (g *gen) setExpr(e gospel.Expr) (string, error) {
+	switch e := e.(type) {
+	case gospel.Ident:
+		s, ok := g.syms[e.Name]
+		if !ok {
+			return "", g.errf("unbound set name %s", e.Name)
+		}
+		switch s.kind {
+		case symLoop:
+			return s.expr + ".Body(p)", nil
+		case symSet:
+			return s.expr, nil
+		}
+		return "", g.errf("%s is not a set", e.Name)
+	case gospel.Attr:
+		if e.Name == "body" {
+			base, err := g.expr(e.Base)
+			if err != nil {
+				return "", err
+			}
+			if base.cat != cLoop {
+				return "", g.errf("body of non-loop")
+			}
+			return base.src + ".Body(p)", nil
+		}
+		return "", g.errf("attribute %q is not a set", e.Name)
+	case gospel.Call:
+		switch e.Fn {
+		case "path":
+			a, err := g.expr(e.Args[0])
+			if err != nil {
+				return "", err
+			}
+			b, err := g.expr(e.Args[1])
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("optlib.Path(p, %s, %s)", a.src, b.src), nil
+		case "inter", "union":
+			a, err := g.setExpr(e.Args[0])
+			if err != nil {
+				return "", err
+			}
+			b, err := g.setExpr(e.Args[1])
+			if err != nil {
+				return "", err
+			}
+			fn := "Inter"
+			if e.Fn == "union" {
+				fn = "Union"
+			}
+			return fmt.Sprintf("optlib.%s(%s, %s)", fn, a, b), nil
+		}
+	}
+	return "", g.errf("unsupported set expression")
+}
+
+var literalCats = map[string]vcat{
+	"const": cTypeLit, "var": cTypeLit, "array": cTypeLit,
+	"assign": cOpcLit, "add": cOpcLit, "sub": cOpcLit, "mul": cOpcLit,
+	"div": cOpcLit, "mod": cOpcLit,
+	"do": cKindLit, "doall": cKindLit, "enddo": cKindLit, "if": cKindLit,
+	"else": cKindLit, "endif": cKindLit, "print": cKindLit, "read": cKindLit,
+}
+
+// expr translates a general GOSpeL expression.
+func (g *gen) expr(e gospel.Expr) (emitted, error) {
+	switch e := e.(type) {
+	case gospel.Num:
+		return emitted{e.Text, cNum}, nil
+	case gospel.Lit:
+		cat, ok := literalCats[e.Name]
+		if !ok {
+			return emitted{}, g.errf("unknown literal %q", e.Name)
+		}
+		return emitted{fmt.Sprintf("%q", e.Name), cat}, nil
+	case gospel.Ident:
+		if s, ok := g.syms[e.Name]; ok {
+			switch s.kind {
+			case symStmt:
+				return emitted{s.expr, cStmt}, nil
+			case symLoop:
+				return emitted{s.expr, cLoop}, nil
+			case symPos:
+				return emitted{s.expr, cNum}, nil
+			case symSet:
+				return emitted{s.expr, cSet}, nil
+			}
+		}
+		if cat, ok := literalCats[e.Name]; ok {
+			return emitted{fmt.Sprintf("%q", e.Name), cat}, nil
+		}
+		return emitted{}, g.errf("unbound name %s", e.Name)
+	case gospel.Attr:
+		return g.attrExpr(e)
+	case gospel.Call:
+		return g.callExpr(e)
+	case gospel.Not:
+		inner, err := g.boolExpr(e.E)
+		if err != nil {
+			return emitted{}, err
+		}
+		return emitted{"!(" + inner + ")", cBool}, nil
+	case gospel.Binary:
+		return g.binaryExpr(e)
+	}
+	return emitted{}, g.errf("unsupported expression form")
+}
+
+func (g *gen) attrExpr(e gospel.Attr) (emitted, error) {
+	base, err := g.expr(e.Base)
+	if err != nil {
+		return emitted{}, err
+	}
+	switch base.cat {
+	case cStmt:
+		switch e.Name {
+		case "opr_1", "opr_2", "opr_3":
+			slot := e.Name[len(e.Name)-1] - '0'
+			return emitted{fmt.Sprintf("optlib.Opr(%s, %c)", base.src, '0'+slot), cOperand}, nil
+		case "next":
+			return emitted{fmt.Sprintf("p.Next(%s)", base.src), cStmt}, nil
+		case "prev":
+			return emitted{fmt.Sprintf("p.Prev(%s)", base.src), cStmt}, nil
+		case "opc", "kind":
+			// Comparisons special-case these; standalone use is an error.
+			return emitted{base.src, vcat(-1)}, g.errf("%s is only usable in comparisons", e.Name)
+		}
+		return emitted{}, g.errf("statement attribute %q", e.Name)
+	case cLoop:
+		switch e.Name {
+		case "head":
+			return emitted{base.src + ".Head", cStmt}, nil
+		case "end":
+			return emitted{base.src + ".End", cStmt}, nil
+		case "body":
+			return emitted{base.src + ".Body(p)", cSet}, nil
+		case "lcv":
+			return emitted{fmt.Sprintf("ir.VarOp(%s.LCV())", base.src), cOperand}, nil
+		case "init":
+			return emitted{base.src + ".Head.Init", cOperand}, nil
+		case "final":
+			return emitted{base.src + ".Head.Final", cOperand}, nil
+		case "step":
+			return emitted{base.src + ".Head.Step", cOperand}, nil
+		}
+		return emitted{}, g.errf("loop attribute %q", e.Name)
+	}
+	return emitted{}, g.errf("attributes need a statement or loop base")
+}
+
+func (g *gen) callExpr(e gospel.Call) (emitted, error) {
+	if kind, ok := depPredKind(e.Fn); ok {
+		src, err := g.expr(e.Args[0])
+		if err != nil {
+			return emitted{}, err
+		}
+		dst, err := g.expr(e.Args[1])
+		if err != nil {
+			return emitted{}, err
+		}
+		if e.CarriedBy != "" {
+			l, ok := g.syms[e.CarriedBy]
+			if !ok {
+				return emitted{}, g.errf("carried(%s): unbound", e.CarriedBy)
+			}
+			return emitted{fmt.Sprintf("optlib.CarriedBy(p, g, %s, %s, %s, %s)",
+				kind, src.src, dst.src, l.expr), cBool}, nil
+		}
+		if e.Independent {
+			return emitted{fmt.Sprintf("optlib.IndependentDep(g, %s, %s, %s)",
+				kind, src.src, dst.src), cBool}, nil
+		}
+		return emitted{fmt.Sprintf("g.Exists(%s, %s, %s, %s)",
+			kind, src.src, dst.src, vecLiteral(e.Dir)), cBool}, nil
+	}
+	switch e.Fn {
+	case "fused_dep":
+		sm, err := g.expr(e.Args[0])
+		if err != nil {
+			return emitted{}, err
+		}
+		sn, err := g.expr(e.Args[1])
+		if err != nil {
+			return emitted{}, err
+		}
+		l1, err := g.expr(e.Args[2])
+		if err != nil {
+			return emitted{}, err
+		}
+		l2, err := g.expr(e.Args[3])
+		if err != nil {
+			return emitted{}, err
+		}
+		want := dep.DirAny
+		if len(e.Dir) > 0 {
+			want = e.Dir[0]
+		}
+		return emitted{fmt.Sprintf("optlib.FusedDepDir(p, %s, %s, %s, %s, %s)",
+			sm.src, sn.src, l1.src, l2.src, dirSetLiteral(want)), cBool}, nil
+	case "mem", "nmem":
+		sv, err := g.expr(e.Args[0])
+		if err != nil {
+			return emitted{}, err
+		}
+		set, err := g.setExpr(e.Args[1])
+		if err != nil {
+			return emitted{}, err
+		}
+		call := fmt.Sprintf("optlib.Member(%s, %s)", set, sv.src)
+		if e.Fn == "nmem" {
+			call = "!" + call
+		}
+		return emitted{call, cBool}, nil
+	case "operand":
+		sv, err := g.expr(e.Args[0])
+		if err != nil {
+			return emitted{}, err
+		}
+		pv, err := g.expr(e.Args[1])
+		if err != nil {
+			return emitted{}, err
+		}
+		return emitted{fmt.Sprintf("optlib.Opr(%s, %s)", sv.src, pv.src), cOperand}, nil
+	case "type":
+		ov, err := g.expr(e.Args[0])
+		if err != nil {
+			return emitted{}, err
+		}
+		return emitted{fmt.Sprintf("optlib.OperandType(%s)", ov.src), cTypeLit}, nil
+	case "trip":
+		lv, err := g.expr(e.Args[0])
+		if err != nil {
+			return emitted{}, err
+		}
+		// Hoist trip into a prelude variable so the (value, ok) pair can
+		// gate the condition.
+		name := g.fresh("trip")
+		g.line("%s, %sOK := optlib.Trip(%s)", name, name, lv.src)
+		g.line("_ = %s", name)
+		g.guards = append(g.guards, name+"OK")
+		return emitted{name, cNum}, nil
+	}
+	return emitted{}, g.errf("function %q not supported in preconditions", e.Fn)
+}
+
+func (g *gen) binaryExpr(e gospel.Binary) (emitted, error) {
+	switch e.Op {
+	case "and", "or":
+		l, err := g.boolExpr(e.L)
+		if err != nil {
+			return emitted{}, err
+		}
+		r, err := g.boolExpr(e.R)
+		if err != nil {
+			return emitted{}, err
+		}
+		op := "&&"
+		if e.Op == "or" {
+			op = "||"
+		}
+		return emitted{"(" + l + " " + op + " " + r + ")", cBool}, nil
+	case "+", "-", "*", "/", "mod":
+		l, err := g.expr(e.L)
+		if err != nil {
+			return emitted{}, err
+		}
+		r, err := g.expr(e.R)
+		if err != nil {
+			return emitted{}, err
+		}
+		if l.cat != cNum || r.cat != cNum {
+			return emitted{}, g.errf("precondition arithmetic needs numeric operands")
+		}
+		op := e.Op
+		if op == "mod" {
+			op = "%"
+		}
+		return emitted{"(" + l.src + " " + op + " " + r.src + ")", cNum}, nil
+	}
+	// Relational comparison: dispatch on the operand categories.
+	return g.compareExpr(e)
+}
+
+func (g *gen) compareExpr(e gospel.Binary) (emitted, error) {
+	// opc/kind attribute against a literal or another opc/kind attribute.
+	if attr, ok := e.L.(gospel.Attr); ok && (attr.Name == "opc" || attr.Name == "kind") {
+		stmtSrc, err := g.opcBase(attr)
+		if err != nil {
+			return emitted{}, err
+		}
+		if e.Op != "==" && e.Op != "!=" {
+			return emitted{}, g.errf("%s only compares with == or !=", attr.Name)
+		}
+		// Attribute-vs-attribute comparison (RAE's Sj.opc == Si.opc).
+		if rattr, ok := e.R.(gospel.Attr); ok && (rattr.Name == "opc" || rattr.Name == "kind") {
+			rSrc, err := g.opcBase(rattr)
+			if err != nil {
+				return emitted{}, err
+			}
+			lName, rName := accessorFor(attr.Name), accessorFor(rattr.Name)
+			return emitted{fmt.Sprintf("(optlib.%s(%s) %s optlib.%s(%s))",
+				lName, stmtSrc, e.Op, rName, rSrc), cBool}, nil
+		}
+		r, err := g.expr(e.R)
+		if err != nil {
+			return emitted{}, err
+		}
+		if r.cat != cOpcLit && r.cat != cKindLit {
+			return emitted{}, g.errf("%s compares against a literal", attr.Name)
+		}
+		fn := "OpcIs"
+		if attr.Name == "kind" {
+			fn = "KindIs"
+		}
+		call := fmt.Sprintf("optlib.%s(%s, %s)", fn, stmtSrc, r.src)
+		if e.Op == "!=" {
+			call = "!" + call
+		}
+		return emitted{call, cBool}, nil
+	}
+
+	l, err := g.expr(e.L)
+	if err != nil {
+		return emitted{}, err
+	}
+	r, err := g.expr(e.R)
+	if err != nil {
+		return emitted{}, err
+	}
+	switch {
+	case l.cat == cStmt && r.cat == cStmt:
+		if e.Op == "==" || e.Op == "!=" {
+			return emitted{"(" + l.src + " " + e.Op + " " + r.src + ")", cBool}, nil
+		}
+		// Program-order comparison.
+		return emitted{fmt.Sprintf("(p.Index(%s) %s p.Index(%s))", l.src, e.Op, r.src), cBool}, nil
+	case l.cat == cTypeLit || r.cat == cTypeLit:
+		if e.Op != "==" && e.Op != "!=" {
+			return emitted{}, g.errf("type literals only compare with == or !=")
+		}
+		return emitted{"(" + l.src + " " + e.Op + " " + r.src + ")", cBool}, nil
+	case l.cat == cOperand && r.cat == cOperand:
+		call := fmt.Sprintf("optlib.OperandEq(%s, %s)", l.src, r.src)
+		switch e.Op {
+		case "==":
+			return emitted{call, cBool}, nil
+		case "!=":
+			return emitted{"!" + call, cBool}, nil
+		}
+		return emitted{}, g.errf("operands only compare with == or !=")
+	case l.cat == cNum && r.cat == cNum:
+		op := e.Op
+		return emitted{"(" + l.src + " " + op + " " + r.src + ")", cBool}, nil
+	case l.cat == cNum && r.cat == cOperand, l.cat == cOperand && r.cat == cNum:
+		// Compare a position/number against a constant operand.
+		opSrc, numSrc := l.src, r.src
+		if l.cat == cNum {
+			opSrc, numSrc = r.src, l.src
+		}
+		c := g.fresh("c")
+		g.line("%s, %sOK := optlib.ConstInt(%s)", c, c, opSrc)
+		g.guards = append(g.guards, c+"OK")
+		return emitted{fmt.Sprintf("(%s %s int64(%s))", c, e.Op, numSrc), cBool}, nil
+	}
+	return emitted{}, g.errf("cannot compare these operands (%s %s)", e.L, e.R)
+}
+
+// opcBase resolves the statement expression an opc/kind attribute applies
+// to (loops answer through their header).
+func (g *gen) opcBase(attr gospel.Attr) (string, error) {
+	base, err := g.expr(attr.Base)
+	if err != nil {
+		return "", err
+	}
+	switch base.cat {
+	case cStmt:
+		return base.src, nil
+	case cLoop:
+		return base.src + ".Head", nil
+	}
+	return "", g.errf("%s attribute of non-statement", attr.Name)
+}
+
+func accessorFor(attrName string) string {
+	if attrName == "kind" {
+		return "KindName"
+	}
+	return "OpcName"
+}

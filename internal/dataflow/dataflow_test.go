@@ -1,0 +1,341 @@
+package dataflow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/frontend"
+)
+
+func TestBitSetBasics(t *testing.T) {
+	b := NewBitSet(130)
+	b.Set(0)
+	b.Set(64)
+	b.Set(129)
+	if !b.Has(0) || !b.Has(64) || !b.Has(129) || b.Has(1) {
+		t.Fatal("set/has broken")
+	}
+	if b.Count() != 3 {
+		t.Fatalf("count = %d", b.Count())
+	}
+	b.Clear(64)
+	if b.Has(64) || b.Count() != 2 {
+		t.Fatal("clear broken")
+	}
+	var got []int
+	b.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != 2 || got[0] != 0 || got[1] != 129 {
+		t.Fatalf("ForEach = %v", got)
+	}
+	if b.Has(-1) || b.Has(1000) {
+		t.Fatal("out-of-range Has must be false")
+	}
+}
+
+func TestBitSetOps(t *testing.T) {
+	a := NewBitSet(100)
+	b := NewBitSet(100)
+	a.Set(3)
+	b.Set(3)
+	b.Set(70)
+	if changed := a.OrInto(b); !changed || !a.Has(70) {
+		t.Fatal("OrInto broken")
+	}
+	if changed := a.OrInto(b); changed {
+		t.Fatal("OrInto should report no change")
+	}
+	a.AndNotInto(b)
+	if a.Count() != 0 {
+		t.Fatal("AndNotInto broken")
+	}
+	c := a.Copy()
+	c.Set(5)
+	if a.Has(5) {
+		t.Fatal("Copy must be independent")
+	}
+	if !NewBitSet(10).Equal(NewBitSet(10)) || NewBitSet(10).Equal(NewBitSet(11)) {
+		t.Fatal("Equal broken")
+	}
+}
+
+func TestBitSetProperty(t *testing.T) {
+	// OrInto is idempotent and monotone in count.
+	f := func(xs []uint8) bool {
+		a := NewBitSet(256)
+		b := NewBitSet(256)
+		for i, x := range xs {
+			if i%2 == 0 {
+				a.Set(int(x))
+			} else {
+				b.Set(int(x))
+			}
+		}
+		before := a.Count()
+		a.OrInto(b)
+		mid := a.Count()
+		a.OrInto(b)
+		return mid >= before && a.Count() == mid
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReachingDefsStraightLine(t *testing.T) {
+	src := `
+PROGRAM p
+INTEGER x, y
+x = 1
+x = 2
+y = x
+END
+`
+	p := frontend.MustParse(src)
+	a := Analyze(p)
+	// The def at stmt 0 is killed by stmt 1; only def 1 reaches stmt 2.
+	var reach []int
+	a.ReachIn[2].ForEach(func(di int) {
+		if a.Defs[di].Name == "x" {
+			reach = append(reach, a.Defs[di].StmtIdx)
+		}
+	})
+	if len(reach) != 1 || reach[0] != 1 {
+		t.Fatalf("defs of x reaching stmt 2: %v, want [1]", reach)
+	}
+}
+
+func TestReachingDefsBranches(t *testing.T) {
+	src := `
+PROGRAM p
+INTEGER x, y
+READ y
+IF (y > 0) THEN
+  x = 1
+ELSE
+  x = 2
+ENDIF
+y = x
+END
+`
+	p := frontend.MustParse(src)
+	a := Analyze(p)
+	// Both branch definitions reach the final statement.
+	last := p.Len() - 1
+	var reach []int
+	a.ReachIn[last].ForEach(func(di int) {
+		if a.Defs[di].Name == "x" {
+			reach = append(reach, a.Defs[di].StmtIdx)
+		}
+	})
+	if len(reach) != 2 {
+		t.Fatalf("defs of x reaching merge: %v, want two", reach)
+	}
+}
+
+func TestReachingDefsLoopCarried(t *testing.T) {
+	src := `
+PROGRAM p
+INTEGER i, s
+s = 0
+DO i = 1, 10
+  s = s + 1
+ENDDO
+PRINT s
+END
+`
+	p := frontend.MustParse(src)
+	a := Analyze(p)
+	// Inside the loop, both the initial def (stmt 0) and the loop def
+	// (stmt 2) reach the body statement.
+	var reach []int
+	a.ReachIn[2].ForEach(func(di int) {
+		if a.Defs[di].Name == "s" {
+			reach = append(reach, a.Defs[di].StmtIdx)
+		}
+	})
+	if len(reach) != 2 {
+		t.Fatalf("defs of s reaching loop body: %v, want both", reach)
+	}
+	// At the print, the loop def and (via zero-trip) the initial def reach.
+	var atPrint []int
+	a.ReachIn[4].ForEach(func(di int) {
+		if a.Defs[di].Name == "s" {
+			atPrint = append(atPrint, a.Defs[di].StmtIdx)
+		}
+	})
+	if len(atPrint) != 2 {
+		t.Fatalf("defs of s reaching print: %v (zero-trip path missing?)", atPrint)
+	}
+}
+
+func TestArrayDefsAreMayDefs(t *testing.T) {
+	src := `
+PROGRAM p
+INTEGER i
+REAL a(10), x
+a(1) = 1.0
+a(2) = 2.0
+x = a(1)
+END
+`
+	p := frontend.MustParse(src)
+	a := Analyze(p)
+	var reach []int
+	a.ReachIn[2].ForEach(func(di int) {
+		if a.Defs[di].Name == "a" {
+			reach = append(reach, a.Defs[di].StmtIdx)
+		}
+	})
+	if len(reach) != 2 {
+		t.Fatalf("array defs must not kill each other: %v", reach)
+	}
+}
+
+func TestUsesCollection(t *testing.T) {
+	src := `
+PROGRAM p
+INTEGER i
+REAL a(10), x
+DO i = 1, 10
+  a(i) = x + a(i-1)
+ENDDO
+END
+`
+	p := frontend.MustParse(src)
+	a := Analyze(p)
+	uses := a.UsesAt(1)
+	// x at pos 2, a at pos 3, subscript i of a(i-1), subscript i of dst.
+	names := map[string]int{}
+	for _, u := range uses {
+		names[u.Name]++
+	}
+	if names["x"] != 1 || names["a"] != 1 || names["i"] != 2 {
+		t.Fatalf("uses = %+v", uses)
+	}
+	var posA int
+	for _, u := range uses {
+		if u.Name == "a" {
+			posA = u.Pos
+		}
+	}
+	if posA != 3 {
+		t.Errorf("a used at pos %d, want 3", posA)
+	}
+}
+
+func TestReachingUsesAntiDep(t *testing.T) {
+	src := `
+PROGRAM p
+INTEGER x, y
+y = x
+x = 2
+END
+`
+	p := frontend.MustParse(src)
+	a := Analyze(p)
+	// The use of x at stmt 0 must reach stmt 1 (anti dependence S0 → S1).
+	found := false
+	a.UseReachIn[1].ForEach(func(ui int) {
+		u := a.Uses[ui]
+		if u.Name == "x" && u.StmtIdx == 0 {
+			found = true
+		}
+	})
+	if !found {
+		t.Fatal("upward-exposed use of x must reach the redefinition")
+	}
+}
+
+func TestReachingUsesKilledByDef(t *testing.T) {
+	src := `
+PROGRAM p
+INTEGER x, y, z
+y = x
+x = 2
+z = x
+x = 3
+END
+`
+	p := frontend.MustParse(src)
+	a := Analyze(p)
+	// Use of x at stmt 0 must NOT reach stmt 3: the def at stmt 1 kills it.
+	leaked := false
+	a.UseReachIn[3].ForEach(func(ui int) {
+		u := a.Uses[ui]
+		if u.Name == "x" && u.StmtIdx == 0 {
+			leaked = true
+		}
+	})
+	if leaked {
+		t.Fatal("intervening definition must kill the upward-exposed use")
+	}
+}
+
+func TestLiveness(t *testing.T) {
+	src := `
+PROGRAM p
+INTEGER x, y, z
+x = 1
+y = 2
+z = x
+PRINT z
+END
+`
+	p := frontend.MustParse(src)
+	a := Analyze(p)
+	if !a.LiveOutOf(0, "x") {
+		t.Error("x must be live after its definition")
+	}
+	if a.LiveOutOf(1, "y") {
+		t.Error("y is dead (never used)")
+	}
+	if !a.LiveOutOf(2, "z") {
+		t.Error("z must be live before print")
+	}
+	if a.LiveOutOf(3, "z") {
+		t.Error("nothing is live after the last statement")
+	}
+	if a.LiveOutOf(-1, "x") || a.LiveOutOf(99, "x") {
+		t.Error("out-of-range queries must be false")
+	}
+}
+
+func TestLivenessThroughLoop(t *testing.T) {
+	src := `
+PROGRAM p
+INTEGER i, s
+s = 0
+DO i = 1, 10
+  s = s + i
+ENDDO
+PRINT s
+END
+`
+	p := frontend.MustParse(src)
+	a := Analyze(p)
+	if !a.LiveOutOf(0, "s") {
+		t.Error("s live into the loop")
+	}
+	if !a.LiveOutOf(2, "s") {
+		t.Error("s live around the back edge")
+	}
+}
+
+func TestDoHeadDefinesLCV(t *testing.T) {
+	p := frontend.MustParse("PROGRAM p\nINTEGER i, x\nDO i = 1, 3\nx = i\nENDDO\nEND")
+	a := Analyze(p)
+	defs := a.DefsAt(0)
+	if len(defs) != 1 || defs[0].Name != "i" {
+		t.Fatalf("DO defs = %v", defs)
+	}
+	// i's def reaches the body use.
+	found := false
+	a.ReachIn[1].ForEach(func(di int) {
+		if a.Defs[di].Name == "i" {
+			found = true
+		}
+	})
+	if !found {
+		t.Error("LCV def must reach the body")
+	}
+}

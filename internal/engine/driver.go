@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/dep"
+	"repro/ir"
+)
+
+// envSignature renders an application point as a stable string over the
+// *set* of bound values (statement IDs, loop head IDs, positions), ignoring
+// which element variable holds which value. Using the value set rather than
+// the (name, value) map makes self-inverse transformations converge: after
+// a loop interchange the re-discovered point binds the same two loops with
+// the roles swapped, which is the same application point.
+func envSignature(e Env) string {
+	parts := make([]string, 0, len(e))
+	for _, v := range e {
+		switch v.Kind {
+		case VStmt:
+			if v.Stmt != nil {
+				parts = append(parts, fmt.Sprintf("S%d", v.Stmt.ID))
+			}
+		case VLoop:
+			if v.Loop.Head != nil {
+				parts = append(parts, fmt.Sprintf("L%d", v.Loop.Head.ID))
+			}
+		case VNum:
+			parts = append(parts, fmt.Sprintf("%d", v.Num))
+		case VSet:
+			parts = append(parts, fmt.Sprintf("set%d", len(v.Set)))
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ";")
+}
+
+// Application describes one performed application of an optimization.
+type Application struct {
+	Spec      string
+	Signature string
+}
+
+// ApplyOnce runs the Fig. 5 driver once: search for the first application
+// point and apply the actions there. It computes its own dependence graph.
+// Returns whether an application was performed.
+func (o *Optimizer) ApplyOnce(p *ir.Program) (bool, error) {
+	return o.ApplyOnceWith(p, dep.Compute(p))
+}
+
+// ApplyOnceWith is ApplyOnce against a caller-provided dependence graph
+// (which must describe p's current state).
+func (o *Optimizer) ApplyOnceWith(p *ir.Program, g *dep.Graph) (bool, error) {
+	ctx := o.newContext(p, g)
+	env, ok := o.findFirst(ctx)
+	if !ok {
+		return false, nil
+	}
+	if err := o.applyAt(ctx, env); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// ApplyAll repeatedly finds and applies application points until none
+// remain, recomputing dependences between applications when RecomputeDeps
+// is set. A point signature is applied at most once, which terminates
+// otherwise self-inverse transformations such as loop interchange. Returns
+// the list of performed applications.
+func (o *Optimizer) ApplyAll(p *ir.Program) ([]Application, error) {
+	var done []Application
+	seen := map[string]bool{}
+	g := dep.Compute(p)
+	for len(done) < o.MaxApplications {
+		ctx := o.newContext(p, g)
+		var chosen Env
+		found := false
+		o.matchPattern(ctx, 0, Env{}, func(env Env) bool {
+			sig := envSignature(env)
+			if seen[sig] {
+				return true // keep searching
+			}
+			chosen = env.clone()
+			found = true
+			return false
+		})
+		if !found {
+			break
+		}
+		sig := envSignature(chosen)
+		seen[sig] = true
+		if err := o.applyAt(ctx, chosen); err != nil {
+			// The actions could not be applied at this point (e.g. an
+			// unrepresentable substitution). The rollback replaced every
+			// statement, so both the dependence graph and any outstanding
+			// bindings are stale: recompute before searching again.
+			g = dep.Compute(p)
+			continue
+		}
+		done = append(done, Application{Spec: o.Spec.Name, Signature: sig})
+		if o.RecomputeDeps {
+			g = dep.Compute(p)
+		}
+	}
+	return done, nil
+}
+
+// ApplyAt applies the optimizer's actions at a specific, already-found
+// application point (the paper's "perform an optimization at one
+// application point", possibly overriding dependence restrictions — the
+// caller may pass any binding, checked or not).
+func (o *Optimizer) ApplyAt(p *ir.Program, g *dep.Graph, env Env) error {
+	ctx := o.newContext(p, g)
+	return o.applyAt(ctx, env)
+}
+
+// applyAt executes the action section under env with rollback on failure.
+func (o *Optimizer) applyAt(ctx *context, env Env) error {
+	snapshot := ctx.prog.Clone()
+	if err := o.execActions(ctx, env.clone(), o.Spec.Actions); err != nil {
+		ctx.prog.CopyFrom(snapshot)
+		return err
+	}
+	if err := ctx.prog.Validate(); err != nil {
+		ctx.prog.CopyFrom(snapshot)
+		return fmt.Errorf("engine: %s actions broke program structure: %w", o.Spec.Name, err)
+	}
+	return nil
+}

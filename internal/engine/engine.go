@@ -1,0 +1,234 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/dep"
+	"repro/internal/gospel"
+	"repro/ir"
+)
+
+// Optimizer is a compiled GOSpeL specification: the output of GENesis for
+// one optimization. It is stateless with respect to programs; Cost is
+// accumulated across calls and may be reset with ResetCost.
+type Optimizer struct {
+	Spec *gospel.Spec
+	// Strategy selects the membership-clause evaluation order (Section 4's
+	// two implementations and the heuristic).
+	Strategy Strategy
+	// RecomputeDeps controls whether ApplyAll recomputes the dependence
+	// graph after each application (the interactive choice in the paper's
+	// constructor-built interface). Default true.
+	RecomputeDeps bool
+	// MaxApplications bounds ApplyAll as a safety net.
+	MaxApplications int
+
+	cost Cost
+}
+
+// Option configures a compiled optimizer.
+type Option func(*Optimizer)
+
+// WithStrategy selects the membership evaluation strategy.
+func WithStrategy(s Strategy) Option { return func(o *Optimizer) { o.Strategy = s } }
+
+// WithoutRecompute disables dependence recomputation between applications.
+func WithoutRecompute() Option { return func(o *Optimizer) { o.RecomputeDeps = false } }
+
+// Compile turns a checked specification into an optimizer. It performs the
+// generator's static work: validating that the specification's element
+// types have candidate generators and pre-resolving clause evaluation
+// plans.
+func Compile(spec *gospel.Spec, opts ...Option) (*Optimizer, error) {
+	if spec == nil {
+		return nil, fmt.Errorf("engine: nil specification")
+	}
+	o := &Optimizer{
+		Spec:            spec,
+		Strategy:        StrategyHeuristic,
+		RecomputeDeps:   true,
+		MaxApplications: 1000,
+	}
+	for _, opt := range opts {
+		opt(o)
+	}
+	// The set_up phase of the generated code: verify every pattern element
+	// is generable.
+	for _, pc := range spec.Patterns {
+		if pc.Quant == gospel.QAll && len(pc.Elems) != 1 {
+			return nil, fmt.Errorf("engine: 'all' pattern clauses take a single element")
+		}
+		for _, n := range pc.Elems {
+			if _, ok := spec.DeclKind(n); !ok {
+				return nil, fmt.Errorf("engine: pattern element %s undeclared", n)
+			}
+		}
+	}
+	return o, nil
+}
+
+// Cost returns the accumulated cost counters.
+func (o *Optimizer) Cost() Cost { return o.cost }
+
+// ResetCost clears the counters.
+func (o *Optimizer) ResetCost() { o.cost = Cost{} }
+
+// Name returns the specification name.
+func (o *Optimizer) Name() string { return o.Spec.Name }
+
+// newContext builds the evaluation context for one run.
+func (o *Optimizer) newContext(p *ir.Program, g *dep.Graph) *context {
+	return &context{prog: p, graph: g, cost: &o.cost, opt: o}
+}
+
+// Preconditions finds every binding of the specification's precondition in
+// the current program: the application points. The dependence graph must
+// describe the current program state.
+func (o *Optimizer) Preconditions(p *ir.Program, g *dep.Graph) []Env {
+	ctx := o.newContext(p, g)
+	var out []Env
+	o.matchPattern(ctx, 0, Env{}, func(env Env) bool {
+		out = append(out, env.clone())
+		return true // continue searching
+	})
+	return out
+}
+
+// findFirst returns the first full precondition binding, if any.
+func (o *Optimizer) findFirst(ctx *context) (Env, bool) {
+	var found Env
+	ok := false
+	o.matchPattern(ctx, 0, Env{}, func(env Env) bool {
+		found = env.clone()
+		ok = true
+		return false // stop
+	})
+	return found, ok
+}
+
+// matchPattern advances through Code_Pattern clauses, then hands over to the
+// Depend clauses; yield is called for each complete binding and returns
+// false to stop the search.
+func (o *Optimizer) matchPattern(ctx *context, idx int, env Env, yield func(Env) bool) bool {
+	if idx >= len(o.Spec.Patterns) {
+		return o.matchDepend(ctx, 0, env, yield)
+	}
+	pc := o.Spec.Patterns[idx]
+
+	// Skip clauses whose elements were already bound by earlier clauses
+	// (shared variables in chained pair declarations).
+	allBound := true
+	for _, n := range pc.Elems {
+		if _, ok := env[n]; !ok {
+			allBound = false
+			break
+		}
+	}
+	if allBound {
+		if pc.Format != nil {
+			ctx.inPattern = true
+			ok := ctx.evalBool(env, pc.Format)
+			ctx.inPattern = false
+			if !ok {
+				return true
+			}
+		}
+		return o.matchPattern(ctx, idx+1, env, yield)
+	}
+
+	candidates := o.patternCandidates(ctx, pc, env)
+
+	if pc.Quant == gospel.QAll {
+		// Bind the single element name to the set of all matching
+		// statements and continue.
+		var set []*ir.Stmt
+		for _, cand := range candidates {
+			ok := true
+			if pc.Format != nil {
+				ctx.inPattern = true
+				ok = ctx.evalBool(withBindings(env, cand), pc.Format)
+				ctx.inPattern = false
+			}
+			if ok && len(cand) == 1 {
+				for _, v := range cand {
+					if v.Kind == VStmt {
+						set = append(set, v.Stmt)
+					}
+				}
+			}
+		}
+		env2 := env.clone()
+		env2[pc.Elems[0]] = setVal(set)
+		return o.matchPattern(ctx, idx+1, env2, yield)
+	}
+
+	for _, cand := range candidates {
+		env2 := withBindings(env, cand)
+		if pc.Format != nil {
+			ctx.inPattern = true
+			ok := ctx.evalBool(env2, pc.Format)
+			ctx.inPattern = false
+			if !ok {
+				continue
+			}
+		}
+		if !o.matchPattern(ctx, idx+1, env2, yield) {
+			return false
+		}
+	}
+	return true
+}
+
+func withBindings(env Env, b Env) Env {
+	e := env.clone()
+	for k, v := range b {
+		e[k] = v
+	}
+	return e
+}
+
+// patternCandidates enumerates candidate bindings for a pattern clause's
+// elements using the library's finder routines (find_statement,
+// find_nested_loops, ...). Bindings already in env constrain pairs.
+func (o *Optimizer) patternCandidates(ctx *context, pc gospel.PatternClause, env Env) []Env {
+	p := ctx.prog
+	if len(pc.Elems) == 1 {
+		name := pc.Elems[0]
+		kind, _ := o.Spec.DeclKind(name)
+		var out []Env
+		if kind == gospel.KStmt {
+			for _, s := range p.Stmts() {
+				out = append(out, Env{name: stmtVal(s)})
+			}
+		} else {
+			for _, l := range ir.Loops(p) {
+				out = append(out, Env{name: loopVal(l)})
+			}
+		}
+		return out
+	}
+	// Pair element: nested / tight / adjacent loops.
+	a, b := pc.Elems[0], pc.Elems[1]
+	kind, _ := o.Spec.DeclKind(a)
+	var pairs [][2]ir.Loop
+	switch kind {
+	case gospel.KNestedLoops:
+		pairs = ir.NestedPairs(p)
+	case gospel.KTightLoops:
+		pairs = ir.TightPairs(p)
+	case gospel.KAdjacentLoops:
+		pairs = ir.AdjacentPairs(p)
+	}
+	var out []Env
+	for _, pr := range pairs {
+		// Unify with existing bindings (chained pairs share names).
+		if v, ok := env[a]; ok && (v.Kind != VLoop || v.Loop.Head != pr[0].Head) {
+			continue
+		}
+		if v, ok := env[b]; ok && (v.Kind != VLoop || v.Loop.Head != pr[1].Head) {
+			continue
+		}
+		out = append(out, Env{a: loopVal(pr[0]), b: loopVal(pr[1])})
+	}
+	return out
+}

@@ -1,0 +1,775 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/dep"
+	"repro/internal/frontend"
+	"repro/internal/gospel"
+	"repro/ir"
+)
+
+const ctpSpec = `
+TYPE
+  Stmt: Si, Sj, Sl;
+PRECOND
+  Code_Pattern
+    any Si: Si.opc == assign AND type(Si.opr_2) == const;
+  Depend
+    any (Sj, pos): flow_dep(Si, Sj, (=));
+    no (Sl, pos2): flow_dep(Sl, Sj, (=)) AND (Si != Sl) AND (pos2 == pos);
+ACTION
+  modify(operand(Sj, pos), Si.opr_2);
+`
+
+const inxSpec = `
+TYPE
+  Stmt: Sn, Sm;
+  Tight Loops: (L1, L2);
+PRECOND
+  Code_Pattern
+    any (L1, L2);
+  Depend
+    no L1.head: flow_dep(L1.head, L2.head);
+    no (Sm, Sn): mem(Sm, L2) AND mem(Sn, L2), flow_dep(Sn, Sm, (<,>));
+ACTION
+  move(L1.head, L2.head);
+  move(L1.end, L2.end.prev);
+`
+
+func compile(t *testing.T, name, src string, opts ...Option) *Optimizer {
+	t.Helper()
+	spec, err := gospel.ParseAndCheck(name, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := Compile(spec, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestCTPAppliesToSimpleUse(t *testing.T) {
+	p := frontend.MustParse(`
+PROGRAM p
+INTEGER x, y
+x = 5
+y = x + 1
+END`)
+	o := compile(t, "CTP", ctpSpec)
+	applied, err := o.ApplyOnce(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !applied {
+		t.Fatal("CTP should apply")
+	}
+	use := p.At(1)
+	if !use.A.IsConst() || use.A.Val.AsInt() != 5 {
+		t.Fatalf("use not propagated: %s", ir.FormatStmt(use))
+	}
+}
+
+func TestCTPAllUses(t *testing.T) {
+	p := frontend.MustParse(`
+PROGRAM p
+INTEGER x, y, z
+x = 5
+y = x + x
+z = x
+END`)
+	o := compile(t, "CTP", ctpSpec)
+	apps, err := o.ApplyAll(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three uses: positions 2 and 3 in y = x + x, position 2 in z = x.
+	if len(apps) != 3 {
+		t.Fatalf("applications = %d, want 3\n%s", len(apps), p)
+	}
+	if got := ir.FormatStmt(p.At(1)); got != "y := 5 + 5" {
+		t.Errorf("stmt = %q", got)
+	}
+	if got := ir.FormatStmt(p.At(2)); got != "z := 5" {
+		t.Errorf("stmt = %q", got)
+	}
+}
+
+func TestCTPBlockedByMultipleReachingDefs(t *testing.T) {
+	p := frontend.MustParse(`
+PROGRAM p
+INTEGER x, y, c
+READ c
+IF (c > 0) THEN
+  x = 1
+ELSE
+  x = 2
+ENDIF
+y = x
+END`)
+	o := compile(t, "CTP", ctpSpec)
+	applied, err := o.ApplyOnce(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied {
+		t.Fatalf("CTP must not apply with two reaching defs:\n%s", p)
+	}
+}
+
+func TestCTPPropagatesOnlyCleanUse(t *testing.T) {
+	// One use has a second reaching def, another does not.
+	p := frontend.MustParse(`
+PROGRAM p
+INTEGER x, y, z, c
+x = 7
+y = x
+READ c
+IF (c > 0) THEN
+  x = 9
+ENDIF
+z = x
+END`)
+	o := compile(t, "CTP", ctpSpec)
+	apps, err := o.ApplyAll(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// y = x gets 7; z = x is reached by both x=7 and x=9.
+	if got := ir.FormatStmt(p.At(1)); got != "y := 7" {
+		t.Errorf("clean use: %q", got)
+	}
+	last := p.At(p.Len() - 1)
+	if last.A.IsConst() {
+		t.Errorf("ambiguous use must stay: %s", ir.FormatStmt(last))
+	}
+	// x = 9 also has exactly one clean use? No: z = x has two defs. So only
+	// one application in total.
+	if len(apps) != 1 {
+		t.Errorf("applications = %d, want 1", len(apps))
+	}
+}
+
+func TestINXInterchangesLegalNest(t *testing.T) {
+	p := frontend.MustParse(`
+PROGRAM p
+INTEGER i, j
+REAL a(20,20)
+DO i = 1, 10
+  DO j = 1, 10
+    a(i,j) = a(i,j) + 1.0
+  ENDDO
+ENDDO
+END`)
+	o := compile(t, "INX", inxSpec)
+	applied, err := o.ApplyOnce(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !applied {
+		t.Fatal("INX should apply to a clean nest")
+	}
+	loops := ir.Loops(p)
+	if len(loops) != 2 || loops[0].LCV() != "j" || loops[1].LCV() != "i" {
+		t.Fatalf("loops after interchange: %v\n%s", loops, p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestINXBlockedByInterchangePreventingDep(t *testing.T) {
+	p := frontend.MustParse(`
+PROGRAM p
+INTEGER i, j
+REAL a(20,20)
+DO i = 2, 10
+  DO j = 1, 9
+    a(i,j) = a(i-1,j+1)
+  ENDDO
+ENDDO
+END`)
+	o := compile(t, "INX", inxSpec)
+	applied, err := o.ApplyOnce(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied {
+		t.Fatalf("INX must be blocked by the (<,>) dependence:\n%s", p)
+	}
+}
+
+func TestINXBlockedByTriangularBounds(t *testing.T) {
+	p := frontend.MustParse(`
+PROGRAM p
+INTEGER i, j
+REAL a(20,20)
+DO i = 1, 10
+  DO j = 1, i
+    a(i,j) = 0.0
+  ENDDO
+ENDDO
+END`)
+	o := compile(t, "INX", inxSpec)
+	applied, err := o.ApplyOnce(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied {
+		t.Fatal("INX must be blocked when inner bounds depend on the outer LCV")
+	}
+}
+
+func TestINXApplyAllDoesNotPingPong(t *testing.T) {
+	p := frontend.MustParse(`
+PROGRAM p
+INTEGER i, j
+REAL a(20,20)
+DO i = 1, 10
+  DO j = 1, 10
+    a(i,j) = 1.0
+  ENDDO
+ENDDO
+END`)
+	o := compile(t, "INX", inxSpec)
+	apps, err := o.ApplyAll(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != 1 {
+		t.Fatalf("INX applied %d times; signature dedup failed", len(apps))
+	}
+}
+
+func TestPreconditionsCountsPoints(t *testing.T) {
+	p := frontend.MustParse(`
+PROGRAM p
+INTEGER x, y, z
+x = 5
+y = x
+z = x
+END`)
+	o := compile(t, "CTP", ctpSpec)
+	pts := o.Preconditions(p, dep.Compute(p))
+	if len(pts) != 2 {
+		t.Fatalf("application points = %d, want 2", len(pts))
+	}
+	for _, env := range pts {
+		if env["Si"].Stmt != p.At(0) {
+			t.Error("Si must be the constant definition")
+		}
+		if env["pos"].Kind != VNum {
+			t.Error("pos must be bound")
+		}
+	}
+}
+
+func TestCostCountersMove(t *testing.T) {
+	p := frontend.MustParse(`
+PROGRAM p
+INTEGER x, y
+x = 5
+y = x
+END`)
+	o := compile(t, "CTP", ctpSpec)
+	if o.Cost().Total() != 0 {
+		t.Fatal("fresh optimizer must have zero cost")
+	}
+	if _, err := o.ApplyOnce(p); err != nil {
+		t.Fatal(err)
+	}
+	c := o.Cost()
+	if c.PatternChecks == 0 {
+		t.Error("pattern checks not counted")
+	}
+	if c.DepChecks == 0 {
+		t.Error("dep checks not counted")
+	}
+	if c.ActionOps != 1 {
+		t.Errorf("action ops = %d, want 1", c.ActionOps)
+	}
+	o.ResetCost()
+	if o.Cost().Total() != 0 {
+		t.Error("ResetCost failed")
+	}
+}
+
+func TestStrategiesAgreeOnResult(t *testing.T) {
+	src := `
+PROGRAM p
+INTEGER i, j
+REAL a(20,20)
+DO i = 1, 10
+  DO j = 1, 10
+    a(i,j) = a(i,j) * 2.0
+  ENDDO
+ENDDO
+END`
+	var programs []*ir.Program
+	var results []bool
+	for _, strat := range []Strategy{StrategyMembers, StrategyDeps, StrategyHeuristic} {
+		p := frontend.MustParse(src)
+		o := compile(t, "INX", inxSpec, WithStrategy(strat))
+		applied, err := o.ApplyOnce(p)
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		programs = append(programs, p)
+		results = append(results, applied)
+	}
+	if !results[0] || !results[1] || !results[2] {
+		t.Fatalf("all strategies must apply: %v", results)
+	}
+	if !programs[0].Equal(programs[1]) || !programs[0].Equal(programs[2]) {
+		t.Fatal("strategies must produce identical programs")
+	}
+}
+
+func TestForallCopyAndSubst(t *testing.T) {
+	// Unroll-by-2 style action over a loop body.
+	lurSpec := `
+TYPE
+  Loop: L1;
+PRECOND
+  Code_Pattern
+    any L1: type(L1.init) == const AND type(L1.final) == const AND type(L1.step) == const;
+  Depend
+    any L1.head: (trip(L1) mod 2 == 0);
+ACTION
+  forall Sm in L1.body do
+    copy(Sm, L1.end.prev, Sc);
+    modify(Sc, subst(L1.lcv, L1.lcv + L1.step));
+  end
+  modify(L1.step, eval(L1.step * 2));
+`
+	p := frontend.MustParse(`
+PROGRAM p
+INTEGER i
+REAL a(20), b(20)
+DO i = 1, 10
+  a(i) = b(i)
+ENDDO
+END`)
+	o := compile(t, "LUR", lurSpec)
+	applied, err := o.ApplyOnce(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !applied {
+		t.Fatal("LUR should apply")
+	}
+	loops := ir.Loops(p)
+	if len(loops) != 1 {
+		t.Fatal("loop structure lost")
+	}
+	l := loops[0]
+	if !l.Head.Step.IsConst() || l.Head.Step.Val.AsInt() != 2 {
+		t.Errorf("step = %v, want 2", l.Head.Step)
+	}
+	body := l.Body(p)
+	if len(body) != 2 {
+		t.Fatalf("body = %d stmts, want 2\n%s", len(body), p)
+	}
+	if got := ir.FormatStmt(body[1]); got != "a(i+1) := b(i+1)" {
+		t.Errorf("unrolled copy = %q", got)
+	}
+}
+
+func TestTripOddBlocksUnroll(t *testing.T) {
+	lurSpec := `
+TYPE
+  Loop: L1;
+PRECOND
+  Code_Pattern
+    any L1: type(L1.init) == const AND type(L1.final) == const;
+  Depend
+    any L1.head: (trip(L1) mod 2 == 0);
+ACTION
+  modify(L1.step, eval(L1.step * 2));
+`
+	p := frontend.MustParse(`
+PROGRAM p
+INTEGER i
+REAL a(20)
+DO i = 1, 9
+  a(i) = 0.0
+ENDDO
+END`)
+	o := compile(t, "LUR", lurSpec)
+	applied, err := o.ApplyOnce(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied {
+		t.Fatal("odd trip count must not unroll")
+	}
+}
+
+func TestModifyOpcFolding(t *testing.T) {
+	cfoSpec := `
+TYPE
+  Stmt: Si;
+PRECOND
+  Code_Pattern
+    any Si: Si.kind == assign AND Si.opc != assign
+      AND type(Si.opr_2) == const AND type(Si.opr_3) == const;
+  Depend
+ACTION
+  modify(Si.opr_2, eval(Si));
+  modify(Si.opc, assign);
+`
+	p := frontend.MustParse(`
+PROGRAM p
+INTEGER x
+x = 3 + 4
+END`)
+	o := compile(t, "CFO", cfoSpec)
+	applied, err := o.ApplyOnce(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !applied {
+		t.Fatal("CFO should apply")
+	}
+	if got := ir.FormatStmt(p.At(0)); got != "x := 7" {
+		t.Errorf("folded = %q", got)
+	}
+}
+
+func TestDeleteActionAndRollback(t *testing.T) {
+	dceSpec := `
+TYPE
+  Stmt: Si, Sj;
+PRECOND
+  Code_Pattern
+    any Si: Si.kind == assign AND type(Si.opr_1) == var;
+  Depend
+    no Sj: flow_dep(Si, Sj);
+ACTION
+  delete(Si);
+`
+	p := frontend.MustParse(`
+PROGRAM p
+INTEGER x, y
+x = 1
+y = 2
+PRINT y
+END`)
+	o := compile(t, "DCE", dceSpec)
+	apps, err := o.ApplyAll(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != 1 {
+		t.Fatalf("DCE applications = %d, want 1 (only x=1 is dead)", len(apps))
+	}
+	if p.Len() != 2 {
+		t.Fatalf("program length = %d\n%s", p.Len(), p)
+	}
+	if strings.Contains(p.String(), "x := 1") {
+		t.Error("dead statement not removed")
+	}
+}
+
+func TestParallelizeAction(t *testing.T) {
+	parSpec := `
+TYPE
+  Stmt: Sm, Sn;
+  Loop: L1;
+PRECOND
+  Code_Pattern
+    any L1: L1.kind == do;
+  Depend
+    no (Sm, Sn): mem(Sm, L1) AND mem(Sn, L1),
+      flow_dep(Sm, Sn, carried(L1)) OR anti_dep(Sm, Sn, carried(L1)) OR out_dep(Sm, Sn, carried(L1));
+ACTION
+  modify(L1.opc, doall);
+`
+	clean := frontend.MustParse(`
+PROGRAM p
+INTEGER i
+REAL a(10), b(10)
+DO i = 1, 10
+  a(i) = b(i) + 1.0
+ENDDO
+END`)
+	o := compile(t, "PAR", parSpec)
+	applied, err := o.ApplyOnce(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !applied || !clean.At(0).Parallel {
+		t.Fatalf("clean loop must parallelize:\n%s", clean)
+	}
+
+	dirty := frontend.MustParse(`
+PROGRAM p
+INTEGER i
+REAL a(10)
+DO i = 2, 10
+  a(i) = a(i-1)
+ENDDO
+END`)
+	o2 := compile(t, "PAR", parSpec)
+	applied, err = o2.ApplyOnce(dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied {
+		t.Fatal("recurrence must not parallelize")
+	}
+}
+
+func TestAllQuantifierBindsSet(t *testing.T) {
+	spec := `
+TYPE
+  Stmt: Si, Sj;
+PRECOND
+  Code_Pattern
+    any Si: Si.opc == assign AND type(Si.opr_2) == const;
+  Depend
+    all Sj: flow_dep(Si, Sj, (=));
+ACTION
+  forall S in Sj do
+    modify(operand(S, 2), Si.opr_2);
+  end
+  delete(Si);
+`
+	p := frontend.MustParse(`
+PROGRAM p
+INTEGER x, a, b
+x = 4
+a = x
+b = x
+END`)
+	o := compile(t, "T", spec)
+	applied, err := o.ApplyOnce(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !applied {
+		t.Fatal("should apply")
+	}
+	if p.Len() != 2 {
+		t.Fatalf("x=4 should be deleted:\n%s", p)
+	}
+	if !p.At(0).A.IsConst() || !p.At(1).A.IsConst() {
+		t.Fatalf("all uses must be rewritten:\n%s", p)
+	}
+}
+
+func TestMoveWithNilAnchorMovesToFront(t *testing.T) {
+	icmLike := `
+TYPE
+  Stmt: Si;
+  Loop: L1;
+PRECOND
+  Code_Pattern
+    any L1;
+  Depend
+    any Si: mem(Si, L1), (Si == Si);
+ACTION
+  move(Si, L1.head.prev);
+`
+	p := frontend.MustParse(`
+PROGRAM p
+INTEGER i, c
+DO i = 1, 3
+  c = 5
+ENDDO
+END`)
+	o := compile(t, "T", icmLike)
+	applied, err := o.ApplyOnce(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !applied {
+		t.Fatal("should apply")
+	}
+	if p.At(0).Kind != ir.SAssign {
+		t.Fatalf("statement not hoisted to front:\n%s", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFusedDepPredicate(t *testing.T) {
+	fusSpec := `
+TYPE
+  Stmt: Sm, Sn;
+  Adjacent Loops: (L1, L2);
+PRECOND
+  Code_Pattern
+    any (L1, L2): L1.init == L2.init AND L1.final == L2.final
+      AND L1.step == L2.step AND L1.lcv == L2.lcv;
+  Depend
+    no (Sm, Sn): mem(Sm, L1) AND mem(Sn, L2), fused_dep(Sm, Sn, L1, L2, (>));
+ACTION
+  forall S in L2.body do
+    move(S, L1.end.prev);
+  end
+  delete(L2.head);
+  delete(L2.end);
+`
+	legal := frontend.MustParse(`
+PROGRAM p
+INTEGER i
+REAL a(10), b(10)
+DO i = 1, 10
+  a(i) = 1.0
+ENDDO
+DO i = 1, 10
+  b(i) = a(i)
+ENDDO
+END`)
+	o := compile(t, "FUS", fusSpec)
+	applied, err := o.ApplyOnce(legal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !applied {
+		t.Fatal("legal fusion should apply")
+	}
+	if len(ir.Loops(legal)) != 1 {
+		t.Fatalf("loops after fusion:\n%s", legal)
+	}
+	if err := legal.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	illegal := frontend.MustParse(`
+PROGRAM p
+INTEGER i
+REAL a(12), b(10)
+DO i = 1, 10
+  a(i) = 1.0
+ENDDO
+DO i = 1, 10
+  b(i) = a(i+1)
+ENDDO
+END`)
+	o2 := compile(t, "FUS", fusSpec)
+	applied, err = o2.ApplyOnce(illegal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied {
+		t.Fatal("fusion-preventing dependence must block")
+	}
+}
+
+func TestApplyAtWithOverride(t *testing.T) {
+	// The interactive interface lets the user apply at a point even when
+	// dependences say no: ApplyAt takes any binding.
+	p := frontend.MustParse(`
+PROGRAM p
+INTEGER i, j
+REAL a(20,20)
+DO i = 2, 10
+  DO j = 1, 9
+    a(i,j) = a(i-1,j+1)
+  ENDDO
+ENDDO
+END`)
+	o := compile(t, "INX", inxSpec)
+	pairs := ir.TightPairs(p)
+	env := Env{"L1": loopVal(pairs[0][0]), "L2": loopVal(pairs[0][1])}
+	if err := o.ApplyAt(p, dep.Compute(p), env); err != nil {
+		t.Fatal(err)
+	}
+	loops := ir.Loops(p)
+	if loops[0].LCV() != "j" {
+		t.Fatal("override application failed")
+	}
+}
+
+func TestCompileRejectsBadSpecs(t *testing.T) {
+	spec, err := gospel.ParseAndCheck("X", `
+TYPE
+  Stmt: A, B;
+PRECOND
+  Code_Pattern
+    all A;
+    any B;
+  Depend
+ACTION
+  delete(B);
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Patterns[0].Elems = append(spec.Patterns[0].Elems, "B") // corrupt
+	if _, err := Compile(spec); err == nil {
+		t.Error("multi-element 'all' pattern must be rejected")
+	}
+	if _, err := Compile(nil); err == nil {
+		t.Error("nil spec must be rejected")
+	}
+}
+
+func TestAddAction(t *testing.T) {
+	spec := `
+TYPE
+  Stmt: Si;
+PRECOND
+  Code_Pattern
+    any Si: Si.opc == assign AND type(Si.opr_2) == const;
+  Depend
+ACTION
+  add(Si, Si, Sn);
+  modify(operand(Sn, 2), eval(Si.opr_2 + 1));
+`
+	p := frontend.MustParse(`
+PROGRAM p
+INTEGER x
+x = 1
+END`)
+	o := compile(t, "T", spec)
+	applied, err := o.ApplyOnce(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !applied {
+		t.Fatal("should apply")
+	}
+	if p.Len() != 2 {
+		t.Fatalf("add failed:\n%s", p)
+	}
+	if got := ir.FormatStmt(p.At(1)); got != "x := 2" {
+		t.Errorf("added stmt = %q", got)
+	}
+}
+
+// TestDeterministicCosts: repeated precondition searches over identical
+// program snapshots must count identical costs — candidate enumeration may
+// not depend on map iteration order anywhere in the stack.
+func TestDeterministicCosts(t *testing.T) {
+	src := `
+PROGRAM p
+INTEGER i, j
+REAL a(12,12), b(12)
+DO i = 1, 10
+  DO j = 1, 10
+    a(i,j) = a(i,j) + 1.0
+  ENDDO
+ENDDO
+DO i = 1, 10
+  b(i) = a(i,1) * 2.0
+ENDDO
+END`
+	for _, specSrc := range []string{inxSpec, ctpSpec} {
+		var costs []int
+		for round := 0; round < 3; round++ {
+			p := frontend.MustParse(src)
+			o := compile(t, "D", specSrc)
+			o.Preconditions(p, dep.Compute(p))
+			costs = append(costs, o.Cost().Total())
+		}
+		if costs[0] != costs[1] || costs[1] != costs[2] {
+			t.Errorf("nondeterministic costs: %v", costs)
+		}
+	}
+}

@@ -1,0 +1,777 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/dep"
+	"repro/internal/cfg"
+	"repro/internal/gospel"
+	"repro/ir"
+)
+
+// evalError marks a condition that cannot be evaluated (absent neighbour,
+// non-constant operand in arithmetic, ...). In precondition context such a
+// condition is simply false; in action context it aborts the application.
+type evalError struct{ msg string }
+
+func (e *evalError) Error() string { return e.msg }
+
+func errf(format string, args ...interface{}) error {
+	return &evalError{fmt.Sprintf(format, args...)}
+}
+
+// context is the execution state of one optimizer run over one program
+// snapshot.
+type context struct {
+	prog  *ir.Program
+	graph *dep.Graph
+	flow  *cfg.Graph // full CFG, built lazily for path()
+	cost  *Cost
+	opt   *Optimizer
+	// inPattern switches cost accounting between pattern and dependence
+	// checks.
+	inPattern bool
+}
+
+func (c *context) countCheck() {
+	if c.inPattern {
+		c.cost.PatternChecks++
+	} else {
+		c.cost.DepChecks++
+	}
+}
+
+func (c *context) cfgFull() *cfg.Graph {
+	if c.flow == nil {
+		c.flow = cfg.Build(c.prog)
+	}
+	return c.flow
+}
+
+// evalBool evaluates a boolean precondition expression. Unevaluable
+// conditions are false.
+func (c *context) evalBool(env Env, e gospel.Expr) bool {
+	v, err := c.eval(env, e)
+	if err != nil {
+		return false
+	}
+	return v.Kind == VBool && v.Bool
+}
+
+// eval evaluates any GOSpeL expression to a runtime value.
+func (c *context) eval(env Env, e gospel.Expr) (Value, error) {
+	switch e := e.(type) {
+	case gospel.Num:
+		if n, err := strconv.ParseInt(e.Text, 10, 64); err == nil {
+			return numVal(n), nil
+		}
+		f, err := strconv.ParseFloat(e.Text, 64)
+		if err != nil {
+			return Value{}, errf("bad number %q", e.Text)
+		}
+		return opVal(ir.ConstOp(ir.FloatVal(f))), nil
+	case gospel.Lit:
+		return litVal(e.Name), nil
+	case gospel.Ident:
+		if v, ok := env[e.Name]; ok {
+			return v, nil
+		}
+		if isLiteralName(e.Name) {
+			return litVal(e.Name), nil
+		}
+		return Value{}, errf("unbound name %s", e.Name)
+	case gospel.Attr:
+		return c.evalAttr(env, e)
+	case gospel.Call:
+		return c.evalCall(env, e)
+	case gospel.Not:
+		v, err := c.eval(env, e.E)
+		if err != nil {
+			return Value{}, err
+		}
+		return boolVal(!(v.Kind == VBool && v.Bool)), nil
+	case gospel.Binary:
+		return c.evalBinary(env, e)
+	}
+	return Value{}, errf("unevaluable expression %s", e)
+}
+
+var literalNames = map[string]bool{
+	"const": true, "var": true, "array": true,
+	"assign": true, "sub": true, "mul": true, "div": true,
+	"enddo": true, "if": true, "else": true, "endif": true,
+	"print": true, "read": true, "doall": true,
+	// "add", "mod", "do", "end" arrive as gospel.Lit via value position.
+}
+
+func isLiteralName(n string) bool { return literalNames[n] }
+
+func (c *context) evalAttr(env Env, e gospel.Attr) (Value, error) {
+	base, err := c.eval(env, e.Base)
+	if err != nil {
+		return Value{}, err
+	}
+	switch base.Kind {
+	case VStmt:
+		s := base.Stmt
+		if s == nil {
+			return Value{}, errf("attribute %s of absent statement", e.Name)
+		}
+		switch e.Name {
+		case "opr_1", "opr_2", "opr_3":
+			slot := int(e.Name[len(e.Name)-1] - '0')
+			op := s.OperandSlot(slot)
+			if op == nil {
+				return opVal(ir.None()), nil
+			}
+			return opVal(*op), nil
+		case "opc":
+			return litVal(opcName(s)), nil
+		case "kind":
+			return litVal(kindName(s)), nil
+		case "next":
+			return stmtVal(c.prog.Next(s)), nil
+		case "prev":
+			return stmtVal(c.prog.Prev(s)), nil
+		}
+		return Value{}, errf("statement attribute %q", e.Name)
+	case VLoop:
+		l := base.Loop
+		// head/end remain addressable while actions dismantle the loop
+		// (fusion deletes the head before the end); the structural
+		// attributes below require the loop to still be intact.
+		switch e.Name {
+		case "head":
+			if c.prog.Index(l.Head) < 0 {
+				return Value{}, errf("loop head no longer in program")
+			}
+			return stmtVal(l.Head), nil
+		case "end":
+			if c.prog.Index(l.End) < 0 {
+				return Value{}, errf("loop end no longer in program")
+			}
+			return stmtVal(l.End), nil
+		}
+		if !l.Valid(c.prog) {
+			return Value{}, errf("stale loop binding")
+		}
+		switch e.Name {
+		case "body":
+			return setVal(l.Body(c.prog)), nil
+		case "lcv":
+			return opVal(ir.VarOp(l.LCV())), nil
+		case "init":
+			return opVal(l.Head.Init), nil
+		case "final":
+			return opVal(l.Head.Final), nil
+		case "step":
+			return opVal(l.Head.Step), nil
+		case "opc", "kind":
+			return litVal(kindName(l.Head)), nil
+		case "next", "prev":
+			return c.loopNeighbour(l, e.Name == "next")
+		}
+		return Value{}, errf("loop attribute %q", e.Name)
+	}
+	return Value{}, errf("%s values have no attributes", base)
+}
+
+func (c *context) loopNeighbour(l ir.Loop, next bool) (Value, error) {
+	loops := ir.Loops(c.prog)
+	for i, cand := range loops {
+		if cand.Head == l.Head {
+			j := i - 1
+			if next {
+				j = i + 1
+			}
+			if j < 0 || j >= len(loops) {
+				return Value{}, errf("no %s loop", map[bool]string{true: "next", false: "previous"}[next])
+			}
+			return loopVal(loops[j]), nil
+		}
+	}
+	return Value{}, errf("stale loop binding")
+}
+
+// opcName maps a statement to its GOSpeL opc literal.
+func opcName(s *ir.Stmt) string {
+	if s.Kind != ir.SAssign {
+		return kindName(s)
+	}
+	switch s.Op {
+	case ir.OpCopy:
+		return "assign"
+	case ir.OpAdd:
+		return "add"
+	case ir.OpSub:
+		return "sub"
+	case ir.OpMul:
+		return "mul"
+	case ir.OpDiv:
+		return "div"
+	case ir.OpMod:
+		return "mod"
+	}
+	return "?"
+}
+
+// kindName maps a statement to its GOSpeL kind literal.
+func kindName(s *ir.Stmt) string {
+	switch s.Kind {
+	case ir.SAssign:
+		return "assign"
+	case ir.SDoHead:
+		if s.Parallel {
+			return "doall"
+		}
+		return "do"
+	case ir.SDoEnd:
+		return "enddo"
+	case ir.SIf:
+		return "if"
+	case ir.SElse:
+		return "else"
+	case ir.SEndIf:
+		return "endif"
+	case ir.SPrint:
+		return "print"
+	case ir.SRead:
+		return "read"
+	}
+	return "?"
+}
+
+func operandTypeName(o ir.Operand) string {
+	switch o.Kind {
+	case ir.Const:
+		return "const"
+	case ir.Var:
+		return "var"
+	case ir.ArrayRef:
+		return "array"
+	}
+	return "none"
+}
+
+func (c *context) evalCall(env Env, e gospel.Call) (Value, error) {
+	switch e.Fn {
+	case "flow_dep", "anti_dep", "out_dep", "ctrl_dep":
+		return c.evalDepPred(env, e)
+	case "fused_dep":
+		return c.evalFusedDep(env, e)
+	case "mem", "nmem":
+		c.cost.MemChecks++
+		sv, err := c.eval(env, e.Args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		set, err := c.evalSet(env, e.Args[1])
+		if err != nil {
+			return Value{}, err
+		}
+		in := false
+		for _, m := range set {
+			if m == sv.Stmt {
+				in = true
+				break
+			}
+		}
+		if e.Fn == "nmem" {
+			in = !in
+		}
+		return boolVal(in), nil
+	case "path":
+		set, err := c.pathSet(env, e)
+		if err != nil {
+			return Value{}, err
+		}
+		return setVal(set), nil
+	case "inter", "union":
+		a, err := c.evalSet(env, e.Args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		b, err := c.evalSet(env, e.Args[1])
+		if err != nil {
+			return Value{}, err
+		}
+		if e.Fn == "inter" {
+			inB := map[*ir.Stmt]bool{}
+			for _, s := range b {
+				inB[s] = true
+			}
+			var out []*ir.Stmt
+			for _, s := range a {
+				if inB[s] {
+					out = append(out, s)
+				}
+			}
+			return setVal(out), nil
+		}
+		seen := map[*ir.Stmt]bool{}
+		var out []*ir.Stmt
+		for _, s := range append(append([]*ir.Stmt{}, a...), b...) {
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+		return setVal(out), nil
+	case "operand":
+		sv, err := c.eval(env, e.Args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		pv, err := c.eval(env, e.Args[1])
+		if err != nil {
+			return Value{}, err
+		}
+		if sv.Kind != VStmt || sv.Stmt == nil {
+			return Value{}, errf("operand() needs a statement")
+		}
+		op := sv.Stmt.OperandSlot(int(pv.Num))
+		if op == nil {
+			return Value{}, errf("statement S%d has no operand %d", sv.Stmt.ID, pv.Num)
+		}
+		return opVal(*op), nil
+	case "type":
+		ov, err := c.eval(env, e.Args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		if ov.Kind != VOperand {
+			return Value{}, errf("type() needs an operand")
+		}
+		return litVal(operandTypeName(ov.Op)), nil
+	case "trip":
+		lv, err := c.eval(env, e.Args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		if lv.Kind != VLoop || !lv.Loop.Valid(c.prog) {
+			return Value{}, errf("trip() needs a loop")
+		}
+		h := lv.Loop.Head
+		if !h.Init.IsConst() || !h.Final.IsConst() || !h.Step.IsConst() {
+			return Value{}, errf("trip() needs constant bounds")
+		}
+		step := h.Step.Val.AsInt()
+		if step == 0 {
+			return Value{}, errf("zero loop step")
+		}
+		n := (h.Final.Val.AsInt()-h.Init.Val.AsInt())/step + 1
+		if n < 0 {
+			n = 0
+		}
+		return numVal(n), nil
+	case "eval":
+		return c.evalEval(env, e.Args[0])
+	case "subst":
+		ov, err := c.eval(env, e.Args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		if ov.Kind != VOperand || !ov.Op.IsVar() {
+			return Value{}, errf("subst target must be a scalar variable operand")
+		}
+		repl, err := c.linearize(env, e.Args[1])
+		if err != nil {
+			return Value{}, err
+		}
+		return substVal(&SubstVal{Var: ov.Op.Name, Repl: repl}), nil
+	}
+	return Value{}, errf("unknown function %q", e.Fn)
+}
+
+// evalDepPred evaluates a fully-bound dependence predicate.
+func (c *context) evalDepPred(env Env, e gospel.Call) (Value, error) {
+	c.cost.DepChecks++
+	kind := depKindOf(e.Fn)
+	src, err := c.eval(env, e.Args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	dst, err := c.eval(env, e.Args[1])
+	if err != nil {
+		return Value{}, err
+	}
+	if src.Kind != VStmt || dst.Kind != VStmt || src.Stmt == nil || dst.Stmt == nil {
+		return Value{}, errf("%s needs two statements", e.Fn)
+	}
+	if e.CarriedBy != "" {
+		lv, ok := env[e.CarriedBy]
+		if !ok || lv.Kind != VLoop {
+			return Value{}, errf("carried(%s): not a bound loop", e.CarriedBy)
+		}
+		level := loopLevel(c.prog, src.Stmt, dst.Stmt, lv.Loop)
+		if level == 0 {
+			return boolVal(false), nil
+		}
+		for _, d := range c.graph.Query(kind, src.Stmt, dst.Stmt, nil) {
+			if d.Carried && d.Level == level {
+				return boolVal(true), nil
+			}
+		}
+		return boolVal(false), nil
+	}
+	if e.Independent {
+		for _, d := range c.graph.Query(kind, src.Stmt, dst.Stmt, nil) {
+			if !d.Carried {
+				return boolVal(true), nil
+			}
+		}
+		return boolVal(false), nil
+	}
+	return boolVal(c.graph.Exists(kind, src.Stmt, dst.Stmt, e.Dir)), nil
+}
+
+// loopLevel returns the 1-based level of loop l among the common loops of
+// s and t, or 0 when l is not common to both.
+func loopLevel(p *ir.Program, s, t *ir.Stmt, l ir.Loop) int {
+	for i, cl := range ir.CommonLoops(p, s, t) {
+		if cl.Head == l.Head {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+func depKindOf(fn string) dep.Kind {
+	switch fn {
+	case "flow_dep":
+		return dep.Flow
+	case "anti_dep":
+		return dep.Anti
+	case "out_dep":
+		return dep.Output
+	case "ctrl_dep":
+		return dep.Control
+	}
+	panic("engine: bad dep predicate " + fn)
+}
+
+func (c *context) evalFusedDep(env Env, e gospel.Call) (Value, error) {
+	c.cost.DepChecks++
+	sm, err := c.eval(env, e.Args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	sn, err := c.eval(env, e.Args[1])
+	if err != nil {
+		return Value{}, err
+	}
+	l1, err := c.eval(env, e.Args[2])
+	if err != nil {
+		return Value{}, err
+	}
+	l2, err := c.eval(env, e.Args[3])
+	if err != nil {
+		return Value{}, err
+	}
+	if sm.Kind != VStmt || sn.Kind != VStmt || l1.Kind != VLoop || l2.Kind != VLoop {
+		return Value{}, errf("fused_dep needs (Stmt, Stmt, Loop, Loop)")
+	}
+	dirs := dep.FusedDirections(c.prog, sm.Stmt, sn.Stmt, l1.Loop, l2.Loop)
+	want := dep.DirAny
+	if len(e.Dir) > 0 {
+		want = e.Dir[0]
+	}
+	return boolVal(dirs.Intersect(want) != 0), nil
+}
+
+func (c *context) pathSet(env Env, e gospel.Call) ([]*ir.Stmt, error) {
+	av, err := c.eval(env, e.Args[0])
+	if err != nil {
+		return nil, err
+	}
+	bv, err := c.eval(env, e.Args[1])
+	if err != nil {
+		return nil, err
+	}
+	if av.Kind != VStmt || bv.Kind != VStmt || av.Stmt == nil || bv.Stmt == nil {
+		return nil, errf("path() needs two statements")
+	}
+	g := c.cfgFull()
+	ai, bi := c.prog.Index(av.Stmt), c.prog.Index(bv.Stmt)
+	fromA := g.ReachableFrom(ai)
+	toB := g.Reaches(bi)
+	var out []*ir.Stmt
+	for i := 0; i < c.prog.Len(); i++ {
+		if i == ai || i == bi {
+			continue
+		}
+		if fromA[i] && toB[i] {
+			out = append(out, c.prog.At(i))
+		}
+	}
+	return out, nil
+}
+
+// evalSet evaluates a set expression: a loop (its body), an attribute
+// yielding a set, path(...), inter/union, or an `all`-bound variable.
+func (c *context) evalSet(env Env, e gospel.Expr) ([]*ir.Stmt, error) {
+	v, err := c.eval(env, e)
+	if err != nil {
+		return nil, err
+	}
+	switch v.Kind {
+	case VSet:
+		return v.Set, nil
+	case VLoop:
+		if !v.Loop.Valid(c.prog) {
+			return nil, errf("stale loop binding in set expression")
+		}
+		return v.Loop.Body(c.prog), nil
+	}
+	return nil, errf("%s is not a set", v)
+}
+
+// evalEval implements eval(x): arithmetic over constant operands, or the
+// constant folding of a whole statement's right-hand side.
+func (c *context) evalEval(env Env, arg gospel.Expr) (Value, error) {
+	v, err := c.eval(env, arg)
+	if err != nil {
+		return Value{}, err
+	}
+	switch v.Kind {
+	case VStmt:
+		s := v.Stmt
+		if s == nil || s.Kind != ir.SAssign || s.Op == ir.OpCopy {
+			return Value{}, errf("eval() of a statement needs a binary assignment")
+		}
+		if !s.A.IsConst() || !s.B.IsConst() {
+			return Value{}, errf("eval() needs constant operands")
+		}
+		return opVal(ir.ConstOp(ir.Arith(s.Op, s.A.Val, s.B.Val))), nil
+	case VNum:
+		return opVal(ir.IntOp(v.Num)), nil
+	case VOperand:
+		if !v.Op.IsConst() {
+			return Value{}, errf("eval() needs a constant operand")
+		}
+		return v, nil
+	}
+	return Value{}, errf("eval() cannot evaluate %s", v)
+}
+
+// numeric extracts an integer from a numeric value or constant operand.
+func numeric(v Value) (int64, error) {
+	switch v.Kind {
+	case VNum:
+		return v.Num, nil
+	case VOperand:
+		if v.Op.IsConst() {
+			return v.Op.Val.AsInt(), nil
+		}
+	}
+	return 0, errf("%s is not numeric", v)
+}
+
+func (c *context) evalBinary(env Env, e gospel.Binary) (Value, error) {
+	switch e.Op {
+	case "and":
+		l, err := c.eval(env, e.L)
+		if err != nil || l.Kind != VBool {
+			return boolVal(false), err
+		}
+		if !l.Bool {
+			return boolVal(false), nil
+		}
+		r, err := c.eval(env, e.R)
+		if err != nil || r.Kind != VBool {
+			return boolVal(false), err
+		}
+		return boolVal(r.Bool), nil
+	case "or":
+		l, err := c.eval(env, e.L)
+		if err == nil && l.Kind == VBool && l.Bool {
+			return boolVal(true), nil
+		}
+		r, err := c.eval(env, e.R)
+		if err != nil {
+			return boolVal(false), nil
+		}
+		return boolVal(r.Kind == VBool && r.Bool), nil
+	case "+", "-", "*", "/", "mod":
+		l, err := c.eval(env, e.L)
+		if err != nil {
+			return Value{}, err
+		}
+		r, err := c.eval(env, e.R)
+		if err != nil {
+			return Value{}, err
+		}
+		ln, err := numeric(l)
+		if err != nil {
+			return Value{}, err
+		}
+		rn, err := numeric(r)
+		if err != nil {
+			return Value{}, err
+		}
+		switch e.Op {
+		case "+":
+			return numVal(ln + rn), nil
+		case "-":
+			return numVal(ln - rn), nil
+		case "*":
+			return numVal(ln * rn), nil
+		case "/":
+			if rn == 0 {
+				return Value{}, errf("division by zero")
+			}
+			return numVal(ln / rn), nil
+		default:
+			if rn == 0 {
+				return Value{}, errf("mod by zero")
+			}
+			return numVal(ln % rn), nil
+		}
+	}
+	// Relational comparison.
+	c.countCheck()
+	l, err := c.eval(env, e.L)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := c.eval(env, e.R)
+	if err != nil {
+		return Value{}, err
+	}
+	res, err := c.compareValues(e.Op, l, r)
+	if err != nil {
+		return Value{}, err
+	}
+	return boolVal(res), nil
+}
+
+func (c *context) compareValues(op string, l, r Value) (bool, error) {
+	// Statement identity and program order (the BNF's StmtId relop StmtId:
+	// <, <= etc. compare positions in the program).
+	if l.Kind == VStmt && r.Kind == VStmt {
+		switch op {
+		case "==":
+			return l.Stmt == r.Stmt, nil
+		case "!=":
+			return l.Stmt != r.Stmt, nil
+		}
+		li, ri := c.prog.Index(l.Stmt), c.prog.Index(r.Stmt)
+		if li < 0 || ri < 0 {
+			return false, errf("program-order comparison of absent statements")
+		}
+		switch op {
+		case "<":
+			return li < ri, nil
+		case "<=":
+			return li <= ri, nil
+		case ">":
+			return li > ri, nil
+		case ">=":
+			return li >= ri, nil
+		}
+		return false, errf("unknown statement comparison %q", op)
+	}
+	// Literal comparison (opc, kind, operand type).
+	if l.Kind == VLit || r.Kind == VLit {
+		ls, rs := l.Lit, r.Lit
+		if l.Kind != VLit || r.Kind != VLit {
+			return false, errf("cannot compare %s with %s", l, r)
+		}
+		switch op {
+		case "==":
+			return ls == rs, nil
+		case "!=":
+			return ls != rs, nil
+		}
+		return false, errf("literals only compare with == or !=")
+	}
+	// Operand structural comparison for ==/!= on non-constant operands.
+	if l.Kind == VOperand && r.Kind == VOperand &&
+		(!l.Op.IsConst() || !r.Op.IsConst()) {
+		switch op {
+		case "==":
+			return l.Op.Equal(r.Op), nil
+		case "!=":
+			return !l.Op.Equal(r.Op), nil
+		}
+		return false, errf("non-constant operands only compare with == or !=")
+	}
+	// Numeric comparison.
+	ln, err := numeric(l)
+	if err != nil {
+		return false, err
+	}
+	rn, err := numeric(r)
+	if err != nil {
+		return false, err
+	}
+	switch op {
+	case "==":
+		return ln == rn, nil
+	case "!=":
+		return ln != rn, nil
+	case "<":
+		return ln < rn, nil
+	case "<=":
+		return ln <= rn, nil
+	case ">":
+		return ln > rn, nil
+	case ">=":
+		return ln >= rn, nil
+	}
+	return false, errf("unknown comparison %q", op)
+}
+
+// linearize converts an arithmetic GOSpeL expression over variables and
+// constants into an affine ir.LinExpr (for subst replacements).
+func (c *context) linearize(env Env, e gospel.Expr) (ir.LinExpr, error) {
+	switch e := e.(type) {
+	case gospel.Num:
+		n, err := strconv.ParseInt(e.Text, 10, 64)
+		if err != nil {
+			return ir.LinExpr{}, errf("non-integer in substitution: %s", e.Text)
+		}
+		return ir.ConstExpr(n), nil
+	case gospel.Binary:
+		l, lerr := c.linearize(env, e.L)
+		r, rerr := c.linearize(env, e.R)
+		switch e.Op {
+		case "+":
+			if lerr == nil && rerr == nil {
+				return l.Add(r), nil
+			}
+		case "-":
+			if lerr == nil && rerr == nil {
+				return l.Sub(r), nil
+			}
+		case "*":
+			if lerr == nil && rerr == nil {
+				if l.IsConst() {
+					return r.Scale(l.Normalize().Const), nil
+				}
+				if r.IsConst() {
+					return l.Scale(r.Normalize().Const), nil
+				}
+			}
+		}
+		return ir.LinExpr{}, errf("non-affine substitution expression")
+	default:
+		v, err := c.eval(env, e)
+		if err != nil {
+			return ir.LinExpr{}, err
+		}
+		if v.Kind == VOperand {
+			switch {
+			case v.Op.IsVar():
+				return ir.VarExpr(v.Op.Name), nil
+			case v.Op.IsConst() && !v.Op.Val.IsFloat:
+				return ir.ConstExpr(v.Op.Val.Int), nil
+			}
+		}
+		if v.Kind == VNum {
+			return ir.ConstExpr(v.Num), nil
+		}
+		return ir.LinExpr{}, errf("cannot linearize %s", v)
+	}
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/handopt"
+	"repro/internal/specs"
+	"repro/internal/workloads"
+)
+
+// E1Row compares one optimization on one workload between the generated
+// optimizer (the GOSpeL engine) and the hand-coded implementation.
+type E1Row struct {
+	Workload      string
+	Opt           string
+	GeneratedApps int
+	HandApps      int
+	SameProgram   bool
+}
+
+// E1Result is the quality experiment: the paper reports that the generated
+// optimizers "found the same application points and the resulting code was
+// comparable to that produced by the hand-crafted optimizers" with "no
+// extraneous statements".
+type E1Result struct {
+	Rows      []E1Row
+	Agreement int // rows with identical resulting programs
+}
+
+// RunE1 runs both optimizer suites on every workload.
+func RunE1() E1Result {
+	var res E1Result
+	for _, w := range workloads.All {
+		for _, name := range specs.Ten {
+			gp := w.Program()
+			o := specs.MustCompile(name)
+			apps, err := o.ApplyAll(gp)
+			if err != nil {
+				panic(err)
+			}
+			hp := w.Program()
+			hf, _ := handopt.Get(name)
+			hApps := hf(hp)
+
+			row := E1Row{
+				Workload:      w.Name,
+				Opt:           name,
+				GeneratedApps: len(apps),
+				HandApps:      hApps,
+				SameProgram:   gp.Equal(hp),
+			}
+			if row.SameProgram {
+				res.Agreement++
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res
+}
+
+// Table renders the comparison.
+func (r E1Result) Table() string {
+	t := &table{header: []string{"workload", "opt", "generated", "hand-coded", "same code"}}
+	for _, row := range r.Rows {
+		t.add(row.Workload, row.Opt,
+			fmt.Sprintf("%d", row.GeneratedApps),
+			fmt.Sprintf("%d", row.HandApps),
+			fmt.Sprintf("%t", row.SameProgram))
+	}
+	t.add("", "", "", "agreement", fmt.Sprintf("%d/%d", r.Agreement, len(r.Rows)))
+	return t.String()
+}

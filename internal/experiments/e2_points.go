@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/dep"
+	"repro/internal/specs"
+	"repro/internal/workloads"
+)
+
+// E2Result reproduces the paper's application-point census: "CTP was the
+// most frequently applicable optimization ... Of the total 97 application
+// points for CTP, 13 of these enabled DCE, 5 enabled CFO and 41 enabled LUR
+// ... CPP occurred in only two programs ... no application points for ICM
+// were found."
+type E2Result struct {
+	// Points[opt] = application points found in the unoptimized programs
+	// (precondition matches, the paper's "application points").
+	Points map[string]int
+	// Apps[opt] = total applications across the ten workloads when run to
+	// fixpoint (cascading enablement included).
+	Apps map[string]int
+	// Programs[opt] = number of workloads with at least one application.
+	Programs map[string]int
+	// Enabled[opt] = applications of opt enabled by running CTP first
+	// (apps after CTP − apps alone).
+	Enabled map[string]int
+	// Order of optimizations for display.
+	Order []string
+}
+
+// RunE2 counts applications per optimization, alone and after CTP.
+func RunE2() E2Result {
+	res := E2Result{
+		Points:   map[string]int{},
+		Apps:     map[string]int{},
+		Programs: map[string]int{},
+		Enabled:  map[string]int{},
+		Order:    append(append([]string{}, specs.Ten...), "CFO"),
+	}
+	for _, w := range workloads.All {
+		for _, name := range res.Order {
+			p := w.Program()
+			o := specs.MustCompile(name)
+			res.Points[name] += len(o.Preconditions(p, dep.Compute(p)))
+			apps, err := o.ApplyAll(p)
+			if err != nil {
+				panic(err)
+			}
+			res.Apps[name] += len(apps)
+			if len(apps) > 0 {
+				res.Programs[name]++
+			}
+		}
+		// Enablement by CTP for DCE, CFO and LUR (the paper's triples).
+		for _, follower := range []string{"DCE", "CFO", "LUR"} {
+			p := w.Program()
+			if _, err := specs.MustCompile("CTP").ApplyAll(p); err != nil {
+				panic(err)
+			}
+			after, err := specs.MustCompile(follower).ApplyAll(p)
+			if err != nil {
+				panic(err)
+			}
+			res.Enabled[follower] += len(after)
+		}
+	}
+	for _, follower := range []string{"DCE", "CFO", "LUR"} {
+		res.Enabled[follower] -= res.Apps[follower]
+		if res.Enabled[follower] < 0 {
+			res.Enabled[follower] = 0
+		}
+	}
+	return res
+}
+
+// MostApplicable returns the optimization with the most application points.
+func (r E2Result) MostApplicable() string {
+	best, bestN := "", -1
+	for _, name := range r.Order {
+		if r.Points[name] > bestN {
+			best, bestN = name, r.Points[name]
+		}
+	}
+	return best
+}
+
+// Table renders the census.
+func (r E2Result) Table() string {
+	t := &table{header: []string{"opt", "points", "applications", "programs", "enabled by CTP"}}
+	for _, name := range r.Order {
+		enabled := ""
+		if _, ok := r.Enabled[name]; ok {
+			enabled = fmt.Sprintf("%d", r.Enabled[name])
+		}
+		t.add(name, fmt.Sprintf("%d", r.Points[name]), fmt.Sprintf("%d", r.Apps[name]),
+			fmt.Sprintf("%d", r.Programs[name]), enabled)
+	}
+	t.add("most applicable", r.MostApplicable(), "", "", "")
+	return t.String()
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/interp"
+	"repro/internal/specs"
+	"repro/internal/workloads"
+	"repro/ir"
+)
+
+// E3Row is one application order of {FUS, INX, LUR} on the interaction
+// workload.
+type E3Row struct {
+	Order      []string
+	Apps       map[string]int
+	FinalStmts int
+	EstTime    float64
+	Program    string
+}
+
+// E3Result reproduces the ordering experiment: "In one program, FUS, INX,
+// and LUR were all applicable and heavily interacted with one another ...
+// applying FUS disabled INX and applying LUR disabled FUS. Different
+// orderings produced different optimized programs ... when LUR was applied
+// before FUS and INX, INX was not disabled."
+type E3Result struct {
+	Rows []E3Row
+	// DistinctPrograms counts how many different final programs the six
+	// orderings produce.
+	DistinctPrograms int
+	// The paper's qualitative interaction findings, checked on the counts:
+	// "applying FUS disabled INX and applying LUR disabled FUS", "in one
+	// segment of the program INX disabled FUS", and "when LUR was applied
+	// before FUS and INX, INX was not disabled".
+	FUSDisablesINX bool
+	LURDisablesFUS bool
+	INXDisablesFUS bool
+	LURKeepsINX    bool
+}
+
+var e3Orders = [][]string{
+	{"FUS", "INX", "LUR"},
+	{"FUS", "LUR", "INX"},
+	{"INX", "FUS", "LUR"},
+	{"INX", "LUR", "FUS"},
+	{"LUR", "FUS", "INX"},
+	{"LUR", "INX", "FUS"},
+}
+
+// RunE3 applies all six orderings to the interaction workload.
+func RunE3() E3Result {
+	w, err := workloads.Get("interact")
+	if err != nil {
+		panic(err)
+	}
+	var res E3Result
+	programs := map[string]bool{}
+	apps := map[string]map[string]int{}
+	for _, order := range e3Orders {
+		p := w.Program()
+		row := E3Row{Order: order, Apps: map[string]int{}}
+		for _, name := range order {
+			a, err := specs.MustCompile(name).ApplyAll(p)
+			if err != nil {
+				panic(err)
+			}
+			row.Apps[name] = len(a)
+		}
+		row.FinalStmts = p.Len()
+		r, err := interp.Run(p, w.Input, interp.Config{})
+		if err != nil {
+			panic(fmt.Sprintf("order %v broke the program: %v\n%s", order, err, p))
+		}
+		row.EstTime = interp.EstimatedTime(r.Counts, interp.Scalar, interp.DefaultModel)
+		row.Program = p.String()
+		programs[row.Program] = true
+		apps[strings.Join(order, ",")] = row.Apps
+		res.Rows = append(res.Rows, row)
+		_ = ir.Loops(p)
+	}
+	res.DistinctPrograms = len(programs)
+	inxFirst := apps["INX,FUS,LUR"]["INX"]
+	fusFirst := apps["FUS,INX,LUR"]["FUS"]
+	res.FUSDisablesINX = apps["FUS,INX,LUR"]["INX"] < inxFirst
+	res.LURDisablesFUS = apps["LUR,FUS,INX"]["FUS"] < fusFirst
+	res.INXDisablesFUS = apps["INX,FUS,LUR"]["FUS"] < fusFirst
+	res.LURKeepsINX = apps["LUR,INX,FUS"]["INX"] == inxFirst && inxFirst > 0
+	return res
+}
+
+// Table renders the six orderings.
+func (r E3Result) Table() string {
+	t := &table{header: []string{"order", "FUS", "INX", "LUR", "stmts", "est time"}}
+	for _, row := range r.Rows {
+		t.add(strings.Join(row.Order, "→"),
+			fmt.Sprintf("%d", row.Apps["FUS"]),
+			fmt.Sprintf("%d", row.Apps["INX"]),
+			fmt.Sprintf("%d", row.Apps["LUR"]),
+			fmt.Sprintf("%d", row.FinalStmts),
+			fmt.Sprintf("%.0f", row.EstTime))
+	}
+	t.add("distinct final programs", fmt.Sprintf("%d", r.DistinctPrograms), "", "", "", "")
+	t.add("FUS disables INX", fmt.Sprintf("%t", r.FUSDisablesINX), "", "", "", "")
+	t.add("LUR disables FUS", fmt.Sprintf("%t", r.LURDisablesFUS), "", "", "", "")
+	t.add("INX disables FUS", fmt.Sprintf("%t", r.INXDisablesFUS), "", "", "", "")
+	t.add("LUR first keeps INX", fmt.Sprintf("%t", r.LURKeepsINX), "", "", "", "")
+	return t.String()
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/interp"
+	"repro/internal/specs"
+	"repro/internal/workloads"
+)
+
+// E4Row is the cost/benefit profile of one optimization over the whole
+// suite.
+type E4Row struct {
+	Opt    string
+	Apps   int
+	Checks int // precondition checks (the paper's estimated cost)
+	Ops    int // transformation operations
+	Micros int64
+	// Benefit percentages (relative estimated execution-time reduction)
+	// under the three architectural models, averaged over the workloads.
+	BenefitScalar float64
+	BenefitVector float64
+	BenefitMP     float64
+}
+
+// E4Result reproduces the cost/benefit experiment: estimated costs
+// (precondition checks + transformation operations, validated against
+// measured times) against expected benefits under scalar, vector and
+// multiprocessor models. The paper's shape: INX inexpensive with large
+// benefits, CTP inexpensive and enabling, FUS rarely applicable and
+// expensive with little benefit on a plain model.
+type E4Result struct {
+	Rows []E4Row
+}
+
+// RunE4 profiles every optimization.
+func RunE4() E4Result {
+	var res E4Result
+	names := append(append([]string{}, specs.Ten...), "CFO")
+	for _, name := range names {
+		row := E4Row{Opt: name}
+		var bS, bV, bM float64
+		start := time.Now()
+		for _, w := range workloads.All {
+			before, err := interp.Run(w.Program(), w.Input, interp.Config{})
+			if err != nil {
+				panic(err)
+			}
+			p := w.Program()
+			o := specs.MustCompile(name)
+			apps, err := o.ApplyAll(p)
+			if err != nil {
+				panic(err)
+			}
+			row.Apps += len(apps)
+			c := o.Cost()
+			row.Checks += c.Checks()
+			row.Ops += c.ActionOps
+			after, err := interp.Run(p, w.Input, interp.Config{})
+			if err != nil {
+				panic(err)
+			}
+			m := interp.DefaultModel
+			bS += interp.Benefit(before.Counts, after.Counts, interp.Scalar, m)
+			bV += interp.Benefit(before.Counts, after.Counts, interp.Vector, m)
+			bM += interp.Benefit(before.Counts, after.Counts, interp.Multiprocessor, m)
+		}
+		row.Micros = time.Since(start).Microseconds()
+		n := float64(len(workloads.All))
+		row.BenefitScalar = 100 * bS / n
+		row.BenefitVector = 100 * bV / n
+		row.BenefitMP = 100 * bM / n
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Row returns the profile of one optimization.
+func (r E4Result) Row(opt string) (E4Row, bool) {
+	for _, row := range r.Rows {
+		if row.Opt == opt {
+			return row, true
+		}
+	}
+	return E4Row{}, false
+}
+
+// Table renders the profiles.
+func (r E4Result) Table() string {
+	t := &table{header: []string{
+		"opt", "apps", "checks", "ops", "µs (measured)",
+		"benefit scalar%", "vector%", "mp%",
+	}}
+	for _, row := range r.Rows {
+		t.add(row.Opt,
+			fmt.Sprintf("%d", row.Apps),
+			fmt.Sprintf("%d", row.Checks),
+			fmt.Sprintf("%d", row.Ops),
+			fmt.Sprintf("%d", row.Micros),
+			fmt.Sprintf("%.1f", row.BenefitScalar),
+			fmt.Sprintf("%.1f", row.BenefitVector),
+			fmt.Sprintf("%.1f", row.BenefitMP))
+	}
+	return t.String()
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/specs"
+	"repro/internal/workloads"
+)
+
+// E5Result reproduces the specification-form experiment: "if the
+// specification of LUR requires that both the upper and lower limits are
+// constant, LUR is less costly to apply if the upper limit is checked
+// before the lower bound ... it is more likely for the upper limit to be
+// variable than the lower limit, thus discarding a non-application point
+// earlier."
+type E5Result struct {
+	// Checks per variant (pattern checks only — the bound tests live in
+	// the Code_Pattern section).
+	UpperFirstChecks int
+	LowerFirstChecks int
+	// Loops with variable upper / lower bounds across the suite, the
+	// population statistic behind the finding.
+	VariableUpper int
+	VariableLower int
+	TotalLoops    int
+	SameResults   bool
+}
+
+// RunE5 profiles both LUR specifications over all workloads.
+func RunE5() E5Result {
+	var res E5Result
+	res.SameResults = true
+	for _, w := range workloads.All {
+		pUpper := w.Program()
+		upper := specs.MustCompile("LUR")
+		if _, err := upper.ApplyAll(pUpper); err != nil {
+			panic(err)
+		}
+		res.UpperFirstChecks += upper.Cost().PatternChecks
+
+		pLower := w.Program()
+		lower := specs.MustCompile("LUR_LOWERFIRST")
+		if _, err := lower.ApplyAll(pLower); err != nil {
+			panic(err)
+		}
+		res.LowerFirstChecks += lower.Cost().PatternChecks
+
+		if !pUpper.Equal(pLower) {
+			res.SameResults = false
+		}
+
+		p := w.Program()
+		for _, l := range loopsOf(p) {
+			res.TotalLoops++
+			if !l.Head.Final.IsConst() {
+				res.VariableUpper++
+			}
+			if !l.Head.Init.IsConst() {
+				res.VariableLower++
+			}
+		}
+	}
+	return res
+}
+
+// Table renders the variant comparison.
+func (r E5Result) Table() string {
+	t := &table{header: []string{"measure", "value"}}
+	t.add("LUR upper-bound-first pattern checks", fmt.Sprintf("%d", r.UpperFirstChecks))
+	t.add("LUR lower-bound-first pattern checks", fmt.Sprintf("%d", r.LowerFirstChecks))
+	t.add("loops with variable upper bound", fmt.Sprintf("%d/%d", r.VariableUpper, r.TotalLoops))
+	t.add("loops with variable lower bound", fmt.Sprintf("%d/%d", r.VariableLower, r.TotalLoops))
+	t.add("variants produce identical code", fmt.Sprintf("%t", r.SameResults))
+	return t.String()
+}

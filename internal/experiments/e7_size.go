@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/codegen"
+	"repro/internal/gospel"
+	"repro/internal/specs"
+	"repro/ir"
+)
+
+// E7Result reproduces the implementation-size statistics of Section 3.1:
+// "The generator consists of 1,735 lines of code (including LEX and YACC
+// specifications). An optimization consists of 99 lines on the average,
+// where the call interface consists of 29 lines of code, and the four
+// generated procedures consist of 70 lines on the average. The
+// non-optimization specific code in library is 1,873 lines."
+//
+// Here the corresponding numbers are measured over the emitted Go: lines of
+// generated code per optimization, split into the interface part (header,
+// element table, driver hook) and the procedures (apply + act), plus the
+// size of each GOSpeL specification itself.
+type E7Result struct {
+	Rows []E7SizeRow
+	// Averages over the ten optimizations.
+	AvgGenerated float64
+	AvgInterface float64
+	AvgProcs     float64
+	AvgSpecLines float64
+}
+
+// E7SizeRow is the size profile of one optimization.
+type E7SizeRow struct {
+	Opt       string
+	SpecLines int // GOSpeL specification lines (non-blank)
+	Generated int // emitted Go lines
+	Interface int // header + imports + setUp + main hook
+	Procs     int // apply + act procedures
+}
+
+func loopsOf(p *ir.Program) []ir.Loop { return ir.Loops(p) }
+
+// RunE7 generates code for the ten optimizations and measures it.
+func RunE7() E7Result {
+	var res E7Result
+	for _, name := range specs.Ten {
+		spec, err := gospel.ParseAndCheck(name, specs.Sources[name])
+		if err != nil {
+			panic(err)
+		}
+		src, err := codegen.Generate(spec, codegen.Options{Package: "main", EmitMain: true})
+		if err != nil {
+			panic(err)
+		}
+		row := E7SizeRow{Opt: name}
+		for _, line := range strings.Split(specs.Sources[name], "\n") {
+			if strings.TrimSpace(line) != "" {
+				row.SpecLines++
+			}
+		}
+		inProc := false
+		for _, line := range strings.Split(src, "\n") {
+			if strings.TrimSpace(line) == "" {
+				continue
+			}
+			row.Generated++
+			if strings.HasPrefix(line, "func apply") || strings.HasPrefix(line, "func act") {
+				inProc = true
+			}
+			if inProc {
+				row.Procs++
+				if line == "}" {
+					inProc = false
+				}
+			} else {
+				row.Interface++
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	n := float64(len(res.Rows))
+	for _, row := range res.Rows {
+		res.AvgGenerated += float64(row.Generated) / n
+		res.AvgInterface += float64(row.Interface) / n
+		res.AvgProcs += float64(row.Procs) / n
+		res.AvgSpecLines += float64(row.SpecLines) / n
+	}
+	return res
+}
+
+// Table renders the size statistics next to the paper's.
+func (r E7Result) Table() string {
+	t := &table{header: []string{"opt", "spec lines", "generated", "interface", "procedures"}}
+	for _, row := range r.Rows {
+		t.add(row.Opt,
+			fmt.Sprintf("%d", row.SpecLines),
+			fmt.Sprintf("%d", row.Generated),
+			fmt.Sprintf("%d", row.Interface),
+			fmt.Sprintf("%d", row.Procs))
+	}
+	t.add("average",
+		fmt.Sprintf("%.0f", r.AvgSpecLines),
+		fmt.Sprintf("%.0f", r.AvgGenerated),
+		fmt.Sprintf("%.0f", r.AvgInterface),
+		fmt.Sprintf("%.0f", r.AvgProcs))
+	t.add("paper", "-", "99", "29", "70")
+	return t.String()
+}

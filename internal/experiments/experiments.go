@@ -1,0 +1,81 @@
+// Package experiments regenerates every experimental result of the paper's
+// Section 4 (see DESIGN.md's per-experiment index):
+//
+//	E1 quality of generated vs hand-coded optimizers
+//	E2 application-point and enablement counts
+//	E3 optimization-ordering interactions (FUS / INX / LUR)
+//	E4 cost and expected benefit per optimization and architecture
+//	E5 cost of alternative specifications (LUR bound-check order)
+//	E6 cost of membership-check strategies and the heuristic
+//	E7 implementation-size statistics
+//
+// Each experiment has a Run function returning structured results and a
+// Table method rendering the same rows the cmd/experiments tool prints.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// table is a minimal text-table builder.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// RunAll executes every experiment and writes all tables to w.
+func RunAll(w io.Writer) error {
+	fmt.Fprintln(w, "== E1: generated vs hand-coded optimizers ==")
+	fmt.Fprintln(w, RunE1().Table())
+	fmt.Fprintln(w, "== E2: application points and enablement ==")
+	fmt.Fprintln(w, RunE2().Table())
+	fmt.Fprintln(w, "== E3: ordering interactions of FUS, INX, LUR ==")
+	fmt.Fprintln(w, RunE3().Table())
+	fmt.Fprintln(w, "== E4: cost and expected benefit ==")
+	fmt.Fprintln(w, RunE4().Table())
+	fmt.Fprintln(w, "== E5: specification form and cost (LUR bound order) ==")
+	fmt.Fprintln(w, RunE5().Table())
+	fmt.Fprintln(w, "== E6: membership strategies and the heuristic ==")
+	fmt.Fprintln(w, RunE6().Table())
+	fmt.Fprintln(w, "== E7: implementation statistics ==")
+	fmt.Fprintln(w, RunE7().Table())
+	return nil
+}

@@ -1,0 +1,309 @@
+package frontend
+
+import (
+	"strings"
+	"testing"
+
+	"repro/ir"
+)
+
+func TestParseSimpleProgram(t *testing.T) {
+	src := `
+PROGRAM demo
+INTEGER n, i
+REAL a(100), s
+n = 100
+s = 0.0
+DO i = 1, n
+  a(i) = a(i) * 2.0
+  s = s + a(i)
+ENDDO
+PRINT s
+END
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "demo" {
+		t.Errorf("name = %q", p.Name)
+	}
+	if len(p.Decls) != 4 {
+		t.Errorf("decls = %d", len(p.Decls))
+	}
+	d, ok := p.DeclOf("a")
+	if !ok || !d.IsFloat || len(d.Dims) != 1 || d.Dims[0] != 100 {
+		t.Errorf("decl a = %+v", d)
+	}
+	// n=100, s=0.0, do, a(i)=..., s=..., enddo, print
+	if p.Len() != 7 {
+		t.Fatalf("stmt count = %d\n%s", p.Len(), p)
+	}
+	loops := ir.Loops(p)
+	if len(loops) != 1 || loops[0].LCV() != "i" {
+		t.Fatalf("loops = %v", loops)
+	}
+	body := loops[0].Body(p)
+	if len(body) != 2 {
+		t.Fatalf("body = %d", len(body))
+	}
+	mul := body[0]
+	if mul.Kind != ir.SAssign || mul.Op != ir.OpMul || !mul.Dst.IsArray() {
+		t.Errorf("first body stmt = %s", ir.FormatStmt(mul))
+	}
+	if got := ir.FormatStmt(mul); got != "a(i) := a(i) * 2" {
+		t.Errorf("FormatStmt = %q", got)
+	}
+}
+
+func TestParseExpressionsLowering(t *testing.T) {
+	src := `
+PROGRAM lower
+INTEGER x, y, z
+x = y + z * 3 - 2
+END
+`
+	p := MustParse(src)
+	// z*3 → temp; y + temp → temp2; temp2 - 2 → x.
+	// Top-level lands in x, so: t1 := z*3 ; t2 := y + t1 ; x := t2 - 2
+	if p.Len() != 3 {
+		t.Fatalf("stmt count = %d\n%s", p.Len(), p)
+	}
+	last := p.At(2)
+	if last.Dst.Name != "x" || last.Op != ir.OpSub {
+		t.Errorf("last = %s", ir.FormatStmt(last))
+	}
+}
+
+func TestParsePrecedenceAndParens(t *testing.T) {
+	p := MustParse("PROGRAM p\nINTEGER x, a, b, c\nx = (a + b) * c\nEND")
+	// t1 := a+b ; x := t1 * c
+	if p.Len() != 2 {
+		t.Fatalf("stmt count = %d\n%s", p.Len(), p)
+	}
+	if p.At(0).Op != ir.OpAdd || p.At(1).Op != ir.OpMul {
+		t.Errorf("precedence lowering wrong:\n%s", p)
+	}
+}
+
+func TestParseUnaryMinusAndMod(t *testing.T) {
+	p := MustParse("PROGRAM p\nINTEGER x, y\nx = -3\ny = x MOD 2\nEND")
+	if !p.At(0).A.IsConst() || p.At(0).A.Val.Int != -3 {
+		t.Errorf("literal negation should fold: %s", ir.FormatStmt(p.At(0)))
+	}
+	if p.At(1).Op != ir.OpMod {
+		t.Errorf("MOD parse: %s", ir.FormatStmt(p.At(1)))
+	}
+
+	p2 := MustParse("PROGRAM p\nINTEGER x, y\nx = -y\nEND")
+	s := p2.At(0)
+	if s.Op != ir.OpSub || !s.A.IsConst() || s.A.Val.Int != 0 || s.B.Name != "y" {
+		t.Errorf("unary minus on variable should lower to 0-y: %s", ir.FormatStmt(s))
+	}
+}
+
+func TestParseIfElse(t *testing.T) {
+	src := `
+PROGRAM branch
+INTEGER x, y
+READ x
+IF (x .GT. 0) THEN
+  y = 1
+ELSE
+  y = 2
+ENDIF
+PRINT y
+END
+`
+	p := MustParse(src)
+	kinds := []ir.StmtKind{ir.SRead, ir.SIf, ir.SAssign, ir.SElse, ir.SAssign, ir.SEndIf, ir.SPrint}
+	if p.Len() != len(kinds) {
+		t.Fatalf("stmt count = %d\n%s", p.Len(), p)
+	}
+	for i, k := range kinds {
+		if p.At(i).Kind != k {
+			t.Errorf("stmt %d kind = %v, want %v", i, p.At(i).Kind, k)
+		}
+	}
+	ifs := p.At(1)
+	if ifs.Rel != ir.RelGT || ifs.A.Name != "x" || !ifs.B.IsConst() {
+		t.Errorf("if condition = %s", ir.FormatStmt(ifs))
+	}
+}
+
+func TestParseRelopSpellings(t *testing.T) {
+	for spelling, want := range map[string]ir.Relop{
+		".LT.": ir.RelLT, ".LE.": ir.RelLE, ".GT.": ir.RelGT,
+		".GE.": ir.RelGE, ".EQ.": ir.RelEQ, ".NE.": ir.RelNE,
+		"<": ir.RelLT, "<=": ir.RelLE, ">": ir.RelGT,
+		">=": ir.RelGE, "==": ir.RelEQ, "!=": ir.RelNE,
+	} {
+		src := "PROGRAM p\nINTEGER x\nIF (x " + spelling + " 1) THEN\nx = 0\nENDIF\nEND"
+		p, err := Parse(src)
+		if err != nil {
+			t.Errorf("%s: %v", spelling, err)
+			continue
+		}
+		if p.At(0).Rel != want {
+			t.Errorf("%s parsed as %v, want %v", spelling, p.At(0).Rel, want)
+		}
+	}
+}
+
+func TestParseNestedLoopsWithStep(t *testing.T) {
+	src := `
+PROGRAM nest
+INTEGER i, j
+REAL a(10,10)
+DO i = 1, 10, 2
+  DO j = 1, 10
+    a(i,j) = 0.0
+  ENDDO
+ENDDO
+END
+`
+	p := MustParse(src)
+	loops := ir.Loops(p)
+	if len(loops) != 2 {
+		t.Fatalf("loops = %d", len(loops))
+	}
+	if !loops[0].Head.Step.IsConst() || loops[0].Head.Step.Val.Int != 2 {
+		t.Errorf("step = %v", loops[0].Head.Step)
+	}
+	pairs := ir.TightPairs(p)
+	if len(pairs) != 1 {
+		t.Errorf("tight pairs = %d", len(pairs))
+	}
+}
+
+func TestParseAffineSubscripts(t *testing.T) {
+	src := `
+PROGRAM subs
+INTEGER i, j, k
+REAL a(100), b(10,10)
+DO i = 1, 10
+  a(2*i+1) = a(i-1)
+  b(i, i+j) = b(j, 3)
+  a(i*j) = 1.0
+ENDDO
+END
+`
+	p := MustParse(src)
+	var stmts []*ir.Stmt
+	for _, s := range p.Stmts() {
+		if s.Kind == ir.SAssign && s.Dst.IsArray() {
+			stmts = append(stmts, s)
+		}
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("array assigns = %d\n%s", len(stmts), p)
+	}
+	if got := stmts[0].Dst.Subs[0].String(); got != "2*i+1" {
+		t.Errorf("affine subscript = %q", got)
+	}
+	if got := stmts[0].A.Subs[0].String(); got != "i-1" {
+		t.Errorf("affine subscript = %q", got)
+	}
+	// Non-affine i*j must be spilled into a temp subscript.
+	nonAffine := stmts[2]
+	sub := nonAffine.Dst.Subs[0]
+	if sub.IsConst() || len(sub.Terms) != 1 || !strings.HasPrefix(sub.Terms[0].Var, "t_") {
+		t.Errorf("non-affine subscript should be temp, got %v", sub)
+	}
+}
+
+func TestParseDoall(t *testing.T) {
+	p := MustParse("PROGRAM p\nINTEGER i\nREAL a(10)\nDOALL i = 1, 10\na(i) = 1.0\nENDDO\nEND")
+	if !p.At(0).Parallel {
+		t.Error("DOALL should set Parallel")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := "PROGRAM p ! program header\nINTEGER x ! decl\nx = 1 ! set x\n! full-line comment\nEND"
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 1 {
+		t.Errorf("stmt count = %d", p.Len())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"missing program", "INTEGER x\nEND"},
+		{"unterminated do", "PROGRAM p\nINTEGER i\nDO i = 1, 10\nEND"},
+		{"stray enddo", "PROGRAM p\nENDDO\nEND"},
+		{"bad relop", "PROGRAM p\nINTEGER x\nIF (x .XX. 1) THEN\nENDIF\nEND"},
+		{"missing then", "PROGRAM p\nINTEGER x\nIF (x > 1)\nx = 0\nENDIF\nEND"},
+		{"bad dim", "PROGRAM p\nREAL a(n)\nEND"},
+		{"dup decl", "PROGRAM p\nINTEGER x\nINTEGER x\nEND"},
+		{"garbage expr", "PROGRAM p\nINTEGER x\nx = )\nEND"},
+		{"unclosed paren", "PROGRAM p\nINTEGER x\nx = (1 + 2\nEND"},
+		{"eof in loop", "PROGRAM p\nINTEGER i\nDO i = 1, 2\n"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestErrorsCarryLineNumbers(t *testing.T) {
+	_, err := Parse("PROGRAM p\nINTEGER x\nx = @\nEND")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	fe, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if fe.Line != 3 {
+		t.Errorf("line = %d, want 3", fe.Line)
+	}
+	if !strings.Contains(fe.Error(), "minif:3:") {
+		t.Errorf("message = %q", fe.Error())
+	}
+}
+
+func TestRealLiterals(t *testing.T) {
+	p := MustParse("PROGRAM p\nREAL x\nx = 1.5e2\nEND")
+	if !p.At(0).A.IsConst() || p.At(0).A.Val.AsFloat() != 150 {
+		t.Errorf("real literal = %v", p.At(0).A)
+	}
+	p2 := MustParse("PROGRAM p\nREAL x\nx = 2.\nEND")
+	if p2.At(0).A.Val.AsFloat() != 2 {
+		t.Errorf("trailing-dot real = %v", p2.At(0).A)
+	}
+}
+
+func TestNumberDotRelopAmbiguity(t *testing.T) {
+	// "1.EQ." must lex as integer 1 followed by .EQ., not real "1." then junk.
+	p, err := Parse("PROGRAM p\nINTEGER x\nIF (1 .EQ. x) THEN\nx = 0\nENDIF\nEND")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.At(0).Rel != ir.RelEQ {
+		t.Error("relop lost")
+	}
+	p2, err := Parse("PROGRAM p\nINTEGER x\nIF (1.EQ.x) THEN\nx = 0\nENDIF\nEND")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.At(0).Rel != ir.RelEQ {
+		t.Error("tight relop lost")
+	}
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	p, err := Parse("program p\ninteger i\ndo i = 1, 3\nenddo\nend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ir.Loops(p)) != 1 {
+		t.Error("lowercase keywords should parse")
+	}
+}

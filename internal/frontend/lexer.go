@@ -1,0 +1,209 @@
+// Package frontend parses MiniF, a small FORTRAN-77-flavoured language, into
+// the ir package's quad representation. MiniF stands in for the FORTRAN
+// programs of the paper's test suites (HOMPACK and the numerical-analysis
+// suite); it has numeric scalars and arrays, DO loops, block IFs, and
+// READ/PRINT statements, which together cover every construct the paper's
+// optimizations inspect.
+//
+// Grammar (case-insensitive keywords, ! comments to end of line):
+//
+//	program  = "PROGRAM" ident decl* stmt* "END"
+//	decl     = ("INTEGER"|"REAL") item ("," item)*
+//	item     = ident [ "(" int ("," int)* ")" ]
+//	stmt     = ident [subs] "=" expr
+//	         | "DO" ident "=" expr "," expr ["," expr] stmt* "ENDDO"
+//	         | "IF" "(" expr relop expr ")" "THEN" stmt* ["ELSE" stmt*] "ENDIF"
+//	         | "PRINT" expr ("," expr)*
+//	         | "READ" ident [subs]
+//	relop    = ".LT."|".LE."|".GT."|".GE."|".EQ."|".NE."|"<"|"<="|">"|">="|"=="|"!="
+//	expr     = arithmetic over + - * / MOD, unary -, parentheses, calls none
+package frontend
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tInt
+	tReal
+	tKeyword // PROGRAM DO ENDDO IF THEN ELSE ENDIF PRINT READ END INTEGER REAL MOD
+	tRelop   // normalized to "<", "<=", ">", ">=", "==", "!="
+	tPunct   // = , ( ) + - * /
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+var minifKeywords = map[string]bool{
+	"PROGRAM": true, "DO": true, "ENDDO": true, "IF": true, "THEN": true,
+	"ELSE": true, "ENDIF": true, "PRINT": true, "READ": true, "END": true,
+	"INTEGER": true, "REAL": true, "MOD": true, "DOALL": true,
+}
+
+var dotRelops = map[string]string{
+	".LT.": "<", ".LE.": "<=", ".GT.": ">", ".GE.": ">=", ".EQ.": "==", ".NE.": "!=",
+}
+
+// Error is a positioned frontend error.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("minif:%d: %s", e.Line, e.Msg) }
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '!' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '=':
+			l.emit(tRelop, "!=")
+			l.pos += 2
+		case c == '!':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '.' && l.pos+1 < len(l.src) && unicode.IsLetter(rune(l.src[l.pos+1])):
+			if err := l.dotRelop(); err != nil {
+				return nil, err
+			}
+		case unicode.IsDigit(rune(c)) || (c == '.' && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1]))):
+			l.number()
+		case unicode.IsLetter(rune(c)) || c == '_':
+			l.identOrKeyword()
+		default:
+			if err := l.operator(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.toks = append(l.toks, token{kind: tEOF, line: l.line})
+	return l.toks, nil
+}
+
+func (l *lexer) emit(kind tokKind, text string) {
+	l.toks = append(l.toks, token{kind: kind, text: text, line: l.line})
+}
+
+func (l *lexer) dotRelop() error {
+	end := strings.IndexByte(l.src[l.pos+1:], '.')
+	if end < 0 {
+		return &Error{l.line, "unterminated .RELOP."}
+	}
+	word := strings.ToUpper(l.src[l.pos : l.pos+end+2])
+	rel, ok := dotRelops[word]
+	if !ok {
+		return &Error{l.line, fmt.Sprintf("unknown operator %q", word)}
+	}
+	l.emit(tRelop, rel)
+	l.pos += end + 2
+	return nil
+}
+
+func (l *lexer) number() {
+	start := l.pos
+	isReal := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if unicode.IsDigit(rune(c)) {
+			l.pos++
+			continue
+		}
+		if c == '.' && !isReal {
+			// Not a relop like "1.EQ." — require a digit or end after the dot
+			// for it to belong to the number.
+			if l.pos+1 < len(l.src) && unicode.IsLetter(rune(l.src[l.pos+1])) {
+				break
+			}
+			isReal = true
+			l.pos++
+			continue
+		}
+		if (c == 'e' || c == 'E') && isReal {
+			// exponent
+			j := l.pos + 1
+			if j < len(l.src) && (l.src[j] == '+' || l.src[j] == '-') {
+				j++
+			}
+			if j < len(l.src) && unicode.IsDigit(rune(l.src[j])) {
+				l.pos = j + 1
+				for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+					l.pos++
+				}
+			}
+			break
+		}
+		break
+	}
+	text := l.src[start:l.pos]
+	if isReal {
+		l.emit(tReal, text)
+	} else {
+		l.emit(tInt, text)
+	}
+}
+
+func (l *lexer) identOrKeyword() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := rune(l.src[l.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' {
+			l.pos++
+		} else {
+			break
+		}
+	}
+	word := l.src[start:l.pos]
+	if minifKeywords[strings.ToUpper(word)] {
+		l.emit(tKeyword, strings.ToUpper(word))
+	} else {
+		l.emit(tIdent, strings.ToLower(word))
+	}
+}
+
+func (l *lexer) operator() error {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "==", "!=":
+		l.emit(tRelop, two)
+		l.pos += 2
+		return nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '<', '>':
+		l.emit(tRelop, string(c))
+		l.pos++
+	case '=', ',', '(', ')', '+', '-', '*', '/':
+		l.emit(tPunct, string(c))
+		l.pos++
+	default:
+		return &Error{l.line, fmt.Sprintf("unexpected character %q", c)}
+	}
+	return nil
+}

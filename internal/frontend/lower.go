@@ -1,0 +1,112 @@
+package frontend
+
+import (
+	"fmt"
+
+	"repro/ir"
+)
+
+// newTemp returns a fresh compiler temporary name that cannot collide with a
+// declared variable.
+func (p *parser) newTemp() string {
+	for {
+		p.ntemp++
+		name := fmt.Sprintf("t_%d", p.ntemp)
+		if _, taken := p.declMap[name]; !taken {
+			return name
+		}
+	}
+}
+
+// lowerAssign emits quads computing rhs into dst. The top-level operator
+// lands directly in dst so that "a = b + c" becomes a single quad.
+func (p *parser) lowerAssign(dst ir.Operand, rhs expr) {
+	switch e := rhs.(type) {
+	case binop:
+		a := p.lowerToOperand(e.l)
+		b := p.lowerToOperand(e.r)
+		p.prog.Append(&ir.Stmt{Kind: ir.SAssign, Dst: dst, Op: e.op, A: a, B: b})
+	case negop:
+		a := p.lowerToOperand(e.e)
+		p.prog.Append(&ir.Stmt{Kind: ir.SAssign, Dst: dst, Op: ir.OpSub, A: ir.IntOp(0), B: a})
+	default:
+		a := p.lowerToOperand(rhs)
+		p.prog.Append(&ir.Stmt{Kind: ir.SAssign, Dst: dst, Op: ir.OpCopy, A: a})
+	}
+}
+
+// lowerToOperand reduces an expression to a single operand, emitting temp
+// assignments for interior operations.
+func (p *parser) lowerToOperand(e expr) ir.Operand {
+	switch e := e.(type) {
+	case numLit:
+		return ir.ConstOp(e.val)
+	case varRef:
+		return ir.VarOp(e.name)
+	case arrayRef:
+		return ir.ArrayOp(e.name, p.lowerSubs(e.subs)...)
+	default:
+		t := p.newTemp()
+		p.lowerAssign(ir.VarOp(t), e)
+		return ir.VarOp(t)
+	}
+}
+
+// lowerSubs converts subscript expressions into affine LinExprs, spilling
+// any non-affine subscript into a temporary (which the dependence analyzer
+// then treats conservatively).
+func (p *parser) lowerSubs(subs []expr) []ir.LinExpr {
+	out := make([]ir.LinExpr, len(subs))
+	for i, s := range subs {
+		if lin, ok := affine(s); ok {
+			out[i] = lin
+			continue
+		}
+		t := p.newTemp()
+		p.lowerAssign(ir.VarOp(t), s)
+		out[i] = ir.VarExpr(t)
+	}
+	return out
+}
+
+// affine attempts to express e as an affine combination of scalar variables.
+func affine(e expr) (ir.LinExpr, bool) {
+	switch e := e.(type) {
+	case numLit:
+		if e.val.IsFloat {
+			return ir.LinExpr{}, false
+		}
+		return ir.ConstExpr(e.val.Int), true
+	case varRef:
+		return ir.VarExpr(e.name), true
+	case negop:
+		inner, ok := affine(e.e)
+		if !ok {
+			return ir.LinExpr{}, false
+		}
+		return inner.Scale(-1), true
+	case binop:
+		l, lok := affine(e.l)
+		r, rok := affine(e.r)
+		switch e.op {
+		case ir.OpAdd:
+			if lok && rok {
+				return l.Add(r), true
+			}
+		case ir.OpSub:
+			if lok && rok {
+				return l.Sub(r), true
+			}
+		case ir.OpMul:
+			if lok && rok {
+				if l.IsConst() {
+					return r.Scale(l.Normalize().Const), true
+				}
+				if r.IsConst() {
+					return l.Scale(r.Normalize().Const), true
+				}
+			}
+		}
+	}
+	return ir.LinExpr{}, false
+}

@@ -1,0 +1,505 @@
+package frontend
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/ir"
+)
+
+// Parse parses MiniF source into an IR program.
+func Parse(src string) (*ir.Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog, err := p.program()
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParse parses src and panics on error; for tests and embedded workloads.
+func MustParse(src string) *ir.Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// expression AST, internal to the frontend; lowered to quads immediately.
+type expr interface{ isExpr() }
+
+type numLit struct{ val ir.Value }
+type varRef struct{ name string }
+type arrayRef struct {
+	name string
+	subs []expr
+}
+type binop struct {
+	op   ir.Opcode
+	l, r expr
+}
+type negop struct{ e expr }
+
+func (numLit) isExpr()   {}
+func (varRef) isExpr()   {}
+func (arrayRef) isExpr() {}
+func (binop) isExpr()    {}
+func (negop) isExpr()    {}
+
+type parser struct {
+	toks    []token
+	pos     int
+	prog    *ir.Program
+	ntemp   int
+	declMap map[string]ir.Decl
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return &Error{p.cur().line, fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.cur()
+	if t.kind != tPunct || t.text != s {
+		return p.errf("expected %q, found %q", s, t.text)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) expectKeyword(s string) error {
+	t := p.cur()
+	if t.kind != tKeyword || t.text != s {
+		return p.errf("expected %s, found %q", s, t.text)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) atKeyword(s string) bool {
+	t := p.cur()
+	return t.kind == tKeyword && t.text == s
+}
+
+func (p *parser) program() (*ir.Program, error) {
+	if err := p.expectKeyword("PROGRAM"); err != nil {
+		return nil, err
+	}
+	name := p.cur()
+	if name.kind != tIdent {
+		return nil, p.errf("expected program name")
+	}
+	p.pos++
+	p.prog = ir.NewProgram(name.text)
+	p.declMap = make(map[string]ir.Decl)
+
+	for p.atKeyword("INTEGER") || p.atKeyword("REAL") {
+		if err := p.decl(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.stmtsUntil("END"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return p.prog, nil
+}
+
+func (p *parser) decl() error {
+	isFloat := p.next().text == "REAL"
+	for {
+		t := p.cur()
+		if t.kind != tIdent {
+			return p.errf("expected identifier in declaration")
+		}
+		p.pos++
+		d := ir.Decl{Name: t.text, IsFloat: isFloat}
+		if p.cur().kind == tPunct && p.cur().text == "(" {
+			p.pos++
+			for {
+				dim := p.cur()
+				if dim.kind != tInt {
+					return p.errf("array dimensions must be integer literals")
+				}
+				n, err := strconv.ParseInt(dim.text, 10, 64)
+				if err != nil || n <= 0 {
+					return p.errf("bad array dimension %q", dim.text)
+				}
+				d.Dims = append(d.Dims, n)
+				p.pos++
+				if p.cur().kind == tPunct && p.cur().text == "," {
+					p.pos++
+					continue
+				}
+				break
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return err
+			}
+		}
+		if _, dup := p.declMap[d.Name]; dup {
+			return p.errf("duplicate declaration of %s", d.Name)
+		}
+		p.declMap[d.Name] = d
+		p.prog.Decls = append(p.prog.Decls, d)
+		if p.cur().kind == tPunct && p.cur().text == "," {
+			p.pos++
+			continue
+		}
+		return nil
+	}
+}
+
+// stmtsUntil parses statements until one of the stop keywords is the current
+// token (which is left unconsumed).
+func (p *parser) stmtsUntil(stops ...string) error {
+	stopSet := make(map[string]bool, len(stops))
+	for _, s := range stops {
+		stopSet[s] = true
+	}
+	for {
+		t := p.cur()
+		if t.kind == tEOF {
+			return p.errf("unexpected end of file (missing %s?)", strings.Join(stops, "/"))
+		}
+		if t.kind == tKeyword && stopSet[t.text] {
+			return nil
+		}
+		if err := p.stmt(); err != nil {
+			return err
+		}
+	}
+}
+
+func (p *parser) stmt() error {
+	t := p.cur()
+	switch {
+	case t.kind == tKeyword && (t.text == "DO" || t.text == "DOALL"):
+		return p.doLoop(t.text == "DOALL")
+	case t.kind == tKeyword && t.text == "IF":
+		return p.ifStmt()
+	case t.kind == tKeyword && t.text == "PRINT":
+		return p.printStmt()
+	case t.kind == tKeyword && t.text == "READ":
+		return p.readStmt()
+	case t.kind == tIdent:
+		return p.assign()
+	default:
+		return p.errf("unexpected token %q at statement start", t.text)
+	}
+}
+
+func (p *parser) doLoop(parallel bool) error {
+	p.pos++ // DO
+	lcv := p.cur()
+	if lcv.kind != tIdent {
+		return p.errf("expected loop variable after DO")
+	}
+	p.pos++
+	if err := p.expectPunct("="); err != nil {
+		return err
+	}
+	initE, err := p.expr()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct(","); err != nil {
+		return err
+	}
+	finalE, err := p.expr()
+	if err != nil {
+		return err
+	}
+	step := expr(numLit{ir.IntVal(1)})
+	if p.cur().kind == tPunct && p.cur().text == "," {
+		p.pos++
+		step, err = p.expr()
+		if err != nil {
+			return err
+		}
+	}
+	initOp := p.lowerToOperand(initE)
+	finalOp := p.lowerToOperand(finalE)
+	stepOp := p.lowerToOperand(step)
+	p.prog.Append(&ir.Stmt{Kind: ir.SDoHead, LCV: lcv.text,
+		Init: initOp, Final: finalOp, Step: stepOp, Parallel: parallel})
+	if err := p.stmtsUntil("ENDDO"); err != nil {
+		return err
+	}
+	p.pos++ // ENDDO
+	p.prog.Append(&ir.Stmt{Kind: ir.SDoEnd})
+	return nil
+}
+
+func (p *parser) ifStmt() error {
+	p.pos++ // IF
+	if err := p.expectPunct("("); err != nil {
+		return err
+	}
+	lhs, err := p.expr()
+	if err != nil {
+		return err
+	}
+	rel := p.cur()
+	if rel.kind != tRelop {
+		return p.errf("expected relational operator in IF condition")
+	}
+	p.pos++
+	rhs, err := p.expr()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return err
+	}
+	if err := p.expectKeyword("THEN"); err != nil {
+		return err
+	}
+	a := p.lowerToOperand(lhs)
+	b := p.lowerToOperand(rhs)
+	p.prog.Append(&ir.Stmt{Kind: ir.SIf, A: a, Rel: relopOf(rel.text), B: b})
+	if err := p.stmtsUntil("ELSE", "ENDIF"); err != nil {
+		return err
+	}
+	if p.atKeyword("ELSE") {
+		p.pos++
+		p.prog.Append(&ir.Stmt{Kind: ir.SElse})
+		if err := p.stmtsUntil("ENDIF"); err != nil {
+			return err
+		}
+	}
+	p.pos++ // ENDIF
+	p.prog.Append(&ir.Stmt{Kind: ir.SEndIf})
+	return nil
+}
+
+func relopOf(s string) ir.Relop {
+	switch s {
+	case "<":
+		return ir.RelLT
+	case "<=":
+		return ir.RelLE
+	case ">":
+		return ir.RelGT
+	case ">=":
+		return ir.RelGE
+	case "==":
+		return ir.RelEQ
+	case "!=":
+		return ir.RelNE
+	}
+	panic("frontend: bad relop " + s)
+}
+
+func (p *parser) printStmt() error {
+	p.pos++ // PRINT
+	var args []ir.Operand
+	for {
+		e, err := p.expr()
+		if err != nil {
+			return err
+		}
+		args = append(args, p.lowerToOperand(e))
+		if p.cur().kind == tPunct && p.cur().text == "," {
+			p.pos++
+			continue
+		}
+		break
+	}
+	p.prog.Append(&ir.Stmt{Kind: ir.SPrint, Args: args})
+	return nil
+}
+
+func (p *parser) readStmt() error {
+	p.pos++ // READ
+	dst, err := p.lvalue()
+	if err != nil {
+		return err
+	}
+	p.prog.Append(&ir.Stmt{Kind: ir.SRead, Dst: dst})
+	return nil
+}
+
+func (p *parser) lvalue() (ir.Operand, error) {
+	t := p.cur()
+	if t.kind != tIdent {
+		return ir.Operand{}, p.errf("expected variable")
+	}
+	p.pos++
+	if p.cur().kind == tPunct && p.cur().text == "(" {
+		subs, err := p.subscripts()
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		return ir.ArrayOp(t.text, p.lowerSubs(subs)...), nil
+	}
+	return ir.VarOp(t.text), nil
+}
+
+func (p *parser) assign() error {
+	dst, err := p.lvalue()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct("="); err != nil {
+		return err
+	}
+	rhs, err := p.expr()
+	if err != nil {
+		return err
+	}
+	p.lowerAssign(dst, rhs)
+	return nil
+}
+
+func (p *parser) subscripts() ([]expr, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var subs []expr
+	for {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, e)
+		if p.cur().kind == tPunct && p.cur().text == "," {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return subs, nil
+}
+
+// expr parses addition-level expressions.
+func (p *parser) expr() (expr, error) {
+	left, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind == tPunct && (t.text == "+" || t.text == "-") {
+			p.pos++
+			right, err := p.term()
+			if err != nil {
+				return nil, err
+			}
+			op := ir.OpAdd
+			if t.text == "-" {
+				op = ir.OpSub
+			}
+			left = binop{op: op, l: left, r: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) term() (expr, error) {
+	left, err := p.factor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		switch {
+		case t.kind == tPunct && (t.text == "*" || t.text == "/"):
+			p.pos++
+			right, err := p.factor()
+			if err != nil {
+				return nil, err
+			}
+			op := ir.OpMul
+			if t.text == "/" {
+				op = ir.OpDiv
+			}
+			left = binop{op: op, l: left, r: right}
+		case t.kind == tKeyword && t.text == "MOD":
+			p.pos++
+			right, err := p.factor()
+			if err != nil {
+				return nil, err
+			}
+			left = binop{op: ir.OpMod, l: left, r: right}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) factor() (expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tPunct && t.text == "-":
+		p.pos++
+		e, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		if n, ok := e.(numLit); ok {
+			// fold literal negation so "-1" is a constant operand
+			if n.val.IsFloat {
+				return numLit{ir.FloatVal(-n.val.Float)}, nil
+			}
+			return numLit{ir.IntVal(-n.val.Int)}, nil
+		}
+		return negop{e}, nil
+	case t.kind == tPunct && t.text == "+":
+		p.pos++
+		return p.factor()
+	case t.kind == tPunct && t.text == "(":
+		p.pos++
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tInt:
+		p.pos++
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad integer %q", t.text)
+		}
+		return numLit{ir.IntVal(n)}, nil
+	case t.kind == tReal:
+		p.pos++
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errf("bad real %q", t.text)
+		}
+		return numLit{ir.FloatVal(f)}, nil
+	case t.kind == tIdent:
+		p.pos++
+		if p.cur().kind == tPunct && p.cur().text == "(" {
+			subs, err := p.subscripts()
+			if err != nil {
+				return nil, err
+			}
+			return arrayRef{name: t.text, subs: subs}, nil
+		}
+		return varRef{name: t.text}, nil
+	}
+	return nil, p.errf("unexpected token %q in expression", t.text)
+}

@@ -1,0 +1,120 @@
+package frontend
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/proggen"
+	"repro/ir"
+)
+
+// TestMiniFRoundTrip: rendering an IR program back to MiniF and re-parsing
+// must give a structurally equal program. (The test lives in the frontend
+// package to avoid an ir → frontend dependency.)
+func TestMiniFRoundTrip(t *testing.T) {
+	sources := []string{
+		`
+PROGRAM rt1
+INTEGER n, i
+REAL a(16), b(8,8), s
+n = 16
+s = 0.0
+READ s
+DO i = 1, n
+  a(i) = i * 0.5
+  b(1,2) = a(i) + s
+ENDDO
+DO i = 10, 2, -2
+  a(i) = a(i-1) MOD 3
+ENDDO
+IF (s .GE. 0.5) THEN
+  s = s - 1.0
+ELSE
+  s = 0.0
+ENDIF
+PRINT s, a(1), b(1,2)
+END`,
+		`
+PROGRAM rt2
+INTEGER i, j
+REAL c(10,10)
+DOALL i = 1, 10
+  DO j = 2, 9
+    c(i,j) = c(i,j-1) + 1.0
+  ENDDO
+ENDDO
+END`,
+	}
+	for _, src := range sources {
+		p1 := MustParse(src)
+		rendered := ir.ToMiniF(p1)
+		p2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v\n%s", err, rendered)
+		}
+		if !p1.Equal(p2) {
+			t.Fatalf("round trip changed the program\noriginal:\n%srendered:\n%s",
+				p1, rendered)
+		}
+	}
+}
+
+// TestMiniFRoundTripRandom: the same property over generated programs,
+// checking both structure and behaviour.
+func TestMiniFRoundTripRandom(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		p1 := proggen.Generate(seed, proggen.Config{})
+		rendered := ir.ToMiniF(p1)
+		p2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("seed %d: re-parse failed: %v\n%s", seed, err, rendered)
+		}
+		if !p1.Equal(p2) {
+			t.Fatalf("seed %d: round trip changed the program\noriginal:\n%srendered:\n%s",
+				seed, p1, rendered)
+		}
+		r1, err := interp.Run(p1, nil, interp.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := interp.Run(p2, nil, interp.Config{})
+		if err != nil {
+			t.Fatalf("seed %d: rendered program fails: %v", seed, err)
+		}
+		if !interp.SameOutput(r1, r2) {
+			t.Fatalf("seed %d: round trip changed behaviour", seed)
+		}
+	}
+}
+
+// TestMiniFRoundTripAfterOptimization: optimized programs (which contain
+// statement shapes the frontend never produces directly, such as doubled
+// loop steps and doall headers) also survive the round trip.
+func TestMiniFRoundTripAfterOptimization(t *testing.T) {
+	src := `
+PROGRAM rt3
+INTEGER n, i
+REAL a(16), b(16)
+n = 16
+DO i = 1, n
+  a(i) = i * 1.5
+ENDDO
+DO i = 1, 16
+  b(i) = a(i) + 1.0
+ENDDO
+PRINT b(16)
+END`
+	p := MustParse(src)
+	// Hand-rolled transformations standing in for optimizer output.
+	loops := ir.Loops(p)
+	loops[0].Head.Parallel = true
+	loops[1].Head.Step = ir.IntOp(2)
+	rendered := ir.ToMiniF(p)
+	p2, err := Parse(rendered)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, rendered)
+	}
+	if !p.Equal(p2) {
+		t.Fatalf("optimized round trip changed the program:\n%s", rendered)
+	}
+}

@@ -1,0 +1,315 @@
+package gospel
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/dep"
+)
+
+// ElemKind is a GOSpeL code-element type from the TYPE section.
+type ElemKind int
+
+const (
+	KStmt ElemKind = iota
+	KLoop
+	KNestedLoops
+	KTightLoops
+	KAdjacentLoops
+)
+
+func (k ElemKind) String() string {
+	switch k {
+	case KStmt:
+		return "Stmt"
+	case KLoop:
+		return "Loop"
+	case KNestedLoops:
+		return "Nested Loops"
+	case KTightLoops:
+		return "Tight Loops"
+	case KAdjacentLoops:
+		return "Adjacent Loops"
+	}
+	return fmt.Sprintf("ElemKind(%d)", int(k))
+}
+
+// Pairwise reports whether the type declares parenthesized identifier pairs.
+func (k ElemKind) Pairwise() bool {
+	return k == KNestedLoops || k == KTightLoops || k == KAdjacentLoops
+}
+
+// TypeItem is one declared item: a single name or a (first, second) pair.
+type TypeItem struct {
+	Names []string
+	Line  int
+}
+
+// TypeDecl declares items of one element type.
+type TypeDecl struct {
+	Kind  ElemKind
+	Items []TypeItem
+}
+
+// Quant is a GOSpeL quantifier.
+type Quant int
+
+const (
+	QAny Quant = iota
+	QAll
+	QNo
+)
+
+func (q Quant) String() string {
+	switch q {
+	case QAny:
+		return "any"
+	case QAll:
+		return "all"
+	case QNo:
+		return "no"
+	}
+	return "?"
+}
+
+// Expr is a GOSpeL expression node.
+type Expr interface {
+	expr()
+	String() string
+}
+
+// Ident references a declared element variable or position variable.
+type Ident struct {
+	Name string
+	Line int
+}
+
+// Attr is an attribute access X.attr (chains nest: (X.end).prev).
+type Attr struct {
+	Base Expr
+	Name string // opr_1..opr_3, opc, kind, next, prev, head, end, body, lcv, init, final
+	Line int
+}
+
+// Call is a function-form term: dependence predicates (flow_dep, anti_dep,
+// out_dep, ctrl_dep, fused_dep), set predicates (mem, nmem), set builders
+// (path, inter, union), and the operand/type/eval/subst/trip helpers.
+type Call struct {
+	Fn   string
+	Args []Expr
+	Dir  dep.Vector // direction vector literal for dependence predicates
+	// CarriedBy, when set on a dependence predicate, names the loop
+	// variable whose level must carry the dependence (the carried(L) form).
+	CarriedBy string
+	// Independent, when set on a dependence predicate, restricts the match
+	// to loop-independent dependences (not carried by any loop) — the
+	// `independent` direction form.
+	Independent bool
+	Line        int
+}
+
+// Binary is a binary operation: logical (and/or), relational
+// (== != < <= > >=), or arithmetic (+ - * / mod) inside eval/comparisons.
+type Binary struct {
+	Op   string
+	L, R Expr
+	Line int
+}
+
+// Not is logical negation NOT(...).
+type Not struct {
+	E    Expr
+	Line int
+}
+
+// Num is a numeric literal.
+type Num struct {
+	Text string
+	Line int
+}
+
+// Lit is a symbolic literal: an opcode name (assign, add, sub, mul, div,
+// mod), an operand-type name (const, var, array), a statement-kind name
+// (do, enddo, if, else, endif, print, read) or `doall`.
+type Lit struct {
+	Name string
+	Line int
+}
+
+func (Ident) expr()  {}
+func (Attr) expr()   {}
+func (Call) expr()   {}
+func (Binary) expr() {}
+func (Not) expr()    {}
+func (Num) expr()    {}
+func (Lit) expr()    {}
+
+func (e Ident) String() string { return e.Name }
+func (e Attr) String() string  { return e.Base.String() + "." + e.Name }
+func (e Call) String() string {
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.String()
+	}
+	if len(e.Dir) > 0 {
+		parts = append(parts, e.Dir.String())
+	}
+	if e.CarriedBy != "" {
+		parts = append(parts, "carried("+e.CarriedBy+")")
+	}
+	if e.Independent {
+		parts = append(parts, "independent")
+	}
+	return e.Fn + "(" + strings.Join(parts, ", ") + ")"
+}
+func (e Binary) String() string {
+	return "(" + e.L.String() + " " + e.Op + " " + e.R.String() + ")"
+}
+func (e Not) String() string { return "NOT(" + e.E.String() + ")" }
+func (e Num) String() string { return e.Text }
+func (e Lit) String() string { return e.Name }
+
+// PatternClause is one Code_Pattern line:
+//
+//	quant elems [ : format ] ;
+type PatternClause struct {
+	Quant  Quant
+	Elems  []string
+	Format Expr // nil when no format restriction
+	Line   int
+}
+
+// DependClause is one Depend line:
+//
+//	quant elems : [ sets , ] conds ;
+//
+// Elems may be empty when the clause only re-checks already-bound elements
+// (the paper's "no L1.head flow_dep(L1.head, L2.head)" form).
+type DependClause struct {
+	Quant Quant
+	Elems []string
+	Sets  Expr // membership qualification; nil when absent
+	Conds Expr
+	Line  int
+}
+
+// Action nodes.
+type Action interface {
+	action()
+	String() string
+}
+
+// DeleteAction is Delete(a).
+type DeleteAction struct {
+	Target Expr
+	Line   int
+}
+
+// CopyAction is Copy(a, b, c): copy a, place after b, bind to name c.
+type CopyAction struct {
+	Src   Expr
+	After Expr
+	Name  string
+	Line  int
+}
+
+// MoveAction is Move(a, b): move a to follow b.
+type MoveAction struct {
+	Src   Expr
+	After Expr
+	Line  int
+}
+
+// AddAction is Add(a, desc, b): add a statement described by desc after a,
+// binding the new statement to name b. The description is an expression
+// evaluating to a statement template (in this implementation, a copy-like
+// description built from eval/operand forms).
+type AddAction struct {
+	After Expr
+	Desc  Expr
+	Name  string
+	Line  int
+}
+
+// ModifyAction is Modify(target, value).
+type ModifyAction struct {
+	Target Expr
+	Value  Expr
+	Line   int
+}
+
+// ForallAction applies Body to every element of Set, binding Var.
+type ForallAction struct {
+	Var  string
+	Set  Expr
+	Body []Action
+	Line int
+}
+
+func (DeleteAction) action() {}
+func (CopyAction) action()   {}
+func (MoveAction) action()   {}
+func (AddAction) action()    {}
+func (ModifyAction) action() {}
+func (ForallAction) action() {}
+
+func (a DeleteAction) String() string { return "delete(" + a.Target.String() + ")" }
+func (a CopyAction) String() string {
+	return "copy(" + a.Src.String() + ", " + a.After.String() + ", " + a.Name + ")"
+}
+func (a MoveAction) String() string {
+	return "move(" + a.Src.String() + ", " + a.After.String() + ")"
+}
+func (a AddAction) String() string {
+	return "add(" + a.After.String() + ", " + a.Desc.String() + ", " + a.Name + ")"
+}
+func (a ModifyAction) String() string {
+	return "modify(" + a.Target.String() + ", " + a.Value.String() + ")"
+}
+func (a ForallAction) String() string {
+	parts := make([]string, len(a.Body))
+	for i, b := range a.Body {
+		parts[i] = b.String()
+	}
+	return "forall " + a.Var + " in " + a.Set.String() + " do " + strings.Join(parts, "; ") + " end"
+}
+
+// Spec is a complete GOSpeL specification.
+type Spec struct {
+	Name     string // assigned by the caller/registry, not part of the text
+	Types    []TypeDecl
+	Patterns []PatternClause
+	Depends  []DependClause
+	Actions  []Action
+}
+
+// DeclKind returns the declared element kind of name.
+func (s *Spec) DeclKind(name string) (ElemKind, bool) {
+	for _, td := range s.Types {
+		for _, it := range td.Items {
+			for _, n := range it.Names {
+				if n == name {
+					return td.Kind, true
+				}
+			}
+		}
+	}
+	return 0, false
+}
+
+// PairOf returns the declared pair containing name, if any.
+func (s *Spec) PairOf(name string) (TypeItem, ElemKind, bool) {
+	for _, td := range s.Types {
+		if !td.Kind.Pairwise() {
+			continue
+		}
+		for _, it := range td.Items {
+			for _, n := range it.Names {
+				if n == name {
+					return it, td.Kind, true
+				}
+			}
+		}
+	}
+	return TypeItem{}, 0, false
+}

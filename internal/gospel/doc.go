@@ -1,0 +1,79 @@
+package gospel
+
+// This file documents where this implementation's GOSpeL dialect extends or
+// deviates from the paper's presentation (Section 2, Figures 1–2 and the
+// appendix BNF). Every extension exists because one of the ten
+// optimizations the paper *names* needs a construct its figures never show.
+//
+// # Faithful core
+//
+//   - TYPE section with Stmt, Loop, Nested Loops, Tight Loops, Adjacent
+//     Loops; pair types declare parenthesized identifier pairs, and a loop
+//     name may recur across pairs of one declaration to chain a nest
+//     (Tight Loops: (L1, L2), (L2, L3); — used by loop circulation).
+//   - PRECOND with Code_Pattern (quantifier, elements, format expression)
+//     and Depend (quantifier, elements, sets_of_elements "," conditions) —
+//     ordering of sets before conditions as the BNF prescribes.
+//   - Quantifiers any / all / no with the paper's semantics ('no' in
+//     Code_Pattern is rejected outright — the paper merely warns).
+//   - Dependence predicates flow_dep / anti_dep / out_dep / ctrl_dep with
+//     optional direction vectors over <, >, =, * (also <=, >=, != sets and
+//     the keyword any).
+//   - Membership mem/nmem over loops (their bodies), path(A, B), inter,
+//     union; pre-defined attributes opr_1..opr_3, opc, next, prev on
+//     statements and head, end, body, lcv, init, final on loops.
+//   - ACTION with the five primitives delete, copy, move, add, modify and
+//     the forall iterator; flow of control is otherwise implicit.
+//   - Comments /* ... */ as in the figures (plus -- line comments).
+//
+// # Direction-vector matching
+//
+// The paper ties vector length to the nesting level of the related
+// statements. This implementation pads on comparison: a dependence vector
+// extends with '=' (it is loop-independent with respect to loops that do
+// not carry it) and a pattern extends with '*'. That is what lets Fig. 1's
+// flow_dep(Si, Sj, (=)) apply to statements at any depth. Two consequences,
+// both deliberate:
+//
+//   - (=) means "equal at the levels written, unconstrained below", NOT
+//     "loop-independent"; use the `independent` form (below) for the
+//     latter.
+//   - a pattern longer than the vector constrains the missing levels to
+//     '='.
+//
+// # Extensions
+//
+//   - `kind` attribute: Si.kind == assign/do/doall/enddo/if/else/endif/
+//     print/read classifies the statement form; the paper's opc covers
+//     only assignment opcodes. (Needed by DCE, CFO, PAR.)
+//   - `step` loop attribute, alongside init/final. (Needed by LUR, BMP.)
+//   - position variables may be compared: (pos2 == pos). Figure 1 writes
+//     the same constraint through an operand() equality; the generated C
+//     (Fig. 6) compares dep_opr results, which is exactly this.
+//   - `carried(L)` as the direction argument: the dependence is carried by
+//     loop L's level, whatever the statements' common nesting depth.
+//     (Needed by PAR, whose specification the paper omits.)
+//   - `independent` as the direction argument: the dependence is
+//     loop-independent (not carried at any level). (Needed by ICM.)
+//   - `fused_dep(Sm, Sn, L1, L2, (dir))`: the direction a dependence
+//     between Sm ∈ L1 and Sn ∈ L2 would have if the adjacent loops were
+//     fused. (Needed by FUS.)
+//   - `trip(L)`: the constant trip count, usable in arithmetic
+//     comparisons: (trip(L1) mod 2 == 0). (Needed by LUR, BMP.)
+//   - `eval(x)`: action-level constant evaluation — eval(Si) folds a
+//     statement's right-hand side, eval(a op b) folds operands. (Needed by
+//     CFO, LUR, BMP.)
+//   - `subst(v, e)` as a modify value: rewrite occurrences of variable v
+//     by the affine expression e in the target statement — subscripts
+//     substitute directly; a direct operand only when representable in a
+//     quadruple, otherwise the application aborts and rolls back. (Needed
+//     by LUR, BMP.)
+//   - modify(X.opc, literal) retargets opcodes and loop kinds (doall);
+//     setting opc to assign clears the third operand.
+//
+// # Omissions
+//
+//   - The paper's LABEL/LCV/BODY StmtId suffixes beyond those above, and
+//     expression code elements inside forall, are unimplemented — matching
+//     the prototype's own restrictions ("no expressions are included as
+//     code elements in the forall construct").

@@ -1,0 +1,220 @@
+package gospel
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/dep"
+)
+
+// Format renders a specification back into GOSpeL concrete syntax. The
+// output re-parses to an equivalent specification (Format ∘ Parse is a
+// fixed point — see the round-trip tests), which makes it useful for
+// canonicalizing user specifications and for tooling.
+func Format(s *Spec) string {
+	var b strings.Builder
+	b.WriteString("TYPE\n")
+	for _, td := range s.Types {
+		items := make([]string, len(td.Items))
+		for i, it := range td.Items {
+			if len(it.Names) == 2 {
+				items[i] = "(" + it.Names[0] + ", " + it.Names[1] + ")"
+			} else {
+				items[i] = it.Names[0]
+			}
+		}
+		fmt.Fprintf(&b, "  %s: %s;\n", typeKeyword(td.Kind), strings.Join(items, ", "))
+	}
+	b.WriteString("PRECOND\n  Code_Pattern\n")
+	for _, pc := range s.Patterns {
+		b.WriteString("    " + formatQuantClause(pc.Quant, pc.Elems, nil, pc.Format) + "\n")
+	}
+	b.WriteString("  Depend\n")
+	for _, dc := range s.Depends {
+		b.WriteString("    " + formatDependClause(dc) + "\n")
+	}
+	b.WriteString("ACTION\n")
+	for _, a := range s.Actions {
+		formatAction(&b, a, "  ")
+	}
+	return b.String()
+}
+
+func typeKeyword(k ElemKind) string {
+	switch k {
+	case KStmt:
+		return "Stmt"
+	case KLoop:
+		return "Loop"
+	case KNestedLoops:
+		return "Nested Loops"
+	case KTightLoops:
+		return "Tight Loops"
+	case KAdjacentLoops:
+		return "Adjacent Loops"
+	}
+	return "?"
+}
+
+func formatQuantClause(q Quant, elems []string, sets, conds Expr) string {
+	var b strings.Builder
+	b.WriteString(q.String())
+	if len(elems) == 1 {
+		b.WriteString(" " + elems[0])
+	} else if len(elems) > 1 {
+		b.WriteString(" (" + strings.Join(elems, ", ") + ")")
+	}
+	var parts []string
+	if sets != nil {
+		parts = append(parts, FormatExpr(sets))
+	}
+	if conds != nil {
+		parts = append(parts, FormatExpr(conds))
+	}
+	if len(parts) > 0 {
+		b.WriteString(": " + strings.Join(parts, ", "))
+	}
+	b.WriteString(";")
+	return b.String()
+}
+
+func formatDependClause(dc DependClause) string {
+	if len(dc.Elems) == 0 {
+		// Element-less clauses re-reference a bound element; emit a
+		// harmless attribute anchor as the paper's Fig. 2 does. Using the
+		// first identifier mentioned in the conditions keeps it readable.
+		anchor := firstIdent(dc.Conds)
+		if anchor == "" {
+			anchor = firstIdent(dc.Sets)
+		}
+		var b strings.Builder
+		b.WriteString(dc.Quant.String() + " " + anchor + ".next")
+		var parts []string
+		if dc.Sets != nil {
+			parts = append(parts, FormatExpr(dc.Sets))
+		}
+		if dc.Conds != nil {
+			parts = append(parts, FormatExpr(dc.Conds))
+		}
+		b.WriteString(": " + strings.Join(parts, ", ") + ";")
+		return b.String()
+	}
+	return formatQuantClause(dc.Quant, dc.Elems, dc.Sets, dc.Conds)
+}
+
+func firstIdent(e Expr) string {
+	switch e := e.(type) {
+	case Ident:
+		return e.Name
+	case Attr:
+		return firstIdent(e.Base)
+	case Call:
+		for _, a := range e.Args {
+			if n := firstIdent(a); n != "" {
+				return n
+			}
+		}
+	case Binary:
+		if n := firstIdent(e.L); n != "" {
+			return n
+		}
+		return firstIdent(e.R)
+	case Not:
+		return firstIdent(e.E)
+	}
+	return ""
+}
+
+func formatAction(b *strings.Builder, a Action, indent string) {
+	switch a := a.(type) {
+	case ForallAction:
+		fmt.Fprintf(b, "%sforall %s in %s do\n", indent, a.Var, FormatExpr(a.Set))
+		for _, inner := range a.Body {
+			formatAction(b, inner, indent+"  ")
+		}
+		fmt.Fprintf(b, "%send\n", indent)
+	case DeleteAction:
+		fmt.Fprintf(b, "%sdelete(%s);\n", indent, FormatExpr(a.Target))
+	case MoveAction:
+		fmt.Fprintf(b, "%smove(%s, %s);\n", indent, FormatExpr(a.Src), FormatExpr(a.After))
+	case CopyAction:
+		fmt.Fprintf(b, "%scopy(%s, %s, %s);\n", indent, FormatExpr(a.Src), FormatExpr(a.After), a.Name)
+	case AddAction:
+		fmt.Fprintf(b, "%sadd(%s, %s, %s);\n", indent, FormatExpr(a.After), FormatExpr(a.Desc), a.Name)
+	case ModifyAction:
+		fmt.Fprintf(b, "%smodify(%s, %s);\n", indent, FormatExpr(a.Target), FormatExpr(a.Value))
+	}
+}
+
+// FormatExpr renders an expression in re-parsable concrete syntax (unlike
+// the debug String methods, whose direction-set forms are not all part of
+// the grammar).
+func FormatExpr(e Expr) string {
+	switch e := e.(type) {
+	case Ident:
+		return e.Name
+	case Num:
+		return e.Text
+	case Lit:
+		return e.Name
+	case Attr:
+		return FormatExpr(e.Base) + "." + e.Name
+	case Not:
+		return "NOT(" + FormatExpr(e.E) + ")"
+	case Binary:
+		op := e.Op
+		switch op {
+		case "and":
+			op = "AND"
+		case "or":
+			op = "OR"
+		case "mod":
+			op = "mod"
+		}
+		return "(" + FormatExpr(e.L) + " " + op + " " + FormatExpr(e.R) + ")"
+	case Call:
+		parts := make([]string, 0, len(e.Args)+1)
+		for _, a := range e.Args {
+			parts = append(parts, FormatExpr(a))
+		}
+		if len(e.Dir) > 0 {
+			parts = append(parts, formatVector(e.Dir))
+		}
+		if e.CarriedBy != "" {
+			parts = append(parts, "carried("+e.CarriedBy+")")
+		}
+		if e.Independent {
+			parts = append(parts, "independent")
+		}
+		return e.Fn + "(" + strings.Join(parts, ", ") + ")"
+	}
+	return "?"
+}
+
+// formatVector renders a direction vector in grammar form.
+func formatVector(v dep.Vector) string {
+	parts := make([]string, len(v))
+	for i, d := range v {
+		parts[i] = formatDir(d)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+func formatDir(d dep.DirSet) string {
+	switch d {
+	case dep.DirLT:
+		return "<"
+	case dep.DirGT:
+		return ">"
+	case dep.DirEQ:
+		return "="
+	case dep.DirLT | dep.DirEQ:
+		return "<="
+	case dep.DirGT | dep.DirEQ:
+		return ">="
+	case dep.DirLT | dep.DirGT:
+		return "!="
+	default:
+		return "*"
+	}
+}

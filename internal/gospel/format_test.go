@@ -1,0 +1,98 @@
+package gospel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatRoundTripOnFigures(t *testing.T) {
+	for name, src := range map[string]string{"CTP": ctpSpec, "INX": inxSpec} {
+		s1, err := ParseAndCheck(name, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text1 := Format(s1)
+		s2, err := Parse(text1)
+		if err != nil {
+			t.Fatalf("%s: formatted text does not re-parse: %v\n%s", name, err, text1)
+		}
+		s2.Name = name
+		if err := Check(s2); err != nil {
+			t.Fatalf("%s: formatted text does not re-check: %v\n%s", name, err, text1)
+		}
+		text2 := Format(s2)
+		if text1 != text2 {
+			t.Fatalf("%s: Format is not a fixed point\nfirst:\n%s\nsecond:\n%s", name, text1, text2)
+		}
+	}
+}
+
+func TestFormatCoversConstructs(t *testing.T) {
+	src := `
+TYPE
+  Stmt: Si, Sj;
+  Loop: L1;
+  Adjacent Loops: (A1, A2);
+PRECOND
+  Code_Pattern
+    any L1: L1.kind == do AND (trip(L1) mod 2 == 0);
+    any (A1, A2);
+    any Si: NOT(Si.opc == mul) OR type(Si.opr_2) == const;
+  Depend
+    no Sj: mem(Sj, union(L1.body, A1.body)),
+      flow_dep(Si, Sj, (<, >=, !=, *)) OR anti_dep(Si, Sj, carried(L1))
+      OR out_dep(Si, Sj, independent) OR fused_dep(Si, Sj, A1, A2, (>));
+ACTION
+  forall S in L1.body do
+    copy(S, L1.end.prev, Sc);
+    modify(Sc, subst(L1.lcv, L1.lcv + L1.step));
+  end
+  add(Si, Si, Sn);
+  move(Sn, L1.head.prev);
+  modify(operand(Sj, 2), eval(Si.opr_2 + 1));
+  delete(Si);
+`
+	s1, err := ParseAndCheck("ALL", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text1 := Format(s1)
+	s2, err := Parse(text1)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, text1)
+	}
+	text2 := Format(s2)
+	if text1 != text2 {
+		t.Fatalf("not a fixed point:\n%s\nvs:\n%s", text1, text2)
+	}
+	for _, want := range []string{
+		"Adjacent Loops: (A1, A2);",
+		"carried(L1)",
+		"independent",
+		"(<, >=, !=, *)",
+		"forall S in L1.body do",
+		"subst(L1.lcv, (L1.lcv + L1.step))",
+	} {
+		if !strings.Contains(text1, want) {
+			t.Errorf("formatted text missing %q:\n%s", want, text1)
+		}
+	}
+}
+
+func TestFormatElementlessClause(t *testing.T) {
+	// Fig. 2's "no L1.head: flow_dep(L1.head, L2.head)" clause binds no
+	// elements; Format must emit an anchor that re-parses element-less.
+	s1, err := ParseAndCheck("INX", inxSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(s1)
+	s2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, text)
+	}
+	if len(s2.Depends[0].Elems) != 0 {
+		t.Fatalf("anchored clause must stay element-less, got %v\n%s",
+			s2.Depends[0].Elems, text)
+	}
+}

@@ -1,0 +1,402 @@
+package gospel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/dep"
+)
+
+// ctpSpec is the paper's Figure 1 (Constant Propagation) in this
+// implementation's concrete syntax.
+const ctpSpec = `
+TYPE
+  Stmt: Si, Sj, Sl;
+PRECOND
+  Code_Pattern
+    /* Find a constant definition */
+    any Si: Si.opc == assign AND type(Si.opr_2) == const;
+  Depend
+    /* Use of Si with no other definitions */
+    any (Sj, pos): flow_dep(Si, Sj, (=));
+    no (Sl, pos2): flow_dep(Sl, Sj, (=)) AND (Si != Sl) AND (pos2 == pos);
+ACTION
+  /* Change use of Si in Sj to be constant */
+  modify(operand(Sj, pos), Si.opr_2);
+`
+
+// inxSpec is the paper's Figure 2 (Loop Interchange).
+const inxSpec = `
+TYPE
+  Stmt: Sn, Sm;
+  Tight Loops: (L1, L2);
+PRECOND
+  Code_Pattern
+    /* Find two nested loops */
+    any (L1, L2);
+  Depend
+    /* Ensure invariant loop headers */
+    no L1.head: flow_dep(L1.head, L2.head);
+    /* No flow_dep statement pair with direction (<,>) */
+    no (Sm, Sn): mem(Sm, L2) AND mem(Sn, L2), flow_dep(Sn, Sm, (<,>));
+ACTION
+  /* Interchange heads and tails */
+  move(L1.head, L2.head);
+  move(L1.end, L2.end.prev);
+`
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("TYPE Stmt: Si; -- comment\n/* block\ncomment */ any (=) <= 12 3.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokKind
+	var texts []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+		texts = append(texts, tok.Text)
+	}
+	want := []string{"type", "stmt", ":", "Si", ";", "any", "(", "=", ")", "<=", "12", "3.5", ""}
+	if len(texts) != len(want) {
+		t.Fatalf("tokens = %v", texts)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, texts[i], want[i])
+		}
+	}
+	if kinds[0] != TKeyword || kinds[3] != TIdent || kinds[10] != TNum {
+		t.Errorf("kinds = %v", kinds)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := Lex("a /* unterminated"); err == nil {
+		t.Error("unterminated comment must fail")
+	}
+	if _, err := Lex("a @ b"); err == nil {
+		t.Error("bad character must fail")
+	}
+}
+
+func TestParseCTP(t *testing.T) {
+	s, err := ParseAndCheck("CTP", ctpSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Types) != 1 || s.Types[0].Kind != KStmt || len(s.Types[0].Items) != 3 {
+		t.Fatalf("types = %+v", s.Types)
+	}
+	if len(s.Patterns) != 1 {
+		t.Fatalf("patterns = %d", len(s.Patterns))
+	}
+	pc := s.Patterns[0]
+	if pc.Quant != QAny || len(pc.Elems) != 1 || pc.Elems[0] != "Si" {
+		t.Errorf("pattern clause = %+v", pc)
+	}
+	if pc.Format == nil || !strings.Contains(pc.Format.String(), "type(Si.opr_2)") {
+		t.Errorf("format = %v", pc.Format)
+	}
+	if len(s.Depends) != 2 {
+		t.Fatalf("depends = %d", len(s.Depends))
+	}
+	d0 := s.Depends[0]
+	if d0.Quant != QAny || len(d0.Elems) != 2 || d0.Elems[0] != "Sj" || d0.Elems[1] != "pos" {
+		t.Errorf("depend 0 = %+v", d0)
+	}
+	call, ok := d0.Conds.(Call)
+	if !ok || call.Fn != "flow_dep" || len(call.Dir) != 1 || call.Dir[0] != dep.DirEQ {
+		t.Errorf("depend 0 conds = %v", d0.Conds)
+	}
+	d1 := s.Depends[1]
+	if d1.Quant != QNo || len(d1.Elems) != 2 {
+		t.Errorf("depend 1 = %+v", d1)
+	}
+	if len(s.Actions) != 1 {
+		t.Fatalf("actions = %d", len(s.Actions))
+	}
+	mod, ok := s.Actions[0].(ModifyAction)
+	if !ok {
+		t.Fatalf("action = %T", s.Actions[0])
+	}
+	if got := mod.String(); got != "modify(operand(Sj, pos), Si.opr_2)" {
+		t.Errorf("action string = %q", got)
+	}
+}
+
+func TestParseINX(t *testing.T) {
+	s, err := ParseAndCheck("INX", inxSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Types) != 2 || s.Types[1].Kind != KTightLoops {
+		t.Fatalf("types = %+v", s.Types)
+	}
+	pair := s.Types[1].Items[0]
+	if len(pair.Names) != 2 || pair.Names[0] != "L1" || pair.Names[1] != "L2" {
+		t.Errorf("pair = %+v", pair)
+	}
+	// First depend clause binds nothing (attribute expression element).
+	if len(s.Depends[0].Elems) != 0 {
+		t.Errorf("depend 0 elems = %v", s.Depends[0].Elems)
+	}
+	// Second has a membership part and a condition part.
+	d1 := s.Depends[1]
+	if d1.Sets == nil || d1.Conds == nil {
+		t.Fatalf("depend 1 must have sets and conds: %+v", d1)
+	}
+	call := d1.Conds.(Call)
+	wantVec := dep.Vector{dep.DirLT, dep.DirGT}
+	if len(call.Dir) != 2 || call.Dir[0] != wantVec[0] || call.Dir[1] != wantVec[1] {
+		t.Errorf("direction = %v", call.Dir)
+	}
+	// Actions: two moves, the second anchored at L2.end.prev.
+	mv2 := s.Actions[1].(MoveAction)
+	if mv2.After.String() != "L2.end.prev" {
+		t.Errorf("second move anchor = %s", mv2.After)
+	}
+}
+
+func TestParseForallAndCopy(t *testing.T) {
+	src := `
+TYPE
+  Loop: L1;
+PRECOND
+  Code_Pattern
+    any L1: type(L1.init) == const;
+  Depend
+ACTION
+  forall Sm in L1.body do
+    copy(Sm, L1.end.prev, Sc);
+    modify(Sc, subst(L1.lcv, L1.lcv + L1.step));
+  end
+  modify(L1.step, eval(L1.step * 2));
+`
+	s, err := ParseAndCheck("LUR", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, ok := s.Actions[0].(ForallAction)
+	if !ok || fa.Var != "Sm" || len(fa.Body) != 2 {
+		t.Fatalf("forall = %+v", s.Actions[0])
+	}
+	cp := fa.Body[0].(CopyAction)
+	if cp.Name != "Sc" {
+		t.Errorf("copy binds %q", cp.Name)
+	}
+	mo := fa.Body[1].(ModifyAction)
+	if _, ok := mo.Value.(Call); !ok {
+		t.Errorf("modify value = %T", mo.Value)
+	}
+}
+
+func TestParseCarriedAndFused(t *testing.T) {
+	src := `
+TYPE
+  Stmt: Sm, Sn;
+  Loop: L1;
+  Adjacent Loops: (A1, A2);
+PRECOND
+  Code_Pattern
+    any L1;
+    any (A1, A2);
+  Depend
+    no (Sm, Sn): mem(Sm, L1) AND mem(Sn, L1),
+      flow_dep(Sm, Sn, carried(L1)) OR anti_dep(Sm, Sn, carried(L1));
+    no Sm: mem(Sm, A1), fused_dep(Sm, Sn, A1, A2, (>));
+ACTION
+  modify(L1.opc, doall);
+`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := s.Depends[0].Conds.(Binary)
+	l := b.L.(Call)
+	if l.CarriedBy != "L1" {
+		t.Errorf("carried = %q", l.CarriedBy)
+	}
+	f := s.Depends[1].Conds.(Call)
+	if f.Fn != "fused_dep" || len(f.Args) != 4 || len(f.Dir) != 1 || f.Dir[0] != dep.DirGT {
+		t.Errorf("fused_dep = %+v", f)
+	}
+}
+
+func TestDirVectorForms(t *testing.T) {
+	src := `
+TYPE
+  Stmt: Sa, Sb;
+PRECOND
+  Code_Pattern
+    any Sa;
+  Depend
+    any Sb: flow_dep(Sa, Sb, (*, <=, any, !=));
+ACTION
+  delete(Sb);
+`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	call := s.Depends[0].Conds.(Call)
+	want := dep.Vector{dep.DirAny, dep.DirLT | dep.DirEQ, dep.DirAny, dep.DirLT | dep.DirGT}
+	if len(call.Dir) != 4 {
+		t.Fatalf("dir = %v", call.Dir)
+	}
+	for i := range want {
+		if call.Dir[i] != want[i] {
+			t.Errorf("dir[%d] = %v, want %v", i, call.Dir[i], want[i])
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"missing type", "PRECOND Code_Pattern any Si; ACTION delete(Si);"},
+		{"bad quant", "TYPE Stmt: S; PRECOND Code_Pattern some S; ACTION delete(S);"},
+		{"pair for stmt", "TYPE Stmt: (A, B); PRECOND Code_Pattern any A; ACTION delete(A);"},
+		{"single for pair", "TYPE Tight Loops: L; PRECOND Code_Pattern any L; ACTION delete(L);"},
+		{"bad dir", "TYPE Stmt: A, B; PRECOND Code_Pattern any A; Depend any B: flow_dep(A, B, (#)); ACTION delete(A);"},
+		{"bad action", "TYPE Stmt: A; PRECOND Code_Pattern any A; ACTION explode(A);"},
+		{"unterminated forall", "TYPE Loop: L; PRECOND Code_Pattern any L; ACTION forall S in L.body do delete(S);"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: expected parse error", c.name)
+		}
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"undeclared pattern elem",
+			"TYPE Stmt: A; PRECOND Code_Pattern any B; ACTION delete(A);"},
+		{"no in pattern",
+			"TYPE Stmt: A; PRECOND Code_Pattern no A; ACTION delete(A);"},
+		{"unbound in action",
+			"TYPE Stmt: A; PRECOND Code_Pattern any A; ACTION delete(Z);"},
+		{"bad attribute",
+			"TYPE Stmt: A; PRECOND Code_Pattern any A: A.body == 1; ACTION delete(A);"},
+		{"loop attr on stmt",
+			"TYPE Stmt: A; PRECOND Code_Pattern any A: type(A.lcv) == var; ACTION delete(A);"},
+		{"stmt attr on loop",
+			"TYPE Loop: L; PRECOND Code_Pattern any L: type(L.opr_2) == const; ACTION delete(L.head);"},
+		{"dup decl",
+			"TYPE Stmt: A, A; PRECOND Code_Pattern any A; ACTION delete(A);"},
+		{"no actions",
+			"TYPE Stmt: A; PRECOND Code_Pattern any A; ACTION"},
+		{"pos var leading",
+			"TYPE Stmt: A; PRECOND Code_Pattern any A; Depend any (pos, B): flow_dep(A, A); ACTION delete(A);"},
+		{"dup copy name",
+			"TYPE Stmt: A; PRECOND Code_Pattern any A; ACTION copy(A, A, A);"},
+		{"mem on non-set",
+			"TYPE Stmt: A, B; PRECOND Code_Pattern any A; Depend any B: mem(B, A), flow_dep(A, B); ACTION delete(A);"},
+		{"carried non-loop",
+			"TYPE Stmt: A, B; PRECOND Code_Pattern any A; Depend any B: flow_dep(A, B, carried(A)); ACTION delete(A);"},
+		{"unknown function",
+			"TYPE Stmt: A; PRECOND Code_Pattern any A: frobnicate(A) == 1; ACTION delete(A);"},
+		{"compare stmt with num",
+			"TYPE Stmt: A; PRECOND Code_Pattern any A: A == 3; ACTION delete(A);"},
+		{"clause without conditions is caught at parse or check",
+			"TYPE Stmt: A, B; PRECOND Code_Pattern any A; Depend any B: ; ACTION delete(A);"},
+	}
+	for _, c := range cases {
+		s, err := Parse(c.src)
+		if err != nil {
+			continue // parse error also acceptable for malformed inputs
+		}
+		if err := Check(s); err == nil {
+			t.Errorf("%s: expected check error", c.name)
+		}
+	}
+}
+
+func TestCheckAcceptsAllQuantifierAndSets(t *testing.T) {
+	src := `
+TYPE
+  Stmt: Si, Sj;
+  Loop: L1;
+PRECOND
+  Code_Pattern
+    any L1;
+    any Si: Si.kind == assign;
+  Depend
+    all Sj: mem(Sj, L1), flow_dep(Si, Sj);
+ACTION
+  forall S in L1.body do
+    delete(S);
+  end
+`
+	if _, err := ParseAndCheck("T", src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckPathInterUnion(t *testing.T) {
+	src := `
+TYPE
+  Stmt: Si, Sj, Sk;
+  Loop: L1, L2;
+PRECOND
+  Code_Pattern
+    any L1;
+    any L2;
+    any Si;
+    any Sj;
+  Depend
+    no Sk: mem(Sk, path(Si, Sj)) AND mem(Sk, inter(L1.body, L2.body)), anti_dep(Si, Sk);
+ACTION
+  delete(Si);
+`
+	if _, err := ParseAndCheck("T", src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecHelpers(t *testing.T) {
+	s, err := ParseAndCheck("INX", inxSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k, ok := s.DeclKind("L1"); !ok || k != KTightLoops {
+		t.Errorf("DeclKind(L1) = %v, %v", k, ok)
+	}
+	if _, ok := s.DeclKind("zzz"); ok {
+		t.Error("DeclKind on unknown must fail")
+	}
+	pair, kind, ok := s.PairOf("L2")
+	if !ok || kind != KTightLoops || pair.Names[0] != "L1" {
+		t.Errorf("PairOf(L2) = %v %v %v", pair, kind, ok)
+	}
+	if _, _, ok := s.PairOf("Sm"); ok {
+		t.Error("PairOf on a statement must fail")
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	s, err := Parse(ctpSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	str := s.Depends[1].Conds.String()
+	for _, want := range []string{"flow_dep", "Si != Sl", "pos2 == pos"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("conds string %q missing %q", str, want)
+		}
+	}
+	if (Not{E: Ident{Name: "x"}}).String() != "NOT(x)" {
+		t.Error("Not string")
+	}
+}
+
+func TestQuantAndKindStrings(t *testing.T) {
+	if QAny.String() != "any" || QAll.String() != "all" || QNo.String() != "no" {
+		t.Error("Quant strings")
+	}
+	if KTightLoops.String() != "Tight Loops" || KStmt.String() != "Stmt" {
+		t.Error("ElemKind strings")
+	}
+	if !KAdjacentLoops.Pairwise() || KLoop.Pairwise() {
+		t.Error("Pairwise")
+	}
+}

@@ -1,0 +1,82 @@
+package gospel
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Lex tokenizes a GOSpeL specification. Comments run from "/*" to "*/"
+// (as in the paper's figures) or from "--" to end of line.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line := 1
+	i := 0
+	emit := func(kind TokKind, text string) {
+		toks = append(toks, Token{Kind: kind, Text: text, Line: line})
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			end := strings.Index(src[i+2:], "*/")
+			if end < 0 {
+				return nil, &Error{line, "unterminated comment"}
+			}
+			line += strings.Count(src[i:i+2+end+2], "\n")
+			i += 2 + end + 2
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsDigit(rune(c)):
+			start := i
+			for i < len(src) && (unicode.IsDigit(rune(src[i])) || src[i] == '.') {
+				// Stop a trailing '.' that belongs to an attribute access.
+				if src[i] == '.' && i+1 < len(src) && unicode.IsLetter(rune(src[i+1])) {
+					break
+				}
+				i++
+			}
+			emit(TNum, src[start:i])
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < len(src) && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				i++
+			}
+			word := src[start:i]
+			lower := strings.ToLower(word)
+			if keywords[lower] {
+				emit(TKeyword, lower)
+			} else {
+				emit(TIdent, word)
+			}
+		default:
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "==", "!=", "<=", ">=":
+				emit(TOp, two)
+				i += 2
+				continue
+			}
+			switch c {
+			case '(', ')', ',', ';', ':', '.':
+				emit(TPunct, string(c))
+			case '<', '>', '=', '*', '+', '-', '/':
+				emit(TOp, string(c))
+			default:
+				return nil, &Error{line, "unexpected character " + string(c)}
+			}
+			i++
+		}
+	}
+	toks = append(toks, Token{Kind: TEOF, Line: line})
+	return toks, nil
+}

@@ -1,0 +1,849 @@
+package gospel
+
+import (
+	"fmt"
+
+	"repro/dep"
+)
+
+// Parse parses a GOSpeL specification text into an AST. The result is not
+// yet semantically checked; call Check.
+func Parse(src string) (*Spec, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &specParser{toks: toks}
+	return p.spec()
+}
+
+// ParseAndCheck parses and semantically checks a specification.
+func ParseAndCheck(name, src string) (*Spec, error) {
+	s, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	s.Name = name
+	if err := Check(s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+type specParser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *specParser) cur() Token  { return p.toks[p.pos] }
+func (p *specParser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *specParser) errf(format string, args ...interface{}) error {
+	return &Error{p.cur().Line, fmt.Sprintf(format, args...)}
+}
+
+func (p *specParser) atKeyword(kw string) bool {
+	t := p.cur()
+	return t.Kind == TKeyword && t.Text == kw
+}
+
+func (p *specParser) expectKeyword(kw string) error {
+	if !p.atKeyword(kw) {
+		return p.errf("expected %s, found %s", kw, p.cur())
+	}
+	p.pos++
+	return nil
+}
+
+func (p *specParser) atPunct(s string) bool {
+	t := p.cur()
+	return t.Kind == TPunct && t.Text == s
+}
+
+func (p *specParser) expectPunct(s string) error {
+	if !p.atPunct(s) {
+		return p.errf("expected %q, found %s", s, p.cur())
+	}
+	p.pos++
+	return nil
+}
+
+func (p *specParser) atOp(s string) bool {
+	t := p.cur()
+	return t.Kind == TOp && t.Text == s
+}
+
+func (p *specParser) ident() (string, error) {
+	t := p.cur()
+	if t.Kind != TIdent {
+		return "", p.errf("expected identifier, found %s", t)
+	}
+	p.pos++
+	return t.Text, nil
+}
+
+func (p *specParser) spec() (*Spec, error) {
+	s := &Spec{}
+	if err := p.expectKeyword("type"); err != nil {
+		return nil, err
+	}
+	for !p.atKeyword("precond") {
+		td, err := p.typeDecl()
+		if err != nil {
+			return nil, err
+		}
+		s.Types = append(s.Types, td)
+	}
+	p.pos++ // PRECOND
+	if err := p.expectKeyword("code_pattern"); err != nil {
+		return nil, err
+	}
+	for !p.atKeyword("depend") && !p.atKeyword("action") {
+		pc, err := p.patternClause()
+		if err != nil {
+			return nil, err
+		}
+		s.Patterns = append(s.Patterns, pc)
+	}
+	if p.atKeyword("depend") {
+		p.pos++
+		for !p.atKeyword("action") {
+			dc, err := p.dependClause()
+			if err != nil {
+				return nil, err
+			}
+			s.Depends = append(s.Depends, dc)
+		}
+	}
+	if err := p.expectKeyword("action"); err != nil {
+		return nil, err
+	}
+	for p.cur().Kind != TEOF {
+		a, err := p.parseAction()
+		if err != nil {
+			return nil, err
+		}
+		s.Actions = append(s.Actions, a)
+	}
+	return s, nil
+}
+
+func (p *specParser) typeDecl() (TypeDecl, error) {
+	var td TypeDecl
+	t := p.cur()
+	if t.Kind != TKeyword {
+		return td, p.errf("expected element type, found %s", t)
+	}
+	switch t.Text {
+	case "stmt":
+		td.Kind = KStmt
+		p.pos++
+	case "loop":
+		td.Kind = KLoop
+		p.pos++
+	case "nested_loops":
+		td.Kind = KNestedLoops
+		p.pos++
+	case "tight_loops":
+		td.Kind = KTightLoops
+		p.pos++
+	case "adjacent_loops":
+		td.Kind = KAdjacentLoops
+		p.pos++
+	case "nested", "tight", "adjacent":
+		word := t.Text
+		p.pos++
+		if err := p.expectKeyword("loops"); err != nil {
+			return td, err
+		}
+		switch word {
+		case "nested":
+			td.Kind = KNestedLoops
+		case "tight":
+			td.Kind = KTightLoops
+		default:
+			td.Kind = KAdjacentLoops
+		}
+	default:
+		return td, p.errf("expected element type, found %s", t)
+	}
+	if err := p.expectPunct(":"); err != nil {
+		return td, err
+	}
+	for {
+		line := p.cur().Line
+		var item TypeItem
+		item.Line = line
+		if p.atPunct("(") {
+			if !td.Kind.Pairwise() {
+				return td, p.errf("%s items are single identifiers", td.Kind)
+			}
+			p.pos++
+			a, err := p.ident()
+			if err != nil {
+				return td, err
+			}
+			if err := p.expectPunct(","); err != nil {
+				return td, err
+			}
+			b, err := p.ident()
+			if err != nil {
+				return td, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return td, err
+			}
+			item.Names = []string{a, b}
+		} else {
+			if td.Kind.Pairwise() {
+				return td, p.errf("%s items must be (first, second) pairs", td.Kind)
+			}
+			name, err := p.ident()
+			if err != nil {
+				return td, err
+			}
+			item.Names = []string{name}
+		}
+		td.Items = append(td.Items, item)
+		if p.atPunct(",") {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return td, p.expectPunct(";")
+}
+
+func (p *specParser) quant() (Quant, error) {
+	t := p.cur()
+	if t.Kind == TKeyword {
+		switch t.Text {
+		case "any":
+			p.pos++
+			return QAny, nil
+		case "all":
+			p.pos++
+			return QAll, nil
+		case "no":
+			p.pos++
+			return QNo, nil
+		}
+	}
+	return 0, p.errf("expected quantifier (any/all/no), found %s", t)
+}
+
+// elemList parses the element part of a pattern/depend clause:
+// "Si", "(Sj, pos)", "Sm, Sn", or an attribute expression such as "L1.head"
+// (which binds nothing). Returns the newly bound names.
+func (p *specParser) elemList() ([]string, error) {
+	var names []string
+	parseOne := func() error {
+		name, err := p.ident()
+		if err != nil {
+			return err
+		}
+		// An attribute chain (L1.head) re-references an existing binding
+		// and introduces no name; skip the chain.
+		if p.atPunct(".") {
+			for p.atPunct(".") {
+				p.pos++
+				t := p.cur()
+				if t.Kind != TIdent && t.Kind != TKeyword {
+					return p.errf("expected attribute name after '.'")
+				}
+				p.pos++
+			}
+			return nil
+		}
+		names = append(names, name)
+		return nil
+	}
+	if p.atPunct("(") {
+		p.pos++
+		for {
+			if err := parseOne(); err != nil {
+				return nil, err
+			}
+			if p.atPunct(",") {
+				p.pos++
+				continue
+			}
+			break
+		}
+		return names, p.expectPunct(")")
+	}
+	for {
+		if err := parseOne(); err != nil {
+			return nil, err
+		}
+		if p.atPunct(",") {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return names, nil
+}
+
+func (p *specParser) patternClause() (PatternClause, error) {
+	var pc PatternClause
+	pc.Line = p.cur().Line
+	q, err := p.quant()
+	if err != nil {
+		return pc, err
+	}
+	pc.Quant = q
+	pc.Elems, err = p.elemList()
+	if err != nil {
+		return pc, err
+	}
+	if p.atPunct(":") {
+		p.pos++
+		pc.Format, err = p.orExpr()
+		if err != nil {
+			return pc, err
+		}
+	}
+	return pc, p.expectPunct(";")
+}
+
+func (p *specParser) dependClause() (DependClause, error) {
+	var dc DependClause
+	dc.Line = p.cur().Line
+	q, err := p.quant()
+	if err != nil {
+		return dc, err
+	}
+	dc.Quant = q
+	dc.Elems, err = p.elemList()
+	if err != nil {
+		return dc, err
+	}
+	if err := p.expectPunct(":"); err != nil {
+		return dc, err
+	}
+	first, err := p.orExpr()
+	if err != nil {
+		return dc, err
+	}
+	if p.atPunct(",") {
+		p.pos++
+		dc.Sets = first
+		dc.Conds, err = p.orExpr()
+		if err != nil {
+			return dc, err
+		}
+	} else if isMembershipExpr(first) {
+		dc.Sets = first
+	} else {
+		dc.Conds = first
+	}
+	return dc, p.expectPunct(";")
+}
+
+// isMembershipExpr reports whether e consists solely of mem/nmem predicates
+// combined with and/or (the sets_of_elements part of the BNF).
+func isMembershipExpr(e Expr) bool {
+	switch e := e.(type) {
+	case Call:
+		return e.Fn == "mem" || e.Fn == "nmem"
+	case Binary:
+		if e.Op == "and" || e.Op == "or" {
+			return isMembershipExpr(e.L) && isMembershipExpr(e.R)
+		}
+	}
+	return false
+}
+
+func (p *specParser) parseAction() (Action, error) {
+	t := p.cur()
+	if t.Kind != TKeyword {
+		return nil, p.errf("expected action, found %s", t)
+	}
+	switch t.Text {
+	case "delete":
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		target, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return DeleteAction{Target: target, Line: t.Line}, p.expectPunct(";")
+	case "move":
+		p.pos++
+		args, err := p.actionArgs(2)
+		if err != nil {
+			return nil, err
+		}
+		return MoveAction{Src: args[0], After: args[1], Line: t.Line}, p.expectPunct(";")
+	case "copy":
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		src, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		after, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return CopyAction{Src: src, After: after, Name: name, Line: t.Line}, p.expectPunct(";")
+	case "add":
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		after, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		desc, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return AddAction{After: after, Desc: desc, Name: name, Line: t.Line}, p.expectPunct(";")
+	case "modify":
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		target, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		val, err := p.valueExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return ModifyAction{Target: target, Value: val, Line: t.Line}, p.expectPunct(";")
+	case "forall":
+		p.pos++
+		v, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("in"); err != nil {
+			return nil, err
+		}
+		set, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("do"); err != nil {
+			return nil, err
+		}
+		var body []Action
+		for !p.atKeyword("end") {
+			a, err := p.parseAction()
+			if err != nil {
+				return nil, err
+			}
+			body = append(body, a)
+		}
+		p.pos++ // end
+		if p.atPunct(";") {
+			p.pos++
+		}
+		return ForallAction{Var: v, Set: set, Body: body, Line: t.Line}, nil
+	}
+	return nil, p.errf("unknown action %s", t)
+}
+
+func (p *specParser) actionArgs(n int) ([]Expr, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			if err := p.expectPunct(","); err != nil {
+				return nil, err
+			}
+		}
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, e)
+	}
+	return args, p.expectPunct(")")
+}
+
+// --- expression grammar ---
+
+func (p *specParser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("or") {
+		line := p.next().Line
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "or", L: l, R: r, Line: line}
+	}
+	return l, nil
+}
+
+func (p *specParser) andExpr() (Expr, error) {
+	l, err := p.relExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("and") {
+		line := p.next().Line
+		r, err := p.relExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "and", L: l, R: r, Line: line}
+	}
+	return l, nil
+}
+
+var relops = map[string]bool{"==": true, "!=": true, "<": true, "<=": true, ">": true, ">=": true}
+
+func (p *specParser) relExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.Kind == TOp && relops[t.Text] {
+		p.pos++
+		r, err := p.valueAddExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Binary{Op: t.Text, L: l, R: r, Line: t.Line}, nil
+	}
+	return l, nil
+}
+
+// valueAddExpr is addExpr but permitting a bare keyword literal (assign,
+// add, do, end, mod, ...) as a value — the right-hand side of comparisons
+// like "Si.opc == add" or "Si.kind == do".
+func (p *specParser) valueAddExpr() (Expr, error) {
+	t := p.cur()
+	if t.Kind == TKeyword && !isExprKeyword(t.Text) {
+		p.pos++
+		return Lit{Name: t.Text, Line: t.Line}, nil
+	}
+	return p.addExpr()
+}
+
+// valueExpr is the value argument of modify: an expression or a keyword
+// literal.
+func (p *specParser) valueExpr() (Expr, error) {
+	t := p.cur()
+	if t.Kind == TKeyword && !isExprKeyword(t.Text) {
+		p.pos++
+		return Lit{Name: t.Text, Line: t.Line}, nil
+	}
+	return p.orExpr()
+}
+
+// isExprKeyword lists keywords that begin expressions and therefore cannot
+// be taken as bare literals in value position.
+func isExprKeyword(kw string) bool {
+	switch kw {
+	case "mem", "nmem", "path", "inter", "union", "operand", "eval",
+		"subst", "trip", "not",
+		"flow_dep", "anti_dep", "out_dep", "ctrl_dep", "fused_dep":
+		return true
+	}
+	return false
+}
+
+func (p *specParser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atOp("+") || p.atOp("-") {
+		t := p.next()
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: t.Text, L: l, R: r, Line: t.Line}
+	}
+	return l, nil
+}
+
+func (p *specParser) mulExpr() (Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.atOp("*") || p.atOp("/") || p.atKeyword("mod") {
+		t := p.next()
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: t.Text, L: l, R: r, Line: t.Line}
+	}
+	return l, nil
+}
+
+func (p *specParser) unary() (Expr, error) {
+	if p.atOp("-") {
+		t := p.next()
+		e, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return Binary{Op: "-", L: Num{Text: "0", Line: t.Line}, R: e, Line: t.Line}, nil
+	}
+	if p.atKeyword("not") {
+		t := p.next()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return Not{E: e, Line: t.Line}, nil
+	}
+	return p.primary()
+}
+
+var depPreds = map[string]bool{
+	"flow_dep": true, "anti_dep": true, "out_dep": true, "ctrl_dep": true,
+	"fused_dep": true,
+}
+
+var callKeywords = map[string]bool{
+	"mem": true, "nmem": true, "path": true, "inter": true, "union": true,
+	"operand": true, "eval": true, "subst": true, "trip": true,
+}
+
+func (p *specParser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TNum:
+		p.pos++
+		return Num{Text: t.Text, Line: t.Line}, nil
+	case t.Kind == TPunct && t.Text == "(":
+		p.pos++
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return p.postfix(e)
+	case t.Kind == TKeyword && depPreds[t.Text]:
+		return p.depPred()
+	case t.Kind == TKeyword && callKeywords[t.Text]:
+		p.pos++
+		args, err := p.callArgs()
+		if err != nil {
+			return nil, err
+		}
+		return Call{Fn: t.Text, Args: args, Line: t.Line}, nil
+	case t.Kind == TIdent:
+		p.pos++
+		// "type(...)": type is a section keyword but also the operand-type
+		// function; the lexer classifies it as a keyword, so it is handled
+		// below. A plain identifier may be a call-less name or a call to a
+		// user-visible helper.
+		if p.atPunct("(") {
+			args, err := p.callArgs()
+			if err != nil {
+				return nil, err
+			}
+			return p.postfix(Call{Fn: t.Text, Args: args, Line: t.Line})
+		}
+		return p.postfix(Ident{Name: t.Text, Line: t.Line})
+	case t.Kind == TKeyword && t.Text == "type":
+		p.pos++
+		args, err := p.callArgs()
+		if err != nil {
+			return nil, err
+		}
+		return Call{Fn: "type", Args: args, Line: t.Line}, nil
+	}
+	return nil, p.errf("unexpected token %s in expression", t)
+}
+
+func (p *specParser) postfix(e Expr) (Expr, error) {
+	for p.atPunct(".") {
+		p.pos++
+		t := p.cur()
+		if t.Kind != TIdent && t.Kind != TKeyword {
+			return nil, p.errf("expected attribute name after '.', found %s", t)
+		}
+		p.pos++
+		e = Attr{Base: e, Name: t.Text, Line: t.Line}
+	}
+	return e, nil
+}
+
+func (p *specParser) callArgs() ([]Expr, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	if !p.atPunct(")") {
+		for {
+			e, err := p.orExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, e)
+			if p.atPunct(",") {
+				p.pos++
+				continue
+			}
+			break
+		}
+	}
+	return args, p.expectPunct(")")
+}
+
+// depPred parses a dependence predicate with an optional direction vector
+// or carried(L) qualifier as its final argument.
+func (p *specParser) depPred() (Expr, error) {
+	t := p.next() // the predicate keyword
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	var dir dep.Vector
+	carriedBy := ""
+	independent := false
+	for {
+		if p.atPunct("(") {
+			// A parenthesized argument in a dependence predicate is a
+			// direction vector literal.
+			v, err := p.dirVector()
+			if err != nil {
+				return nil, err
+			}
+			dir = v
+			break
+		}
+		if p.atKeyword("independent") {
+			p.pos++
+			independent = true
+			break
+		}
+		if p.atKeyword("carried") {
+			p.pos++
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			carriedBy = name
+			break
+		}
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, e)
+		if p.atPunct(",") {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return Call{Fn: t.Text, Args: args, Dir: dir, CarriedBy: carriedBy,
+		Independent: independent, Line: t.Line}, nil
+}
+
+func (p *specParser) dirVector() (dep.Vector, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var v dep.Vector
+	for {
+		t := p.cur()
+		var d dep.DirSet
+		switch {
+		case t.Kind == TOp && t.Text == "<":
+			d = dep.DirLT
+		case t.Kind == TOp && t.Text == ">":
+			d = dep.DirGT
+		case t.Kind == TOp && t.Text == "=":
+			d = dep.DirEQ
+		case t.Kind == TOp && t.Text == "<=":
+			d = dep.DirLT | dep.DirEQ
+		case t.Kind == TOp && t.Text == ">=":
+			d = dep.DirGT | dep.DirEQ
+		case t.Kind == TOp && t.Text == "*":
+			d = dep.DirAny
+		case t.Kind == TOp && t.Text == "!=":
+			d = dep.DirLT | dep.DirGT
+		case t.Kind == TKeyword && t.Text == "any":
+			d = dep.DirAny
+		default:
+			return nil, p.errf("expected direction (<, >, =, *, any), found %s", t)
+		}
+		p.pos++
+		v = append(v, d)
+		if p.atPunct(",") {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return v, p.expectPunct(")")
+}

@@ -1,0 +1,488 @@
+package gospel
+
+import (
+	"fmt"
+)
+
+// SymType is the semantic type of a name or expression in a specification.
+type SymType int
+
+const (
+	TyUnknown SymType = iota
+	TyStmt
+	TyLoop
+	TyPos     // operand-position variable bound by (S, pos)
+	TyOperand // an operand slot / value
+	TyOpc     // an opcode literal or the .opc attribute
+	TyKindLit // a statement-kind literal or the .kind attribute
+	TyTypeLit // an operand-type literal (const/var/array) or type(...)
+	TySet     // a statement set (loop body, path(...), unions)
+	TyBool
+	TyNum
+	TySubst // the subst(...) value form, only legal in modify
+)
+
+func (t SymType) String() string {
+	switch t {
+	case TyStmt:
+		return "statement"
+	case TyLoop:
+		return "loop"
+	case TyPos:
+		return "position"
+	case TyOperand:
+		return "operand"
+	case TyOpc:
+		return "opcode"
+	case TyKindLit:
+		return "statement-kind"
+	case TyTypeLit:
+		return "operand-type"
+	case TySet:
+		return "set"
+	case TyBool:
+		return "boolean"
+	case TyNum:
+		return "number"
+	case TySubst:
+		return "substitution"
+	}
+	return "unknown"
+}
+
+var opcLits = map[string]bool{
+	"assign": true, "add": true, "sub": true, "mul": true, "div": true, "mod": true,
+}
+
+var kindLits = map[string]bool{
+	"assign": true, "do": true, "enddo": true, "if": true, "else": true,
+	"endif": true, "print": true, "read": true, "doall": true,
+}
+
+var typeLits = map[string]bool{"const": true, "var": true, "array": true}
+
+// checker carries the binding environment through a specification.
+type checker struct {
+	spec *Spec
+	env  map[string]SymType
+	errs []error
+}
+
+// Check semantically validates a parsed specification: every referenced name
+// must be declared or bound by an earlier clause, attributes must exist on
+// the type they are applied to, and predicates must receive arguments of the
+// right types.
+func Check(s *Spec) error {
+	c := &checker{spec: s, env: map[string]SymType{}}
+
+	// TYPE section: declare element variables. A loop name may recur across
+	// pair items of the same declaration — that is how chained nests are
+	// written (Tight Loops: (L1, L2), (L2, L3); shares L2) — but a name may
+	// not be declared with two different types.
+	for _, td := range s.Types {
+		want := TyStmt
+		if td.Kind != KStmt {
+			want = TyLoop
+		}
+		for _, it := range td.Items {
+			for _, n := range it.Names {
+				if prev, dup := c.env[n]; dup {
+					if prev != want || !td.Kind.Pairwise() {
+						c.errorf(it.Line, "duplicate declaration of %s", n)
+					}
+					continue
+				}
+				c.env[n] = want
+			}
+		}
+	}
+
+	// Code_Pattern clauses: elements must be declared; pairs must be
+	// declared pairs.
+	for _, pc := range s.Patterns {
+		for _, n := range pc.Elems {
+			if _, ok := c.env[n]; !ok {
+				c.errorf(pc.Line, "pattern element %s not declared in TYPE", n)
+			}
+		}
+		if len(pc.Elems) == 2 && !declaredPair(s, pc.Elems[0], pc.Elems[1]) {
+			c.errorf(pc.Line, "(%s, %s) is not a declared loop pair", pc.Elems[0], pc.Elems[1])
+		}
+		if pc.Format != nil {
+			c.wantType(pc.Format, TyBool)
+		}
+		if pc.Quant == QNo {
+			// The paper: the no operator in Code_Pattern returns null and
+			// warns the user. We make it a hard error: it can never match.
+			c.errorf(pc.Line, "quantifier 'no' selects nothing in Code_Pattern")
+		}
+	}
+
+	// Depend clauses: new names are position variables when they appear in
+	// a parenthesized pair after a statement, otherwise they must be
+	// declared element variables being bound here.
+	for _, dc := range s.Depends {
+		for i, n := range dc.Elems {
+			if _, ok := c.env[n]; ok {
+				continue
+			}
+			if _, declared := s.DeclKind(n); declared {
+				continue
+			}
+			// Unknown name: position variable, legal only after a leading
+			// statement variable in the same clause.
+			if i == 0 {
+				c.errorf(dc.Line, "%s is not declared and cannot be a position variable in first place", n)
+				continue
+			}
+			c.env[n] = TyPos
+		}
+		if dc.Sets != nil {
+			c.wantType(dc.Sets, TyBool)
+		}
+		if dc.Conds != nil {
+			c.wantType(dc.Conds, TyBool)
+		}
+		if dc.Sets == nil && dc.Conds == nil {
+			c.errorf(dc.Line, "dependence clause has no conditions")
+		}
+		// An `all` clause rebinds its collected element as a set for the
+		// rest of the specification (typically consumed by forall).
+		if dc.Quant == QAll {
+			for _, n := range dc.Elems {
+				if c.env[n] == TyStmt {
+					c.env[n] = TySet
+				}
+			}
+		}
+	}
+
+	// ACTION section.
+	if len(s.Actions) == 0 {
+		c.errs = append(c.errs, &Error{0, "specification has no actions"})
+	}
+	c.checkActions(s.Actions)
+
+	if len(c.errs) > 0 {
+		return c.errs[0]
+	}
+	return nil
+}
+
+func (c *checker) checkActions(actions []Action) {
+	for _, a := range actions {
+		switch a := a.(type) {
+		case DeleteAction:
+			c.wantType(a.Target, TyStmt)
+		case MoveAction:
+			c.wantType(a.Src, TyStmt)
+			c.wantType(a.After, TyStmt)
+		case CopyAction:
+			c.wantType(a.Src, TyStmt)
+			c.wantType(a.After, TyStmt)
+			if _, dup := c.env[a.Name]; dup {
+				c.errorf(a.Line, "copy target name %s already bound", a.Name)
+			}
+			c.env[a.Name] = TyStmt
+		case AddAction:
+			c.wantType(a.After, TyStmt)
+			if _, dup := c.env[a.Name]; dup {
+				c.errorf(a.Line, "add target name %s already bound", a.Name)
+			}
+			c.env[a.Name] = TyStmt
+		case ModifyAction:
+			tt := c.typeOf(a.Target)
+			if tt != TyOperand && tt != TyOpc && tt != TyStmt && tt != TyKindLit {
+				c.errorf(a.Line, "modify target must be an operand, opcode or statement, not %s", tt)
+			}
+			vt := c.typeOf(a.Value)
+			if tt == TyStmt && vt != TySubst {
+				c.errorf(a.Line, "modifying a whole statement requires a subst(...) value")
+			}
+			if tt == TyOperand && !(vt == TyOperand || vt == TyNum) {
+				c.errorf(a.Line, "operand modification needs an operand or numeric value, not %s", vt)
+			}
+		case ForallAction:
+			c.wantType(a.Set, TySet)
+			if _, dup := c.env[a.Var]; dup {
+				c.errorf(a.Line, "forall variable %s already bound", a.Var)
+			}
+			c.env[a.Var] = TyStmt
+			c.checkActions(a.Body)
+			delete(c.env, a.Var)
+		}
+	}
+}
+
+// declaredPair reports whether (a, b) appears as a pair item of some
+// pairwise type declaration.
+func declaredPair(s *Spec, a, b string) bool {
+	for _, td := range s.Types {
+		if !td.Kind.Pairwise() {
+			continue
+		}
+		for _, it := range td.Items {
+			if len(it.Names) == 2 && it.Names[0] == a && it.Names[1] == b {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (c *checker) errorf(line int, format string, args ...interface{}) {
+	c.errs = append(c.errs, &Error{line, fmt.Sprintf(format, args...)})
+}
+
+func (c *checker) wantType(e Expr, want SymType) {
+	got := c.typeOf(e)
+	if got != want && got != TyUnknown {
+		c.errorf(lineOf(e), "expected %s expression, found %s (%s)", want, got, e)
+	}
+}
+
+func lineOf(e Expr) int {
+	switch e := e.(type) {
+	case Ident:
+		return e.Line
+	case Attr:
+		return e.Line
+	case Call:
+		return e.Line
+	case Binary:
+		return e.Line
+	case Not:
+		return e.Line
+	case Num:
+		return e.Line
+	case Lit:
+		return e.Line
+	}
+	return 0
+}
+
+// stmtAttrs / loopAttrs map attributes to result types.
+var stmtAttrs = map[string]SymType{
+	"opr_1": TyOperand, "opr_2": TyOperand, "opr_3": TyOperand,
+	"opc": TyOpc, "kind": TyKindLit,
+	"next": TyStmt, "prev": TyStmt,
+}
+
+var loopAttrs = map[string]SymType{
+	"head": TyStmt, "end": TyStmt, "body": TySet,
+	"lcv": TyOperand, "init": TyOperand, "final": TyOperand, "step": TyOperand,
+	"next": TyLoop, "prev": TyLoop,
+	"opc": TyKindLit, "kind": TyKindLit,
+}
+
+func (c *checker) typeOf(e Expr) SymType {
+	switch e := e.(type) {
+	case Num:
+		return TyNum
+	case Lit:
+		// Disambiguated by the comparison partner; classify lazily.
+		switch {
+		case opcLits[e.Name] && kindLits[e.Name]:
+			return TyUnknown // "assign", "mod": context decides
+		case opcLits[e.Name]:
+			return TyOpc
+		case kindLits[e.Name]:
+			return TyKindLit
+		case typeLits[e.Name]:
+			return TyTypeLit
+		}
+		c.errorf(e.Line, "unknown literal %q", e.Name)
+		return TyUnknown
+	case Ident:
+		if t, ok := c.env[e.Name]; ok {
+			return t
+		}
+		if typeLits[e.Name] {
+			return TyTypeLit
+		}
+		if opcLits[e.Name] {
+			return TyOpc
+		}
+		if kindLits[e.Name] {
+			return TyKindLit
+		}
+		c.errorf(e.Line, "unbound name %s", e.Name)
+		return TyUnknown
+	case Attr:
+		bt := c.typeOf(e.Base)
+		switch bt {
+		case TyStmt:
+			if t, ok := stmtAttrs[e.Name]; ok {
+				return t
+			}
+			c.errorf(e.Line, "statements have no attribute %q", e.Name)
+		case TyLoop:
+			if t, ok := loopAttrs[e.Name]; ok {
+				return t
+			}
+			c.errorf(e.Line, "loops have no attribute %q", e.Name)
+		case TyUnknown:
+			return TyUnknown
+		default:
+			c.errorf(e.Line, "%s values have no attributes", bt)
+		}
+		return TyUnknown
+	case Not:
+		c.wantType(e.E, TyBool)
+		return TyBool
+	case Binary:
+		switch e.Op {
+		case "and", "or":
+			c.wantType(e.L, TyBool)
+			c.wantType(e.R, TyBool)
+			return TyBool
+		case "==", "!=", "<", "<=", ">", ">=":
+			lt, rt := c.typeOf(e.L), c.typeOf(e.R)
+			if !comparable(lt, rt) {
+				c.errorf(e.Line, "cannot compare %s with %s (%s)", lt, rt, e)
+			}
+			return TyBool
+		case "+", "-", "*", "/", "mod":
+			lt, rt := c.typeOf(e.L), c.typeOf(e.R)
+			if !numeric(lt) || !numeric(rt) {
+				c.errorf(e.Line, "arithmetic needs numeric or operand values (%s)", e)
+			}
+			return TyNum
+		}
+		c.errorf(e.Line, "unknown operator %q", e.Op)
+		return TyUnknown
+	case Call:
+		return c.typeOfCall(e)
+	}
+	return TyUnknown
+}
+
+func numeric(t SymType) bool {
+	return t == TyNum || t == TyOperand || t == TyPos || t == TyUnknown
+}
+
+func comparable(a, b SymType) bool {
+	if a == TyUnknown || b == TyUnknown {
+		return true
+	}
+	if a == b {
+		return true // includes statement program-order comparisons
+	}
+	pairs := [][2]SymType{
+		{TyOperand, TyNum}, {TyOperand, TyTypeLit},
+		{TyOpc, TyKindLit}, // "assign"-style ambiguous literals
+		{TyPos, TyNum}, {TyPos, TyPos},
+		{TyNum, TyNum},
+	}
+	for _, p := range pairs {
+		if (a == p[0] && b == p[1]) || (a == p[1] && b == p[0]) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) typeOfCall(e Call) SymType {
+	argc := len(e.Args)
+	switch e.Fn {
+	case "flow_dep", "anti_dep", "out_dep", "ctrl_dep":
+		if argc != 2 {
+			c.errorf(e.Line, "%s takes two statements (plus optional direction)", e.Fn)
+		}
+		for _, a := range e.Args {
+			c.wantType(a, TyStmt)
+		}
+		if e.CarriedBy != "" {
+			if t := c.env[e.CarriedBy]; t != TyLoop {
+				c.errorf(e.Line, "carried(%s): %s is not a loop", e.CarriedBy, e.CarriedBy)
+			}
+		}
+		return TyBool
+	case "fused_dep":
+		if argc != 4 {
+			c.errorf(e.Line, "fused_dep takes (Stmt, Stmt, Loop, Loop) plus a direction")
+			return TyBool
+		}
+		c.wantType(e.Args[0], TyStmt)
+		c.wantType(e.Args[1], TyStmt)
+		c.wantType(e.Args[2], TyLoop)
+		c.wantType(e.Args[3], TyLoop)
+		return TyBool
+	case "mem", "nmem":
+		if argc != 2 {
+			c.errorf(e.Line, "%s takes (element, set)", e.Fn)
+			return TyBool
+		}
+		c.wantType(e.Args[0], TyStmt)
+		// A loop used as a set denotes its body (the paper writes
+		// mem(Si, L1) for membership in the loop body).
+		if st := c.typeOf(e.Args[1]); st != TySet && st != TyLoop && st != TyUnknown {
+			c.errorf(e.Line, "%s needs a set or loop, found %s", e.Fn, st)
+		}
+		return TyBool
+	case "path":
+		if argc != 2 {
+			c.errorf(e.Line, "path takes two statements")
+			return TySet
+		}
+		c.wantType(e.Args[0], TyStmt)
+		c.wantType(e.Args[1], TyStmt)
+		return TySet
+	case "inter", "union":
+		if argc != 2 {
+			c.errorf(e.Line, "%s takes two sets", e.Fn)
+			return TySet
+		}
+		c.wantType(e.Args[0], TySet)
+		c.wantType(e.Args[1], TySet)
+		return TySet
+	case "operand":
+		if argc != 2 {
+			c.errorf(e.Line, "operand takes (statement, position)")
+			return TyOperand
+		}
+		c.wantType(e.Args[0], TyStmt)
+		pt := c.typeOf(e.Args[1])
+		if pt != TyPos && pt != TyNum && pt != TyUnknown {
+			c.errorf(e.Line, "operand position must be a position variable or number")
+		}
+		return TyOperand
+	case "type":
+		if argc != 1 {
+			c.errorf(e.Line, "type takes one operand")
+			return TyTypeLit
+		}
+		c.wantType(e.Args[0], TyOperand)
+		return TyTypeLit
+	case "eval":
+		if argc != 1 {
+			c.errorf(e.Line, "eval takes one expression")
+			return TyOperand
+		}
+		t := c.typeOf(e.Args[0])
+		if t != TyNum && t != TyOperand && t != TyStmt && t != TyUnknown {
+			c.errorf(e.Line, "eval needs an arithmetic expression or a statement")
+		}
+		return TyOperand
+	case "trip":
+		if argc != 1 {
+			c.errorf(e.Line, "trip takes one loop")
+			return TyNum
+		}
+		c.wantType(e.Args[0], TyLoop)
+		return TyNum
+	case "subst":
+		if argc != 2 {
+			c.errorf(e.Line, "subst takes (variable operand, replacement expression)")
+			return TySubst
+		}
+		c.wantType(e.Args[0], TyOperand)
+		t := c.typeOf(e.Args[1])
+		if !numeric(t) {
+			c.errorf(e.Line, "subst replacement must be an arithmetic expression")
+		}
+		return TySubst
+	}
+	c.errorf(e.Line, "unknown function %q", e.Fn)
+	return TyUnknown
+}

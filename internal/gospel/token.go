@@ -1,0 +1,69 @@
+// Package gospel implements GOSpeL, the General Optimization Specification
+// Language of Whitfield & Soffa (PLDI 1991): lexer, parser, AST and semantic
+// checker. A specification has three sections —
+//
+//	TYPE            declares code-element variables
+//	PRECOND         Code_Pattern (syntactic format) and Depend (dependences)
+//	ACTION          the transformation, in five primitive operations
+//
+// The concrete grammar follows the paper's appendix BNF for the Depend
+// section and the prose plus Figures 1–2 for the rest. Extensions beyond
+// the paper (each marked in doc.go): position-variable comparisons, the
+// `kind` attribute, `eval`/`subst`/`trip` action helpers, and the
+// `fused_dep`/`carried` dependence forms needed by optimizations whose
+// specifications the paper names but does not show.
+package gospel
+
+import "fmt"
+
+// TokKind classifies tokens.
+type TokKind int
+
+const (
+	TEOF TokKind = iota
+	TIdent
+	TNum
+	TKeyword
+	TPunct // ( ) , ; : .
+	TOp    // == != < <= > >= = * + - /
+)
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string // keywords normalized to lower case
+	Line int
+}
+
+func (t Token) String() string {
+	if t.Kind == TEOF {
+		return "end of specification"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+// keywords of the language, stored lower-case; matching is case-insensitive
+// (the paper itself mixes TYPE, Code_Pattern, any, AND).
+var keywords = map[string]bool{
+	"type": true, "precond": true, "code_pattern": true, "depend": true,
+	"action": true,
+	"stmt":   true, "loop": true, "nested_loops": true, "tight_loops": true,
+	"adjacent_loops": true, "nested": true, "tight": true, "adjacent": true,
+	"loops": true,
+	"any":   true, "all": true, "no": true,
+	"and": true, "or": true, "not": true,
+	"mem": true, "nmem": true, "path": true, "inter": true, "union": true,
+	"flow_dep": true, "anti_dep": true, "out_dep": true, "ctrl_dep": true,
+	"fused_dep": true, "carried": true, "independent": true,
+	"delete": true, "copy": true, "move": true, "add": true, "modify": true,
+	"forall": true, "in": true, "do": true, "end": true,
+	"operand": true, "eval": true, "subst": true, "trip": true, "mod": true,
+}
+
+// Error is a positioned GOSpeL front-end error.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("gospel:%d: %s", e.Line, e.Msg) }

@@ -1,0 +1,615 @@
+// Package handopt contains hand-coded implementations of the same
+// optimizations the specs package expresses in GOSpeL. They are the
+// reproduction's analog of the paper's "hand-crafted optimizers": written
+// directly against the IR and dependence analyses, independently of the
+// GOSpeL engine, so the quality experiment (E1) can compare application
+// points and resulting code between the generated and the hand-written
+// versions.
+package handopt
+
+import (
+	"fmt"
+
+	"repro/dep"
+	"repro/ir"
+)
+
+// Func is a hand-coded optimizer: it transforms p in place and returns the
+// number of applications performed. Like the generated optimizers' ApplyAll,
+// every Func runs to fixpoint with dependences recomputed between
+// applications.
+type Func func(p *ir.Program) int
+
+// All maps optimization names (the paper's abbreviations) to their
+// hand-coded implementations.
+var All = map[string]Func{
+	"CTP": ConstantPropagation,
+	"CPP": CopyPropagation,
+	"CFO": ConstantFolding,
+	"DCE": DeadCodeElimination,
+	"ICM": InvariantCodeMotion,
+	"INX": LoopInterchange,
+	"CRC": LoopCirculation,
+	"BMP": Bumping,
+	"PAR": Parallelization,
+	"LUR": LoopUnrolling,
+	"FUS": LoopFusion,
+}
+
+// Get returns the named optimizer.
+func Get(name string) (Func, error) {
+	f, ok := All[name]
+	if !ok {
+		return nil, fmt.Errorf("handopt: unknown optimization %q", name)
+	}
+	return f, nil
+}
+
+const maxPasses = 1000
+
+// eqPattern matches loop-independent dependences only.
+var eqPattern = dep.Vector{dep.DirEQ}
+
+// ConstantPropagation replaces a use of a variable by a constant when the
+// only definition reaching that use assigns the constant.
+func ConstantPropagation(p *ir.Program) int {
+	total := 0
+	for pass := 0; pass < maxPasses; pass++ {
+		g := dep.Compute(p)
+		applied := false
+		for _, si := range p.Stmts() {
+			if si.Kind != ir.SAssign || si.Op != ir.OpCopy || !si.Dst.IsVar() || !si.A.IsConst() {
+				continue
+			}
+			for _, d := range g.From(si) {
+				if d.Kind != dep.Flow || !d.Vec.Matches(eqPattern) || d.DstPos == 0 {
+					continue
+				}
+				if otherDefReaches(g, si, d.Dst, d.DstPos) {
+					continue
+				}
+				slot := d.Dst.OperandSlot(d.DstPos)
+				if slot == nil || !slot.IsVar() {
+					continue
+				}
+				*slot = si.A.Clone()
+				total++
+				applied = true
+				break // dependences are stale; recompute
+			}
+			if applied {
+				break
+			}
+		}
+		if !applied {
+			return total
+		}
+	}
+	return total
+}
+
+// otherDefReaches reports whether a flow dependence from a different
+// definition reaches the same operand of dst.
+func otherDefReaches(g *dep.Graph, si, dst *ir.Stmt, pos int) bool {
+	for _, e := range g.To(dst) {
+		if e.Kind == dep.Flow && e.Src != si && e.DstPos == pos {
+			return true
+		}
+	}
+	return false
+}
+
+// CopyPropagation replaces a use of x by y for a copy x := y, when the copy
+// is the sole reaching definition and y is not redefined on any path from
+// the copy to the use.
+func CopyPropagation(p *ir.Program) int {
+	total := 0
+	for pass := 0; pass < maxPasses; pass++ {
+		g := dep.Compute(p)
+		applied := false
+		for _, si := range p.Stmts() {
+			if si.Kind != ir.SAssign || si.Op != ir.OpCopy || !si.Dst.IsVar() || !si.A.IsVar() {
+				continue
+			}
+			for _, d := range g.From(si) {
+				if d.Kind != dep.Flow || !d.Vec.Matches(eqPattern) || d.DstPos == 0 {
+					continue
+				}
+				if otherDefReaches(g, si, d.Dst, d.DstPos) {
+					continue
+				}
+				if sourceRedefinedOnPath(p, g, si, d.Dst) {
+					continue
+				}
+				slot := d.Dst.OperandSlot(d.DstPos)
+				if slot == nil || !slot.IsVar() {
+					continue
+				}
+				*slot = si.A.Clone()
+				total++
+				applied = true
+				break
+			}
+			if applied {
+				break
+			}
+		}
+		if !applied {
+			return total
+		}
+	}
+	return total
+}
+
+// sourceRedefinedOnPath reports whether the copy's source variable is
+// redefined by a statement on some control-flow path strictly between si
+// and sj.
+func sourceRedefinedOnPath(p *ir.Program, g *dep.Graph, si, sj *ir.Stmt) bool {
+	between := pathSet(p, si, sj)
+	for _, d := range g.From(si) {
+		if d.Kind == dep.Anti && between[d.Dst] {
+			return true
+		}
+	}
+	return false
+}
+
+// ConstantFolding evaluates arithmetic statements with constant operands.
+func ConstantFolding(p *ir.Program) int {
+	total := 0
+	for pass := 0; pass < maxPasses; pass++ {
+		applied := false
+		for _, s := range p.Stmts() {
+			if s.Kind != ir.SAssign || s.Op == ir.OpCopy || !s.A.IsConst() || !s.B.IsConst() {
+				continue
+			}
+			s.A = ir.ConstOp(ir.Arith(s.Op, s.A.Val, s.B.Val))
+			s.Op = ir.OpCopy
+			s.B = ir.None()
+			total++
+			applied = true
+		}
+		if !applied {
+			return total
+		}
+	}
+	return total
+}
+
+// DeadCodeElimination deletes scalar assignments whose value no statement
+// receives.
+func DeadCodeElimination(p *ir.Program) int {
+	total := 0
+	for pass := 0; pass < maxPasses; pass++ {
+		g := dep.Compute(p)
+		applied := false
+		for _, s := range p.Stmts() {
+			if s.Kind != ir.SAssign || !s.Dst.IsVar() {
+				continue
+			}
+			dead := true
+			for _, d := range g.From(s) {
+				if d.Kind == dep.Flow {
+					dead = false
+					break
+				}
+			}
+			if dead {
+				p.Delete(s)
+				total++
+				applied = true
+				break
+			}
+		}
+		if !applied {
+			return total
+		}
+	}
+	return total
+}
+
+// InvariantCodeMotion hoists loop-invariant scalar assignments (sole
+// unconditioned definition, operands invariant, no upward-exposed prior
+// use, value unobserved after the loop) to before the loop.
+func InvariantCodeMotion(p *ir.Program) int {
+	total := 0
+	for pass := 0; pass < maxPasses; pass++ {
+		g := dep.Compute(p)
+		applied := false
+	search:
+		for _, l := range ir.Loops(p) {
+			for _, si := range l.Body(p) {
+				if si.Kind != ir.SAssign || !si.Dst.IsVar() {
+					continue
+				}
+				if !icmSafe(p, g, l, si) {
+					continue
+				}
+				p.Move(si, p.Prev(l.Head))
+				total++
+				applied = true
+				break search
+			}
+		}
+		if !applied {
+			return total
+		}
+	}
+	return total
+}
+
+func icmSafe(p *ir.Program, g *dep.Graph, l ir.Loop, si *ir.Stmt) bool {
+	// Operands computed outside the loop.
+	for _, d := range g.To(si) {
+		switch d.Kind {
+		case dep.Flow:
+			if l.Contains(p, d.Src) || d.Src == l.Head {
+				return false
+			}
+		case dep.Control:
+			if l.Contains(p, d.Src) {
+				return false
+			}
+		}
+	}
+	for _, d := range g.From(si) {
+		switch d.Kind {
+		case dep.Output:
+			if d.Dst != si && l.Contains(p, d.Dst) {
+				return false
+			}
+		case dep.Flow:
+			if !l.Contains(p, d.Dst) && d.Dst != si {
+				return false // observed after the loop
+			}
+			if d.Dst == si {
+				return false // depends on itself
+			}
+		}
+	}
+	for _, d := range g.To(si) {
+		switch d.Kind {
+		case dep.Output:
+			if d.Src != si && l.Contains(p, d.Src) {
+				return false
+			}
+		case dep.Anti:
+			if d.Src != si && l.Contains(p, d.Src) && !d.Carried {
+				return false // upward-exposed prior use
+			}
+		}
+	}
+	return true
+}
+
+// interchangeBlocked reports a (<,>) flow/anti/output dependence between
+// statements of the inner loop.
+func interchangeBlocked(p *ir.Program, g *dep.Graph, inner ir.Loop) bool {
+	pattern := dep.Vector{dep.DirLT, dep.DirGT}
+	for _, sn := range inner.Body(p) {
+		for _, d := range g.From(sn) {
+			if d.Kind == dep.Control {
+				continue
+			}
+			if inner.Contains(p, d.Dst) && d.Vec.Matches(pattern) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// LoopInterchange swaps tightly nested loop pairs when legal. Each pair is
+// interchanged at most once (the transformation is self-inverse).
+func LoopInterchange(p *ir.Program) int {
+	total := 0
+	done := map[[2]int]bool{}
+	for pass := 0; pass < maxPasses; pass++ {
+		g := dep.Compute(p)
+		applied := false
+		for _, pair := range ir.TightPairs(p) {
+			outer, inner := pair[0], pair[1]
+			key := [2]int{outer.Head.ID, inner.Head.ID}
+			if key[0] > key[1] {
+				key[0], key[1] = key[1], key[0]
+			}
+			if done[key] {
+				continue
+			}
+			if g.Exists(dep.Flow, outer.Head, inner.Head, nil) {
+				continue
+			}
+			if interchangeBlocked(p, g, inner) {
+				continue
+			}
+			p.Move(outer.Head, inner.Head)
+			p.Move(outer.End, p.Prev(inner.End))
+			done[key] = true
+			total++
+			applied = true
+			break
+		}
+		if !applied {
+			return total
+		}
+	}
+	return total
+}
+
+// LoopCirculation rotates a depth-3 tight nest (1,2,3) → (2,3,1) when no
+// dependence direction vector becomes lexicographically negative.
+func LoopCirculation(p *ir.Program) int {
+	total := 0
+	done := map[[3]int]bool{}
+	blocked1 := dep.Vector{dep.DirLT, dep.DirGT, dep.DirAny}
+	blocked2 := dep.Vector{dep.DirLT, dep.DirEQ, dep.DirGT}
+	for pass := 0; pass < maxPasses; pass++ {
+		g := dep.Compute(p)
+		applied := false
+	search:
+		for _, p12 := range ir.TightPairs(p) {
+			for _, p23 := range ir.TightPairs(p) {
+				if p23[0].Head != p12[1].Head {
+					continue
+				}
+				l1, l2, l3 := p12[0], p12[1], p23[1]
+				// Key on the unordered loop set: rotating is cyclic, and
+				// one application per nest matches the generated optimizer.
+				key := [3]int{l1.Head.ID, l2.Head.ID, l3.Head.ID}
+				sortKey(&key)
+				if done[key] {
+					continue
+				}
+				if g.Exists(dep.Flow, l1.Head, l2.Head, nil) ||
+					g.Exists(dep.Flow, l1.Head, l3.Head, nil) ||
+					g.Exists(dep.Flow, l2.Head, l3.Head, nil) {
+					continue
+				}
+				bad := false
+				for _, sn := range l3.Body(p) {
+					for _, d := range g.From(sn) {
+						if d.Kind == dep.Control || !l3.Contains(p, d.Dst) {
+							continue
+						}
+						if d.Vec.Matches(blocked1) || d.Vec.Matches(blocked2) {
+							bad = true
+							break
+						}
+					}
+					if bad {
+						break
+					}
+				}
+				if bad {
+					continue
+				}
+				p.Move(l1.Head, l3.Head)
+				p.Move(l1.End, p.Prev(l3.End))
+				done[key] = true
+				total++
+				applied = true
+				break search
+			}
+		}
+		if !applied {
+			return total
+		}
+	}
+	return total
+}
+
+func sortKey(k *[3]int) {
+	if k[0] > k[1] {
+		k[0], k[1] = k[1], k[0]
+	}
+	if k[1] > k[2] {
+		k[1], k[2] = k[2], k[1]
+	}
+	if k[0] > k[1] {
+		k[0], k[1] = k[1], k[0]
+	}
+}
+
+// Parallelization marks loops carrying no flow/anti/output dependence at
+// their own level as DOALL.
+func Parallelization(p *ir.Program) int {
+	g := dep.Compute(p)
+	total := 0
+	for _, l := range ir.Loops(p) {
+		if l.Head.Parallel {
+			continue
+		}
+		if loopCarries(p, g, l) {
+			continue
+		}
+		l.Head.Parallel = true
+		total++
+	}
+	return total
+}
+
+func loopCarries(p *ir.Program, g *dep.Graph, l ir.Loop) bool {
+	for _, sm := range l.Body(p) {
+		for _, d := range g.From(sm) {
+			if d.Kind == dep.Control || !d.Carried {
+				continue
+			}
+			if !l.Contains(p, d.Dst) {
+				continue
+			}
+			level := 0
+			for i, cl := range ir.CommonLoops(p, d.Src, d.Dst) {
+				if cl.Head == l.Head {
+					level = i + 1
+				}
+			}
+			if level != 0 && d.Level == level {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// LoopUnrolling unrolls constant-bound even-trip loops by two.
+func LoopUnrolling(p *ir.Program) int {
+	total := 0
+	done := map[int]bool{}
+	for pass := 0; pass < maxPasses; pass++ {
+		applied := false
+		for _, l := range ir.Loops(p) {
+			h := l.Head
+			if done[h.ID] || h.Parallel {
+				continue
+			}
+			if !h.Final.IsConst() || !h.Init.IsConst() || !h.Step.IsConst() {
+				continue
+			}
+			step := h.Step.Val.AsInt()
+			if step == 0 {
+				continue
+			}
+			trip := (h.Final.Val.AsInt()-h.Init.Val.AsInt())/step + 1
+			if trip <= 0 || trip%2 != 0 {
+				continue
+			}
+			body := l.Body(p)
+			repl := ir.VarExpr(h.LCV).Add(ir.ConstExpr(step))
+			ok := true
+			for _, s := range body {
+				if !Substitutable(s, h.LCV, repl) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				done[h.ID] = true
+				continue
+			}
+			for _, s := range body {
+				c := p.Copy(s, p.Prev(l.End))
+				if err := SubstVarStmt(c, h.LCV, repl); err != nil {
+					panic("handopt: unroll subst failed after check: " + err.Error())
+				}
+			}
+			h.Step = ir.IntOp(step * 2)
+			done[h.ID] = true
+			total++
+			applied = true
+			break
+		}
+		if !applied {
+			return total
+		}
+	}
+	return total
+}
+
+// Bumping aligns an adjacent constant-bound loop pair by shifting the
+// second loop's range onto the first's.
+func Bumping(p *ir.Program) int {
+	total := 0
+	for pass := 0; pass < maxPasses; pass++ {
+		applied := false
+	search:
+		for _, pair := range ir.AdjacentPairs(p) {
+			l1, l2 := pair[0], pair[1]
+			h1, h2 := l1.Head, l2.Head
+			if h1.LCV != h2.LCV || !h1.Step.Equal(h2.Step) {
+				continue
+			}
+			if !h1.Init.IsConst() || !h2.Init.IsConst() || !h1.Final.IsConst() || !h2.Final.IsConst() {
+				continue
+			}
+			if h1.Init.Equal(h2.Init) {
+				continue
+			}
+			step := h1.Step.Val.AsInt()
+			if step == 0 {
+				continue
+			}
+			trip1 := (h1.Final.Val.AsInt()-h1.Init.Val.AsInt())/step + 1
+			trip2 := (h2.Final.Val.AsInt()-h2.Init.Val.AsInt())/step + 1
+			if trip1 != trip2 {
+				continue
+			}
+			k := h2.Init.Val.AsInt() - h1.Init.Val.AsInt()
+			repl := ir.VarExpr(h2.LCV).Add(ir.ConstExpr(k))
+			for _, s := range l2.Body(p) {
+				if !Substitutable(s, h2.LCV, repl) {
+					continue search
+				}
+			}
+			for _, s := range l2.Body(p) {
+				if err := SubstVarStmt(s, h2.LCV, repl); err != nil {
+					panic("handopt: bump subst failed after check: " + err.Error())
+				}
+			}
+			h2.Init = h1.Init.Clone()
+			h2.Final = h1.Final.Clone()
+			total++
+			applied = true
+			break
+		}
+		if !applied {
+			return total
+		}
+	}
+	return total
+}
+
+// LoopFusion merges adjacent loops with identical headers when no
+// dependence would run backwards in the fused iteration space.
+func LoopFusion(p *ir.Program) int {
+	total := 0
+	for pass := 0; pass < maxPasses; pass++ {
+		applied := false
+	search:
+		for _, pair := range ir.AdjacentPairs(p) {
+			l1, l2 := pair[0], pair[1]
+			h1, h2 := l1.Head, l2.Head
+			if h1.LCV != h2.LCV || !h1.Init.Equal(h2.Init) ||
+				!h1.Final.Equal(h2.Final) || !h1.Step.Equal(h2.Step) {
+				continue
+			}
+			for _, sm := range l1.Body(p) {
+				for _, sn := range l2.Body(p) {
+					if dep.FusedDirections(p, sm, sn, l1, l2).Has(dep.DirGT) {
+						continue search
+					}
+				}
+			}
+			for _, s := range l2.Body(p) {
+				p.Move(s, p.Prev(l1.End))
+			}
+			p.Delete(l2.Head)
+			p.Delete(l2.End)
+			total++
+			applied = true
+			break
+		}
+		if !applied {
+			return total
+		}
+	}
+	return total
+}
+
+// pathSet returns the statements strictly between a and b on some
+// control-flow path.
+func pathSet(p *ir.Program, a, b *ir.Stmt) map[*ir.Stmt]bool {
+	g := buildCFG(p)
+	ai, bi := p.Index(a), p.Index(b)
+	fromA := g.ReachableFrom(ai)
+	toB := g.Reaches(bi)
+	out := map[*ir.Stmt]bool{}
+	for i := 0; i < p.Len(); i++ {
+		if i == ai || i == bi {
+			continue
+		}
+		if fromA[i] && toB[i] {
+			out[p.At(i)] = true
+		}
+	}
+	return out
+}

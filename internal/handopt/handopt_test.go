@@ -1,0 +1,262 @@
+package handopt
+
+import (
+	"testing"
+
+	"repro/internal/frontend"
+	"repro/internal/interp"
+	"repro/internal/workloads"
+	"repro/ir"
+)
+
+func TestGet(t *testing.T) {
+	if _, err := Get("CTP"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Get("NOPE"); err == nil {
+		t.Fatal("unknown name must error")
+	}
+	if len(All) != 11 {
+		t.Errorf("hand-coded suite has %d optimizations, want 11", len(All))
+	}
+}
+
+func TestHandCTP(t *testing.T) {
+	p := frontend.MustParse(`
+PROGRAM p
+INTEGER x, y, z
+x = 5
+y = x + 2
+z = y
+END`)
+	if n := ConstantPropagation(p); n != 1 {
+		t.Fatalf("applications = %d\n%s", n, p)
+	}
+	if got := ir.FormatStmt(p.At(1)); got != "y := 5 + 2" {
+		t.Errorf("propagated = %q", got)
+	}
+}
+
+func TestHandCPPBlockedByRedefinition(t *testing.T) {
+	p := frontend.MustParse(`
+PROGRAM p
+INTEGER x, y, z
+READ y
+x = y
+y = 0
+z = x + 1
+END`)
+	if n := CopyPropagation(p); n != 0 {
+		t.Fatalf("must be blocked, applied %d", n)
+	}
+}
+
+func TestHandCFOAndDCE(t *testing.T) {
+	p := frontend.MustParse(`
+PROGRAM p
+INTEGER x, y
+x = 3 * 4
+y = 99
+PRINT x
+END`)
+	if n := ConstantFolding(p); n != 1 {
+		t.Fatalf("CFO = %d", n)
+	}
+	if n := DeadCodeElimination(p); n != 1 {
+		t.Fatalf("DCE = %d\n%s", n, p)
+	}
+	if p.Len() != 2 {
+		t.Fatalf("program:\n%s", p)
+	}
+}
+
+func TestHandICM(t *testing.T) {
+	p := frontend.MustParse(`
+PROGRAM p
+INTEGER i, c
+REAL a(10)
+DO i = 1, 10
+  c = 7
+  a(i) = c
+ENDDO
+END`)
+	if n := InvariantCodeMotion(p); n != 1 {
+		t.Fatalf("ICM = %d\n%s", n, p)
+	}
+	if p.At(0).Kind != ir.SAssign {
+		t.Fatalf("not hoisted:\n%s", p)
+	}
+}
+
+func TestHandINX(t *testing.T) {
+	p := frontend.MustParse(`
+PROGRAM p
+INTEGER i, j
+REAL a(20,20)
+DO i = 1, 10
+  DO j = 1, 10
+    a(i,j) = a(i,j) + 1.0
+  ENDDO
+ENDDO
+END`)
+	if n := LoopInterchange(p); n != 1 {
+		t.Fatalf("INX = %d", n)
+	}
+	if ir.Loops(p)[0].LCV() != "j" {
+		t.Fatalf("not interchanged:\n%s", p)
+	}
+}
+
+func TestHandCRC(t *testing.T) {
+	p := frontend.MustParse(`
+PROGRAM p
+INTEGER i, j, k
+REAL a(10,10,10)
+DO i = 1, 10
+  DO j = 1, 10
+    DO k = 1, 10
+      a(i,j,k) = 1.0
+    ENDDO
+  ENDDO
+ENDDO
+END`)
+	if n := LoopCirculation(p); n != 1 {
+		t.Fatalf("CRC = %d", n)
+	}
+	loops := ir.Loops(p)
+	if loops[0].LCV() != "j" || loops[2].LCV() != "i" {
+		t.Fatalf("rotation wrong:\n%s", p)
+	}
+}
+
+func TestHandPAR(t *testing.T) {
+	p := frontend.MustParse(`
+PROGRAM p
+INTEGER i
+REAL a(10), b(10)
+DO i = 1, 10
+  a(i) = b(i)
+ENDDO
+DO i = 2, 10
+  a(i) = a(i-1)
+ENDDO
+END`)
+	if n := Parallelization(p); n != 1 {
+		t.Fatalf("PAR = %d\n%s", n, p)
+	}
+	loops := ir.Loops(p)
+	if !loops[0].Head.Parallel || loops[1].Head.Parallel {
+		t.Fatalf("wrong loop parallelized:\n%s", p)
+	}
+}
+
+func TestHandLUR(t *testing.T) {
+	p := frontend.MustParse(`
+PROGRAM p
+INTEGER i
+REAL a(20)
+DO i = 1, 10
+  a(i) = 1.0
+ENDDO
+END`)
+	if n := LoopUnrolling(p); n != 1 {
+		t.Fatalf("LUR = %d", n)
+	}
+	l := ir.Loops(p)[0]
+	if l.Head.Step.Val.AsInt() != 2 || len(l.Body(p)) != 2 {
+		t.Fatalf("unroll wrong:\n%s", p)
+	}
+}
+
+func TestHandBMPAndFUS(t *testing.T) {
+	p := frontend.MustParse(`
+PROGRAM p
+INTEGER i
+REAL a(20), b(20)
+DO i = 1, 10
+  a(i) = 1.0
+ENDDO
+DO i = 3, 12
+  b(i) = 2.0
+ENDDO
+END`)
+	if n := LoopFusion(p); n != 0 {
+		t.Fatal("FUS before BMP must not apply")
+	}
+	if n := Bumping(p); n != 1 {
+		t.Fatalf("BMP = %d", n)
+	}
+	if n := LoopFusion(p); n != 1 {
+		t.Fatalf("FUS after BMP = %d\n%s", n, p)
+	}
+	if len(ir.Loops(p)) != 1 {
+		t.Fatalf("not fused:\n%s", p)
+	}
+}
+
+func TestSubstVarStmt(t *testing.T) {
+	s := &ir.Stmt{Kind: ir.SAssign,
+		Dst: ir.ArrayOp("a", ir.VarExpr("i")),
+		Op:  ir.OpAdd, A: ir.ArrayOp("b", ir.VarExpr("i")), B: ir.IntOp(1)}
+	repl := ir.VarExpr("i").Add(ir.ConstExpr(1))
+	if !Substitutable(s, "i", repl) {
+		t.Fatal("subscript substitution must be possible")
+	}
+	if err := SubstVarStmt(s, "i", repl); err != nil {
+		t.Fatal(err)
+	}
+	if got := ir.FormatStmt(s); got != "a(i+1) := b(i+1) + 1" {
+		t.Errorf("result = %q", got)
+	}
+
+	// Direct operand with affine replacement in a binary op: impossible.
+	s2 := &ir.Stmt{Kind: ir.SAssign, Dst: ir.VarOp("x"),
+		Op: ir.OpMul, A: ir.VarOp("i"), B: ir.VarOp("y")}
+	if Substitutable(s2, "i", repl) {
+		t.Error("i*y with i := i+1 must be unsubstitutable")
+	}
+	// But a plain copy absorbs it as an add.
+	s3 := &ir.Stmt{Kind: ir.SAssign, Dst: ir.VarOp("x"), Op: ir.OpCopy, A: ir.VarOp("i")}
+	if err := SubstVarStmt(s3, "i", repl); err != nil {
+		t.Fatal(err)
+	}
+	if got := ir.FormatStmt(s3); got != "x := i + 1" {
+		t.Errorf("copy absorption = %q", got)
+	}
+	// Pure renaming always works.
+	s4 := &ir.Stmt{Kind: ir.SAssign, Dst: ir.VarOp("x"), Op: ir.OpMul, A: ir.VarOp("i"), B: ir.VarOp("y")}
+	if err := SubstVarStmt(s4, "i", ir.VarExpr("j")); err != nil {
+		t.Fatal(err)
+	}
+	if s4.A.Name != "j" {
+		t.Error("rename failed")
+	}
+}
+
+// TestHandOptsPreserveSemantics mirrors the generated-optimizer
+// preservation property for the hand-coded suite.
+func TestHandOptsPreserveSemantics(t *testing.T) {
+	for _, w := range workloads.All {
+		ref, err := interp.Run(w.Program(), w.Input, interp.Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		for name, f := range All {
+			p := w.Program()
+			f(p)
+			if err := p.Validate(); err != nil {
+				t.Errorf("%s on %s: %v", name, w.Name, err)
+				continue
+			}
+			got, err := interp.Run(p, w.Input, interp.Config{})
+			if err != nil {
+				t.Errorf("%s on %s: %v\n%s", name, w.Name, err, p)
+				continue
+			}
+			if !interp.SameOutput(ref, got) {
+				t.Errorf("%s on %s changed output\nwant %v\ngot  %v\n%s",
+					name, w.Name, ref.Output, got.Output, p)
+			}
+		}
+	}
+}

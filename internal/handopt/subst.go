@@ -1,0 +1,75 @@
+package handopt
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/ir"
+)
+
+func buildCFG(p *ir.Program) *cfg.Graph { return cfg.Build(p) }
+
+// Substitutable reports whether SubstVarStmt can rewrite every occurrence
+// of v in s with repl.
+func Substitutable(s *ir.Stmt, v string, repl ir.LinExpr) bool {
+	c := ir.CloneStmt(s)
+	return SubstVarStmt(c, v, repl) == nil
+}
+
+// SubstVarStmt rewrites occurrences of scalar variable v in every operand
+// of s by the affine expression repl: array subscripts substitute directly;
+// a direct Var operand is replaced when repl is a plain variable or
+// constant, or — for the sole source of a copy — expanded to an add.
+// It mirrors the GOSpeL engine's subst action so hand-coded and generated
+// unrolling/bumping behave identically.
+func SubstVarStmt(s *ir.Stmt, v string, repl ir.LinExpr) error {
+	repl = repl.Normalize()
+	var direct *ir.Operand
+	switch {
+	case repl.IsConst():
+		op := ir.IntOp(repl.Const)
+		direct = &op
+	case len(repl.Terms) == 1 && repl.Terms[0].Coef == 1 && repl.Const == 0:
+		op := ir.VarOp(repl.Terms[0].Var)
+		direct = &op
+	}
+
+	if s.Kind == ir.SAssign && s.Op == ir.OpCopy && s.A.IsVar() && s.A.Name == v && direct == nil {
+		if len(repl.Terms) == 1 && repl.Terms[0].Coef == 1 {
+			s.Op = ir.OpAdd
+			s.A = ir.VarOp(repl.Terms[0].Var)
+			s.B = ir.IntOp(repl.Const)
+			if s.Dst.IsArray() {
+				s.Dst = s.Dst.SubstVar(v, repl)
+			}
+			return nil
+		}
+	}
+
+	substOp := func(op *ir.Operand) error {
+		switch op.Kind {
+		case ir.ArrayRef:
+			*op = op.SubstVar(v, repl)
+		case ir.Var:
+			if op.Name != v {
+				return nil
+			}
+			if direct == nil {
+				return fmt.Errorf("handopt: %s := %s not expressible in operand", v, repl)
+			}
+			*op = direct.Clone()
+		}
+		return nil
+	}
+	for _, op := range []*ir.Operand{&s.Dst, &s.A, &s.B, &s.Init, &s.Final, &s.Step} {
+		if err := substOp(op); err != nil {
+			return err
+		}
+	}
+	for i := range s.Args {
+		if err := substOp(&s.Args[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

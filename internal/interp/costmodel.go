@@ -1,0 +1,80 @@
+package interp
+
+import "fmt"
+
+// Arch selects an architectural model for the expected-benefit estimate.
+// The paper: "The expected benefit of applying an optimization was computed
+// by estimating the impact the optimization has on execution time, taking
+// into account code that was parallelized and code that was eliminated.
+// Different architectural characteristics were considered, including
+// vectorization and multi-processing."
+type Arch int
+
+const (
+	// Scalar executes everything serially.
+	Scalar Arch = iota
+	// Vector executes DOALL work in lanes of width VectorWidth.
+	Vector
+	// Multiprocessor spreads DOALL work over Processors, paying a fork
+	// overhead per DOALL entry.
+	Multiprocessor
+)
+
+func (a Arch) String() string {
+	switch a {
+	case Scalar:
+		return "scalar"
+	case Vector:
+		return "vector"
+	case Multiprocessor:
+		return "multiprocessor"
+	}
+	return fmt.Sprintf("Arch(%d)", int(a))
+}
+
+// Model parameterizes the estimate.
+type Model struct {
+	VectorWidth  int64 // lanes for Vector (default 8)
+	Processors   int64 // CPUs for Multiprocessor (default 4)
+	ForkOverhead int64 // per-DOALL-entry cost for Multiprocessor (default 16)
+}
+
+// DefaultModel mirrors machine assumptions of the paper's era: an 8-lane
+// vector unit and a small shared-memory multiprocessor.
+var DefaultModel = Model{VectorWidth: 8, Processors: 4, ForkOverhead: 16}
+
+// EstimatedTime converts an execution's operation counts into an abstract
+// time for the given architecture. Serial work always costs one unit per
+// operation; work executed under a DOALL loop is divided by the machine's
+// parallel width.
+func EstimatedTime(c Counts, arch Arch, m Model) float64 {
+	if m.VectorWidth <= 0 {
+		m.VectorWidth = DefaultModel.VectorWidth
+	}
+	if m.Processors <= 0 {
+		m.Processors = DefaultModel.Processors
+	}
+	serial := float64(c.SerialOps)
+	par := float64(c.ParallelOps)
+	switch arch {
+	case Scalar:
+		return serial + par
+	case Vector:
+		return serial + par/float64(m.VectorWidth)
+	case Multiprocessor:
+		return serial + par/float64(m.Processors) +
+			float64(c.DoallEntries*m.ForkOverhead)
+	}
+	return serial + par
+}
+
+// Benefit is the relative time saved by an optimized program against the
+// original on one architecture: (t_orig − t_opt) / t_orig.
+func Benefit(orig, opt Counts, arch Arch, m Model) float64 {
+	to := EstimatedTime(orig, arch, m)
+	tn := EstimatedTime(opt, arch, m)
+	if to == 0 {
+		return 0
+	}
+	return (to - tn) / to
+}

@@ -1,0 +1,481 @@
+// Package interp executes IR programs directly. It serves two roles in the
+// reproduction: (1) the oracle for semantic-preservation tests — an
+// optimized program must print what the original prints — and (2) the
+// dynamic operation counter behind the paper's expected-benefit estimates,
+// which "take into account code that was parallelized and code that was
+// eliminated" under different architectural characteristics (Section 4).
+package interp
+
+import (
+	"fmt"
+
+	"repro/ir"
+)
+
+// Counts are dynamic operation counts from one execution. SerialOps and
+// ParallelOps split the work by whether it executed under at least one
+// DOALL loop; the architectural models divide only the parallel bucket.
+type Counts struct {
+	Assigns   int64
+	Arith     int64
+	Compares  int64
+	LoopIters int64
+	Reads     int64
+	Prints    int64
+	// Fetches counts operand accesses: one per scalar variable touched,
+	// two per array element (address computation plus the element);
+	// constants are free. Constant propagation and folding reduce this.
+	Fetches int64
+	// MemStalls counts the penalty units charged for multi-dimensional
+	// array accesses whose fastest-varying (first) subscript does not move
+	// with the innermost active loop — the locality effect that loop
+	// interchange and circulation repair.
+	MemStalls   int64
+	SerialOps   int64
+	ParallelOps int64
+	// DoallEntries counts DOALL loop entries (fork points for the
+	// multiprocessor model).
+	DoallEntries int64
+}
+
+// Total returns all counted operations (including fetches and stalls).
+func (c Counts) Total() int64 {
+	return c.Assigns + c.Arith + c.Compares + c.LoopIters + c.Reads + c.Prints +
+		c.Fetches + c.MemStalls
+}
+
+// Result is the outcome of one execution.
+type Result struct {
+	Output []ir.Value
+	Counts Counts
+}
+
+// Config bounds and parameterizes execution.
+type Config struct {
+	// MaxSteps bounds executed statements (0 = default 20 million).
+	MaxSteps int64
+	// MemPenalty is the extra cost charged for a strided multi-dimensional
+	// array access (one whose first, fastest-varying subscript does not
+	// move with the innermost loop). 0 means the default; set
+	// NoMemPenalty to ablate the locality model entirely.
+	MemPenalty int64
+	// NoMemPenalty disables the locality model (MemPenalty treated as 0).
+	NoMemPenalty bool
+}
+
+// RunError describes an execution failure.
+type RunError struct{ Msg string }
+
+func (e *RunError) Error() string { return "interp: " + e.Msg }
+
+func runErrf(format string, args ...interface{}) error {
+	return &RunError{fmt.Sprintf(format, args...)}
+}
+
+type machine struct {
+	prog     *ir.Program
+	scalars  map[string]ir.Value
+	arrays   map[string][]ir.Value
+	dims     map[string][]int64
+	intDecls map[string]bool
+	input    []ir.Value
+	inPos    int
+	res      *Result
+	steps    int64
+	maxSteps int64
+	// doallDepth > 0 while executing inside at least one parallel loop.
+	doallDepth int
+	// lcvStack holds the control variables of the active loops, innermost
+	// last; drives the locality model.
+	lcvStack []string
+	// memPenalty is the configured stall cost (0 disables the model).
+	memPenalty int64
+}
+
+// defaultMemPenalty is the extra cost of a strided multi-dimensional access.
+const defaultMemPenalty = 3
+
+// fetch charges the access cost of evaluating or storing an operand.
+func (m *machine) fetch(o ir.Operand) {
+	switch o.Kind {
+	case ir.Var:
+		m.res.Counts.Fetches++
+		m.countOp(1)
+	case ir.ArrayRef:
+		m.res.Counts.Fetches += 2
+		m.countOp(2)
+		if len(o.Subs) > 1 && len(m.lcvStack) > 0 {
+			inner := m.lcvStack[len(m.lcvStack)-1]
+			if o.Subs[0].Coef(inner) == 0 {
+				strided := false
+				for _, sub := range o.Subs[1:] {
+					if sub.Coef(inner) != 0 {
+						strided = true
+						break
+					}
+				}
+				if strided {
+					m.res.Counts.MemStalls += m.memPenalty
+					m.countOp(m.memPenalty)
+				}
+			}
+		}
+	}
+}
+
+// Run executes p on the given input values (consumed by READ statements in
+// order) and returns the printed output and operation counts.
+func Run(p *ir.Program, input []ir.Value, cfg Config) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := &machine{
+		prog:     p,
+		scalars:  map[string]ir.Value{},
+		arrays:   map[string][]ir.Value{},
+		dims:     map[string][]int64{},
+		intDecls: map[string]bool{},
+		input:    input,
+		res:      &Result{},
+		maxSteps: cfg.MaxSteps,
+	}
+	if m.maxSteps == 0 {
+		m.maxSteps = 20_000_000
+	}
+	m.memPenalty = cfg.MemPenalty
+	if m.memPenalty == 0 && !cfg.NoMemPenalty {
+		m.memPenalty = defaultMemPenalty
+	}
+	if cfg.NoMemPenalty {
+		m.memPenalty = 0
+	}
+	for _, d := range p.Decls {
+		if len(d.Dims) > 0 {
+			size := int64(1)
+			for _, n := range d.Dims {
+				size *= n
+			}
+			if size > 1<<24 {
+				return nil, runErrf("array %s too large", d.Name)
+			}
+			m.arrays[d.Name] = make([]ir.Value, size)
+			m.dims[d.Name] = d.Dims
+			if !d.IsFloat {
+				m.intDecls[d.Name] = true
+			}
+		} else if !d.IsFloat {
+			m.intDecls[d.Name] = true
+		}
+	}
+	if err := m.exec(); err != nil {
+		return nil, err
+	}
+	return m.res, nil
+}
+
+// loopState tracks an active DO loop.
+type loopState struct {
+	headIdx  int
+	lcv      string
+	final    ir.Value
+	step     ir.Value
+	parallel bool
+}
+
+func (m *machine) exec() error {
+	var stack []loopState
+	i := 0
+	for i < m.prog.Len() {
+		if m.steps++; m.steps > m.maxSteps {
+			return runErrf("step limit exceeded (infinite loop?)")
+		}
+		s := m.prog.At(i)
+		switch s.Kind {
+		case ir.SAssign:
+			if err := m.assign(s); err != nil {
+				return err
+			}
+			i++
+		case ir.SRead:
+			if m.inPos >= len(m.input) {
+				return runErrf("READ past end of input")
+			}
+			v := m.input[m.inPos]
+			m.inPos++
+			m.res.Counts.Reads++
+			m.countOp(1)
+			if err := m.store(s.Dst, v); err != nil {
+				return err
+			}
+			i++
+		case ir.SPrint:
+			for _, a := range s.Args {
+				v, err := m.load(a)
+				if err != nil {
+					return err
+				}
+				m.res.Output = append(m.res.Output, v)
+			}
+			m.res.Counts.Prints++
+			m.countOp(1)
+			i++
+		case ir.SIf:
+			a, err := m.load(s.A)
+			if err != nil {
+				return err
+			}
+			b, err := m.load(s.B)
+			if err != nil {
+				return err
+			}
+			m.res.Counts.Compares++
+			m.countOp(1)
+			els, endif := ir.MatchingEndIf(m.prog, s)
+			if endif == nil {
+				return runErrf("unmatched IF")
+			}
+			if ir.Compare(s.Rel, a, b) {
+				i++
+			} else if els != nil {
+				i = m.prog.Index(els) + 1
+			} else {
+				i = m.prog.Index(endif) + 1
+			}
+		case ir.SElse:
+			// Reached from the THEN branch: skip to the ENDIF.
+			depth := 0
+			j := i + 1
+			for ; j < m.prog.Len(); j++ {
+				k := m.prog.At(j).Kind
+				if k == ir.SIf {
+					depth++
+				} else if k == ir.SEndIf {
+					if depth == 0 {
+						break
+					}
+					depth--
+				}
+			}
+			i = j + 1
+		case ir.SEndIf:
+			i++
+		case ir.SDoHead:
+			init, err := m.load(s.Init)
+			if err != nil {
+				return err
+			}
+			final, err := m.load(s.Final)
+			if err != nil {
+				return err
+			}
+			step, err := m.load(s.Step)
+			if err != nil {
+				return err
+			}
+			if step.IsZero() {
+				return runErrf("zero loop step at S%d", s.ID)
+			}
+			m.scalars[s.LCV] = m.coerce(s.LCV, init)
+			m.res.Counts.Compares++
+			m.countOp(1)
+			if s.Parallel {
+				m.res.Counts.DoallEntries++
+			}
+			if loopContinues(init, final, step) {
+				stack = append(stack, loopState{
+					headIdx: m.prog.Index(s), lcv: s.LCV,
+					final: final, step: step, parallel: s.Parallel,
+				})
+				m.lcvStack = append(m.lcvStack, s.LCV)
+				if s.Parallel {
+					m.doallDepth++
+				}
+				m.res.Counts.LoopIters++
+				i++
+			} else {
+				end := ir.MatchingEnd(m.prog, s)
+				i = m.prog.Index(end) + 1
+			}
+		case ir.SDoEnd:
+			if len(stack) == 0 {
+				return runErrf("unmatched ENDDO")
+			}
+			ls := &stack[len(stack)-1]
+			cur := m.scalars[ls.lcv]
+			next := ir.Arith(ir.OpAdd, cur, ls.step)
+			m.scalars[ls.lcv] = m.coerce(ls.lcv, next)
+			m.res.Counts.Compares++
+			m.countOp(1)
+			if loopContinues(next, ls.final, ls.step) {
+				m.res.Counts.LoopIters++
+				i = ls.headIdx + 1
+			} else {
+				if ls.parallel {
+					m.doallDepth--
+				}
+				stack = stack[:len(stack)-1]
+				m.lcvStack = m.lcvStack[:len(m.lcvStack)-1]
+				i++
+			}
+		default:
+			return runErrf("unknown statement kind %v", s.Kind)
+		}
+	}
+	return nil
+}
+
+func loopContinues(cur, final, step ir.Value) bool {
+	if step.AsFloat() > 0 {
+		return ir.Compare(ir.RelLE, cur, final)
+	}
+	return ir.Compare(ir.RelGE, cur, final)
+}
+
+func (m *machine) countOp(n int64) {
+	if m.doallDepth > 0 {
+		m.res.Counts.ParallelOps += n
+	} else {
+		m.res.Counts.SerialOps += n
+	}
+}
+
+func (m *machine) assign(s *ir.Stmt) error {
+	a, err := m.load(s.A)
+	if err != nil {
+		return err
+	}
+	var v ir.Value
+	if s.Op == ir.OpCopy {
+		v = a
+		m.res.Counts.Assigns++
+		m.countOp(1)
+	} else {
+		b, err := m.load(s.B)
+		if err != nil {
+			return err
+		}
+		v = ir.Arith(s.Op, a, b)
+		m.res.Counts.Arith++
+		m.res.Counts.Assigns++
+		m.countOp(2)
+	}
+	return m.store(s.Dst, v)
+}
+
+// coerce applies INTEGER declaration truncation.
+func (m *machine) coerce(name string, v ir.Value) ir.Value {
+	if m.intDecls[name] && v.IsFloat {
+		return ir.IntVal(v.AsInt())
+	}
+	return v
+}
+
+func (m *machine) load(o ir.Operand) (ir.Value, error) {
+	m.fetch(o)
+	switch o.Kind {
+	case ir.Const:
+		return o.Val, nil
+	case ir.Var:
+		return m.scalars[o.Name], nil
+	case ir.ArrayRef:
+		idx, err := m.flatIndex(o)
+		if err != nil {
+			return ir.Value{}, err
+		}
+		return m.arrays[o.Name][idx], nil
+	}
+	return ir.Value{}, runErrf("load of absent operand")
+}
+
+func (m *machine) store(o ir.Operand, v ir.Value) error {
+	m.fetch(o)
+	switch o.Kind {
+	case ir.Var:
+		m.scalars[o.Name] = m.coerce(o.Name, v)
+		return nil
+	case ir.ArrayRef:
+		idx, err := m.flatIndex(o)
+		if err != nil {
+			return err
+		}
+		if m.intDecls[o.Name] && v.IsFloat {
+			v = ir.IntVal(v.AsInt())
+		}
+		m.arrays[o.Name][idx] = v
+		return nil
+	}
+	return runErrf("store to non-lvalue")
+}
+
+// flatIndex evaluates the (1-based, column-ordered as declared) subscripts
+// of an array reference into a flat offset with bounds checking.
+func (m *machine) flatIndex(o ir.Operand) (int64, error) {
+	dims, ok := m.dims[o.Name]
+	if !ok {
+		return 0, runErrf("undeclared array %s", o.Name)
+	}
+	if len(o.Subs) != len(dims) {
+		return 0, runErrf("array %s: %d subscripts for %d dimensions",
+			o.Name, len(o.Subs), len(dims))
+	}
+	flat := int64(0)
+	stride := int64(1)
+	for d := 0; d < len(dims); d++ {
+		sub, err := m.evalLin(o.Subs[d])
+		if err != nil {
+			return 0, err
+		}
+		if sub < 1 || sub > dims[d] {
+			return 0, runErrf("array %s: subscript %d out of bounds [1,%d]",
+				o.Name, sub, dims[d])
+		}
+		flat += (sub - 1) * stride
+		stride *= dims[d]
+	}
+	return flat, nil
+}
+
+func (m *machine) evalLin(e ir.LinExpr) (int64, error) {
+	total := e.Const
+	for _, t := range e.Terms {
+		v, ok := m.scalars[t.Var]
+		if !ok {
+			// Uninitialized scalar reads as zero, as in load.
+			v = ir.IntVal(0)
+		}
+		total += t.Coef * v.AsInt()
+	}
+	return total, nil
+}
+
+// SameOutput reports whether two executions printed the same values.
+func SameOutput(a, b *Result) bool {
+	if len(a.Output) != len(b.Output) {
+		return false
+	}
+	for i := range a.Output {
+		x, y := a.Output[i], b.Output[i]
+		if x.IsFloat || y.IsFloat {
+			dx, dy := x.AsFloat(), y.AsFloat()
+			diff := dx - dy
+			if diff < 0 {
+				diff = -diff
+			}
+			scale := 1.0
+			if dx > scale {
+				scale = dx
+			}
+			if -dx > scale {
+				scale = -dx
+			}
+			if diff > 1e-9*scale {
+				return false
+			}
+			continue
+		}
+		if !x.Equal(y) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,303 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/frontend"
+	"repro/ir"
+)
+
+func run(t *testing.T, src string, input ...ir.Value) *Result {
+	t.Helper()
+	p := frontend.MustParse(src)
+	r, err := Run(p, input, Config{})
+	if err != nil {
+		t.Fatalf("%v\n%s", err, p)
+	}
+	return r
+}
+
+func outInts(r *Result) []int64 {
+	out := make([]int64, len(r.Output))
+	for i, v := range r.Output {
+		out[i] = v.AsInt()
+	}
+	return out
+}
+
+func TestArithmeticAndPrint(t *testing.T) {
+	r := run(t, `
+PROGRAM p
+INTEGER x, y
+x = 2 + 3 * 4
+y = x MOD 5
+PRINT x, y
+END`)
+	got := outInts(r)
+	if len(got) != 2 || got[0] != 14 || got[1] != 4 {
+		t.Fatalf("output = %v", got)
+	}
+}
+
+func TestLoopSum(t *testing.T) {
+	r := run(t, `
+PROGRAM p
+INTEGER i, s
+s = 0
+DO i = 1, 10
+  s = s + i
+ENDDO
+PRINT s
+END`)
+	if outInts(r)[0] != 55 {
+		t.Fatalf("sum = %v", r.Output)
+	}
+	if r.Counts.LoopIters != 10 {
+		t.Errorf("iterations = %d", r.Counts.LoopIters)
+	}
+}
+
+func TestLoopStepAndDownward(t *testing.T) {
+	r := run(t, `
+PROGRAM p
+INTEGER i, s
+s = 0
+DO i = 10, 1, -2
+  s = s + i
+ENDDO
+PRINT s
+END`)
+	if outInts(r)[0] != 30 { // 10+8+6+4+2
+		t.Fatalf("sum = %v", r.Output)
+	}
+}
+
+func TestZeroTripLoop(t *testing.T) {
+	r := run(t, `
+PROGRAM p
+INTEGER i, s
+s = 7
+DO i = 5, 1
+  s = 0
+ENDDO
+PRINT s
+END`)
+	if outInts(r)[0] != 7 {
+		t.Fatal("zero-trip loop body must not execute")
+	}
+	if r.Counts.LoopIters != 0 {
+		t.Errorf("iterations = %d", r.Counts.LoopIters)
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	src := `
+PROGRAM p
+INTEGER x, y
+READ x
+IF (x .GT. 0) THEN
+  y = 1
+ELSE
+  y = 2
+ENDIF
+PRINT y
+END`
+	if outInts(run(t, src, ir.IntVal(5)))[0] != 1 {
+		t.Error("then branch")
+	}
+	if outInts(run(t, src, ir.IntVal(-5)))[0] != 2 {
+		t.Error("else branch")
+	}
+}
+
+func TestNestedIfInLoop(t *testing.T) {
+	r := run(t, `
+PROGRAM p
+INTEGER i, odd, even
+odd = 0
+even = 0
+DO i = 1, 10
+  IF (i MOD 2 == 0) THEN
+    even = even + 1
+  ELSE
+    odd = odd + 1
+  ENDIF
+ENDDO
+PRINT odd, even
+END`)
+	got := outInts(r)
+	if got[0] != 5 || got[1] != 5 {
+		t.Fatalf("output = %v", got)
+	}
+}
+
+func TestArrays2D(t *testing.T) {
+	r := run(t, `
+PROGRAM p
+INTEGER i, j
+REAL a(3,3), s
+DO i = 1, 3
+  DO j = 1, 3
+    a(i,j) = i * 10 + j
+  ENDDO
+ENDDO
+s = 0.0
+DO i = 1, 3
+  s = s + a(i,i)
+ENDDO
+PRINT s
+END`)
+	if r.Output[0].AsFloat() != 11+22+33 {
+		t.Fatalf("trace = %v", r.Output)
+	}
+}
+
+func TestArrayBoundsChecked(t *testing.T) {
+	p := frontend.MustParse(`
+PROGRAM p
+INTEGER i
+REAL a(5)
+i = 9
+a(i) = 1.0
+END`)
+	if _, err := Run(p, nil, Config{}); err == nil {
+		t.Fatal("out-of-bounds store must fail")
+	}
+}
+
+func TestReadPastEndFails(t *testing.T) {
+	p := frontend.MustParse("PROGRAM p\nINTEGER x\nREAD x\nEND")
+	if _, err := Run(p, nil, Config{}); err == nil {
+		t.Fatal("read past input must fail")
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	p := frontend.MustParse(`
+PROGRAM p
+INTEGER i, s
+DO i = 1, 1000000
+  s = s + 1
+ENDDO
+END`)
+	if _, err := Run(p, nil, Config{MaxSteps: 100}); err == nil {
+		t.Fatal("step limit must trigger")
+	}
+}
+
+func TestIntegerCoercion(t *testing.T) {
+	r := run(t, `
+PROGRAM p
+INTEGER x
+x = 7 / 2
+PRINT x
+END`)
+	if outInts(r)[0] != 3 {
+		t.Fatalf("integer division = %v", r.Output)
+	}
+	r2 := run(t, `
+PROGRAM p
+INTEGER x
+REAL y
+y = 3.7
+x = y
+PRINT x
+END`)
+	if outInts(r2)[0] != 3 {
+		t.Fatalf("coercion = %v", r2.Output)
+	}
+}
+
+func TestParallelCountsSplit(t *testing.T) {
+	serial := run(t, `
+PROGRAM p
+INTEGER i
+REAL a(100)
+DO i = 1, 100
+  a(i) = 1.0
+ENDDO
+END`)
+	par := run(t, `
+PROGRAM p
+INTEGER i
+REAL a(100)
+DOALL i = 1, 100
+  a(i) = 1.0
+ENDDO
+END`)
+	if serial.Counts.ParallelOps != 0 {
+		t.Error("serial loop must not count parallel ops")
+	}
+	if par.Counts.ParallelOps == 0 || par.Counts.DoallEntries != 1 {
+		t.Errorf("parallel counts = %+v", par.Counts)
+	}
+	// Same total work either way.
+	if serial.Counts.Total() != par.Counts.Total() {
+		t.Error("totals must agree")
+	}
+}
+
+func TestEstimatedTimeModels(t *testing.T) {
+	c := Counts{SerialOps: 100, ParallelOps: 800, DoallEntries: 2}
+	m := DefaultModel
+	ts := EstimatedTime(c, Scalar, m)
+	tv := EstimatedTime(c, Vector, m)
+	tm := EstimatedTime(c, Multiprocessor, m)
+	if ts != 900 {
+		t.Errorf("scalar = %v", ts)
+	}
+	if tv != 100+800/8 {
+		t.Errorf("vector = %v", tv)
+	}
+	if tm != 100+800/4+2*16 {
+		t.Errorf("mp = %v", tm)
+	}
+	if b := Benefit(c, Counts{SerialOps: 100, ParallelOps: 400}, Scalar, m); b <= 0 {
+		t.Errorf("benefit = %v", b)
+	}
+	if Benefit(Counts{}, Counts{}, Scalar, m) != 0 {
+		t.Error("zero-time benefit must be 0")
+	}
+}
+
+func TestSameOutput(t *testing.T) {
+	a := &Result{Output: []ir.Value{ir.IntVal(1), ir.FloatVal(2.0)}}
+	b := &Result{Output: []ir.Value{ir.IntVal(1), ir.FloatVal(2.0 + 1e-12)}}
+	if !SameOutput(a, b) {
+		t.Error("tolerant float comparison failed")
+	}
+	c := &Result{Output: []ir.Value{ir.IntVal(2), ir.FloatVal(2.0)}}
+	if SameOutput(a, c) {
+		t.Error("different ints must differ")
+	}
+	d := &Result{Output: []ir.Value{ir.IntVal(1)}}
+	if SameOutput(a, d) {
+		t.Error("different lengths must differ")
+	}
+}
+
+func TestUninitializedReadsZero(t *testing.T) {
+	r := run(t, `
+PROGRAM p
+INTEGER x, y
+y = x + 1
+PRINT y
+END`)
+	if outInts(r)[0] != 1 {
+		t.Fatalf("output = %v", r.Output)
+	}
+}
+
+func TestLCVAfterLoop(t *testing.T) {
+	// FORTRAN semantics: the LCV holds final+step after a completed loop.
+	r := run(t, `
+PROGRAM p
+INTEGER i
+DO i = 1, 3
+ENDDO
+PRINT i
+END`)
+	if outInts(r)[0] != 4 {
+		t.Fatalf("LCV after loop = %v", r.Output)
+	}
+}

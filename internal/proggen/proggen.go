@@ -1,0 +1,257 @@
+// Package proggen generates random — but always valid and always
+// terminating — IR programs for property-based testing. The generator is
+// deterministic in its seed, so failures reproduce.
+//
+// Guarantees of every generated program:
+//
+//   - structurally valid (Validate passes) with loops nested at most three
+//     deep and IFs properly bracketed;
+//   - array subscripts are affine in enclosing loop variables or constants
+//     and provably in bounds (loop ranges and offsets are chosen inside the
+//     declared extents);
+//   - no READ statements (execution needs no input) and a final PRINT of
+//     every scalar plus array probes, so behaviour is fully observable;
+//   - terminating: loop bounds are constants or loop-invariant scalars with
+//     small known ranges.
+package proggen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/ir"
+)
+
+// Config bounds the generated programs.
+type Config struct {
+	// MaxStmts bounds the top-level statement budget (default 24).
+	MaxStmts int
+	// MaxDepth bounds loop nesting (default 3).
+	MaxDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxStmts == 0 {
+		c.MaxStmts = 24
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 3
+	}
+	return c
+}
+
+const (
+	arrayExtent = 12 // every array dimension
+	loopLo      = 2  // loop ranges stay in [2, 7]
+	loopHi      = 7  // ... so ±1 offsets stay within [1, 8] ⊆ [1, 12]
+)
+
+// lcvNames are the loop control variables by depth.
+var lcvNames = [...]string{"i", "j", "k"}
+
+type gen struct {
+	r      *rand.Rand
+	b      *ir.Builder
+	cfg    Config
+	budget int
+	// scalars and arrays in scope.
+	intScalars  []string
+	realScalars []string
+	arrays1     []string
+	arrays2     []string
+	// lcvs currently in scope (innermost last).
+	lcvs []string
+}
+
+// Generate builds a random program from the seed.
+func Generate(seed int64, cfg Config) *ir.Program {
+	cfg = cfg.withDefaults()
+	g := &gen{
+		r:           rand.New(rand.NewSource(seed)),
+		b:           ir.NewBuilder(fmt.Sprintf("rand%d", seed)),
+		cfg:         cfg,
+		budget:      cfg.MaxStmts,
+		intScalars:  []string{"n", "m", "p"},
+		realScalars: []string{"x", "y", "z", "w"},
+		arrays1:     []string{"a", "b"},
+		arrays2:     []string{"c"},
+	}
+	for _, s := range g.intScalars {
+		g.b.Declare(s, false)
+	}
+	for _, s := range g.realScalars {
+		g.b.Declare(s, true)
+	}
+	for _, a := range g.arrays1 {
+		g.b.Declare(a, true, arrayExtent)
+	}
+	for _, a := range g.arrays2 {
+		g.b.Declare(a, true, arrayExtent, arrayExtent)
+	}
+
+	// Seed some values so dataflow has definitions to track.
+	g.b.Copy(ir.VarOp("n"), ir.IntOp(int64(g.r.Intn(6)+loopLo)))
+	g.b.Copy(ir.VarOp("x"), ir.ConstOp(ir.FloatVal(float64(g.r.Intn(9))+0.5)))
+
+	g.stmts(0)
+
+	// Observability: print every scalar and probe the arrays.
+	args := []ir.Operand{}
+	for _, s := range append(append([]string{}, g.intScalars...), g.realScalars...) {
+		args = append(args, ir.VarOp(s))
+	}
+	for _, a := range g.arrays1 {
+		args = append(args, ir.ArrayOp(a, ir.ConstExpr(1)), ir.ArrayOp(a, ir.ConstExpr(arrayExtent/2)))
+	}
+	for _, a := range g.arrays2 {
+		args = append(args, ir.ArrayOp(a, ir.ConstExpr(2), ir.ConstExpr(3)))
+	}
+	g.b.Print(args...)
+	return g.b.P
+}
+
+// stmts emits a run of statements at the given loop depth.
+func (g *gen) stmts(depth int) {
+	n := 1 + g.r.Intn(4)
+	for s := 0; s < n && g.budget > 0; s++ {
+		g.stmt(depth)
+	}
+}
+
+func (g *gen) stmt(depth int) {
+	g.budget--
+	roll := g.r.Intn(100)
+	switch {
+	case roll < 14 && depth < g.cfg.MaxDepth:
+		g.loop(depth)
+	case roll < 22 && depth < g.cfg.MaxDepth:
+		g.ifStmt(depth)
+	case roll < 40:
+		g.scalarAssign()
+	case roll < 55:
+		g.constDef()
+	default:
+		g.arrayAssign(depth)
+	}
+}
+
+// loop emits DO lcv = lo, hi with a body.
+func (g *gen) loop(depth int) {
+	lcv := lcvNames[depth]
+	lo := int64(g.r.Intn(3) + loopLo) // 2..4
+	hi := lo + int64(g.r.Intn(3)+1)   // lo+1 .. lo+3 ≤ 7
+	switch {
+	case g.r.Intn(4) == 0 && depth == 0:
+		// Occasionally a downward loop.
+		g.b.DoStep(lcv, ir.IntOp(hi), ir.IntOp(lo), ir.IntOp(-1))
+	case g.r.Intn(4) == 0:
+		// Occasionally bound by n (always in [loopLo, loopHi], so the
+		// subscript safety argument still holds) — this is what lets
+		// constant propagation enable unrolling on random programs too.
+		g.b.Do(lcv, ir.IntOp(loopLo), ir.VarOp("n"))
+	default:
+		g.b.Do(lcv, ir.IntOp(lo), ir.IntOp(hi))
+	}
+	g.lcvs = append(g.lcvs, lcv)
+	g.stmts(depth + 1)
+	g.lcvs = g.lcvs[:len(g.lcvs)-1]
+	g.b.EndDo()
+}
+
+func (g *gen) ifStmt(depth int) {
+	a := g.scalarUse()
+	rel := []ir.Relop{ir.RelLT, ir.RelLE, ir.RelGT, ir.RelGE, ir.RelEQ, ir.RelNE}[g.r.Intn(6)]
+	g.b.If(a, rel, ir.IntOp(int64(g.r.Intn(7))))
+	g.stmts(depth + 1)
+	if g.r.Intn(2) == 0 {
+		g.b.Else()
+		g.stmts(depth + 1)
+	}
+	g.b.EndIf()
+}
+
+// constDef emits "scalar := constant" — CTP/CFO fodder.
+func (g *gen) constDef() {
+	if g.r.Intn(2) == 0 {
+		s := g.intScalars[g.r.Intn(len(g.intScalars))]
+		if s == "n" {
+			// n is a live loop bound elsewhere; keep its range.
+			g.b.Copy(ir.VarOp(s), ir.IntOp(int64(g.r.Intn(6)+loopLo)))
+			return
+		}
+		g.b.Copy(ir.VarOp(s), ir.IntOp(int64(g.r.Intn(20))))
+		return
+	}
+	s := g.realScalars[g.r.Intn(len(g.realScalars))]
+	g.b.Copy(ir.VarOp(s), ir.ConstOp(ir.FloatVal(float64(g.r.Intn(16))/2)))
+}
+
+// scalarAssign emits "scalar := a op b" over scalars/constants.
+func (g *gen) scalarAssign() {
+	dst := g.realScalars[g.r.Intn(len(g.realScalars))]
+	a := g.operand()
+	if g.r.Intn(4) == 0 {
+		g.b.Copy(ir.VarOp(dst), a)
+		return
+	}
+	b := g.operand()
+	op := []ir.Opcode{ir.OpAdd, ir.OpSub, ir.OpMul}[g.r.Intn(3)]
+	g.b.Assign(ir.VarOp(dst), a, op, b)
+}
+
+// arrayAssign emits an array store with safe subscripts.
+func (g *gen) arrayAssign(depth int) {
+	if g.r.Intn(3) == 0 && len(g.arrays2) > 0 {
+		dst := ir.ArrayOp(g.arrays2[0], g.subscript(), g.subscript())
+		g.b.Assign(dst, g.arrayUse(), ir.OpAdd, g.operand())
+		return
+	}
+	name := g.arrays1[g.r.Intn(len(g.arrays1))]
+	dst := ir.ArrayOp(name, g.subscript())
+	switch g.r.Intn(3) {
+	case 0:
+		g.b.Copy(dst, g.operand())
+	case 1:
+		g.b.Assign(dst, g.arrayUse(), ir.OpMul, g.operand())
+	default:
+		g.b.Assign(dst, g.arrayUse(), ir.OpAdd, g.arrayUse())
+	}
+}
+
+// subscript builds a safe affine subscript: an enclosing LCV with a ±1
+// offset, or a constant inside the extent.
+func (g *gen) subscript() ir.LinExpr {
+	if len(g.lcvs) > 0 && g.r.Intn(4) != 0 {
+		lcv := g.lcvs[g.r.Intn(len(g.lcvs))]
+		off := int64(g.r.Intn(3) - 1) // -1, 0, +1; lcv ∈ [2,7] keeps [1,8]
+		return ir.VarExpr(lcv).Add(ir.ConstExpr(off))
+	}
+	return ir.ConstExpr(int64(g.r.Intn(arrayExtent) + 1))
+}
+
+// operand is a constant or scalar read.
+func (g *gen) operand() ir.Operand {
+	switch g.r.Intn(3) {
+	case 0:
+		return ir.ConstOp(ir.FloatVal(float64(g.r.Intn(10)) / 2))
+	case 1:
+		return ir.IntOp(int64(g.r.Intn(10)))
+	default:
+		return g.scalarUse()
+	}
+}
+
+func (g *gen) scalarUse() ir.Operand {
+	if g.r.Intn(2) == 0 {
+		return ir.VarOp(g.realScalars[g.r.Intn(len(g.realScalars))])
+	}
+	return ir.VarOp(g.intScalars[g.r.Intn(len(g.intScalars))])
+}
+
+// arrayUse is a safe array read.
+func (g *gen) arrayUse() ir.Operand {
+	if g.r.Intn(4) == 0 && len(g.arrays2) > 0 {
+		return ir.ArrayOp(g.arrays2[0], g.subscript(), g.subscript())
+	}
+	return ir.ArrayOp(g.arrays1[g.r.Intn(len(g.arrays1))], g.subscript())
+}

@@ -1,0 +1,266 @@
+package specs
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/proggen"
+	"repro/ir"
+)
+
+func TestSRD(t *testing.T) {
+	p, n := apply(t, "SRD", `
+PROGRAM p
+INTEGER x, y
+READ y
+x = y * 2
+END`)
+	if n != 1 {
+		t.Fatalf("applications = %d", n)
+	}
+	if got := ir.FormatStmt(p.At(1)); got != "x := y + y" {
+		t.Errorf("reduced = %q", got)
+	}
+}
+
+func TestSRDNotOnConstOrOtherFactor(t *testing.T) {
+	_, n := apply(t, "SRD", `
+PROGRAM p
+INTEGER x, y
+READ y
+x = y * 3
+y = 4 * 2
+END`)
+	if n != 0 {
+		t.Fatal("SRD must only reduce scalar*2")
+	}
+}
+
+func TestIDE(t *testing.T) {
+	p, n := apply(t, "IDE", `
+PROGRAM p
+REAL a, b, c, d, e
+READ a
+b = a + 0
+c = a - 0
+d = a * 1
+e = a / 1
+PRINT b, c, d, e
+END`)
+	if n != 4 {
+		t.Fatalf("applications = %d\n%s", n, p)
+	}
+	for i := 1; i <= 4; i++ {
+		if p.At(i).Op != ir.OpCopy {
+			t.Errorf("stmt %d not collapsed: %s", i, ir.FormatStmt(p.At(i)))
+		}
+	}
+}
+
+func TestIDEPreservesNonIdentities(t *testing.T) {
+	_, n := apply(t, "IDE", `
+PROGRAM p
+REAL a, b
+READ a
+b = a + 1
+b = a * 0
+END`)
+	if n != 0 {
+		t.Fatal("a+1 and a*0 are not identities")
+	}
+}
+
+func TestRAE(t *testing.T) {
+	p, n := apply(t, "RAE", `
+PROGRAM p
+REAL a, b, x, y
+READ a
+READ b
+x = a + b
+y = a + b
+PRINT x, y
+END`)
+	if n != 1 {
+		t.Fatalf("applications = %d\n%s", n, p)
+	}
+	if got := ir.FormatStmt(p.At(3)); got != "y := x" {
+		t.Errorf("eliminated = %q", got)
+	}
+}
+
+func TestRAEBlockedByInterveningChange(t *testing.T) {
+	_, n := apply(t, "RAE", `
+PROGRAM p
+REAL a, b, x, y
+READ a
+READ b
+x = a + b
+a = 0.0
+y = a + b
+PRINT x, y
+END`)
+	if n != 0 {
+		t.Fatal("redefined operand must block")
+	}
+}
+
+func TestRAEBlockedByTargetChange(t *testing.T) {
+	_, n := apply(t, "RAE", `
+PROGRAM p
+REAL a, b, x, y
+READ a
+READ b
+x = a + b
+x = 0.0
+y = a + b
+PRINT x, y
+END`)
+	if n != 0 {
+		t.Fatal("redefined target must block")
+	}
+}
+
+func TestRAEBlockedByBranch(t *testing.T) {
+	// The recomputation is only reached through an IF: Si does not
+	// dominate Sj in a way the straight-line check accepts.
+	_, n := apply(t, "RAE", `
+PROGRAM p
+REAL a, b, x, y
+INTEGER c
+READ a
+READ b
+READ c
+IF (c > 0) THEN
+  x = a + b
+ENDIF
+y = a + b
+PRINT x, y
+END`)
+	if n != 0 {
+		t.Fatal("conditional computation must block")
+	}
+}
+
+func TestLRV(t *testing.T) {
+	p, n := apply(t, "LRV", `
+PROGRAM p
+INTEGER i
+REAL a(10), b(10)
+DO i = 1, 10
+  a(i) = b(i) * 2.0
+ENDDO
+PRINT a(1), a(10)
+END`)
+	if n != 1 {
+		t.Fatalf("applications = %d\n%s", n, p)
+	}
+	h := ir.Loops(p)[0].Head
+	if h.Init.Val.AsInt() != 10 || h.Final.Val.AsInt() != 1 || h.Step.Val.AsInt() != -1 {
+		t.Fatalf("bounds not reversed: %s", ir.FormatStmt(h))
+	}
+}
+
+func TestLRVBlockedByRecurrence(t *testing.T) {
+	_, n := apply(t, "LRV", `
+PROGRAM p
+INTEGER i
+REAL a(10)
+DO i = 2, 10
+  a(i) = a(i-1)
+ENDDO
+END`)
+	if n != 0 {
+		t.Fatal("carried dependence must block reversal")
+	}
+}
+
+func TestLRVBlockedByLCVUseAfterLoop(t *testing.T) {
+	_, n := apply(t, "LRV", `
+PROGRAM p
+INTEGER i, k
+REAL a(10)
+DO i = 1, 10
+  a(i) = 1.0
+ENDDO
+k = i + 1
+PRINT k
+END`)
+	if n != 0 {
+		t.Fatal("observed final LCV value must block reversal")
+	}
+}
+
+func TestNRM(t *testing.T) {
+	p, n := apply(t, "NRM", `
+PROGRAM p
+INTEGER i
+REAL a(20)
+DO i = 2, 10, 2
+  a(i) = 1.0
+ENDDO
+PRINT a(2), a(10)
+END`)
+	if n != 1 {
+		t.Fatalf("applications = %d\n%s", n, p)
+	}
+	h := ir.Loops(p)[0].Head
+	if h.Init.Val.AsInt() != 1 || h.Final.Val.AsInt() != 5 || h.Step.Val.AsInt() != 1 {
+		t.Fatalf("bounds not normalized: %s", ir.FormatStmt(h))
+	}
+	body := ir.Loops(p)[0].Body(p)[0]
+	if got := body.Dst.Subs[0].String(); got != "2*i" {
+		t.Errorf("subscript = %q, want 2*i", got)
+	}
+}
+
+func TestNRMThenLURCompose(t *testing.T) {
+	// Normalization enables trip-count reasoning; unrolling still works on
+	// the normalized loop (an enablement chain beyond the paper's three).
+	p := frontendParse(t, `
+PROGRAM p
+INTEGER i
+REAL a(20)
+DO i = 2, 17, 3
+  a(i) = 1.0
+ENDDO
+PRINT a(2), a(17)
+END`)
+	ref := run(t, p.Clone())
+	if _, err := MustCompile("NRM").ApplyAll(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MustCompile("LUR").ApplyAll(p); err != nil {
+		t.Fatal(err)
+	}
+	got := run(t, p)
+	if !interp.SameOutput(ref, got) {
+		t.Fatalf("NRM∘LUR changed output\n%s", p)
+	}
+}
+
+// TestExtendedPreservation runs the literature set over the workloads and
+// random programs.
+func TestExtendedPreservation(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		ref, err := interp.Run(proggen.Generate(seed, proggen.Config{}), nil, interp.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range Extended {
+			p := proggen.Generate(seed, proggen.Config{})
+			o := MustCompile(name)
+			if _, err := o.ApplyAll(p); err != nil {
+				t.Fatalf("seed %d, %s: %v", seed, name, err)
+			}
+			got, err := interp.Run(p, nil, interp.Config{})
+			if err != nil {
+				t.Errorf("seed %d, %s: %v\n%s", seed, name, err, p)
+				continue
+			}
+			if !interp.SameOutput(ref, got) {
+				t.Errorf("seed %d, %s: output changed\nwant %v\ngot  %v\n%s",
+					seed, name, ref.Output, got.Output, p)
+			}
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package specs
+
+import (
+	"testing"
+
+	"repro/internal/handopt"
+	"repro/internal/interp"
+	"repro/internal/proggen"
+)
+
+// fuzzSeeds is the number of random programs each fuzz property runs over.
+const fuzzSeeds = 60
+
+// TestFuzzSemanticPreservation applies every optimization to fixpoint on
+// randomly generated programs and demands unchanged output — the strongest
+// correctness property in the suite, over programs nobody hand-crafted.
+func TestFuzzSemanticPreservation(t *testing.T) {
+	names := append(append([]string{}, Ten...), "CFO")
+	for seed := int64(0); seed < fuzzSeeds; seed++ {
+		p0 := proggen.Generate(seed, proggen.Config{})
+		ref, err := interp.Run(p0, nil, interp.Config{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, name := range names {
+			p := proggen.Generate(seed, proggen.Config{})
+			o := MustCompile(name)
+			apps, err := o.ApplyAll(p)
+			if err != nil {
+				t.Errorf("seed %d, %s: %v", seed, name, err)
+				continue
+			}
+			if err := p.Validate(); err != nil {
+				t.Errorf("seed %d, %s: broke structure: %v", seed, name, err)
+				continue
+			}
+			got, err := interp.Run(p, nil, interp.Config{})
+			if err != nil {
+				t.Errorf("seed %d, %s (%d apps): optimized program fails: %v\n%s",
+					seed, name, len(apps), err, p)
+				continue
+			}
+			if !interp.SameOutput(ref, got) {
+				t.Errorf("seed %d, %s (%d apps): output changed\nwant %v\ngot  %v\n%s",
+					seed, name, len(apps), ref.Output, got.Output, p)
+			}
+		}
+	}
+}
+
+// TestFuzzPipelinePreservation runs a full optimization pipeline over random
+// programs.
+func TestFuzzPipelinePreservation(t *testing.T) {
+	pipeline := []string{"CTP", "CFO", "CPP", "DCE", "ICM", "FUS", "INX", "CRC", "BMP", "LUR", "PAR"}
+	for seed := int64(0); seed < fuzzSeeds; seed++ {
+		p0 := proggen.Generate(seed, proggen.Config{})
+		ref, err := interp.Run(p0, nil, interp.Config{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		p := proggen.Generate(seed, proggen.Config{})
+		for _, name := range pipeline {
+			if _, err := MustCompile(name).ApplyAll(p); err != nil {
+				t.Fatalf("seed %d, %s: %v", seed, name, err)
+			}
+		}
+		got, err := interp.Run(p, nil, interp.Config{})
+		if err != nil {
+			t.Errorf("seed %d: pipeline output fails: %v\n%s", seed, err, p)
+			continue
+		}
+		if !interp.SameOutput(ref, got) {
+			t.Errorf("seed %d: pipeline changed output\nwant %v\ngot  %v\n%s",
+				seed, ref.Output, got.Output, p)
+		}
+	}
+}
+
+// TestFuzzHandOptsPreserve mirrors the fuzz property for the hand-coded
+// suite.
+func TestFuzzHandOptsPreserve(t *testing.T) {
+	for seed := int64(0); seed < fuzzSeeds/2; seed++ {
+		ref, err := interp.Run(proggen.Generate(seed, proggen.Config{}), nil, interp.Config{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for name, f := range handopt.All {
+			p := proggen.Generate(seed, proggen.Config{})
+			f(p)
+			got, err := interp.Run(p, nil, interp.Config{})
+			if err != nil {
+				t.Errorf("seed %d, hand %s: %v\n%s", seed, name, err, p)
+				continue
+			}
+			if !interp.SameOutput(ref, got) {
+				t.Errorf("seed %d, hand %s: output changed\n%s", seed, name, p)
+			}
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package specs
+
+import (
+	"testing"
+
+	"repro/internal/frontend"
+	"repro/internal/interp"
+	"repro/ir"
+)
+
+func frontendParse(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := frontend.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func run(t *testing.T, p *ir.Program) *interp.Result {
+	t.Helper()
+	r, err := interp.Run(p, nil, interp.Config{})
+	if err != nil {
+		t.Fatalf("%v\n%s", err, p)
+	}
+	return r
+}

@@ -1,0 +1,105 @@
+package specs
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/workloads"
+)
+
+// TestSemanticPreservation is the correctness property behind the paper's
+// quality experiment: applying any generated optimizer anywhere it claims
+// applicability must not change the program's observable output. Every
+// optimization is run to fixpoint on every workload and the outputs
+// compared against the unoptimized run.
+func TestSemanticPreservation(t *testing.T) {
+	for _, w := range workloads.All {
+		orig := w.Program()
+		ref, err := interp.Run(orig, w.Input, interp.Config{})
+		if err != nil {
+			t.Fatalf("%s: baseline run: %v", w.Name, err)
+		}
+		for _, name := range append(append([]string{}, Ten...), "CFO") {
+			p := w.Program()
+			o := MustCompile(name)
+			apps, err := o.ApplyAll(p)
+			if err != nil {
+				t.Errorf("%s on %s: %v", name, w.Name, err)
+				continue
+			}
+			got, err := interp.Run(p, w.Input, interp.Config{})
+			if err != nil {
+				t.Errorf("%s on %s: optimized program fails: %v\n%s", name, w.Name, err, p)
+				continue
+			}
+			if !interp.SameOutput(ref, got) {
+				t.Errorf("%s on %s: output changed after %d applications\nwant %v\ngot  %v\n%s",
+					name, w.Name, len(apps), ref.Output, got.Output, p)
+			}
+		}
+	}
+}
+
+// TestSemanticPreservationUnderPipelines runs sequences of optimizations
+// (the orderings the interaction experiment explores) and checks outputs.
+func TestSemanticPreservationUnderPipelines(t *testing.T) {
+	pipelines := [][]string{
+		{"CTP", "CFO", "DCE"},
+		{"CTP", "LUR", "FUS", "INX"},
+		{"FUS", "INX", "LUR"},
+		{"LUR", "FUS", "INX"},
+		{"INX", "FUS", "LUR"},
+		{"BMP", "FUS", "PAR"},
+		{"CPP", "CTP", "CFO", "DCE", "ICM", "INX", "CRC", "BMP", "PAR", "LUR", "FUS"},
+	}
+	for _, w := range workloads.All {
+		ref, err := interp.Run(w.Program(), w.Input, interp.Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		for _, pipe := range pipelines {
+			p := w.Program()
+			for _, name := range pipe {
+				if _, err := MustCompile(name).ApplyAll(p); err != nil {
+					t.Errorf("%v on %s: %v", pipe, w.Name, err)
+				}
+			}
+			got, err := interp.Run(p, w.Input, interp.Config{})
+			if err != nil {
+				t.Errorf("%v on %s: run: %v\n%s", pipe, w.Name, err, p)
+				continue
+			}
+			if !interp.SameOutput(ref, got) {
+				t.Errorf("%v on %s: output changed\nwant %v\ngot  %v\n%s",
+					pipe, w.Name, ref.Output, got.Output, p)
+			}
+		}
+	}
+}
+
+// TestStrategyInvariance: the membership evaluation strategy must never
+// change which transformations are performed, only their cost.
+func TestStrategyInvariance(t *testing.T) {
+	for _, w := range workloads.All {
+		for _, name := range Ten {
+			var programs []string
+			for _, s := range []string{"members", "deps", "heuristic"} {
+				p := w.Program()
+				var o = MustCompile(name)
+				switch s {
+				case "members":
+					o = MustCompile(name, withMembers()...)
+				case "deps":
+					o = MustCompile(name, withDeps()...)
+				}
+				if _, err := o.ApplyAll(p); err != nil {
+					t.Fatalf("%s/%s/%s: %v", name, w.Name, s, err)
+				}
+				programs = append(programs, p.String())
+			}
+			if programs[0] != programs[1] || programs[0] != programs[2] {
+				t.Errorf("%s on %s: strategies disagree", name, w.Name)
+			}
+		}
+	}
+}

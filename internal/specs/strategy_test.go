@@ -1,0 +1,11 @@
+package specs
+
+import "repro/internal/engine"
+
+func withMembers() []engine.Option {
+	return []engine.Option{engine.WithStrategy(engine.StrategyMembers)}
+}
+
+func withDeps() []engine.Option {
+	return []engine.Option{engine.WithStrategy(engine.StrategyDeps)}
+}

@@ -1,0 +1,308 @@
+// Package workloads provides the ten MiniF test programs used by the
+// experiments. The paper ran its optimizers over ten FORTRAN programs from
+// HOMPACK (homotopy-method nonlinear equation solvers) and a
+// numerical-analysis test suite (FFT, Newton's method, ...); those sources
+// are not available, so these programs are synthetic stand-ins built around
+// the same numerical kernels and seeded with the same kinds of optimization
+// opportunities the paper reports: constant definitions feeding loop bounds
+// (CTP enabling LUR), dead and foldable code, copies in two programs only,
+// interchangeable and rotatable nests, fusable and alignable adjacent
+// loops, parallelizable and inherently serial loops. See DESIGN.md's
+// substitution table.
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/frontend"
+	"repro/ir"
+)
+
+// Workload is one benchmark program plus the input its READ statements
+// consume.
+type Workload struct {
+	Name   string
+	Desc   string
+	Source string
+	Input  []ir.Value
+}
+
+// Program parses the workload's source. Each call returns a fresh program.
+func (w Workload) Program() *ir.Program {
+	return frontend.MustParse(w.Source)
+}
+
+// All lists the ten workloads in a fixed order.
+var All = []Workload{
+	{
+		Name: "newton",
+		Desc: "Newton's method for sqrt(a) (numerical-analysis suite)",
+		Source: `
+PROGRAM newton
+INTEGER k, n
+REAL x, a, fx, dfx, xold, result, scale
+READ a
+n = 8
+scale = 4.0 / 2.0
+x = a / scale
+DO k = 1, n
+  xold = x
+  fx = xold * xold - a
+  dfx = 2.0 * xold
+  x = xold - fx / dfx
+ENDDO
+result = x
+PRINT result
+END`,
+		Input: []ir.Value{ir.FloatVal(2.0)},
+	},
+	{
+		Name: "saxpy",
+		Desc: "two adjacent vector updates (BLAS-style kernel)",
+		Source: `
+PROGRAM saxpy
+INTEGER i, n
+REAL x(16), y(16), z(16), alpha
+READ alpha
+n = 16
+DO i = 1, n
+  x(i) = i * 0.5
+ENDDO
+DO i = 1, 16
+  y(i) = alpha * x(i)
+ENDDO
+DO i = 1, 16
+  z(i) = y(i) + x(i)
+ENDDO
+PRINT z(1), z(16)
+END`,
+		Input: []ir.Value{ir.FloatVal(3.0)},
+	},
+	{
+		Name: "matmul",
+		Desc: "dense matrix multiply (interchangeable nest, parallel outer loops)",
+		Source: `
+PROGRAM matmul
+INTEGER i, j, k, n, nsq
+REAL a(8,8), b(8,8), c(8,8)
+n = 8
+nsq = n * n
+DO i = 1, n
+  DO j = 1, n
+    a(i,j) = i + j
+    b(i,j) = i - j
+  ENDDO
+ENDDO
+DO i = 1, n
+  DO j = 1, n
+    c(i,j) = 0.0
+    DO k = 1, n
+      c(i,j) = c(i,j) + a(i,k) * b(k,j)
+    ENDDO
+  ENDDO
+ENDDO
+PRINT c(1,1), c(8,8), nsq
+END`,
+	},
+	{
+		Name: "stencil3d",
+		Desc: "3-D relaxation sweep (pure triple nest: circulation candidate)",
+		Source: `
+PROGRAM stencil3d
+INTEGER i, j, k, m
+REAL u(6,6,6), v(6,6,6)
+m = 6
+DO i = 1, m
+  DO j = 1, m
+    DO k = 1, m
+      v(i,j,k) = i * 36 + j * 6 + k
+    ENDDO
+  ENDDO
+ENDDO
+DO i = 1, m
+  DO j = 1, m
+    DO k = 1, m
+      u(i,j,k) = v(i,j,k) * 2.0
+    ENDDO
+  ENDDO
+ENDDO
+PRINT u(1,1,1), u(6,6,6)
+END`,
+	},
+	{
+		Name: "gauss",
+		Desc: "Gaussian elimination (triangular bounds block interchange)",
+		Source: `
+PROGRAM gauss
+INTEGER i, j, k, n, cols, last
+REAL a(8,9), m
+n = 8
+cols = n + 1
+last = n - 1
+DO i = 1, n
+  DO j = 1, cols
+    a(i,j) = i * j + 1
+  ENDDO
+ENDDO
+DO k = 1, last
+  DO i = k + 1, n
+    m = a(i,k) / a(k,k)
+    DO j = k, cols
+      a(i,j) = a(i,j) - m * a(k,j)
+    ENDDO
+  ENDDO
+ENDDO
+PRINT a(8,9)
+END`,
+	},
+	{
+		Name: "jacobi",
+		Desc: "2-D Jacobi smoothing step (stencil with spilled temporaries)",
+		Source: `
+PROGRAM jacobi
+INTEGER i, j, it, iters, size
+REAL a(10,10), b(10,10)
+iters = 4
+size = 10
+DO i = 1, size
+  DO j = 1, size
+    a(i,j) = i + j * 2
+    b(i,j) = 0.0
+  ENDDO
+ENDDO
+DO it = 1, iters
+  DO i = 2, 9
+    DO j = 2, 9
+      b(i,j) = (a(i-1,j) + a(i+1,j) + a(i,j-1) + a(i,j+1)) / 4.0
+    ENDDO
+  ENDDO
+  DO i = 2, 9
+    DO j = 2, 9
+      a(i,j) = b(i,j)
+    ENDDO
+  ENDDO
+ENDDO
+PRINT a(5,5)
+END`,
+	},
+	{
+		Name: "trapezoid",
+		Desc: "trapezoid-rule integration (serial reduction, copy after loop)",
+		Source: `
+PROGRAM trapezoid
+INTEGER i, n
+REAL lo, hi, range, h, s, x, fx, total
+n = 16
+lo = 0.0
+hi = 2.0
+range = hi - lo
+h = range / 16.0
+s = 0.0
+DO i = 1, n
+  x = lo + i * h
+  fx = x * x
+  s = s + fx * h
+ENDDO
+total = s
+PRINT total
+END`,
+	},
+	{
+		Name: "fft",
+		Desc: "FFT-flavoured strided butterflies (even/odd lanes independent)",
+		Source: `
+PROGRAM fft
+INTEGER i, n, half
+REAL re(32), im(32), w
+READ w
+n = 16
+half = 8
+DO i = 1, n
+  re(i) = i * 1.0
+  im(i) = 0.0
+ENDDO
+DO i = 1, half
+  re(2*i) = re(2*i) + w * re(2*i-1)
+ENDDO
+DO i = 1, half
+  im(2*i) = im(2*i) - w * im(2*i-1)
+ENDDO
+PRINT re(16), im(16)
+END`,
+		Input: []ir.Value{ir.FloatVal(0.5)},
+	},
+	{
+		Name: "homotopy",
+		Desc: "HOMPACK-style predictor/corrector step (bump-then-fuse pair)",
+		Source: `
+PROGRAM homotopy
+INTEGER i, n
+REAL x(16), dx(16), r(16), step
+READ step
+n = 10
+DO i = 1, n
+  x(i) = i * 0.25
+  dx(i) = 1.0 / i
+ENDDO
+DO i = 1, 10
+  x(i) = x(i) + step * dx(i)
+ENDDO
+DO i = 3, 12
+  r(i) = step * 2.0
+ENDDO
+PRINT x(10), r(12)
+END`,
+		Input: []ir.Value{ir.FloatVal(0.125)},
+	},
+	{
+		Name: "interact",
+		Desc: "the Section-4 interaction program: FUS, INX and LUR all apply and enable/disable one another",
+		Source: `
+PROGRAM interact
+INTEGER i, j, k
+REAL a(16,16), b(16), c(16), d(16), e(16), t
+! segment A: a tight nest (odd-trip outer, even-trip inner) followed by an
+! adjacent loop with the same header: fusing kills the tight nest (FUS
+! disables INX), interchanging kills the header match (INX disables FUS),
+! unrolling touches only the inner loop (LUR keeps INX enabled).
+DO i = 1, 15
+  DO j = 1, 16
+    a(i,j) = a(i,j) + 1.0
+  ENDDO
+ENDDO
+DO i = 1, 15
+  b(i) = c(i) * 2.0
+ENDDO
+! segment B: two fusable even-trip loops; unrolling the first desynchronizes
+! the headers (LUR disables FUS). The second resists unrolling (k appears as
+! a direct operand).
+DO k = 1, 16
+  d(k) = c(k) * 2.0
+ENDDO
+DO k = 1, 16
+  t = k * 0.1
+  e(k) = d(k) + t
+ENDDO
+PRINT a(15,16), b(15), e(16)
+END`,
+	},
+}
+
+// Get returns the named workload.
+func Get(name string) (Workload, error) {
+	for _, w := range All {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// Names lists the workload names in order.
+func Names() []string {
+	out := make([]string, len(All))
+	for i, w := range All {
+		out[i] = w.Name
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+)
+
+func TestTenWorkloads(t *testing.T) {
+	if len(All) != 10 {
+		t.Fatalf("the paper used ten programs; have %d", len(All))
+	}
+	seen := map[string]bool{}
+	for _, w := range All {
+		if seen[w.Name] {
+			t.Errorf("duplicate workload %s", w.Name)
+		}
+		seen[w.Name] = true
+	}
+}
+
+func TestWorkloadsParseValidateRun(t *testing.T) {
+	for _, w := range All {
+		p := w.Program()
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+			continue
+		}
+		r, err := interp.Run(p, w.Input, interp.Config{})
+		if err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+			continue
+		}
+		if len(r.Output) == 0 {
+			t.Errorf("%s: produces no output (experiments need observable results)", w.Name)
+		}
+		if r.Counts.Total() == 0 {
+			t.Errorf("%s: no work executed", w.Name)
+		}
+	}
+}
+
+func TestKnownResults(t *testing.T) {
+	// newton: sqrt(2) after 8 iterations.
+	w, err := Get("newton")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := interp.Run(w.Program(), w.Input, interp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.Output[0].AsFloat()
+	if got < 1.41 || got > 1.4143 {
+		t.Errorf("newton sqrt(2) = %v", got)
+	}
+
+	// matmul: c(1,1) = Σ_k a(1,k)·b(k,1) = Σ_k (1+k)(k−1) = Σ (k²−1) = 204−8 = 196.
+	m, _ := Get("matmul")
+	r, err = interp.Run(m.Program(), m.Input, interp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Output[0].AsFloat() != 196 {
+		t.Errorf("matmul c(1,1) = %v, want 196", r.Output[0])
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("nope"); err == nil {
+		t.Error("unknown workload must error")
+	}
+	if len(Names()) != len(All) {
+		t.Error("Names mismatch")
+	}
+}

@@ -1,0 +1,62 @@
+package ir
+
+// Builder provides a compact way to construct programs in code (mainly
+// tests). The frontend package is the usual constructor for programs.
+type Builder struct {
+	P *Program
+}
+
+// NewBuilder returns a builder for a fresh program.
+func NewBuilder(name string) *Builder {
+	return &Builder{P: NewProgram(name)}
+}
+
+// Declare adds a declaration.
+func (b *Builder) Declare(name string, isFloat bool, dims ...int64) *Builder {
+	b.P.Decls = append(b.P.Decls, Decl{Name: name, IsFloat: isFloat, Dims: dims})
+	return b
+}
+
+// Assign appends "dst := a op bop" (pass None() for b when op is OpCopy).
+func (b *Builder) Assign(dst Operand, a Operand, op Opcode, c Operand) *Stmt {
+	return b.P.Append(&Stmt{Kind: SAssign, Dst: dst, Op: op, A: a, B: c})
+}
+
+// Copy appends "dst := a".
+func (b *Builder) Copy(dst, a Operand) *Stmt {
+	return b.P.Append(&Stmt{Kind: SAssign, Dst: dst, Op: OpCopy, A: a})
+}
+
+// Do appends a DO head with step 1.
+func (b *Builder) Do(lcv string, init, final Operand) *Stmt {
+	return b.P.Append(&Stmt{Kind: SDoHead, LCV: lcv, Init: init, Final: final, Step: IntOp(1)})
+}
+
+// DoStep appends a DO head with an explicit step.
+func (b *Builder) DoStep(lcv string, init, final, step Operand) *Stmt {
+	return b.P.Append(&Stmt{Kind: SDoHead, LCV: lcv, Init: init, Final: final, Step: step})
+}
+
+// EndDo appends an ENDDO.
+func (b *Builder) EndDo() *Stmt { return b.P.Append(&Stmt{Kind: SDoEnd}) }
+
+// If appends an IF head.
+func (b *Builder) If(a Operand, rel Relop, c Operand) *Stmt {
+	return b.P.Append(&Stmt{Kind: SIf, A: a, Rel: rel, B: c})
+}
+
+// Else appends an ELSE.
+func (b *Builder) Else() *Stmt { return b.P.Append(&Stmt{Kind: SElse}) }
+
+// EndIf appends an ENDIF.
+func (b *Builder) EndIf() *Stmt { return b.P.Append(&Stmt{Kind: SEndIf}) }
+
+// Print appends a PRINT.
+func (b *Builder) Print(args ...Operand) *Stmt {
+	return b.P.Append(&Stmt{Kind: SPrint, Args: args})
+}
+
+// Read appends a READ.
+func (b *Builder) Read(dst Operand) *Stmt {
+	return b.P.Append(&Stmt{Kind: SRead, Dst: dst})
+}

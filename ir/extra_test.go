@@ -1,0 +1,214 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindAndOpcodeStrings(t *testing.T) {
+	for op, want := range map[Opcode]string{
+		OpCopy: "assign", OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	} {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q", int(op), op.String())
+		}
+	}
+	if Opcode(99).String() == "" {
+		t.Error("unknown opcode String")
+	}
+	for rel, want := range map[Relop]string{
+		RelEQ: "==", RelNE: "!=", RelLT: "<", RelLE: "<=", RelGT: ">", RelGE: ">=",
+	} {
+		if rel.String() != want {
+			t.Errorf("relop %d = %q", int(rel), rel.String())
+		}
+	}
+	kinds := []StmtKind{SAssign, SDoHead, SDoEnd, SIf, SElse, SEndIf, SPrint, SRead, StmtKind(99)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("kind %d empty String", int(k))
+		}
+	}
+	if OperandKind(99).String() == "" || NoOperand.String() != "none" {
+		t.Error("OperandKind strings")
+	}
+}
+
+func TestOperandHelpers(t *testing.T) {
+	if None().Present() {
+		t.Error("None must be absent")
+	}
+	if !VarOp("x").Present() {
+		t.Error("Var must be present")
+	}
+	if None().String() != "_" {
+		t.Errorf("None string = %q", None().String())
+	}
+	a := ArrayOp("a", VarExpr("i"))
+	s := a.SubstVar("i", VarExpr("j").Add(ConstExpr(1)))
+	if got := s.Subs[0].String(); got != "j+1" {
+		t.Errorf("SubstVar = %q", got)
+	}
+	// SubstVar on non-arrays is the identity.
+	v := VarOp("i")
+	if !v.SubstVar("i", ConstExpr(9)).Equal(v) {
+		t.Error("SubstVar must not touch scalar operands")
+	}
+}
+
+func TestProgramLookupHelpers(t *testing.T) {
+	b := NewBuilder("h")
+	b.Declare("a", true, 4)
+	s1 := b.Copy(VarOp("x"), IntOp(1))
+	s2 := b.Read(VarOp("y"))
+	b.DoStep("i", IntOp(4), IntOp(1), IntOp(-1))
+	b.EndDo()
+	p := b.P
+
+	if p.FindID(s2.ID) != s2 {
+		t.Error("FindID")
+	}
+	if p.FindID(9999) != nil {
+		t.Error("FindID missing must be nil")
+	}
+	if d, ok := p.DeclOf("a"); !ok || d.Dims[0] != 4 {
+		t.Error("DeclOf")
+	}
+	if _, ok := p.DeclOf("zzz"); ok {
+		t.Error("DeclOf missing")
+	}
+	ins := &Stmt{Kind: SAssign, Dst: VarOp("z"), Op: OpCopy, A: IntOp(0)}
+	p.InsertBefore(s2, ins)
+	if p.Index(ins) != 1 {
+		t.Errorf("InsertBefore index = %d", p.Index(ins))
+	}
+	// InsertAfter nil anchor = front.
+	front := &Stmt{Kind: SAssign, Dst: VarOp("w"), Op: OpCopy, A: IntOp(0)}
+	p.InsertAfter(nil, front)
+	if p.Index(front) != 0 {
+		t.Error("InsertAfter(nil) must prepend")
+	}
+	_ = s1
+}
+
+func TestCopyFromRestores(t *testing.T) {
+	b := NewBuilder("snap")
+	b.Copy(VarOp("x"), IntOp(1))
+	b.Copy(VarOp("y"), IntOp(2))
+	p := b.P
+	snap := p.Clone()
+	p.Delete(p.At(0))
+	p.At(0).Dst = VarOp("zzz")
+	p.CopyFrom(snap)
+	if p.Len() != 2 || p.At(0).Dst.Name != "x" {
+		t.Fatalf("CopyFrom failed:\n%s", p)
+	}
+	// IDs and the counter survive so future inserts stay unique.
+	s := p.Append(&Stmt{Kind: SAssign, Dst: VarOp("q"), Op: OpCopy, A: IntOp(3)})
+	if s.ID == p.At(0).ID || s.ID == p.At(1).ID {
+		t.Error("ID counter not restored")
+	}
+}
+
+func TestEqualDetectsDifferences(t *testing.T) {
+	mk := func() *Program {
+		b := NewBuilder("e")
+		b.Do("i", IntOp(1), IntOp(3))
+		b.Print(VarOp("i"))
+		b.EndDo()
+		return b.P
+	}
+	a, c := mk(), mk()
+	if !a.Equal(c) {
+		t.Fatal("identical programs must be equal")
+	}
+	c.At(1).Args = []Operand{VarOp("j")}
+	if a.Equal(c) {
+		t.Fatal("differing print args must differ")
+	}
+	d := mk()
+	d.Delete(d.At(1))
+	if a.Equal(d) {
+		t.Fatal("different lengths must differ")
+	}
+}
+
+func TestEqualStmtKindMatrix(t *testing.T) {
+	a := &Stmt{Kind: SRead, Dst: VarOp("x")}
+	b := &Stmt{Kind: SRead, Dst: VarOp("y")}
+	if EqualStmt(a, b) {
+		t.Error("reads of different targets differ")
+	}
+	if !EqualStmt(&Stmt{Kind: SElse}, &Stmt{Kind: SElse}) {
+		t.Error("markers are equal")
+	}
+	if EqualStmt(&Stmt{Kind: SElse}, &Stmt{Kind: SEndIf}) {
+		t.Error("different kinds differ")
+	}
+	do1 := &Stmt{Kind: SDoHead, LCV: "i", Init: IntOp(1), Final: IntOp(2), Step: IntOp(1)}
+	do2 := &Stmt{Kind: SDoHead, LCV: "i", Init: IntOp(1), Final: IntOp(2), Step: IntOp(1), Parallel: true}
+	if EqualStmt(do1, do2) {
+		t.Error("parallel flag must distinguish loop heads")
+	}
+	if1 := &Stmt{Kind: SIf, A: VarOp("a"), Rel: RelLT, B: VarOp("b")}
+	if2 := &Stmt{Kind: SIf, A: VarOp("a"), Rel: RelGT, B: VarOp("b")}
+	if EqualStmt(if1, if2) {
+		t.Error("relop must distinguish ifs")
+	}
+}
+
+func TestLoopValid(t *testing.T) {
+	b := NewBuilder("v")
+	h := b.Do("i", IntOp(1), IntOp(2))
+	e := b.EndDo()
+	p := b.P
+	l := Loop{Head: h, End: e}
+	if !l.Valid(p) {
+		t.Error("live loop must be valid")
+	}
+	p.Delete(h)
+	if l.Valid(p) {
+		t.Error("deleted head must invalidate")
+	}
+	if (Loop{}).Valid(p) {
+		t.Error("zero loop must be invalid")
+	}
+}
+
+func TestToMiniFForms(t *testing.T) {
+	b := NewBuilder("forms")
+	b.Declare("n", false)
+	b.Declare("a", true, 4, 4)
+	b.Read(VarOp("n"))
+	b.Assign(VarOp("n"), VarOp("n"), OpMod, IntOp(3))
+	b.DoStep("i", IntOp(4), IntOp(1), IntOp(-1))
+	b.EndDo()
+	do := b.Do("j", IntOp(1), IntOp(4))
+	do.Parallel = true
+	b.Assign(ArrayOp("a", VarExpr("j"), ConstExpr(2)), ConstOp(FloatVal(1.5)), OpCopy, None())
+	b.EndDo()
+	b.If(VarOp("n"), RelNE, IntOp(0))
+	b.Else()
+	b.EndIf()
+	b.Print(VarOp("n"), ArrayOp("a", ConstExpr(1), ConstExpr(2)))
+	src := ToMiniF(b.P)
+	for _, want := range []string{
+		"PROGRAM forms",
+		"INTEGER n",
+		"REAL a(4,4)",
+		"READ n",
+		"n = n MOD 3",
+		"DO i = 4, 1, -1",
+		"DOALL j = 1, 4",
+		"a(j,2) = 1.5",
+		"IF (n != 0) THEN",
+		"ELSE",
+		"ENDIF",
+		"PRINT n, a(1,2)",
+		"END",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("ToMiniF missing %q in:\n%s", want, src)
+		}
+	}
+}

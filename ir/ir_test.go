@@ -1,0 +1,469 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleProgram() *Program {
+	// program sample
+	//   n := 10
+	//   do i = 1, n
+	//     do j = 1, n
+	//       a(i,j) := b(i,j) + c
+	//     enddo
+	//   enddo
+	//   do k = 1, n
+	//     s := s + a(k,k)
+	//   enddo
+	//   print s
+	b := NewBuilder("sample")
+	b.Declare("a", true, 10, 10).Declare("b", true, 10, 10)
+	b.Copy(VarOp("n"), IntOp(10))
+	b.Do("i", IntOp(1), VarOp("n"))
+	b.Do("j", IntOp(1), VarOp("n"))
+	b.Assign(ArrayOp("a", VarExpr("i"), VarExpr("j")),
+		ArrayOp("b", VarExpr("i"), VarExpr("j")), OpAdd, VarOp("c"))
+	b.EndDo()
+	b.EndDo()
+	b.Do("k", IntOp(1), VarOp("n"))
+	b.Assign(VarOp("s"), VarOp("s"), OpAdd, ArrayOp("a", VarExpr("k"), VarExpr("k")))
+	b.EndDo()
+	b.Print(VarOp("s"))
+	return b.P
+}
+
+func TestValueArith(t *testing.T) {
+	cases := []struct {
+		op   Opcode
+		a, b Value
+		want Value
+	}{
+		{OpAdd, IntVal(2), IntVal(3), IntVal(5)},
+		{OpSub, IntVal(2), IntVal(3), IntVal(-1)},
+		{OpMul, IntVal(4), IntVal(3), IntVal(12)},
+		{OpDiv, IntVal(7), IntVal(2), IntVal(3)},
+		{OpMod, IntVal(7), IntVal(2), IntVal(1)},
+		{OpDiv, IntVal(7), IntVal(0), IntVal(0)},
+		{OpAdd, FloatVal(1.5), IntVal(2), FloatVal(3.5)},
+		{OpMul, FloatVal(0.5), FloatVal(4), FloatVal(2)},
+		{OpDiv, FloatVal(1), FloatVal(0), FloatVal(0)},
+	}
+	for _, c := range cases {
+		got := Arith(c.op, c.a, c.b)
+		if !got.Equal(c.want) {
+			t.Errorf("Arith(%v, %v, %v) = %v, want %v", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	if !Compare(RelLT, IntVal(1), IntVal(2)) {
+		t.Error("1 < 2 should hold")
+	}
+	if Compare(RelGT, IntVal(1), FloatVal(2)) {
+		t.Error("1 > 2.0 should not hold")
+	}
+	if !Compare(RelEQ, IntVal(2), FloatVal(2)) {
+		t.Error("2 == 2.0 should hold")
+	}
+	if !Compare(RelNE, IntVal(2), IntVal(3)) {
+		t.Error("2 != 3 should hold")
+	}
+	if !Compare(RelGE, IntVal(3), IntVal(3)) {
+		t.Error("3 >= 3 should hold")
+	}
+	if !Compare(RelLE, IntVal(3), IntVal(4)) {
+		t.Error("3 <= 4 should hold")
+	}
+}
+
+func TestLinExprNormalizeAndOps(t *testing.T) {
+	e := LinExpr{Const: 1, Terms: []Term{{2, "i"}, {3, "j"}, {-2, "i"}}}
+	n := e.Normalize()
+	if n.Coef("i") != 0 || n.Coef("j") != 3 || n.Const != 1 {
+		t.Fatalf("normalize: got %v", n)
+	}
+	if len(n.Terms) != 1 {
+		t.Fatalf("normalize should drop zero terms: %v", n.Terms)
+	}
+
+	a := VarExpr("i").Scale(2).Add(ConstExpr(5)) // 2i+5
+	b := VarExpr("i").Add(VarExpr("j"))          // i+j
+	d := a.Sub(b)                                // i-j+5
+	if d.Coef("i") != 1 || d.Coef("j") != -1 || d.Const != 5 {
+		t.Fatalf("sub: got %v", d)
+	}
+	if !a.Equal(VarExpr("i").Scale(2).Add(ConstExpr(5))) {
+		t.Error("Equal should hold for identical expressions")
+	}
+	if a.IsConst() {
+		t.Error("2i+5 is not constant")
+	}
+	if !ConstExpr(7).IsConst() {
+		t.Error("7 is constant")
+	}
+}
+
+func TestLinExprSubst(t *testing.T) {
+	// (2i + j + 1)[i := i - 3] = 2i + j - 5
+	e := VarExpr("i").Scale(2).Add(VarExpr("j")).Add(ConstExpr(1))
+	got := e.Subst("i", VarExpr("i").Add(ConstExpr(-3)))
+	want := VarExpr("i").Scale(2).Add(VarExpr("j")).Add(ConstExpr(-5))
+	if !got.Equal(want) {
+		t.Fatalf("subst: got %v want %v", got, want)
+	}
+}
+
+func TestLinExprString(t *testing.T) {
+	cases := []struct {
+		e    LinExpr
+		want string
+	}{
+		{ConstExpr(4), "4"},
+		{VarExpr("i"), "i"},
+		{VarExpr("i").Scale(-1), "-i"},
+		{VarExpr("i").Add(ConstExpr(-2)), "i-2"},
+		{VarExpr("i").Scale(2).Add(VarExpr("j")).Add(ConstExpr(1)), "2*i+j+1"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.e, got, c.want)
+		}
+	}
+}
+
+func TestOperandBasics(t *testing.T) {
+	a := ArrayOp("a", VarExpr("i"), ConstExpr(3))
+	if !a.IsArray() || a.IsVar() || a.IsConst() {
+		t.Error("kind predicates wrong for array operand")
+	}
+	if got := a.String(); got != "a(i,3)" {
+		t.Errorf("String = %q", got)
+	}
+	c := a.Clone()
+	c.Subs[0] = VarExpr("j")
+	if a.Subs[0].Coef("j") != 0 {
+		t.Error("Clone must deep-copy subscripts")
+	}
+	if !a.Equal(ArrayOp("a", VarExpr("i"), ConstExpr(3))) {
+		t.Error("Equal should hold")
+	}
+	if a.Equal(ArrayOp("a", VarExpr("j"), ConstExpr(3))) {
+		t.Error("Equal should fail on differing subscripts")
+	}
+	vr := a.VarsRead()
+	if len(vr) != 1 || vr[0] != "i" {
+		t.Errorf("VarsRead = %v", vr)
+	}
+}
+
+func TestStmtDefsUses(t *testing.T) {
+	s := &Stmt{Kind: SAssign, Dst: ArrayOp("a", VarExpr("i")), Op: OpAdd, A: VarOp("x"), B: IntOp(1)}
+	d, ok := s.Defs()
+	if !ok || !d.IsArray() || d.Name != "a" {
+		t.Fatalf("Defs = %v, %v", d, ok)
+	}
+	uses := s.Uses()
+	if len(uses) != 2 || uses[0].Name != "x" {
+		t.Fatalf("Uses = %v", uses)
+	}
+	uv := s.UsedVars()
+	want := map[string]bool{"x": true, "i": true}
+	if len(uv) != 2 || !want[uv[0]] || !want[uv[1]] {
+		t.Fatalf("UsedVars = %v", uv)
+	}
+
+	do := &Stmt{Kind: SDoHead, LCV: "i", Init: IntOp(1), Final: VarOp("n"), Step: IntOp(1)}
+	d, ok = do.Defs()
+	if !ok || d.Name != "i" {
+		t.Fatalf("DO should define its LCV, got %v, %v", d, ok)
+	}
+}
+
+func TestOperandSlot(t *testing.T) {
+	s := &Stmt{Kind: SAssign, Dst: VarOp("x"), Op: OpAdd, A: VarOp("y"), B: VarOp("z")}
+	if s.OperandSlot(1).Name != "x" || s.OperandSlot(2).Name != "y" || s.OperandSlot(3).Name != "z" {
+		t.Error("assignment slots wrong")
+	}
+	if s.OperandSlot(4) != nil || s.OperandSlot(0) != nil {
+		t.Error("out-of-range slots must be nil")
+	}
+	ifs := &Stmt{Kind: SIf, A: VarOp("p"), Rel: RelLT, B: VarOp("q")}
+	if ifs.OperandSlot(2).Name != "p" || ifs.OperandSlot(3).Name != "q" {
+		t.Error("if slots wrong")
+	}
+	pr := &Stmt{Kind: SPrint, Args: []Operand{VarOp("u"), VarOp("v")}}
+	if pr.OperandSlot(1).Name != "u" || pr.OperandSlot(2).Name != "v" {
+		t.Error("print slots wrong")
+	}
+}
+
+func TestProgramMutation(t *testing.T) {
+	p := sampleProgram()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	n := p.Len()
+
+	first := p.At(0)
+	last := p.At(n - 1)
+	if p.Prev(first) != nil || p.Next(last) != nil {
+		t.Error("ends must have nil neighbours")
+	}
+	if p.Next(first) != p.At(1) {
+		t.Error("Next broken")
+	}
+
+	// Insert, move, delete keep indices consistent.
+	s := &Stmt{Kind: SAssign, Dst: VarOp("t"), Op: OpCopy, A: IntOp(0)}
+	p.InsertAfter(first, s)
+	if p.Index(s) != 1 || p.Len() != n+1 {
+		t.Fatalf("InsertAfter: index %d len %d", p.Index(s), p.Len())
+	}
+	p.Move(s, last)
+	if p.Index(s) != p.Index(last)+1 {
+		t.Fatalf("Move: index %d vs last %d", p.Index(s), p.Index(last))
+	}
+	p.Move(s, nil)
+	if p.Index(s) != 0 {
+		t.Fatalf("Move to front: index %d", p.Index(s))
+	}
+	p.Delete(s)
+	if p.Len() != n || p.Index(s) != -1 {
+		t.Fatal("Delete broken")
+	}
+	for i, st := range p.Stmts() {
+		if p.Index(st) != i {
+			t.Fatalf("index desync at %d", i)
+		}
+	}
+}
+
+func TestProgramCopyAssignsFreshID(t *testing.T) {
+	p := sampleProgram()
+	src := p.At(0)
+	c := p.Copy(src, p.At(2))
+	if c.ID == src.ID || c.ID == 0 {
+		t.Errorf("copy must get fresh ID: src %d copy %d", src.ID, c.ID)
+	}
+	if !EqualStmt(c, src) {
+		t.Error("copy must be structurally equal to source")
+	}
+}
+
+func TestProgramCloneIndependent(t *testing.T) {
+	p := sampleProgram()
+	q := p.Clone()
+	if !p.Equal(q) {
+		t.Fatal("clone must equal original")
+	}
+	q.At(0).Dst = VarOp("zzz")
+	if p.At(0).Dst.Name == "zzz" {
+		t.Fatal("clone must be deep")
+	}
+	q.Delete(q.At(0))
+	if p.Len() == q.Len() {
+		t.Fatal("clone statement lists must be independent")
+	}
+}
+
+func TestValidateCatchesBrokenStructure(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Do("i", IntOp(1), IntOp(10))
+	if err := b.P.Validate(); err == nil {
+		t.Error("unclosed DO must fail validation")
+	}
+	b2 := NewBuilder("bad2")
+	b2.EndDo()
+	if err := b2.P.Validate(); err == nil {
+		t.Error("stray ENDDO must fail validation")
+	}
+	b3 := NewBuilder("bad3")
+	b3.Do("i", IntOp(1), IntOp(2))
+	b3.EndIf()
+	if err := b3.P.Validate(); err == nil {
+		t.Error("mismatched nesting must fail validation")
+	}
+	b4 := NewBuilder("bad4")
+	b4.Else()
+	if err := b4.P.Validate(); err == nil {
+		t.Error("stray ELSE must fail validation")
+	}
+}
+
+func TestLoopViews(t *testing.T) {
+	p := sampleProgram()
+	loops := Loops(p)
+	if len(loops) != 3 {
+		t.Fatalf("want 3 loops, got %d", len(loops))
+	}
+	outer, inner, third := loops[0], loops[1], loops[2]
+	if outer.LCV() != "i" || inner.LCV() != "j" || third.LCV() != "k" {
+		t.Fatalf("loop order wrong: %s %s %s", outer.LCV(), inner.LCV(), third.LCV())
+	}
+	if len(inner.Body(p)) != 1 {
+		t.Errorf("inner body = %d stmts", len(inner.Body(p)))
+	}
+	if len(outer.Body(p)) != 3 {
+		t.Errorf("outer body = %d stmts", len(outer.Body(p)))
+	}
+
+	nested := NestedPairs(p)
+	if len(nested) != 1 || nested[0][0].LCV() != "i" || nested[0][1].LCV() != "j" {
+		t.Fatalf("NestedPairs = %v", nested)
+	}
+	tight := TightPairs(p)
+	if len(tight) != 1 {
+		t.Fatalf("TightPairs = %d", len(tight))
+	}
+	adj := AdjacentPairs(p)
+	if len(adj) != 1 || adj[0][0].LCV() != "i" || adj[0][1].LCV() != "k" {
+		t.Fatalf("AdjacentPairs = %v", adj)
+	}
+
+	body := inner.Body(p)[0]
+	l, ok := LoopOf(p, body)
+	if !ok || l.LCV() != "j" {
+		t.Fatalf("LoopOf = %v, %v", l, ok)
+	}
+	encl := EnclosingLoops(p, body)
+	if len(encl) != 2 || encl[0].LCV() != "i" || encl[1].LCV() != "j" {
+		t.Fatalf("EnclosingLoops = %v", encl)
+	}
+	if NestDepth(p, body) != 2 {
+		t.Error("NestDepth should be 2")
+	}
+	common := CommonLoops(p, body, body)
+	if len(common) != 2 {
+		t.Errorf("CommonLoops self = %d", len(common))
+	}
+}
+
+func TestTightPairsRejectsLooseNest(t *testing.T) {
+	b := NewBuilder("loose")
+	b.Do("i", IntOp(1), IntOp(10))
+	b.Copy(VarOp("x"), IntOp(0)) // statement between the heads
+	b.Do("j", IntOp(1), IntOp(10))
+	b.Copy(VarOp("y"), IntOp(1))
+	b.EndDo()
+	b.EndDo()
+	if len(NestedPairs(b.P)) != 1 {
+		t.Fatal("should still be nested")
+	}
+	if len(TightPairs(b.P)) != 0 {
+		t.Fatal("loose nest must not be tight")
+	}
+}
+
+func TestMatchingStructure(t *testing.T) {
+	p := sampleProgram()
+	head := p.At(1) // do i
+	end := MatchingEnd(p, head)
+	if end == nil || end.Kind != SDoEnd || p.Index(end) != 5 {
+		t.Fatalf("MatchingEnd = %v", end)
+	}
+	if MatchingHead(p, end) != head {
+		t.Fatal("MatchingHead must invert MatchingEnd")
+	}
+
+	b := NewBuilder("ifs")
+	ifs := b.If(VarOp("x"), RelGT, IntOp(0))
+	b.Copy(VarOp("y"), IntOp(1))
+	b.Else()
+	b.Copy(VarOp("y"), IntOp(2))
+	b.EndIf()
+	els, endif := MatchingEndIf(b.P, ifs)
+	if els == nil || els.Kind != SElse || endif == nil || endif.Kind != SEndIf {
+		t.Fatalf("MatchingEndIf = %v, %v", els, endif)
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p := sampleProgram()
+	s := p.String()
+	for _, want := range []string{
+		"program sample",
+		"n := 10",
+		"do i = 1, n",
+		"a(i,j) := b(i,j) + c",
+		"print s",
+		"end",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestFormatStmtVariants(t *testing.T) {
+	cases := []struct {
+		s    *Stmt
+		want string
+	}{
+		{&Stmt{Kind: SAssign, Dst: VarOp("x"), Op: OpCopy, A: IntOp(3)}, "x := 3"},
+		{&Stmt{Kind: SAssign, Dst: VarOp("x"), Op: OpMul, A: VarOp("y"), B: VarOp("z")}, "x := y * z"},
+		{&Stmt{Kind: SDoHead, LCV: "i", Init: IntOp(1), Final: IntOp(9), Step: IntOp(2)}, "do i = 1, 9, 2"},
+		{&Stmt{Kind: SDoHead, LCV: "i", Init: IntOp(1), Final: IntOp(9), Step: IntOp(1), Parallel: true}, "doall i = 1, 9"},
+		{&Stmt{Kind: SIf, A: VarOp("a"), Rel: RelNE, B: IntOp(0)}, "if a != 0 then"},
+		{&Stmt{Kind: SRead, Dst: VarOp("v")}, "read v"},
+		{&Stmt{Kind: SPrint, Args: []Operand{VarOp("a"), VarOp("b")}}, "print a, b"},
+	}
+	for _, c := range cases {
+		if got := FormatStmt(c.s); got != c.want {
+			t.Errorf("FormatStmt = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// Property: LinExpr.Add is commutative and Sub(x,x) is the zero expression.
+func TestLinExprProperties(t *testing.T) {
+	mk := func(c int64, ci, cj int64) LinExpr {
+		return LinExpr{Const: c, Terms: []Term{{ci, "i"}, {cj, "j"}}}
+	}
+	commutes := func(c1, i1, j1, c2, i2, j2 int8) bool {
+		a := mk(int64(c1), int64(i1), int64(j1))
+		b := mk(int64(c2), int64(i2), int64(j2))
+		return a.Add(b).Equal(b.Add(a))
+	}
+	if err := quick.Check(commutes, nil); err != nil {
+		t.Error(err)
+	}
+	selfZero := func(c, i, j int8) bool {
+		a := mk(int64(c), int64(i), int64(j))
+		d := a.Sub(a)
+		return d.IsConst() && d.Const == 0
+	}
+	if err := quick.Check(selfZero, nil); err != nil {
+		t.Error(err)
+	}
+	substIdentity := func(c, i, j int8) bool {
+		a := mk(int64(c), int64(i), int64(j))
+		return a.Subst("i", VarExpr("i")).Equal(a)
+	}
+	if err := quick.Check(substIdentity, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Move is position-stable — moving a statement after an anchor
+// always places it immediately after that anchor, whatever the start state.
+func TestMoveProperty(t *testing.T) {
+	f := func(from, to uint8) bool {
+		p := NewProgram("prop")
+		for i := 0; i < 12; i++ {
+			p.Append(&Stmt{Kind: SAssign, Dst: VarOp("x"), Op: OpCopy, A: IntOp(int64(i))})
+		}
+		s := p.At(int(from) % p.Len())
+		anchor := p.At(int(to) % p.Len())
+		if s == anchor {
+			return true
+		}
+		p.Move(s, anchor)
+		return p.Index(s) == p.Index(anchor)+1 && p.Len() == 12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,237 @@
+package ir
+
+// Loop is a view of one DO loop: its head and matching end statement.
+// GOSpeL's Loop type (and the pre-defined attributes head, end, body, lcv,
+// init, final) map onto this view. Views are computed on demand and become
+// stale after structural mutation; re-derive them after each action.
+type Loop struct {
+	Head *Stmt
+	End  *Stmt
+}
+
+// Valid reports whether the view still describes a loop in p.
+func (l Loop) Valid(p *Program) bool {
+	return l.Head != nil && l.End != nil &&
+		p.Index(l.Head) >= 0 && p.Index(l.End) > p.Index(l.Head) &&
+		l.Head.Kind == SDoHead && l.End.Kind == SDoEnd
+}
+
+// Body returns the statements strictly between head and end.
+func (l Loop) Body(p *Program) []*Stmt {
+	hi, ei := p.Index(l.Head), p.Index(l.End)
+	if hi < 0 || ei < 0 || ei <= hi {
+		return nil
+	}
+	out := make([]*Stmt, 0, ei-hi-1)
+	for i := hi + 1; i < ei; i++ {
+		out = append(out, p.At(i))
+	}
+	return out
+}
+
+// Contains reports whether s lies strictly inside the loop body.
+func (l Loop) Contains(p *Program, s *Stmt) bool {
+	i := p.Index(s)
+	return i > p.Index(l.Head) && i < p.Index(l.End)
+}
+
+// LCV returns the loop control variable.
+func (l Loop) LCV() string { return l.Head.LCV }
+
+// MatchingEnd returns the SDoEnd that closes the SDoHead at head, or nil.
+func MatchingEnd(p *Program, head *Stmt) *Stmt {
+	if head == nil || head.Kind != SDoHead {
+		return nil
+	}
+	depth := 0
+	for i := p.Index(head) + 1; i < p.Len(); i++ {
+		s := p.At(i)
+		switch s.Kind {
+		case SDoHead:
+			depth++
+		case SDoEnd:
+			if depth == 0 {
+				return s
+			}
+			depth--
+		}
+	}
+	return nil
+}
+
+// MatchingHead returns the SDoHead opened by the SDoEnd at end, or nil.
+func MatchingHead(p *Program, end *Stmt) *Stmt {
+	if end == nil || end.Kind != SDoEnd {
+		return nil
+	}
+	depth := 0
+	for i := p.Index(end) - 1; i >= 0; i-- {
+		s := p.At(i)
+		switch s.Kind {
+		case SDoEnd:
+			depth++
+		case SDoHead:
+			if depth == 0 {
+				return s
+			}
+			depth--
+		}
+	}
+	return nil
+}
+
+// MatchingEndIf returns the SEndIf closing the SIf at ifs, and the SElse
+// between them if present.
+func MatchingEndIf(p *Program, ifs *Stmt) (els, endif *Stmt) {
+	if ifs == nil || ifs.Kind != SIf {
+		return nil, nil
+	}
+	depth := 0
+	for i := p.Index(ifs) + 1; i < p.Len(); i++ {
+		s := p.At(i)
+		switch s.Kind {
+		case SIf:
+			depth++
+		case SElse:
+			if depth == 0 {
+				els = s
+			}
+		case SEndIf:
+			if depth == 0 {
+				return els, s
+			}
+			depth--
+		}
+	}
+	return els, nil
+}
+
+// Loops returns all loops in program order of their heads.
+func Loops(p *Program) []Loop {
+	var out []Loop
+	for _, s := range p.stmts {
+		if s.Kind == SDoHead {
+			if end := MatchingEnd(p, s); end != nil {
+				out = append(out, Loop{Head: s, End: end})
+			}
+		}
+	}
+	return out
+}
+
+// LoopOf returns the innermost loop strictly containing s, if any.
+func LoopOf(p *Program, s *Stmt) (Loop, bool) {
+	best := Loop{}
+	found := false
+	si := p.Index(s)
+	for _, l := range Loops(p) {
+		hi, ei := p.Index(l.Head), p.Index(l.End)
+		if si > hi && si < ei {
+			if !found || hi > p.Index(best.Head) {
+				best = l
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// EnclosingLoops returns the loops containing s, outermost first. Used to
+// determine the nesting level (and thus direction-vector length) of a
+// dependence.
+func EnclosingLoops(p *Program, s *Stmt) []Loop {
+	var out []Loop
+	si := p.Index(s)
+	for _, l := range Loops(p) {
+		if si > p.Index(l.Head) && si < p.Index(l.End) {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// NestedPairs returns all (outer, inner) pairs where inner is directly
+// nested in outer (no intervening loop between them in the nest), the
+// GOSpeL "Nested Loops" type.
+func NestedPairs(p *Program) [][2]Loop {
+	var out [][2]Loop
+	loops := Loops(p)
+	for _, outer := range loops {
+		for _, inner := range loops {
+			if inner.Head == outer.Head {
+				continue
+			}
+			if !outer.Contains(p, inner.Head) || !outer.Contains(p, inner.End) {
+				continue
+			}
+			// Directly nested: no third loop between outer and inner.
+			direct := true
+			for _, mid := range loops {
+				if mid.Head == outer.Head || mid.Head == inner.Head {
+					continue
+				}
+				if outer.Contains(p, mid.Head) && mid.Contains(p, inner.Head) {
+					direct = false
+					break
+				}
+			}
+			if direct {
+				out = append(out, [2]Loop{outer, inner})
+			}
+		}
+	}
+	return out
+}
+
+// TightPairs returns directly nested pairs with no statements between the
+// heads nor between the ends — the GOSpeL "Tight Loops" type (the paper:
+// "two loops are tightly nested if one surrounds the other without any
+// statements between them").
+func TightPairs(p *Program) [][2]Loop {
+	var out [][2]Loop
+	for _, pair := range NestedPairs(p) {
+		outer, inner := pair[0], pair[1]
+		if p.Index(inner.Head) == p.Index(outer.Head)+1 &&
+			p.Index(outer.End) == p.Index(inner.End)+1 {
+			out = append(out, pair)
+		}
+	}
+	return out
+}
+
+// AdjacentPairs returns pairs of loops at the same nesting level with no
+// statements between the first loop's end and the second loop's head — the
+// GOSpeL "Adjacent Loops" type (the candidates for fusion).
+func AdjacentPairs(p *Program) [][2]Loop {
+	var out [][2]Loop
+	for _, l1 := range Loops(p) {
+		next := p.Next(l1.End)
+		if next == nil || next.Kind != SDoHead {
+			continue
+		}
+		end := MatchingEnd(p, next)
+		if end == nil {
+			continue
+		}
+		out = append(out, [2]Loop{l1, {Head: next, End: end}})
+	}
+	return out
+}
+
+// NestDepth returns the number of loops enclosing s (0 at top level).
+func NestDepth(p *Program, s *Stmt) int { return len(EnclosingLoops(p, s)) }
+
+// CommonLoops returns the loops enclosing both a and b, outermost first.
+// The length of this slice is the direction-vector length for a dependence
+// between a and b.
+func CommonLoops(p *Program, a, b *Stmt) []Loop {
+	la := EnclosingLoops(p, a)
+	var out []Loop
+	bi := p.Index(b)
+	for _, l := range la {
+		if bi > p.Index(l.Head) && bi < p.Index(l.End) {
+			out = append(out, l)
+		}
+	}
+	return out
+}

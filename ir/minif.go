@@ -1,0 +1,109 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ToMiniF renders the program as MiniF source text that the frontend parses
+// back into an equivalent program (see the round-trip tests). Quadruples
+// map one-to-one onto MiniF assignments, so re-parsing reproduces the same
+// statement list; numeric constants compare equal even where a whole-valued
+// float prints without its decimal point.
+//
+// The rendering assumes identifiers do not collide with MiniF keywords,
+// which holds for every program produced by the frontend or proggen.
+func ToMiniF(p *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "PROGRAM %s\n", p.Name)
+
+	var ints, reals []string
+	for _, d := range p.Decls {
+		item := d.Name
+		if len(d.Dims) > 0 {
+			dims := make([]string, len(d.Dims))
+			for i, n := range d.Dims {
+				dims[i] = fmt.Sprintf("%d", n)
+			}
+			item += "(" + strings.Join(dims, ",") + ")"
+		}
+		if d.IsFloat {
+			reals = append(reals, item)
+		} else {
+			ints = append(ints, item)
+		}
+	}
+	if len(ints) > 0 {
+		fmt.Fprintf(&b, "INTEGER %s\n", strings.Join(ints, ", "))
+	}
+	if len(reals) > 0 {
+		fmt.Fprintf(&b, "REAL %s\n", strings.Join(reals, ", "))
+	}
+
+	for _, s := range p.Stmts() {
+		b.WriteString(minifStmt(s))
+		b.WriteByte('\n')
+	}
+	b.WriteString("END\n")
+	return b.String()
+}
+
+func minifStmt(s *Stmt) string {
+	switch s.Kind {
+	case SAssign:
+		if s.Op == OpCopy {
+			return fmt.Sprintf("%s = %s", minifOperand(s.Dst), minifOperand(s.A))
+		}
+		op := s.Op.String()
+		if s.Op == OpMod {
+			op = "MOD"
+		}
+		return fmt.Sprintf("%s = %s %s %s",
+			minifOperand(s.Dst), minifOperand(s.A), op, minifOperand(s.B))
+	case SDoHead:
+		kw := "DO"
+		if s.Parallel {
+			kw = "DOALL"
+		}
+		if s.Step.IsConst() && s.Step.Val.Equal(IntVal(1)) {
+			return fmt.Sprintf("%s %s = %s, %s", kw, s.LCV,
+				minifOperand(s.Init), minifOperand(s.Final))
+		}
+		return fmt.Sprintf("%s %s = %s, %s, %s", kw, s.LCV,
+			minifOperand(s.Init), minifOperand(s.Final), minifOperand(s.Step))
+	case SDoEnd:
+		return "ENDDO"
+	case SIf:
+		return fmt.Sprintf("IF (%s %s %s) THEN",
+			minifOperand(s.A), s.Rel, minifOperand(s.B))
+	case SElse:
+		return "ELSE"
+	case SEndIf:
+		return "ENDIF"
+	case SPrint:
+		parts := make([]string, len(s.Args))
+		for i, a := range s.Args {
+			parts[i] = minifOperand(a)
+		}
+		return "PRINT " + strings.Join(parts, ", ")
+	case SRead:
+		return "READ " + minifOperand(s.Dst)
+	}
+	return "! <" + s.Kind.String() + ">"
+}
+
+func minifOperand(o Operand) string {
+	switch o.Kind {
+	case Const:
+		return o.Val.String()
+	case Var:
+		return o.Name
+	case ArrayRef:
+		parts := make([]string, len(o.Subs))
+		for i, sub := range o.Subs {
+			parts[i] = sub.String()
+		}
+		return o.Name + "(" + strings.Join(parts, ",") + ")"
+	}
+	return "0"
+}

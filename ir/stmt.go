@@ -1,0 +1,287 @@
+package ir
+
+import "fmt"
+
+// Opcode is the operation of an assignment quad.
+type Opcode int
+
+const (
+	// OpCopy is a plain copy "x := y" (no third operand).
+	OpCopy Opcode = iota
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+)
+
+func (op Opcode) String() string {
+	switch op {
+	case OpCopy:
+		return "assign"
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpMod:
+		return "%"
+	}
+	return fmt.Sprintf("Opcode(%d)", int(op))
+}
+
+// Relop is a relational operator in an IF condition.
+type Relop int
+
+const (
+	RelEQ Relop = iota
+	RelNE
+	RelLT
+	RelLE
+	RelGT
+	RelGE
+)
+
+func (r Relop) String() string {
+	switch r {
+	case RelEQ:
+		return "=="
+	case RelNE:
+		return "!="
+	case RelLT:
+		return "<"
+	case RelLE:
+		return "<="
+	case RelGT:
+		return ">"
+	case RelGE:
+		return ">="
+	}
+	return fmt.Sprintf("Relop(%d)", int(r))
+}
+
+// StmtKind discriminates the statement forms of the IR. The IR is
+// deliberately structured (loops and conditionals survive as bracketed
+// statement pairs) because GOSpeL patterns and parallelizing transformations
+// operate on source-level loop structure.
+type StmtKind int
+
+const (
+	// SAssign is a quad "Dst := A op B" (B absent when Op == OpCopy).
+	SAssign StmtKind = iota
+	// SDoHead opens a DO loop: "do LCV = Init, Final, Step". Parallel
+	// marks a loop transformed into a DOALL by the PAR optimization.
+	SDoHead
+	// SDoEnd closes the innermost open DO loop.
+	SDoEnd
+	// SIf opens a conditional: "if A rel B then".
+	SIf
+	// SElse separates the branches of the innermost open IF.
+	SElse
+	// SEndIf closes the innermost open IF.
+	SEndIf
+	// SPrint writes its arguments to the program's output trace.
+	SPrint
+	// SRead reads the next input value into Dst.
+	SRead
+)
+
+func (k StmtKind) String() string {
+	switch k {
+	case SAssign:
+		return "assign"
+	case SDoHead:
+		return "do"
+	case SDoEnd:
+		return "enddo"
+	case SIf:
+		return "if"
+	case SElse:
+		return "else"
+	case SEndIf:
+		return "endif"
+	case SPrint:
+		return "print"
+	case SRead:
+		return "read"
+	}
+	return fmt.Sprintf("StmtKind(%d)", int(k))
+}
+
+// Stmt is one IR statement. Which fields are meaningful depends on Kind:
+//
+//	SAssign: Dst, Op, A, B
+//	SDoHead: LCV, Init, Final, Step, Parallel
+//	SIf:     A, Rel, B
+//	SPrint:  Args
+//	SRead:   Dst
+//
+// ID is unique within a Program for the life of the statement and survives
+// moves; copies receive fresh IDs. Statements are identified by pointer
+// within a program; ID exists for stable reporting and cross-pass maps.
+type Stmt struct {
+	ID   int
+	Kind StmtKind
+
+	Dst Operand
+	Op  Opcode
+	A   Operand
+	B   Operand
+	Rel Relop
+
+	LCV      string
+	Init     Operand
+	Final    Operand
+	Step     Operand
+	Parallel bool
+
+	Args []Operand
+
+	// index is the statement's current position in its Program; maintained
+	// by Program mutation methods.
+	index int
+}
+
+// CloneStmt returns a deep copy of s with ID zeroed (the Program assigns a
+// fresh ID when the clone is inserted).
+func CloneStmt(s *Stmt) *Stmt {
+	c := *s
+	c.ID = 0
+	c.index = -1
+	c.Dst = s.Dst.Clone()
+	c.A = s.A.Clone()
+	c.B = s.B.Clone()
+	c.Init = s.Init.Clone()
+	c.Final = s.Final.Clone()
+	c.Step = s.Step.Clone()
+	if len(s.Args) > 0 {
+		c.Args = make([]Operand, len(s.Args))
+		for i, a := range s.Args {
+			c.Args[i] = a.Clone()
+		}
+	}
+	return &c
+}
+
+// EqualStmt reports structural equality of two statements, ignoring IDs and
+// positions. Used by the hand-coded-vs-generated quality experiment.
+func EqualStmt(a, b *Stmt) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case SAssign:
+		return a.Op == b.Op && a.Dst.Equal(b.Dst) && a.A.Equal(b.A) && a.B.Equal(b.B)
+	case SDoHead:
+		return a.LCV == b.LCV && a.Parallel == b.Parallel &&
+			a.Init.Equal(b.Init) && a.Final.Equal(b.Final) && a.Step.Equal(b.Step)
+	case SDoEnd, SElse, SEndIf:
+		return true
+	case SIf:
+		return a.Rel == b.Rel && a.A.Equal(b.A) && a.B.Equal(b.B)
+	case SPrint:
+		if len(a.Args) != len(b.Args) {
+			return false
+		}
+		for i := range a.Args {
+			if !a.Args[i].Equal(b.Args[i]) {
+				return false
+			}
+		}
+		return true
+	case SRead:
+		return a.Dst.Equal(b.Dst)
+	}
+	return false
+}
+
+// Defs returns the scalar or array location the statement writes, if any.
+// SDoHead defines its loop control variable.
+func (s *Stmt) Defs() (Operand, bool) {
+	switch s.Kind {
+	case SAssign, SRead:
+		return s.Dst, true
+	case SDoHead:
+		return VarOp(s.LCV), true
+	}
+	return Operand{}, false
+}
+
+// Uses returns the operands the statement reads. Array destinations also
+// read their subscript variables; those are reported by UsedVars rather than
+// here, since Uses reports operand slots as GOSpeL sees them.
+func (s *Stmt) Uses() []Operand {
+	switch s.Kind {
+	case SAssign:
+		if s.Op == OpCopy {
+			return []Operand{s.A}
+		}
+		return []Operand{s.A, s.B}
+	case SIf:
+		return []Operand{s.A, s.B}
+	case SDoHead:
+		return []Operand{s.Init, s.Final, s.Step}
+	case SPrint:
+		return append([]Operand{}, s.Args...)
+	}
+	return nil
+}
+
+// OperandSlot returns a pointer to the statement's i-th operand slot using
+// the paper's numbering: for an assignment, slot 1 is the destination
+// (opr_1), slot 2 the first source (opr_2) and slot 3 the second source
+// (opr_3). For IF, slots 2 and 3 are the two compared operands. For DO,
+// slots 1..3 are Init, Final, Step. Returns nil when out of range.
+func (s *Stmt) OperandSlot(i int) *Operand {
+	switch s.Kind {
+	case SAssign, SRead:
+		switch i {
+		case 1:
+			return &s.Dst
+		case 2:
+			return &s.A
+		case 3:
+			return &s.B
+		}
+	case SIf:
+		switch i {
+		case 2:
+			return &s.A
+		case 3:
+			return &s.B
+		}
+	case SDoHead:
+		switch i {
+		case 1:
+			return &s.Init
+		case 2:
+			return &s.Final
+		case 3:
+			return &s.Step
+		}
+	case SPrint:
+		if i >= 1 && i <= len(s.Args) {
+			return &s.Args[i-1]
+		}
+	}
+	return nil
+}
+
+// UsedVars returns the names of all scalar variables the statement reads,
+// including array subscript variables and, for array destinations, the
+// subscripts of the destination.
+func (s *Stmt) UsedVars() []string {
+	var out []string
+	for _, u := range s.Uses() {
+		out = append(out, u.VarsRead()...)
+	}
+	if (s.Kind == SAssign || s.Kind == SRead) && s.Dst.IsArray() {
+		for _, sub := range s.Dst.Subs {
+			out = append(out, sub.Vars()...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+// Package ir defines the high-level intermediate representation used by the
+// GENesis reproduction. Following the paper, the IR is a list of quadruples
+// of the general form
+//
+//	opr_1 := opr_2 opc opr_3
+//
+// that retains the loop and conditional structure of the source program
+// (DO/ENDDO and IF/ELSE/ENDIF appear as explicit statements), so that
+// source-level transformations such as loop interchange and fusion can be
+// expressed directly.
+package ir
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Value is a numeric constant. MiniF (and the paper's FORTRAN substrate) is
+// numeric; integers and floats are the only scalar types. Integer arithmetic
+// stays integral; any float operand promotes the result to float.
+type Value struct {
+	IsFloat bool
+	Int     int64
+	Float   float64
+}
+
+// IntVal returns an integer Value.
+func IntVal(i int64) Value { return Value{Int: i} }
+
+// FloatVal returns a floating-point Value.
+func FloatVal(f float64) Value { return Value{IsFloat: true, Float: f} }
+
+// AsFloat returns the value widened to float64.
+func (v Value) AsFloat() float64 {
+	if v.IsFloat {
+		return v.Float
+	}
+	return float64(v.Int)
+}
+
+// AsInt returns the value narrowed to int64 (floats truncate, as FORTRAN
+// assignment to INTEGER would).
+func (v Value) AsInt() int64 {
+	if v.IsFloat {
+		return int64(v.Float)
+	}
+	return v.Int
+}
+
+// IsZero reports whether the value is numerically zero.
+func (v Value) IsZero() bool {
+	if v.IsFloat {
+		return v.Float == 0
+	}
+	return v.Int == 0
+}
+
+// Equal reports numeric equality (1 == 1.0).
+func (v Value) Equal(o Value) bool {
+	if v.IsFloat || o.IsFloat {
+		return v.AsFloat() == o.AsFloat()
+	}
+	return v.Int == o.Int
+}
+
+func (v Value) String() string {
+	if v.IsFloat {
+		return strconv.FormatFloat(v.Float, 'g', -1, 64)
+	}
+	return strconv.FormatInt(v.Int, 10)
+}
+
+// Arith applies a binary arithmetic opcode to two values. It is used both by
+// the interpreter and by constant folding. Division by zero yields zero
+// rather than panicking so that folding a (dynamically unreachable) division
+// cannot crash the optimizer.
+func Arith(op Opcode, a, b Value) Value {
+	if a.IsFloat || b.IsFloat {
+		x, y := a.AsFloat(), b.AsFloat()
+		var r float64
+		switch op {
+		case OpAdd:
+			r = x + y
+		case OpSub:
+			r = x - y
+		case OpMul:
+			r = x * y
+		case OpDiv:
+			if y == 0 {
+				r = 0
+			} else {
+				r = x / y
+			}
+		default:
+			panic(fmt.Sprintf("ir.Arith: not an arithmetic opcode: %v", op))
+		}
+		return FloatVal(r)
+	}
+	x, y := a.Int, b.Int
+	var r int64
+	switch op {
+	case OpAdd:
+		r = x + y
+	case OpSub:
+		r = x - y
+	case OpMul:
+		r = x * y
+	case OpDiv:
+		if y == 0 {
+			r = 0
+		} else {
+			r = x / y
+		}
+	case OpMod:
+		if y == 0 {
+			r = 0
+		} else {
+			r = x % y
+		}
+	default:
+		panic(fmt.Sprintf("ir.Arith: not an arithmetic opcode: %v", op))
+	}
+	return IntVal(r)
+}
+
+// Compare applies a relational operator to two values.
+func Compare(rel Relop, a, b Value) bool {
+	if a.IsFloat || b.IsFloat {
+		x, y := a.AsFloat(), b.AsFloat()
+		switch rel {
+		case RelEQ:
+			return x == y
+		case RelNE:
+			return x != y
+		case RelLT:
+			return x < y
+		case RelLE:
+			return x <= y
+		case RelGT:
+			return x > y
+		case RelGE:
+			return x >= y
+		}
+		panic("ir.Compare: bad relop")
+	}
+	x, y := a.Int, b.Int
+	switch rel {
+	case RelEQ:
+		return x == y
+	case RelNE:
+		return x != y
+	case RelLT:
+		return x < y
+	case RelLE:
+		return x <= y
+	case RelGT:
+		return x > y
+	case RelGE:
+		return x >= y
+	}
+	panic("ir.Compare: bad relop")
+}
