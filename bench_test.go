@@ -7,6 +7,7 @@ package genesis
 // usual ns/op.
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/dep"
@@ -171,6 +172,50 @@ func BenchmarkApplyPipelineLarge(b *testing.B) {
 			if _, err := o.ApplyAll(p); err != nil {
 				b.Fatal(err)
 			}
+		}
+	}
+}
+
+// BenchmarkDriverFixpoint compares the two dependence-maintenance modes of
+// the fixpoint driver on large generated programs: the default incremental
+// Graph.Update from the change journal against a full dep.Compute after
+// every application (WithoutIncremental). CTP is the driven optimizer — its
+// actions are modify-only, so every application stays on the incremental
+// path. Compare with:
+//
+//	go test -bench=DriverFixpoint -benchmem | tee out.txt
+//	benchstat out.txt          # or scripts/bench.sh
+func BenchmarkDriverFixpoint(b *testing.B) {
+	modes := []struct {
+		name string
+		opts []Option
+	}{
+		{"incremental", nil},
+		{"full-recompute", []Option{WithoutIncremental()}},
+	}
+	for _, size := range []int{120, 500} {
+		template := proggen.Generate(11, proggen.Config{MaxStmts: size})
+		for _, mode := range modes {
+			b.Run(fmt.Sprintf("%s-%d", mode.name, size), func(b *testing.B) {
+				o, err := BuiltIn("CTP", mode.opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(template.Len()), "stmts")
+				var apps int
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					p := template.Clone()
+					b.StartTimer()
+					n, err := o.ApplyAll(p)
+					if err != nil {
+						b.Fatal(err)
+					}
+					apps = n
+				}
+				b.ReportMetric(float64(apps), "apps")
+			})
 		}
 	}
 }

@@ -8,14 +8,19 @@
 // Usage:
 //
 //	opt -opts CTP,CFO,DCE program.mf      # batch pipeline
+//	opt -opts CTP,DCE a.mf b.mf c.mf      # parallel multi-program sweep
 //	opt -i program.mf                     # interactive session
 //	opt -points program.mf                # application-point census
+//
+// With several program arguments the batch pipeline runs each program on a
+// bounded worker pool (-workers) and prints the results in argument order.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -23,6 +28,7 @@ import (
 	"repro"
 	"repro/dep"
 	"repro/internal/engine"
+	"repro/internal/par"
 	"repro/internal/specs"
 	"repro/ir"
 )
@@ -36,89 +42,129 @@ func main() {
 		inputs      = flag.String("input", "", "comma-separated input values for READ statements")
 		minif       = flag.Bool("minif", false, "print the result as re-parsable MiniF source")
 		specFiles   = flag.String("spec", "", "comma-separated GOSpeL specification files to apply after -opts")
+		workers     = flag.Int("workers", 0, "worker pool size for multi-program batch runs (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: opt [-opts LIST | -i | -points] [-run] [-input v,v,...] program.mf")
+	if flag.NArg() < 1 || ((*interactive || *points) && flag.NArg() != 1) {
+		fmt.Fprintln(os.Stderr, "usage: opt [-opts LIST | -i | -points] [-run] [-input v,v,...] program.mf [more.mf ...]")
 		os.Exit(2)
 	}
-	src, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		fatal(err)
-	}
-	p, err := genesis.ParseProgram(string(src))
-	if err != nil {
-		fatal(err)
-	}
 
-	switch {
-	case *points:
-		for _, name := range genesis.TenOptimizations() {
-			o, err := genesis.BuiltIn(name)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Printf("%-4s %d\n", name, o.Points(p))
+	if *interactive || *points {
+		src, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
 		}
-		return
-	case *interactive:
+		p, err := genesis.ParseProgram(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		if *points {
+			for _, name := range genesis.TenOptimizations() {
+				o, err := genesis.BuiltIn(name)
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Printf("%-4s %d\n", name, o.Points(p))
+			}
+			return
+		}
 		session(p)
 		return
-	default:
-		for _, name := range splitList(*optsFlag) {
-			o, err := genesis.BuiltIn(name)
-			if err != nil {
-				fatal(err)
-			}
-			n, err := o.ApplyAll(p)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Fprintf(os.Stderr, "%s: %d application(s)\n", name, n)
-		}
-		for _, file := range strings.Split(*specFiles, ",") {
-			file = strings.TrimSpace(file)
-			if file == "" {
-				continue
-			}
-			text, err := os.ReadFile(file)
-			if err != nil {
-				fatal(err)
-			}
-			spec, err := genesis.ParseSpec(stem(file), string(text))
-			if err != nil {
-				fatal(err)
-			}
-			o, err := spec.Compile()
-			if err != nil {
-				fatal(err)
-			}
-			n, err := o.ApplyAll(p)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Fprintf(os.Stderr, "%s: %d application(s)\n", spec.Name(), n)
-		}
-		if *minif {
-			fmt.Print(ir.ToMiniF(p))
-		} else {
-			fmt.Print(p.String())
-		}
 	}
 
-	if *run {
-		vals, err := parseInputs(*inputs)
+	// Batch pipeline. Every program argument is an independent job, so the
+	// sweep fans out across the worker pool; output is emitted in argument
+	// order regardless of which job finishes first.
+	vals, err := parseInputs(*inputs)
+	if err != nil {
+		fatal(err)
+	}
+	files := flag.Args()
+	type result struct {
+		log  strings.Builder // per-optimization application counts (stderr)
+		text string          // rendered program (stdout)
+		out  []ir.Value      // execution output when -run is set
+		err  error
+	}
+	results := par.Map(len(files), *workers, func(i int) *result {
+		r := &result{}
+		src, err := os.ReadFile(files[i])
 		if err != nil {
-			fatal(err)
+			r.err = err
+			return r
 		}
-		out, err := genesis.Execute(p, vals)
+		p, err := genesis.ParseProgram(string(src))
 		if err != nil {
-			fatal(err)
+			r.err = err
+			return r
 		}
-		for _, v := range out {
+		if r.err = pipeline(p, *optsFlag, *specFiles, &r.log); r.err != nil {
+			return r
+		}
+		if *minif {
+			r.text = ir.ToMiniF(p)
+		} else {
+			r.text = p.String()
+		}
+		if *run {
+			r.out, r.err = genesis.Execute(p, vals)
+		}
+		return r
+	})
+	for i, r := range results {
+		if len(files) > 1 {
+			fmt.Printf("== %s ==\n", files[i])
+		}
+		os.Stderr.WriteString(r.log.String())
+		if r.err != nil {
+			fatal(r.err)
+		}
+		fmt.Print(r.text)
+		for _, v := range r.out {
 			fmt.Println(v)
 		}
 	}
+}
+
+// pipeline applies the -opts list and then any -spec files to p, reporting
+// application counts to logw.
+func pipeline(p *ir.Program, optsFlag, specFiles string, logw io.Writer) error {
+	for _, name := range splitList(optsFlag) {
+		o, err := genesis.BuiltIn(name)
+		if err != nil {
+			return err
+		}
+		n, err := o.ApplyAll(p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(logw, "%s: %d application(s)\n", name, n)
+	}
+	for _, file := range strings.Split(specFiles, ",") {
+		file = strings.TrimSpace(file)
+		if file == "" {
+			continue
+		}
+		text, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		spec, err := genesis.ParseSpec(stem(file), string(text))
+		if err != nil {
+			return err
+		}
+		o, err := spec.Compile()
+		if err != nil {
+			return err
+		}
+		n, err := o.ApplyAll(p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(logw, "%s: %d application(s)\n", spec.Name(), n)
+	}
+	return nil
 }
 
 func splitList(s string) []string {
@@ -155,6 +201,17 @@ func session(p *ir.Program) {
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Println("GENesis interactive optimizer — 'help' for commands")
 	recompute := true
+	// The session owns the program's change journal: the dependence graph is
+	// computed once and then incrementally updated from the journal before
+	// each command that consults it, instead of recomputing from scratch.
+	log, _ := p.EnsureLog()
+	g := dep.Compute(p)
+	sync := func() {
+		if cs := log.Changes(); len(cs) > 0 {
+			g.Update(cs)
+		}
+		log.Reset()
+	}
 	for {
 		fmt.Print("opt> ")
 		if !sc.Scan() {
@@ -189,14 +246,16 @@ func session(p *ir.Program) {
 		case "show":
 			fmt.Print(p.String())
 		case "deps":
-			fmt.Print(dep.Compute(p).String())
+			sync()
+			fmt.Print(g.String())
 		case "points":
 			eng, err := compileEngine(arg, recompute)
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
 			}
-			pts := eng.Preconditions(p, dep.Compute(p))
+			sync()
+			pts := eng.Preconditions(p, g)
 			for i, env := range pts {
 				fmt.Printf("  %d: %v\n", i+1, env)
 			}
@@ -213,7 +272,8 @@ func session(p *ir.Program) {
 			if len(fields) > 2 {
 				idx, _ = strconv.Atoi(fields[2])
 			}
-			pts := eng.Preconditions(p, dep.Compute(p))
+			sync()
+			pts := eng.Preconditions(p, g)
 			if cmd == "force" {
 				// Overriding dependence restrictions: match only the code
 				// pattern, skipping the Depend section, as the paper's
@@ -224,10 +284,11 @@ func session(p *ir.Program) {
 				fmt.Printf("point %d of %d not available\n", idx, len(pts))
 				continue
 			}
-			if err := eng.ApplyAt(p, dep.Compute(p), pts[idx-1]); err != nil {
+			if err := eng.ApplyAt(p, g, pts[idx-1]); err != nil {
 				fmt.Println("error:", err)
 				continue
 			}
+			sync()
 			fmt.Println("applied")
 		case "applyall":
 			eng, err := compileEngine(arg, recompute)
@@ -240,6 +301,7 @@ func session(p *ir.Program) {
 				fmt.Println("error:", err)
 				continue
 			}
+			sync()
 			fmt.Printf("%d application(s)\n", len(apps))
 		case "recompute":
 			recompute = arg != "OFF"

@@ -24,12 +24,18 @@ type access struct {
 // Direction vectors with a leading '>' describe the reversed dependence and
 // are discovered when the symmetric ordered pair is processed, so only '='
 // and leading-'<' vectors are emitted here.
-func (g *Graph) arrayDeps() {
+//
+// A non-nil filter restricts the pass to the named arrays (the incremental
+// updater's dirty-name set); nil analyzes every array.
+func (g *Graph) arrayDeps(lt *loopTable, filter map[string]bool) {
 	p := g.Prog
 	accesses := collectAccesses(p)
 	byName := make(map[string][]access)
 	var names []string
 	for _, ac := range accesses {
+		if filter != nil && !filter[ac.op.Name] {
+			continue
+		}
 		if _, seen := byName[ac.op.Name]; !seen {
 			names = append(names, ac.op.Name)
 		}
@@ -45,7 +51,7 @@ func (g *Graph) arrayDeps() {
 				if !ok {
 					continue
 				}
-				g.testPair(kind, src, dst)
+				g.testPair(kind, src, dst, lt)
 			}
 		}
 	}
@@ -88,9 +94,9 @@ func collectAccesses(p *ir.Program) []access {
 
 // testPair runs the subscript tests for one ordered access pair and emits
 // the resulting dependences.
-func (g *Graph) testPair(kind Kind, src, dst access) {
+func (g *Graph) testPair(kind Kind, src, dst access, lt *loopTable) {
 	p := g.Prog
-	common := ir.CommonLoops(p, src.stmt, dst.stmt)
+	common := lt.common(p.Index(src.stmt), p.Index(dst.stmt))
 	n := len(common)
 	lcvAt := make(map[string]int, n) // LCV name → level (0-based)
 	for k, l := range common {

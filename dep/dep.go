@@ -13,6 +13,7 @@ package dep
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/dataflow"
@@ -195,46 +196,161 @@ type Graph struct {
 	Entry *ir.Stmt
 
 	// flow retains the underlying dataflow analysis (liveness etc.) for
-	// clients such as the benefit estimator.
+	// clients such as the benefit estimator. It is dropped by incremental
+	// updates and recomputed lazily on the next Dataflow call.
 	flow *dataflow.Analysis
 
-	from map[*ir.Stmt][]int
-	to   map[*ir.Stmt][]int
+	// Query index, rebuilt by normalize. from/to hold edge indices by
+	// statement position (slot 0 is Entry), byKind holds them per dependence
+	// kind, and index buckets the exact (kind, src, dst) triples under a
+	// packed integer key. A deleted statement also resolves to slot 0, so
+	// every consumer re-checks endpoint identity while filtering.
+	from   [][]int32
+	to     [][]int32
+	byKind [numKinds][]int32
+	index  map[uint64][]int32
 }
 
-// Dataflow returns the dataflow analysis computed for this snapshot.
-func (g *Graph) Dataflow() *dataflow.Analysis { return g.flow }
+// numKinds is the number of Kind values (Flow..Control).
+const numKinds = 4
+
+// slot maps a statement to its adjacency index: position+1, with 0 for the
+// synthetic Entry statement (and for statements not in the program).
+func (g *Graph) slot(s *ir.Stmt) int {
+	if s == g.Entry {
+		return 0
+	}
+	return g.Prog.Index(s) + 1
+}
+
+// key packs an exact (kind, src, dst) query into one integer. Positions fit
+// in 28 bits each; programs are nowhere near that size.
+func (g *Graph) key(kind Kind, src, dst *ir.Stmt) uint64 {
+	return uint64(kind)<<56 | uint64(g.slot(src))<<28 | uint64(g.slot(dst))
+}
+
+// Dataflow returns the dataflow analysis for the current snapshot, computing
+// it on demand when an incremental update invalidated the cached one.
+func (g *Graph) Dataflow() *dataflow.Analysis {
+	if g.flow == nil {
+		g.flow = dataflow.Analyze(g.Prog)
+	}
+	return g.flow
+}
 
 // Compute builds the full dependence graph for p.
 func Compute(p *ir.Program) *Graph {
-	g := &Graph{
-		Prog:  p,
-		Entry: &ir.Stmt{Kind: ir.SAssign},
-		from:  make(map[*ir.Stmt][]int),
-		to:    make(map[*ir.Stmt][]int),
-	}
-	g.scalarDeps()
-	g.arrayDeps()
-	g.controlDeps()
+	g := &Graph{Prog: p, Entry: &ir.Stmt{Kind: ir.SAssign}}
+	g.recompute()
 	return g
+}
+
+// recompute rebuilds the whole graph in place, preserving the Entry
+// statement's identity so existing bindings to it stay valid.
+func (g *Graph) recompute() {
+	p := g.Prog
+	g.Deps = g.Deps[:0]
+	g.resetMaps()
+	lt := buildLoopTable(p)
+	a := dataflow.Analyze(p)
+	g.flow = a
+	g.scalarDepsFrom(a, lt)
+	g.arrayDeps(lt, nil)
+	g.controlDeps()
+	g.normalize()
+}
+
+func (g *Graph) resetMaps() {
+	n := g.Prog.Len() + 1
+	g.from = make([][]int32, n)
+	g.to = make([][]int32, n)
+	for k := range g.byKind {
+		g.byKind[k] = g.byKind[k][:0]
+	}
+	g.index = make(map[uint64][]int32, len(g.Deps))
 }
 
 func (g *Graph) add(d Dependence) {
 	if d.Src == nil || d.Dst == nil {
 		return
 	}
-	// Deduplicate identical edges (same kind/ends/var/vector).
-	for _, di := range g.from[d.Src] {
-		e := g.Deps[di]
-		if e.Kind == d.Kind && e.Dst == d.Dst && e.Var == d.Var &&
-			e.SrcPos == d.SrcPos && e.DstPos == d.DstPos && vecEqual(e.Vec, d.Vec) {
+	// Deduplicate identical edges (same kind/ends/var/vector): the exact
+	// (kind, src, dst) index bucket holds every candidate duplicate.
+	for _, di := range g.index[g.key(d.Kind, d.Src, d.Dst)] {
+		e := &g.Deps[di]
+		if e.Src == d.Src && e.Dst == d.Dst &&
+			e.Var == d.Var && e.SrcPos == d.SrcPos && e.DstPos == d.DstPos && vecEqual(e.Vec, d.Vec) {
 			return
 		}
 	}
 	idx := len(g.Deps)
 	g.Deps = append(g.Deps, d)
-	g.from[d.Src] = append(g.from[d.Src], idx)
-	g.to[d.Dst] = append(g.to[d.Dst], idx)
+	g.link(idx, d)
+}
+
+// link registers edge idx in the adjacency lists and the query index.
+func (g *Graph) link(idx int, d Dependence) {
+	si, di := g.slot(d.Src), g.slot(d.Dst)
+	g.from[si] = append(g.from[si], int32(idx))
+	g.to[di] = append(g.to[di], int32(idx))
+	g.byKind[d.Kind] = append(g.byKind[d.Kind], int32(idx))
+	k := g.key(d.Kind, d.Src, d.Dst)
+	g.index[k] = append(g.index[k], int32(idx))
+}
+
+// normalize sorts the edge list into a canonical order and rebuilds the
+// adjacency and query indexes. Both Compute and Update finish with
+// normalize, so an incrementally maintained graph is identical — edge order
+// included — to a freshly computed one, which keeps candidate enumeration
+// deterministic and makes the differential tests exact.
+func (g *Graph) normalize() {
+	p := g.Prog
+	pos := func(s *ir.Stmt) int {
+		if s == g.Entry {
+			return -1
+		}
+		return p.Index(s)
+	}
+	sort.SliceStable(g.Deps, func(i, j int) bool {
+		a, b := &g.Deps[i], &g.Deps[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if ai, bi := pos(a.Src), pos(b.Src); ai != bi {
+			return ai < bi
+		}
+		if ai, bi := pos(a.Dst), pos(b.Dst); ai != bi {
+			return ai < bi
+		}
+		if a.Var != b.Var {
+			return a.Var < b.Var
+		}
+		if a.SrcPos != b.SrcPos {
+			return a.SrcPos < b.SrcPos
+		}
+		if a.DstPos != b.DstPos {
+			return a.DstPos < b.DstPos
+		}
+		if a.Level != b.Level {
+			return a.Level < b.Level
+		}
+		if a.Carried != b.Carried {
+			return !a.Carried
+		}
+		if len(a.Vec) != len(b.Vec) {
+			return len(a.Vec) < len(b.Vec)
+		}
+		for k := range a.Vec {
+			if a.Vec[k] != b.Vec[k] {
+				return a.Vec[k] < b.Vec[k]
+			}
+		}
+		return false
+	})
+	g.resetMaps()
+	for i, d := range g.Deps {
+		g.link(i, d)
+	}
 }
 
 func vecEqual(a, b Vector) bool {
@@ -251,62 +367,75 @@ func vecEqual(a, b Vector) bool {
 
 // From returns the dependences emanating from s.
 func (g *Graph) From(s *ir.Stmt) []Dependence {
-	return g.pick(g.from[s])
+	var out []Dependence
+	for _, i := range g.from[g.slot(s)] {
+		if d := g.Deps[i]; d.Src == s {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // To returns the dependences terminating at s.
 func (g *Graph) To(s *ir.Stmt) []Dependence {
-	return g.pick(g.to[s])
-}
-
-func (g *Graph) pick(idxs []int) []Dependence {
-	out := make([]Dependence, 0, len(idxs))
-	for _, i := range idxs {
-		out = append(out, g.Deps[i])
+	var out []Dependence
+	for _, i := range g.to[g.slot(s)] {
+		if d := g.Deps[i]; d.Dst == s {
+			out = append(out, d)
+		}
 	}
 	return out
+}
+
+// candidates returns the tightest index bucket covering a (kind, src, dst)
+// query with nil wildcards. Callers must still filter: adjacency and
+// per-kind buckets over-approximate, and slot 0 conflates Entry with
+// statements no longer in the program.
+func (g *Graph) candidates(kind Kind, src, dst *ir.Stmt) []int32 {
+	switch {
+	case src != nil && dst != nil:
+		return g.index[g.key(kind, src, dst)]
+	case src != nil:
+		return g.from[g.slot(src)]
+	case dst != nil:
+		return g.to[g.slot(dst)]
+	default:
+		return g.byKind[kind]
+	}
+}
+
+func (g *Graph) matches(d *Dependence, kind Kind, src, dst *ir.Stmt, pattern Vector) bool {
+	return d.Kind == kind &&
+		(src == nil || d.Src == src) &&
+		(dst == nil || d.Dst == dst) &&
+		d.Vec.Matches(pattern)
 }
 
 // Query returns all dependences of the given kind between src and dst
 // matching the direction pattern. Either src or dst may be nil as a
 // wildcard. This is the paper's dep routine (Fig. 7) generalized to return
-// the full match set; the engine layers the LST/IF search modes on top.
+// the full match set; the engine layers the LST/IF search modes on top. An
+// exact query resolves to one hash bucket; wildcard forms scan the matching
+// statement's adjacency list or the per-kind list, never the whole graph.
 func (g *Graph) Query(kind Kind, src, dst *ir.Stmt, pattern Vector) []Dependence {
-	var candidates []int
-	switch {
-	case src != nil:
-		candidates = g.from[src]
-	case dst != nil:
-		candidates = g.to[dst]
-	default:
-		candidates = make([]int, len(g.Deps))
-		for i := range g.Deps {
-			candidates[i] = i
-		}
-	}
 	var out []Dependence
-	for _, i := range candidates {
-		d := g.Deps[i]
-		if d.Kind != kind {
-			continue
+	for _, i := range g.candidates(kind, src, dst) {
+		if d := &g.Deps[i]; g.matches(d, kind, src, dst, pattern) {
+			out = append(out, *d)
 		}
-		if src != nil && d.Src != src {
-			continue
-		}
-		if dst != nil && d.Dst != dst {
-			continue
-		}
-		if !d.Vec.Matches(pattern) {
-			continue
-		}
-		out = append(out, d)
 	}
 	return out
 }
 
-// Exists reports whether any dependence matches the query.
+// Exists reports whether any dependence matches the query. Unlike Query it
+// allocates nothing and stops at the first match.
 func (g *Graph) Exists(kind Kind, src, dst *ir.Stmt, pattern Vector) bool {
-	return len(g.Query(kind, src, dst, pattern)) > 0
+	for _, i := range g.candidates(kind, src, dst) {
+		if g.matches(&g.Deps[i], kind, src, dst, pattern) {
+			return true
+		}
+	}
+	return false
 }
 
 // String renders the graph for debugging.

@@ -2,18 +2,18 @@ package dep
 
 import (
 	"repro/internal/dataflow"
-	"repro/ir"
 )
 
-// scalarDeps derives flow, anti and output dependences between scalar
+// scalarDepsFrom derives flow, anti and output dependences between scalar
 // accesses from the dataflow facts. Each dependence is classified as
 // loop-independent (present on the forward-only graph) and/or loop-carried
 // at level k (the fact survives one iteration of common loop k and the sink
-// access is exposed from that loop's body entry).
-func (g *Graph) scalarDeps() {
+// access is exposed from that loop's body entry). The analysis may be
+// name-restricted (dataflow.AnalyzeNames): only dependences among its
+// collected defs/uses are produced, which is how incremental updates rebuild
+// just the dirty names.
+func (g *Graph) scalarDepsFrom(a *dataflow.Analysis, lt *loopTable) {
 	p := g.Prog
-	a := dataflow.Analyze(p)
-	g.flow = a
 
 	// Flow dependences: def d at s reaching scalar use u at t.
 	for ui, u := range a.Uses {
@@ -29,7 +29,7 @@ func (g *Graph) scalarDeps() {
 			if !a.ReachIn[u.StmtIdx].Has(di) {
 				continue
 			}
-			common := ir.CommonLoops(p, s, t)
+			common := lt.common(d.StmtIdx, u.StmtIdx)
 			if a.ReachInF[u.StmtIdx].Has(di) && d.StmtIdx < u.StmtIdx {
 				g.add(Dependence{
 					Kind: Flow, Src: s, Dst: t, Var: d.Name,
@@ -67,7 +67,7 @@ func (g *Graph) scalarDeps() {
 			if !a.UseReachIn[d.StmtIdx].Has(ui) {
 				continue
 			}
-			common := ir.CommonLoops(p, s, t)
+			common := lt.common(u.StmtIdx, d.StmtIdx)
 			if a.UseReachInF[d.StmtIdx].Has(ui) && u.StmtIdx < d.StmtIdx {
 				g.add(Dependence{
 					Kind: Anti, Src: s, Dst: t, Var: d.Name,
@@ -105,7 +105,7 @@ func (g *Graph) scalarDeps() {
 			if !a.ReachIn[e.StmtIdx].Has(di) {
 				continue
 			}
-			common := ir.CommonLoops(p, s, t)
+			common := lt.common(d.StmtIdx, e.StmtIdx)
 			if a.ReachInF[e.StmtIdx].Has(di) && d.StmtIdx < e.StmtIdx {
 				g.add(Dependence{
 					Kind: Output, Src: s, Dst: t, Var: d.Name,
@@ -152,7 +152,7 @@ func (g *Graph) scalarDeps() {
 			continue
 		}
 		s := p.At(d.StmtIdx)
-		common := ir.EnclosingLoops(p, s)
+		common := lt.at(d.StmtIdx)
 		for k, l := range common {
 			endIdx := p.Index(l.End)
 			headIdx := p.Index(l.Head)

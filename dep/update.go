@@ -1,0 +1,197 @@
+package dep
+
+import (
+	"repro/internal/dataflow"
+	"repro/ir"
+)
+
+// Update incrementally maintains the graph after the program edits recorded
+// in changes (an ir.ChangeLog slice). It re-derives only the dependences of
+// locations the edits touched, keeping every other edge, and falls back to a
+// full recomputation when an edit changes the CFG shape (any change
+// involving a DO/IF bracket statement, or a wholesale program replacement).
+// The result is identical — edge order included — to a fresh Compute of the
+// current program. It returns false when the fallback path ran.
+//
+// The incremental path is justified by two observations. First, the CFG is
+// determined solely by statement kinds and bracket positions, so edits to
+// straight-line statements (assign, read, print) leave it intact up to index
+// renumbering. Second, reaching-definition gen/kill sets only interact
+// within a single location name: a statement neither generates nor kills
+// facts about names it does not access, so its insertion, removal, movement
+// or rewriting cannot change the dataflow facts — and hence the dependences
+// — of any other name. Re-analyzing the union of names accessed by the old
+// and new images of every edited statement (dataflow.AnalyzeNames) therefore
+// reproduces exactly the edges a full recomputation would build for them.
+//
+// Per-primitive dirty rules:
+//
+//	Add(s), Copy → s:  names of s dirty; control edges onto s rebuilt
+//	Delete(s):         names of s dirty; edges incident to s dropped
+//	Move(s):           names of s dirty; control edges onto s rebuilt
+//	Modify(s):         names of the old AND new images of s dirty
+//	Modify(DO head), same LCV:  additionally every name accessed in the
+//	                   loop body — bound values shape the direction vectors
+//	                   of carried dependences, and those edges run only
+//	                   between body statements
+//	Modify(IF head), same kind: names rule only — the control region and
+//	                   its edges are unchanged
+//	kind change / LCV rename / insert, delete or move of any bracket
+//	statement / CopyFrom:  full recomputation
+func (g *Graph) Update(changes []ir.Change) bool {
+	if len(changes) == 0 {
+		return true
+	}
+	p := g.Prog
+	dirty := make(map[string]bool)
+	touched := make(map[*ir.Stmt]bool)
+	for _, c := range changes {
+		if structuralChange(c) {
+			g.recompute()
+			return false
+		}
+		switch c.Kind {
+		case ir.ChangeModify:
+			addStmtNames(dirty, c.Before)
+			addStmtNames(dirty, c.Stmt)
+			if c.Stmt.Kind == ir.SDoHead {
+				g.addRegionNames(dirty, c.Stmt)
+			}
+		case ir.ChangeInsert, ir.ChangeMove, ir.ChangeDelete:
+			addStmtNames(dirty, c.Stmt)
+			touched[c.Stmt] = true
+		}
+	}
+
+	// Drop every edge the edits can have invalidated: data edges on a dirty
+	// name, control edges onto a touched statement, and any edge with an
+	// endpoint no longer in the program.
+	kept := g.Deps[:0]
+	for _, d := range g.Deps {
+		if d.Kind == Control {
+			if touched[d.Dst] || p.Index(d.Src) < 0 || p.Index(d.Dst) < 0 {
+				continue
+			}
+		} else {
+			if dirty[d.Var] {
+				continue
+			}
+			if (d.Src != g.Entry && p.Index(d.Src) < 0) || p.Index(d.Dst) < 0 {
+				continue
+			}
+		}
+		kept = append(kept, d)
+	}
+	g.Deps = kept
+	g.resetMaps()
+	for i, d := range g.Deps {
+		g.link(i, d)
+	}
+	g.flow = nil // full dataflow is stale; Dataflow() recomputes on demand
+
+	// Rebuild the dirty region: scalar and array dependences of the dirty
+	// names, and control dependences onto relocated or inserted statements.
+	lt := buildLoopTable(p)
+	if len(dirty) > 0 {
+		a := dataflow.AnalyzeNames(p, dirty)
+		g.scalarDepsFrom(a, lt)
+		g.arrayDeps(lt, dirty)
+	}
+	for s := range touched {
+		i := p.Index(s)
+		if i < 0 {
+			continue // deleted (or inserted then deleted)
+		}
+		for _, head := range lt.ctrlHeads[i] {
+			g.add(Dependence{Kind: Control, Src: head, Dst: s})
+		}
+	}
+	g.normalize()
+	return true
+}
+
+// structuralChange reports whether c can alter the CFG shape or loop
+// structure, forcing a full recomputation. Inserting, deleting or moving any
+// bracket statement changes loop membership or control regions; a modify is
+// structural only when it changes the statement kind or renames a DO loop's
+// control variable — an LCV rename flips the subscript-test classification
+// (index variable vs symbol) for array accesses whose array name the dirty
+// set cannot see. In-kind modifies of bracket heads (loop bounds, IF
+// operands, DOALL marking) stay incremental; Update dirties the loop body
+// for DO heads to cover bound-sensitive direction vectors.
+func structuralChange(c ir.Change) bool {
+	switch c.Kind {
+	case ir.ChangeReset:
+		return true
+	case ir.ChangeModify:
+		if c.Before == nil || c.Before.Kind != c.Stmt.Kind {
+			return true
+		}
+		return c.Stmt.Kind == ir.SDoHead && c.Before.LCV != c.Stmt.LCV
+	default:
+		return c.Stmt != nil && isBracket(c.Stmt.Kind)
+	}
+}
+
+// addRegionNames dirties every location name accessed inside head's loop
+// body (head and matching end included). Used for DO-head bound modifies:
+// any dependence whose direction vector involves the loop runs between two
+// statements of the body, so re-deriving the body's names rebuilds every
+// edge the new bounds could reshape.
+func (g *Graph) addRegionNames(set map[string]bool, head *ir.Stmt) {
+	i := g.Prog.Index(head)
+	if i < 0 {
+		return // deleted by a later change in the batch
+	}
+	depth := 0
+	for _, s := range g.Prog.Stmts()[i:] {
+		switch s.Kind {
+		case ir.SDoHead:
+			depth++
+		case ir.SDoEnd:
+			depth--
+		}
+		addStmtNames(set, s)
+		if depth == 0 {
+			return
+		}
+	}
+}
+
+func isBracket(k ir.StmtKind) bool {
+	switch k {
+	case ir.SDoHead, ir.SDoEnd, ir.SIf, ir.SElse, ir.SEndIf:
+		return true
+	}
+	return false
+}
+
+// addStmtNames adds every location name statement s accesses — its
+// definition target, every scalar read (subscript variables included), and
+// every array operand — to the set.
+func addStmtNames(set map[string]bool, s *ir.Stmt) {
+	if s == nil {
+		return
+	}
+	if d, ok := s.Defs(); ok {
+		set[d.Name] = true
+		for _, sub := range d.Subs {
+			for _, v := range sub.Vars() {
+				set[v] = true
+			}
+		}
+	}
+	for _, u := range s.Uses() {
+		switch u.Kind {
+		case ir.Var:
+			set[u.Name] = true
+		case ir.ArrayRef:
+			set[u.Name] = true
+			for _, sub := range u.Subs {
+				for _, v := range sub.Vars() {
+					set[v] = true
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package dep
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/proggen"
+	"repro/ir"
+)
+
+// mutNames are the scalar names proggen declares; random modifications draw
+// replacement operands from this pool.
+var mutNames = []string{"n", "m", "p", "x", "y", "z", "w"}
+
+func assignStmts(p *ir.Program) []*ir.Stmt {
+	var out []*ir.Stmt
+	for _, s := range p.Stmts() {
+		if s.Kind == ir.SAssign {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func stmtsOfKind(p *ir.Program, k ir.StmtKind) []*ir.Stmt {
+	var out []*ir.Stmt
+	for _, s := range p.Stmts() {
+		if s.Kind == k {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// mutate applies one random engine primitive to p: modify, insert, delete or
+// move of a straight-line statement, or (rarely) a modify of an IF bracket to
+// exercise the structural-fallback path. Every mutation goes through the
+// journaling entry points, exactly as the generated action executors do.
+func mutate(r *rand.Rand, p *ir.Program) {
+	as := assignStmts(p)
+	if len(as) == 0 {
+		return
+	}
+	s := as[r.Intn(len(as))]
+	switch r.Intn(7) {
+	case 0: // modify a source operand
+		ir.NoteModify(s)
+		s.A = ir.VarOp(mutNames[r.Intn(len(mutNames))])
+	case 1: // modify the destination
+		ir.NoteModify(s)
+		s.Dst = ir.VarOp(mutNames[r.Intn(len(mutNames))])
+	case 2: // insert a copy at a random position
+		p.InsertAt(r.Intn(p.Len()+1), ir.CloneStmt(s))
+	case 3: // delete, keeping enough material for later steps
+		if len(as) > 4 {
+			p.Delete(s)
+		} else {
+			ir.NoteModify(s)
+			s.A = ir.VarOp(mutNames[r.Intn(len(mutNames))])
+		}
+	case 4: // move after a random anchor (nil = front)
+		var after *ir.Stmt
+		if j := r.Intn(p.Len() + 1); j > 0 {
+			after = p.Stmts()[j-1]
+		}
+		if after != s {
+			p.Move(s, after)
+		}
+	case 5: // IF-head operand modify — in-kind bracket edit, incremental
+		if ifs := stmtsOfKind(p, ir.SIf); len(ifs) > 0 {
+			c := ifs[r.Intn(len(ifs))]
+			ir.NoteModify(c)
+			c.A = ir.VarOp(mutNames[r.Intn(len(mutNames))])
+		} else {
+			ir.NoteModify(s)
+			s.A = ir.VarOp(mutNames[r.Intn(len(mutNames))])
+		}
+	case 6: // DO-head bound modify — the loop-bounds incremental rule
+		if dos := stmtsOfKind(p, ir.SDoHead); len(dos) > 0 {
+			c := dos[r.Intn(len(dos))]
+			ir.NoteModify(c)
+			c.Final = ir.IntOp(int64(r.Intn(6) + 2))
+		} else {
+			ir.NoteModify(s)
+			s.A = ir.VarOp(mutNames[r.Intn(len(mutNames))])
+		}
+	}
+}
+
+// TestUpdateMatchesCompute is the differential property test for incremental
+// dependence maintenance: after every primitive mutation of a generated
+// program, Graph.Update driven by the change journal must produce a graph
+// identical — edges and canonical order both — to a fresh Compute.
+func TestUpdateMatchesCompute(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		p := proggen.Generate(seed, proggen.Config{})
+		log, owned := p.EnsureLog()
+		if !owned {
+			t.Fatalf("seed %d: fresh program already had a journal", seed)
+		}
+		g := Compute(p)
+		r := rand.New(rand.NewSource(seed * 7919))
+		for step := 0; step < 40; step++ {
+			mutate(r, p)
+			g.Update(log.Changes())
+			log.Reset()
+			want := Compute(p).String()
+			if got := g.String(); got != want {
+				t.Fatalf("seed %d step %d: incremental graph diverged\nprogram:\n%s\nincremental:\n%s\nfresh:\n%s",
+					seed, step, p, got, want)
+			}
+		}
+	}
+}
+
+// TestUpdateStructuralFallback pins the structural-change contract: CFG- or
+// loop-shape edits force a full recompute (Update returns false), while
+// straight-line edits and in-kind bracket-head modifies — loop bounds
+// included — stay on the incremental path (true).
+func TestUpdateStructuralFallback(t *testing.T) {
+	b := ir.NewBuilder("structural")
+	b.Declare("n", false).Declare("x", true)
+	b.Copy(ir.VarOp("n"), ir.IntOp(4))
+	do := b.Do("i", ir.IntOp(1), ir.VarOp("n"))
+	body := b.Assign(ir.VarOp("x"), ir.VarOp("x"), ir.OpAdd, ir.VarOp("x"))
+	b.EndDo()
+	b.Print(ir.VarOp("x"))
+	p := b.P
+	log, _ := p.EnsureLog()
+	g := Compute(p)
+
+	check := func(what string, wantIncremental bool) {
+		t.Helper()
+		if got := g.Update(log.Changes()); got != wantIncremental {
+			t.Errorf("%s: incremental = %t, want %t", what, got, wantIncremental)
+		}
+		log.Reset()
+		if want := Compute(p).String(); g.String() != want {
+			t.Errorf("%s: graph diverged\ngot:\n%s\nwant:\n%s", what, g, want)
+		}
+	}
+
+	ir.NoteModify(body)
+	body.A = ir.VarOp("n")
+	check("straight-line modify", true)
+
+	ir.NoteModify(do)
+	do.Final = ir.IntOp(6)
+	check("DO-head bound modify", true)
+
+	ir.NoteModify(do)
+	do.Parallel = true
+	check("DOALL marking", true)
+
+	ir.NoteModify(do)
+	do.LCV = "j"
+	body.Dst = ir.VarOp("x") // keep the body well-formed under the rename
+	check("LCV rename", false)
+
+	p.Move(body, do)
+	check("moving within a loop", true)
+
+	end := p.Stmts()[p.Len()-2]
+	if end.Kind != ir.SDoEnd {
+		t.Fatalf("expected SDoEnd, got %v", end.Kind)
+	}
+	p.Delete(body)
+	p.Delete(end)
+	p.Delete(do)
+	check("deleting the loop brackets", false)
+}
+
+// TestUndoRestoresProgram checks the cheap-rollback half of the journal:
+// unwinding to a mark restores the program text exactly, no matter what
+// sequence of primitives ran in between.
+func TestUndoRestoresProgram(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		p := proggen.Generate(seed, proggen.Config{})
+		log, _ := p.EnsureLog()
+		before := p.String()
+		mark := log.Mark()
+		r := rand.New(rand.NewSource(seed * 104729))
+		for step := 0; step < 25; step++ {
+			mutate(r, p)
+		}
+		log.UndoTo(mark)
+		if got := p.String(); got != before {
+			t.Fatalf("seed %d: undo did not restore the program\nbefore:\n%s\nafter:\n%s", seed, before, got)
+		}
+		if log.Len() != mark {
+			t.Fatalf("seed %d: journal not truncated to mark: len %d want %d", seed, log.Len(), mark)
+		}
+	}
+}

@@ -97,6 +97,16 @@ func WithoutRecompute() Option {
 	}
 }
 
+// WithoutIncremental makes ApplyAll rebuild the dependence graph from
+// scratch after every application instead of incrementally updating it from
+// the change journal. Incremental maintenance is the default; this option
+// exists for differential testing and benchmarking.
+func WithoutIncremental() Option {
+	return func(c *compileConfig) {
+		c.engineOpts = append(c.engineOpts, engine.WithoutIncremental())
+	}
+}
+
 // Optimizer is an executable optimizer produced from a specification —
 // what GENesis generates.
 type Optimizer struct {

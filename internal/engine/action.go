@@ -139,6 +139,9 @@ func (o *Optimizer) execModify(ctx *context, env Env, a gospel.ModifyAction) err
 			return errf("modify: subst target must be a statement")
 		}
 		ctx.cost.ActionOps++
+		// Journal the pre-image first: substStmt can mutate partially before
+		// discovering an unrepresentable occurrence and erroring out.
+		ctx.prog.NoteModified(sv.Stmt)
 		return substStmt(sv.Stmt, val.Subst)
 	}
 
@@ -153,6 +156,7 @@ func (o *Optimizer) execModify(ctx *context, env Env, a gospel.ModifyAction) err
 		if op == nil {
 			return errf("modify: statement S%d has no operand %d", stmt.ID, slot)
 		}
+		ctx.prog.NoteModified(stmt)
 		switch val.Kind {
 		case VOperand:
 			*op = val.Op.Clone()
@@ -166,6 +170,7 @@ func (o *Optimizer) execModify(ctx *context, env Env, a gospel.ModifyAction) err
 		if val.Kind != VLit {
 			return errf("modify: opcode value must be a literal")
 		}
+		ctx.prog.NoteModified(stmt)
 		return setOpc(stmt, val.Lit)
 	}
 	return errf("modify: unsupported target")

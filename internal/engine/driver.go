@@ -30,7 +30,21 @@ func envSignature(e Env) string {
 		case VNum:
 			parts = append(parts, fmt.Sprintf("%d", v.Num))
 		case VSet:
-			parts = append(parts, fmt.Sprintf("set%d", len(v.Set)))
+			// Render the sorted member IDs: two distinct sets of equal size
+			// must not collide, or the second application point is silently
+			// skipped as already-seen.
+			ids := make([]int, 0, len(v.Set))
+			for _, s := range v.Set {
+				if s != nil {
+					ids = append(ids, s.ID)
+				}
+			}
+			sort.Ints(ids)
+			mem := make([]string, len(ids))
+			for i, id := range ids {
+				mem[i] = fmt.Sprintf("S%d", id)
+			}
+			parts = append(parts, "set{"+strings.Join(mem, ",")+"}")
 		}
 	}
 	sort.Strings(parts)
@@ -65,13 +79,19 @@ func (o *Optimizer) ApplyOnceWith(p *ir.Program, g *dep.Graph) (bool, error) {
 }
 
 // ApplyAll repeatedly finds and applies application points until none
-// remain, recomputing dependences between applications when RecomputeDeps
-// is set. A point signature is applied at most once, which terminates
-// otherwise self-inverse transformations such as loop interchange. Returns
-// the list of performed applications.
+// remain, maintaining the dependence graph between applications when
+// RecomputeDeps is set — incrementally through the change journal by
+// default, or from scratch per application with WithoutIncremental. A point
+// signature is applied at most once, which terminates otherwise self-inverse
+// transformations such as loop interchange. Returns the list of performed
+// applications.
 func (o *Optimizer) ApplyAll(p *ir.Program) ([]Application, error) {
 	var done []Application
 	seen := map[string]bool{}
+	log, owned := p.EnsureLog()
+	if owned {
+		defer log.Detach()
+	}
 	g := dep.Compute(p)
 	for len(done) < o.MaxApplications {
 		ctx := o.newContext(p, g)
@@ -91,17 +111,27 @@ func (o *Optimizer) ApplyAll(p *ir.Program) ([]Application, error) {
 		}
 		sig := envSignature(chosen)
 		seen[sig] = true
+		start := log.Mark()
 		if err := o.applyAt(ctx, chosen); err != nil {
 			// The actions could not be applied at this point (e.g. an
-			// unrepresentable substitution). The rollback replaced every
-			// statement, so both the dependence graph and any outstanding
-			// bindings are stale: recompute before searching again.
-			g = dep.Compute(p)
+			// unrepresentable substitution). The undo log rolled the program
+			// back in place, preserving statement identity, so the graph is
+			// still valid — keep searching with it as-is.
 			continue
 		}
 		done = append(done, Application{Spec: o.Spec.Name, Signature: sig})
 		if o.RecomputeDeps {
-			g = dep.Compute(p)
+			if o.IncrementalDeps {
+				g.Update(log.Since(start))
+			} else {
+				g = dep.Compute(p)
+			}
+		}
+		if owned {
+			// The journal's changes are consumed; keep it from growing
+			// across a long fixpoint run. (A caller-attached journal is left
+			// intact — its owner decides when to consume it.)
+			log.Reset()
 		}
 	}
 	return done, nil
@@ -117,14 +147,22 @@ func (o *Optimizer) ApplyAt(p *ir.Program, g *dep.Graph, env Env) error {
 }
 
 // applyAt executes the action section under env with rollback on failure.
+// Instead of snapshotting the whole program (the seed's Clone/CopyFrom,
+// O(n) per attempt), it journals the executed primitives and replays them
+// backwards on failure — O(|edits|) — leaving every untouched statement
+// pointer-identical so the caller's dependence graph stays valid.
 func (o *Optimizer) applyAt(ctx *context, env Env) error {
-	snapshot := ctx.prog.Clone()
+	log, owned := ctx.prog.EnsureLog()
+	if owned {
+		defer log.Detach()
+	}
+	mark := log.Mark()
 	if err := o.execActions(ctx, env.clone(), o.Spec.Actions); err != nil {
-		ctx.prog.CopyFrom(snapshot)
+		log.UndoTo(mark)
 		return err
 	}
 	if err := ctx.prog.Validate(); err != nil {
-		ctx.prog.CopyFrom(snapshot)
+		log.UndoTo(mark)
 		return fmt.Errorf("engine: %s actions broke program structure: %w", o.Spec.Name, err)
 	}
 	return nil

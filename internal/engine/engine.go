@@ -20,6 +20,11 @@ type Optimizer struct {
 	// graph after each application (the interactive choice in the paper's
 	// constructor-built interface). Default true.
 	RecomputeDeps bool
+	// IncrementalDeps selects how RecomputeDeps refreshes the graph:
+	// incrementally from the change journal (default) or with a full
+	// dep.Compute per application (WithoutIncremental — the seed behavior,
+	// kept for differential testing and as an escape hatch).
+	IncrementalDeps bool
 	// MaxApplications bounds ApplyAll as a safety net.
 	MaxApplications int
 
@@ -35,6 +40,10 @@ func WithStrategy(s Strategy) Option { return func(o *Optimizer) { o.Strategy = 
 // WithoutRecompute disables dependence recomputation between applications.
 func WithoutRecompute() Option { return func(o *Optimizer) { o.RecomputeDeps = false } }
 
+// WithoutIncremental makes ApplyAll rebuild the dependence graph from
+// scratch after each application instead of incrementally maintaining it.
+func WithoutIncremental() Option { return func(o *Optimizer) { o.IncrementalDeps = false } }
+
 // Compile turns a checked specification into an optimizer. It performs the
 // generator's static work: validating that the specification's element
 // types have candidate generators and pre-resolving clause evaluation
@@ -47,6 +56,7 @@ func Compile(spec *gospel.Spec, opts ...Option) (*Optimizer, error) {
 		Spec:            spec,
 		Strategy:        StrategyHeuristic,
 		RecomputeDeps:   true,
+		IncrementalDeps: true,
 		MaxApplications: 1000,
 	}
 	for _, opt := range opts {

@@ -1,0 +1,39 @@
+package engine_test
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/specs"
+	"repro/internal/workloads"
+)
+
+// TestIncrementalMatchesFullRecompute runs every built-in optimization over
+// every workload twice — once with the default incremental dependence
+// maintenance, once with WithoutIncremental's full dep.Compute after each
+// application — and requires identical application counts and final programs.
+// This is the end-to-end guarantee on top of the dep-level differential test.
+func TestIncrementalMatchesFullRecompute(t *testing.T) {
+	for _, w := range workloads.All {
+		for _, name := range specs.Ten {
+			pi := w.Program()
+			ai, err := specs.MustCompile(name).ApplyAll(pi)
+			if err != nil {
+				t.Fatalf("%s/%s incremental: %v", w.Name, name, err)
+			}
+			pf := w.Program()
+			af, err := specs.MustCompile(name, engine.WithoutIncremental()).ApplyAll(pf)
+			if err != nil {
+				t.Fatalf("%s/%s full recompute: %v", w.Name, name, err)
+			}
+			if len(ai) != len(af) {
+				t.Errorf("%s/%s: %d applications incremental, %d with full recompute",
+					w.Name, name, len(ai), len(af))
+			}
+			if !pi.Equal(pf) {
+				t.Errorf("%s/%s: final programs differ\nincremental:\n%s\nfull recompute:\n%s",
+					w.Name, name, pi, pf)
+			}
+		}
+	}
+}

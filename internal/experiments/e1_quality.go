@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/handopt"
+	"repro/internal/par"
 	"repro/internal/specs"
 	"repro/internal/workloads"
 )
@@ -27,32 +28,44 @@ type E1Result struct {
 	Agreement int // rows with identical resulting programs
 }
 
-// RunE1 runs both optimizer suites on every workload.
+// RunE1 runs both optimizer suites on every workload. Each
+// (workload, optimization) cell is independent — its programs, compiled
+// optimizers and dependence graphs are all private — so the matrix fans out
+// across a bounded worker pool; rows come back in the sequential order.
 func RunE1() E1Result {
-	var res E1Result
+	type cell struct {
+		w    workloads.Workload
+		name string
+	}
+	var cells []cell
 	for _, w := range workloads.All {
 		for _, name := range specs.Ten {
-			gp := w.Program()
-			o := specs.MustCompile(name)
-			apps, err := o.ApplyAll(gp)
-			if err != nil {
-				panic(err)
-			}
-			hp := w.Program()
-			hf, _ := handopt.Get(name)
-			hApps := hf(hp)
-
-			row := E1Row{
-				Workload:      w.Name,
-				Opt:           name,
-				GeneratedApps: len(apps),
-				HandApps:      hApps,
-				SameProgram:   gp.Equal(hp),
-			}
-			if row.SameProgram {
-				res.Agreement++
-			}
-			res.Rows = append(res.Rows, row)
+			cells = append(cells, cell{w, name})
+		}
+	}
+	rows := par.Map(len(cells), 0, func(i int) E1Row {
+		c := cells[i]
+		gp := c.w.Program()
+		o := specs.MustCompile(c.name)
+		apps, err := o.ApplyAll(gp)
+		if err != nil {
+			panic(err)
+		}
+		hp := c.w.Program()
+		hf, _ := handopt.Get(c.name)
+		hApps := hf(hp)
+		return E1Row{
+			Workload:      c.w.Name,
+			Opt:           c.name,
+			GeneratedApps: len(apps),
+			HandApps:      hApps,
+			SameProgram:   gp.Equal(hp),
+		}
+	})
+	res := E1Result{Rows: rows}
+	for _, row := range rows {
+		if row.SameProgram {
+			res.Agreement++
 		}
 	}
 	return res

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/dep"
+	"repro/internal/par"
 	"repro/internal/specs"
 	"repro/internal/workloads"
 )
@@ -29,27 +30,34 @@ type E2Result struct {
 	Order []string
 }
 
-// RunE2 counts applications per optimization, alone and after CTP.
+// RunE2 counts applications per optimization, alone and after CTP. Each
+// workload's census is computed independently on the worker pool, then the
+// per-workload partials are merged in the fixed workload order so the
+// aggregate is identical to the sequential run.
 func RunE2() E2Result {
-	res := E2Result{
-		Points:   map[string]int{},
-		Apps:     map[string]int{},
-		Programs: map[string]int{},
-		Enabled:  map[string]int{},
-		Order:    append(append([]string{}, specs.Ten...), "CFO"),
+	order := append(append([]string{}, specs.Ten...), "CFO")
+	type partial struct {
+		points, apps, programs, enabled map[string]int
 	}
-	for _, w := range workloads.All {
-		for _, name := range res.Order {
+	partials := par.Map(len(workloads.All), 0, func(i int) partial {
+		w := workloads.All[i]
+		pt := partial{
+			points:   map[string]int{},
+			apps:     map[string]int{},
+			programs: map[string]int{},
+			enabled:  map[string]int{},
+		}
+		for _, name := range order {
 			p := w.Program()
 			o := specs.MustCompile(name)
-			res.Points[name] += len(o.Preconditions(p, dep.Compute(p)))
+			pt.points[name] += len(o.Preconditions(p, dep.Compute(p)))
 			apps, err := o.ApplyAll(p)
 			if err != nil {
 				panic(err)
 			}
-			res.Apps[name] += len(apps)
+			pt.apps[name] += len(apps)
 			if len(apps) > 0 {
-				res.Programs[name]++
+				pt.programs[name]++
 			}
 		}
 		// Enablement by CTP for DCE, CFO and LUR (the paper's triples).
@@ -62,7 +70,30 @@ func RunE2() E2Result {
 			if err != nil {
 				panic(err)
 			}
-			res.Enabled[follower] += len(after)
+			pt.enabled[follower] += len(after)
+		}
+		return pt
+	})
+
+	res := E2Result{
+		Points:   map[string]int{},
+		Apps:     map[string]int{},
+		Programs: map[string]int{},
+		Enabled:  map[string]int{},
+		Order:    order,
+	}
+	for _, pt := range partials {
+		for k, v := range pt.points {
+			res.Points[k] += v
+		}
+		for k, v := range pt.apps {
+			res.Apps[k] += v
+		}
+		for k, v := range pt.programs {
+			res.Programs[k] += v
+		}
+		for k, v := range pt.enabled {
+			res.Enabled[k] += v
 		}
 	}
 	for _, follower := range []string{"DCE", "CFO", "LUR"} {

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/interp"
+	"repro/internal/par"
 	"repro/internal/specs"
 	"repro/internal/workloads"
 	"repro/ir"
@@ -49,16 +50,17 @@ var e3Orders = [][]string{
 	{"LUR", "INX", "FUS"},
 }
 
-// RunE3 applies all six orderings to the interaction workload.
+// RunE3 applies all six orderings to the interaction workload. Each ordering
+// optimizes its own fresh copy of the workload, so the six runs fan out
+// across the worker pool; rows and the derived interaction findings are
+// aggregated in the fixed ordering-table order.
 func RunE3() E3Result {
 	w, err := workloads.Get("interact")
 	if err != nil {
 		panic(err)
 	}
-	var res E3Result
-	programs := map[string]bool{}
-	apps := map[string]map[string]int{}
-	for _, order := range e3Orders {
+	rows := par.Map(len(e3Orders), 0, func(i int) E3Row {
+		order := e3Orders[i]
 		p := w.Program()
 		row := E3Row{Order: order, Apps: map[string]int{}}
 		for _, name := range order {
@@ -75,10 +77,15 @@ func RunE3() E3Result {
 		}
 		row.EstTime = interp.EstimatedTime(r.Counts, interp.Scalar, interp.DefaultModel)
 		row.Program = p.String()
-		programs[row.Program] = true
-		apps[strings.Join(order, ",")] = row.Apps
-		res.Rows = append(res.Rows, row)
 		_ = ir.Loops(p)
+		return row
+	})
+	res := E3Result{Rows: rows}
+	programs := map[string]bool{}
+	apps := map[string]map[string]int{}
+	for _, row := range rows {
+		programs[row.Program] = true
+		apps[strings.Join(row.Order, ",")] = row.Apps
 	}
 	res.DistinctPrograms = len(programs)
 	inxFirst := apps["INX,FUS,LUR"]["INX"]

@@ -5,6 +5,7 @@ import (
 
 	"repro/dep"
 	"repro/internal/engine"
+	"repro/internal/par"
 	"repro/internal/specs"
 	"repro/internal/workloads"
 	"repro/ir"
@@ -37,10 +38,12 @@ var membershipOpts = []string{"ICM", "INX", "CRC", "PAR", "FUS"}
 
 // RunE6 measures precondition-search cost per strategy. The searches are
 // run without applying (Preconditions), so all three strategies examine the
-// identical program.
+// identical program. Each optimization's profile is independent (its own
+// compiled optimizers, cost counters and programs), so the five profiles run
+// on the worker pool and come back in membershipOpts order.
 func RunE6() E6Result {
-	var res E6Result
-	for _, name := range membershipOpts {
+	rows := par.Map(len(membershipOpts), 0, func(i int) E6Row {
+		name := membershipOpts[i]
 		row := E6Row{Opt: name}
 		for _, strat := range []engine.Strategy{
 			engine.StrategyMembers, engine.StrategyDeps, engine.StrategyHeuristic,
@@ -62,10 +65,13 @@ func RunE6() E6Result {
 				row.Heuristic = checks
 			}
 		}
+		return row
+	})
+	res := E6Result{Rows: rows}
+	for _, row := range rows {
 		if row.Heuristic <= row.Members || row.Heuristic <= row.Deps {
 			res.HeuristicWins++
 		}
-		res.Rows = append(res.Rows, row)
 	}
 	return res
 }

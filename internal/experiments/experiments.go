@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"repro/internal/par"
 )
 
 // table is a minimal text-table builder.
@@ -61,21 +63,26 @@ func (t *table) String() string {
 	return b.String()
 }
 
-// RunAll executes every experiment and writes all tables to w.
+// RunAll executes every experiment and writes all tables to w. The seven
+// experiments are independent, so they run concurrently; the tables are
+// collected and written in E1..E7 order so the output is deterministic.
 func RunAll(w io.Writer) error {
-	fmt.Fprintln(w, "== E1: generated vs hand-coded optimizers ==")
-	fmt.Fprintln(w, RunE1().Table())
-	fmt.Fprintln(w, "== E2: application points and enablement ==")
-	fmt.Fprintln(w, RunE2().Table())
-	fmt.Fprintln(w, "== E3: ordering interactions of FUS, INX, LUR ==")
-	fmt.Fprintln(w, RunE3().Table())
-	fmt.Fprintln(w, "== E4: cost and expected benefit ==")
-	fmt.Fprintln(w, RunE4().Table())
-	fmt.Fprintln(w, "== E5: specification form and cost (LUR bound order) ==")
-	fmt.Fprintln(w, RunE5().Table())
-	fmt.Fprintln(w, "== E6: membership strategies and the heuristic ==")
-	fmt.Fprintln(w, RunE6().Table())
-	fmt.Fprintln(w, "== E7: implementation statistics ==")
-	fmt.Fprintln(w, RunE7().Table())
+	sections := []struct {
+		title string
+		run   func() string
+	}{
+		{"== E1: generated vs hand-coded optimizers ==", func() string { return RunE1().Table() }},
+		{"== E2: application points and enablement ==", func() string { return RunE2().Table() }},
+		{"== E3: ordering interactions of FUS, INX, LUR ==", func() string { return RunE3().Table() }},
+		{"== E4: cost and expected benefit ==", func() string { return RunE4().Table() }},
+		{"== E5: specification form and cost (LUR bound order) ==", func() string { return RunE5().Table() }},
+		{"== E6: membership strategies and the heuristic ==", func() string { return RunE6().Table() }},
+		{"== E7: implementation statistics ==", func() string { return RunE7().Table() }},
+	}
+	tables := par.Map(len(sections), 0, func(i int) string { return sections[i].run() })
+	for i, s := range sections {
+		fmt.Fprintln(w, s.title)
+		fmt.Fprintln(w, tables[i])
+	}
 	return nil
 }

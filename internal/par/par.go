@@ -1,0 +1,66 @@
+// Package par provides a minimal bounded worker pool for the experiment
+// matrix and workload sweeps. Every (optimizer, program) task is
+// independent, so the sweeps are embarrassingly parallel; what matters here
+// is that results come back in input order — the experiment tables and CLI
+// output must be byte-identical regardless of scheduling.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a requested pool size: values < 1 select GOMAXPROCS.
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Map runs f(0..n-1) on a pool of at most workers goroutines and returns
+// the results in index order. f must be safe for concurrent invocation;
+// ordering of side effects across calls is not defined, only the result
+// placement is.
+func Map[R any](n, workers int, f func(i int) R) []R {
+	out := make([]R, n)
+	if n == 0 {
+		return out
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			out[i] = f(i)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// Do runs the given functions concurrently on a pool of at most workers
+// goroutines and waits for all of them.
+func Do(workers int, fns ...func()) {
+	Map(len(fns), workers, func(i int) struct{} {
+		fns[i]()
+		return struct{}{}
+	})
+}

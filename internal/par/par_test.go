@@ -1,0 +1,71 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMapOrdered: results land at their input index no matter how the
+// scheduler interleaves the workers.
+func TestMapOrdered(t *testing.T) {
+	const n = 100
+	out := Map(n, 7, func(i int) int {
+		time.Sleep(time.Duration(i%5) * time.Millisecond) // scramble finish order
+		return i * i
+	})
+	if len(out) != n {
+		t.Fatalf("len = %d, want %d", len(out), n)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapEdgeCases(t *testing.T) {
+	if out := Map(0, 4, func(i int) int { return i }); len(out) != 0 {
+		t.Errorf("Map(0, ...) returned %d results", len(out))
+	}
+	// Single worker takes the sequential path; still every index exactly once.
+	var calls int32
+	out := Map(5, 1, func(i int) int {
+		atomic.AddInt32(&calls, 1)
+		return i
+	})
+	if calls != 5 {
+		t.Errorf("sequential path made %d calls, want 5", calls)
+	}
+	for i, v := range out {
+		if v != i {
+			t.Errorf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(4); got != 4 {
+		t.Errorf("Workers(4) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got < 1 {
+		t.Errorf("Workers(-3) = %d, want >= 1", got)
+	}
+}
+
+func TestDo(t *testing.T) {
+	var total int64
+	fns := make([]func(), 20)
+	for i := range fns {
+		v := int64(i)
+		fns[i] = func() { atomic.AddInt64(&total, v) }
+	}
+	Do(3, fns...)
+	if total != 190 {
+		t.Errorf("total = %d, want 190", total)
+	}
+}

@@ -93,7 +93,12 @@ func Generate(seed int64, cfg Config) *ir.Program {
 	g.b.Copy(ir.VarOp("n"), ir.IntOp(int64(g.r.Intn(6)+loopLo)))
 	g.b.Copy(ir.VarOp("x"), ir.ConstOp(ir.FloatVal(float64(g.r.Intn(9))+0.5)))
 
-	g.stmts(0)
+	// Emit top-level runs until the statement budget is spent, so generated
+	// programs actually scale with MaxStmts (each run is 1–4 statements,
+	// loops and conditionals recurse with the shared budget).
+	for g.budget > 0 {
+		g.stmts(0)
+	}
 
 	// Observability: print every scalar and probe the arrays.
 	args := []ir.Operand{}

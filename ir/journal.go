@@ -1,0 +1,230 @@
+package ir
+
+import "fmt"
+
+// ChangeKind discriminates the entries of a ChangeLog. The five GOSpeL
+// transformation primitives reduce to four journal operations: Add and Copy
+// both insert (ChangeInsert), Delete removes (ChangeDelete), Move relocates
+// (ChangeMove), and Modify edits a statement's fields in place
+// (ChangeModify).
+type ChangeKind int
+
+const (
+	// ChangeInsert records that Stmt was inserted at position Index.
+	ChangeInsert ChangeKind = iota
+	// ChangeDelete records that Stmt was removed from position Index.
+	ChangeDelete
+	// ChangeMove records that Stmt was moved away from position Index (its
+	// current position is wherever the program now holds it).
+	ChangeMove
+	// ChangeModify records that Stmt's fields were edited in place; Before
+	// is a deep copy of the statement taken immediately before the edit.
+	ChangeModify
+	// ChangeReset records a wholesale replacement of the program's contents
+	// (CopyFrom). A reset cannot be undone through the log and forces
+	// clients maintaining derived state to rebuild from scratch.
+	ChangeReset
+)
+
+func (k ChangeKind) String() string {
+	switch k {
+	case ChangeInsert:
+		return "insert"
+	case ChangeDelete:
+		return "delete"
+	case ChangeMove:
+		return "move"
+	case ChangeModify:
+		return "modify"
+	case ChangeReset:
+		return "reset"
+	}
+	return fmt.Sprintf("ChangeKind(%d)", int(k))
+}
+
+// Change is one recorded program edit.
+type Change struct {
+	Kind ChangeKind
+	Stmt *Stmt
+	// Index is the position the edit happened at: the insertion point for
+	// ChangeInsert, the removal point for ChangeDelete, and the origin for
+	// ChangeMove.
+	Index int
+	// Before is the pre-image of the statement for ChangeModify.
+	Before *Stmt
+}
+
+// ChangeLog journals the structural and in-place edits applied to a Program
+// while attached. It serves two clients at once:
+//
+//   - transformation engines use it as an undo log — UndoTo rolls a
+//     partially applied action sequence back in place, preserving statement
+//     pointer identity (so dependence graphs and element bindings survive a
+//     failed application);
+//   - the dependence analyzer uses it as a dirty-region log — dep.Update
+//     consumes the recorded changes to re-analyze only the statements whose
+//     reaching facts can have changed.
+//
+// A program carries at most one attached log; nested transactions use
+// Mark/UndoTo/Since rather than nested logs. ChangeLog is not safe for
+// concurrent use, matching Program itself.
+type ChangeLog struct {
+	prog    *Program
+	changes []Change
+}
+
+// Log attaches a fresh change log to p and returns it. It panics when a log
+// is already attached; cooperating layers should use EnsureLog instead.
+func (p *Program) Log() *ChangeLog {
+	if p.journal != nil {
+		panic("ir: Log: a change log is already attached")
+	}
+	l := &ChangeLog{prog: p}
+	p.journal = l
+	return l
+}
+
+// EnsureLog returns the program's attached change log, attaching a fresh one
+// when none is present. The boolean reports whether this call attached the
+// log (and therefore owns its detachment).
+func (p *Program) EnsureLog() (*ChangeLog, bool) {
+	if p.journal != nil {
+		return p.journal, false
+	}
+	return p.Log(), true
+}
+
+// Journal returns the currently attached change log, or nil.
+func (p *Program) Journal() *ChangeLog { return p.journal }
+
+// Detach stops recording into l and releases it from the program.
+func (l *ChangeLog) Detach() {
+	if l.prog != nil && l.prog.journal == l {
+		l.prog.journal = nil
+	}
+	l.prog = nil
+}
+
+// Mark returns a position in the log for later UndoTo/Since calls.
+func (l *ChangeLog) Mark() int { return len(l.changes) }
+
+// Len returns the number of recorded changes.
+func (l *ChangeLog) Len() int { return len(l.changes) }
+
+// Changes returns every recorded change in application order. The returned
+// slice aliases the log; it is invalidated by Reset and UndoTo.
+func (l *ChangeLog) Changes() []Change { return l.changes }
+
+// Since returns the changes recorded after mark.
+func (l *ChangeLog) Since(mark int) []Change {
+	if mark < 0 {
+		mark = 0
+	}
+	if mark > len(l.changes) {
+		mark = len(l.changes)
+	}
+	return l.changes[mark:]
+}
+
+// Reset drops every recorded change without undoing anything. Use it after
+// derived state (a dependence graph) has consumed the log.
+func (l *ChangeLog) Reset() { l.changes = l.changes[:0] }
+
+// Undo reverts every recorded change, restoring the program to its state at
+// attach (or last Reset) time.
+func (l *ChangeLog) Undo() { l.UndoTo(0) }
+
+// UndoTo reverts, in reverse order, every change recorded after mark and
+// truncates the log to mark. Statement pointer identity is preserved: a
+// deleted statement is reinserted as the same *Stmt, and a modified
+// statement has its fields restored in place. It panics on a ChangeReset
+// entry (wholesale replacement cannot be replayed backwards).
+func (l *ChangeLog) UndoTo(mark int) {
+	p := l.prog
+	if p == nil {
+		panic("ir: UndoTo on a detached change log")
+	}
+	if mark < 0 {
+		mark = 0
+	}
+	for i := len(l.changes) - 1; i >= mark; i-- {
+		c := l.changes[i]
+		switch c.Kind {
+		case ChangeInsert:
+			p.removeRaw(c.Stmt)
+		case ChangeDelete:
+			p.insertRaw(c.Index, c.Stmt)
+		case ChangeMove:
+			p.removeRaw(c.Stmt)
+			p.insertRaw(c.Index, c.Stmt)
+		case ChangeModify:
+			restoreStmt(c.Stmt, c.Before)
+		case ChangeReset:
+			panic("ir: cannot undo past a wholesale program replacement")
+		}
+	}
+	l.changes = l.changes[:mark]
+}
+
+// record appends a change when a journal is attached.
+func (p *Program) record(c Change) {
+	if p.journal != nil {
+		p.journal.changes = append(p.journal.changes, c)
+	}
+}
+
+// NoteModified records an imminent in-place edit of s's fields (operands,
+// opcode, statement kind attributes). Callers must invoke it before
+// mutating; it snapshots the statement as the undo pre-image. A no-op when
+// no change log is attached.
+func (p *Program) NoteModified(s *Stmt) {
+	if p.journal == nil || s == nil {
+		return
+	}
+	p.record(Change{Kind: ChangeModify, Stmt: s, Index: p.Index(s), Before: CloneStmt(s)})
+}
+
+// NoteModify is NoteModified reached through the statement itself, for
+// library routines that mutate a statement without holding its program
+// (optlib's Modify primitives in generated optimizers).
+func NoteModify(s *Stmt) {
+	if s != nil && s.prog != nil {
+		s.prog.NoteModified(s)
+	}
+}
+
+// restoreStmt copies before's fields into s, preserving s's identity (ID,
+// position, owning program).
+func restoreStmt(s, before *Stmt) {
+	id, idx, prog := s.ID, s.index, s.prog
+	*s = *before
+	s.ID, s.index, s.prog = id, idx, prog
+}
+
+// removeRaw deletes s without journaling (undo replay).
+func (p *Program) removeRaw(s *Stmt) {
+	i := p.Index(s)
+	if i < 0 {
+		panic("ir: undo: statement not in program")
+	}
+	copy(p.stmts[i:], p.stmts[i+1:])
+	p.stmts = p.stmts[:len(p.stmts)-1]
+	s.index = -1
+	s.prog = nil
+	p.reindex(i)
+}
+
+// insertRaw inserts s at position i without journaling (undo replay).
+func (p *Program) insertRaw(i int, s *Stmt) {
+	if i < 0 {
+		i = 0
+	}
+	if i > len(p.stmts) {
+		i = len(p.stmts)
+	}
+	p.stmts = append(p.stmts, nil)
+	copy(p.stmts[i+1:], p.stmts[i:])
+	p.stmts[i] = s
+	s.prog = p
+	p.reindex(i)
+}

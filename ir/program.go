@@ -24,6 +24,10 @@ type Program struct {
 	Decls  []Decl
 	stmts  []*Stmt
 	nextID int
+
+	// journal, when attached via Log/EnsureLog, records every mutation for
+	// undo and for incremental dependence maintenance.
+	journal *ChangeLog
 }
 
 // NewProgram returns an empty program.
@@ -99,7 +103,9 @@ func (p *Program) assignID(s *Stmt) {
 func (p *Program) Append(s *Stmt) *Stmt {
 	p.assignID(s)
 	s.index = len(p.stmts)
+	s.prog = p
 	p.stmts = append(p.stmts, s)
+	p.record(Change{Kind: ChangeInsert, Stmt: s, Index: s.index})
 	return s
 }
 
@@ -115,7 +121,9 @@ func (p *Program) InsertAt(i int, s *Stmt) *Stmt {
 	p.stmts = append(p.stmts, nil)
 	copy(p.stmts[i+1:], p.stmts[i:])
 	p.stmts[i] = s
+	s.prog = p
 	p.reindex(i)
+	p.record(Change{Kind: ChangeInsert, Stmt: s, Index: i})
 	return s
 }
 
@@ -151,7 +159,9 @@ func (p *Program) Delete(s *Stmt) {
 	copy(p.stmts[i:], p.stmts[i+1:])
 	p.stmts = p.stmts[:len(p.stmts)-1]
 	s.index = -1
+	s.prog = nil
 	p.reindex(i)
+	p.record(Change{Kind: ChangeDelete, Stmt: s, Index: i})
 }
 
 // Move removes s from its position and re-inserts it immediately after
@@ -185,6 +195,7 @@ func (p *Program) Move(s, after *Stmt) {
 	copy(p.stmts[j+1:], p.stmts[j:])
 	p.stmts[j] = s
 	p.reindex(0)
+	p.record(Change{Kind: ChangeMove, Stmt: s, Index: i})
 }
 
 // Copy clones src, inserts the clone immediately after "after", and returns
@@ -205,6 +216,7 @@ func (p *Program) Clone() *Program {
 		c := CloneStmt(s)
 		c.ID = s.ID
 		c.index = i
+		c.prog = q
 		q.stmts[i] = c
 	}
 	return q
@@ -215,10 +227,17 @@ func (p *Program) Clone() *Program {
 // action sequence: clone first, CopyFrom the clone on failure.
 func (p *Program) CopyFrom(q *Program) {
 	c := q.Clone()
+	for _, s := range p.stmts {
+		s.prog = nil
+	}
 	p.Name = c.Name
 	p.Decls = c.Decls
 	p.stmts = c.stmts
+	for _, s := range p.stmts {
+		s.prog = p
+	}
 	p.nextID = c.nextID
+	p.record(Change{Kind: ChangeReset})
 }
 
 // Equal reports whether two programs are structurally identical statement by

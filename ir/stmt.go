@@ -143,6 +143,10 @@ type Stmt struct {
 	// index is the statement's current position in its Program; maintained
 	// by Program mutation methods.
 	index int
+	// prog is the owning Program; maintained by Program mutation methods.
+	// It lets library code reach the program's change log from a bare
+	// statement (see NoteModify).
+	prog *Program
 }
 
 // CloneStmt returns a deep copy of s with ID zeroed (the Program assigns a
@@ -151,6 +155,7 @@ func CloneStmt(s *Stmt) *Stmt {
 	c := *s
 	c.ID = 0
 	c.index = -1
+	c.prog = nil
 	c.Dst = s.Dst.Clone()
 	c.A = s.A.Clone()
 	c.B = s.B.Clone()

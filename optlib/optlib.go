@@ -328,12 +328,14 @@ func ModifyOperand(s *ir.Stmt, pos int, newOp ir.Operand) error {
 	if slot == nil {
 		return fmt.Errorf("optlib: S%d has no operand %d", s.ID, pos)
 	}
+	ir.NoteModify(s)
 	*slot = newOp.Clone()
 	return nil
 }
 
 // ModifyOpc assigns a new opcode or loop kind literal.
 func ModifyOpc(s *ir.Stmt, lit string) error {
+	ir.NoteModify(s)
 	switch lit {
 	case "assign":
 		if s.Kind != ir.SAssign {
@@ -374,8 +376,10 @@ func ModifyOpc(s *ir.Stmt, lit string) error {
 }
 
 // SubstStmt rewrites occurrences of variable v in s by the affine
-// expression repl (the modify(S, subst(v, e)) action).
+// expression repl (the modify(S, subst(v, e)) action). The pre-image is
+// journaled first: substitution can fail midway through a statement.
 func SubstStmt(s *ir.Stmt, v string, repl ir.LinExpr) error {
+	ir.NoteModify(s)
 	return handopt.SubstVarStmt(s, v, repl)
 }
 
@@ -416,17 +420,73 @@ func Dir(s string) dep.DirSet {
 // whether an application happened.
 type ApplyFunc func(p *ir.Program, g *dep.Graph, seen map[string]bool) bool
 
-// Driver runs the Fig. 5 loop to fixpoint: recompute dependences, search,
-// apply, until no new application point exists.
-func Driver(p *ir.Program, apply ApplyFunc) int {
+// DefaultMaxIterations is the fixpoint iteration cap used when Limits leaves
+// MaxIterations zero.
+const DefaultMaxIterations = 1000
+
+// ErrIterationLimit reports that a fixpoint run stopped at its iteration cap
+// rather than converging. The application count up to the cap is still
+// returned alongside it.
+var ErrIterationLimit = errors.New("optlib: fixpoint iteration limit reached without convergence")
+
+// Limits configures a Fixpoint run. The zero value selects the defaults:
+// DefaultMaxIterations and incremental dependence maintenance.
+type Limits struct {
+	// MaxIterations bounds the fixpoint loop; 0 means DefaultMaxIterations.
+	MaxIterations int
+	// FullRecompute rebuilds the dependence graph from scratch after every
+	// application instead of incrementally updating it from the change
+	// journal (the seed behavior; kept for differential benchmarking).
+	FullRecompute bool
+}
+
+// Fixpoint runs the Fig. 5 loop to fixpoint: search, apply, refresh
+// dependences, until no new application point exists. It returns the number
+// of applications performed and ErrIterationLimit when the iteration cap was
+// reached before convergence (a non-converging rewrite system, or a cap set
+// too low for the program).
+//
+// The dependence graph is maintained incrementally across applications via
+// the program's change journal; failed attempts inside apply roll back
+// through the same journal, so the graph stays valid without any per-attempt
+// recomputation.
+func Fixpoint(p *ir.Program, apply ApplyFunc, lim Limits) (int, error) {
+	max := lim.MaxIterations
+	if max <= 0 {
+		max = DefaultMaxIterations
+	}
 	seen := map[string]bool{}
+	log, owned := p.EnsureLog()
+	if owned {
+		defer log.Detach()
+	}
+	g := dep.Compute(p)
 	n := 0
-	for i := 0; i < 1000; i++ {
-		g := dep.Compute(p)
+	for i := 0; i < max; i++ {
+		start := log.Mark()
 		if !apply(p, g, seen) {
-			return n
+			return n, nil
 		}
 		n++
+		if lim.FullRecompute {
+			g = dep.Compute(p)
+		} else {
+			g.Update(log.Since(start))
+		}
+		if owned {
+			log.Reset() // consumed; keep the journal from growing unboundedly
+		}
+	}
+	return n, ErrIterationLimit
+}
+
+// Driver runs Fixpoint with default limits, preserving the original
+// count-only interface for existing callers. A run that hits the iteration
+// cap is reported on stderr instead of being silently truncated.
+func Driver(p *ir.Program, apply ApplyFunc) int {
+	n, err := Fixpoint(p, apply, Limits{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "optlib: driver stopped after %d application(s): %v\n", n, err)
 	}
 	return n
 }
@@ -455,6 +515,31 @@ func SigStmt(s *ir.Stmt) string { return fmt.Sprintf("S%d", s.ID) }
 func SigLoop(l ir.Loop) string  { return fmt.Sprintf("L%d", l.Head.ID) }
 func SigNum(n int) string       { return fmt.Sprintf("%d", n) }
 
+// SigSet renders a statement-set binding as its sorted member IDs, matching
+// the engine's convention. Rendering the members (not just the size) keeps
+// two distinct sets of equal cardinality from colliding to one signature.
+func SigSet(set []*ir.Stmt) string {
+	ids := make([]int, 0, len(set))
+	for _, s := range set {
+		if s != nil {
+			ids = append(ids, s.ID)
+		}
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	out := "set{"
+	for i, id := range ids {
+		if i > 0 {
+			out += ","
+		}
+		out += fmt.Sprintf("S%d", id)
+	}
+	return out + "}"
+}
+
 // Main is the generated optimizer's command-line entry point: read a MiniF
 // source file, run the optimizer to fixpoint, print the optimized program
 // and the application count.
@@ -473,7 +558,10 @@ func Main(name string, apply ApplyFunc) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	n := Driver(p, apply)
+	n, err := Fixpoint(p, apply, Limits{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+	}
 	fmt.Printf("! %s: %d application(s)\n", name, n)
 	fmt.Print(p.String())
 }

@@ -1,0 +1,37 @@
+#!/bin/sh
+# Run the driver-fixpoint benchmarks with benchstat-comparable output.
+#
+# Usage:
+#   scripts/bench.sh                 # print results, save to bench-new.txt
+#   scripts/bench.sh -c old.txt      # additionally diff against a baseline
+#                                    # (uses benchstat when installed)
+#
+# Environment:
+#   BENCH    regexp of benchmarks to run  (default: DriverFixpoint)
+#   COUNT    -count for statistical runs  (default: 6)
+#   OUT      output file                  (default: bench-new.txt)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCH=${BENCH:-DriverFixpoint}
+COUNT=${COUNT:-6}
+OUT=${OUT:-bench-new.txt}
+BASELINE=
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    -c) BASELINE=$2; shift 2 ;;
+    *) echo "usage: scripts/bench.sh [-c baseline.txt]" >&2; exit 2 ;;
+  esac
+done
+
+go test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" . | tee "$OUT"
+
+if [ -n "$BASELINE" ]; then
+  if command -v benchstat >/dev/null 2>&1; then
+    benchstat "$BASELINE" "$OUT"
+  else
+    echo "benchstat not installed; compare $BASELINE vs $OUT manually" >&2
+  fi
+fi
