@@ -7,7 +7,11 @@ package genesis
 // usual ns/op.
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"repro/dep"
@@ -16,8 +20,10 @@ import (
 	"repro/internal/gospel"
 	"repro/internal/interp"
 	"repro/internal/proggen"
+	"repro/internal/server"
 	"repro/internal/specs"
 	"repro/internal/workloads"
+	"repro/ir"
 )
 
 // BenchmarkE1QualityVsHandCoded regenerates E1: generated optimizers against
@@ -218,6 +224,62 @@ func BenchmarkDriverFixpoint(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkServerOptimize measures one POST /v1/optimize through the optd
+// handler stack (routing, admission, decoding, the full pipeline, encoding):
+// cold runs bypass the result cache with no_cache, hit runs repeat an
+// identical request against a warmed cache. The hit/cold ratio is the value
+// of content-addressed caching; a hit should be well over an order of
+// magnitude cheaper.
+func BenchmarkServerOptimize(b *testing.B) {
+	prog := proggen.Generate(7, proggen.Config{MaxStmts: 120})
+	body, err := json.Marshal(map[string]any{
+		"source": ir.ToMiniF(prog),
+		"opts":   []string{"CTP", "DCE"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	post := func(b *testing.B, h http.Handler, payload []byte) {
+		b.Helper()
+		req := httptest.NewRequest("POST", "/v1/optimize", bytes.NewReader(payload))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("optimize = %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		h := server.New(server.Config{}).Handler()
+		cold, err := json.Marshal(map[string]any{
+			"source":   ir.ToMiniF(prog),
+			"opts":     []string{"CTP", "DCE"},
+			"no_cache": true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post(b, h, cold)
+		}
+	})
+	b.Run("cache-hit", func(b *testing.B) {
+		srv := server.New(server.Config{})
+		h := srv.Handler()
+		post(b, h, body) // warm the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post(b, h, body)
+		}
+		b.StopTimer()
+		if hits := srv.Metrics().CacheHits.Load(); hits < int64(b.N) {
+			b.Fatalf("cache hits = %d, want >= %d", hits, b.N)
+		}
+	})
 }
 
 // BenchmarkGenerateCode measures emitting Go source for the whole suite.

@@ -1,13 +1,18 @@
-// Package cmd_test builds the three command-line tools with the real Go
-// toolchain and exercises their primary flags end to end.
+// Package cmd_test builds the command-line tools (and the optd daemon)
+// with the real Go toolchain and exercises their primary flags end to end.
 package cmd_test
 
 import (
+	"bufio"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 const sample = `
@@ -27,7 +32,7 @@ END
 `
 
 type binaries struct {
-	genesis, opt, experiments string
+	genesis, opt, experiments, optd string
 }
 
 func buildAll(t *testing.T) binaries {
@@ -44,9 +49,11 @@ func buildAll(t *testing.T) binaries {
 		genesis:     filepath.Join(dir, "genesis"),
 		opt:         filepath.Join(dir, "opt"),
 		experiments: filepath.Join(dir, "experiments"),
+		optd:        filepath.Join(dir, "optd"),
 	}
 	for tool, out := range map[string]string{
-		"./cmd/genesis": b.genesis, "./cmd/opt": b.opt, "./cmd/experiments": b.experiments,
+		"./cmd/genesis": b.genesis, "./cmd/opt": b.opt,
+		"./cmd/experiments": b.experiments, "./cmd/optd": b.optd,
 	} {
 		cmd := exec.Command(goBin, "build", "-o", out, tool)
 		cmd.Dir = ".." // repo root
@@ -216,5 +223,145 @@ END
 	}
 	if !strings.Contains(text, "x := y") || !strings.Contains(text, "\n5\n") {
 		t.Errorf("double negation not eliminated or wrong output:\n%s", text)
+	}
+}
+
+// TestOptFlagValidation: bad flag values fail fast with exit code 2 and a
+// one-line error, before any optimization work starts.
+func TestOptFlagValidation(t *testing.T) {
+	b := buildAll(t)
+	prog := writeSample(t)
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown opt", []string{"-opts", "CTP,NOPE", prog}, `unknown optimization "NOPE"`},
+		{"negative workers", []string{"-workers", "-2", "-opts", "CTP", prog}, "-workers must be >= 0"},
+		{"negative maxiter", []string{"-maxiter", "-1", "-opts", "CTP", prog}, "-maxiter must be >= 0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := exec.Command(b.opt, tc.args...).CombinedOutput()
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("err = %v, want ExitError\n%s", err, out)
+			}
+			if ee.ExitCode() != 2 {
+				t.Errorf("exit code = %d, want 2", ee.ExitCode())
+			}
+			if !strings.Contains(string(out), tc.want) {
+				t.Errorf("stderr missing %q:\n%s", tc.want, out)
+			}
+			if strings.Contains(string(out), "application(s)") {
+				t.Errorf("work started before validation:\n%s", out)
+			}
+		})
+	}
+}
+
+// TestOptMaxIter: a cap lower than the fixpoint reports the iteration-limit
+// condition after printing the applications actually performed.
+func TestOptMaxIter(t *testing.T) {
+	b := buildAll(t)
+	prog := filepath.Join(t.TempDir(), "dead.mf")
+	if err := os.WriteFile(prog, []byte(`
+PROGRAM dead
+INTEGER a, b, c, x
+x = 7
+a = 1
+b = 2
+c = 3
+PRINT x
+END
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(b.opt, "-opts", "DCE", "-maxiter", "1", prog).CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("err = %v, want exit 1\n%s", err, out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "DCE: 1 application(s)") {
+		t.Errorf("capped run did not report its count:\n%s", text)
+	}
+	if !strings.Contains(text, "iteration limit") {
+		t.Errorf("iteration-limit condition not reported:\n%s", text)
+	}
+}
+
+// TestOptdSmoke boots the daemon, optimizes over HTTP, and shuts it down
+// gracefully with SIGTERM.
+func TestOptdSmoke(t *testing.T) {
+	b := buildAll(t)
+	cmd := exec.Command(b.optd, "-addr", "127.0.0.1:0")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The daemon logs the resolved listen address.
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				select {
+				case addrCh <- strings.TrimSpace(line[i+len("listening on "):]):
+				default:
+				}
+			}
+		}
+	}()
+	var base string
+	select {
+	case addr := <-addrCh:
+		base = "http://" + addr
+	case <-time.After(10 * time.Second):
+		t.Fatal("optd never reported its listen address")
+	}
+
+	get := func(path string) (*http.Response, error) { return http.Get(base + path) }
+	resp, err := get("/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz = %d, want 200", resp.StatusCode)
+	}
+
+	body := `{"source": "PROGRAM p\nINTEGER n, i\nREAL a(16), s\nn = 16\ns = 0.0\nDO i = 1, n\n  a(i) = i * 2.0\nENDDO\nPRINT s\nEND\n", "opts": ["CTP", "DCE"]}`
+	resp, err = http.Post(base+"/v1/optimize", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("optimize = %d, want 200: %s", resp.StatusCode, out)
+	}
+	if !strings.Contains(string(out), `"minif"`) || !strings.Contains(string(out), "DO i = 1, 16") {
+		t.Errorf("optimize response missing optimized MiniF: %s", out)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("optd exit after SIGTERM: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("optd did not exit after SIGTERM")
 	}
 }

@@ -43,10 +43,38 @@ func main() {
 		minif       = flag.Bool("minif", false, "print the result as re-parsable MiniF source")
 		specFiles   = flag.String("spec", "", "comma-separated GOSpeL specification files to apply after -opts")
 		workers     = flag.Int("workers", 0, "worker pool size for multi-program batch runs (0 = GOMAXPROCS)")
+		maxIter     = flag.Int("maxiter", 0, "cap applications per optimization (0 = optlib default, 1000); hitting the cap with work remaining reports the iteration-limit error")
 	)
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: opt [-opts LIST | -i | -points] [-run] [-input v,v,...] [-maxiter N] program.mf [more.mf ...]")
+		flag.PrintDefaults()
+		fmt.Fprintln(os.Stderr, `
+Each optimization runs to fixpoint, bounded by -maxiter (optlib.Limits).
+When the cap is reached while another application point remains, opt prints
+the applications performed so far, reports the iteration-limit condition
+(optlib.ErrIterationLimit: a non-converging rewrite system or a cap set too
+low for the program), and exits 1.`)
+	}
 	flag.Parse()
+	// Validate flags before any work: bad values must fail fast with exit
+	// code 2, not surface mid-run.
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "opt: -workers must be >= 0 (got %d)\n", *workers)
+		os.Exit(2)
+	}
+	if *maxIter < 0 {
+		fmt.Fprintf(os.Stderr, "opt: -maxiter must be >= 0 (got %d)\n", *maxIter)
+		os.Exit(2)
+	}
+	for _, name := range splitList(*optsFlag) {
+		if _, ok := specs.Sources[name]; !ok {
+			fmt.Fprintf(os.Stderr, "opt: unknown optimization %q in -opts (have %s)\n",
+				name, strings.Join(specs.Names(), ", "))
+			os.Exit(2)
+		}
+	}
 	if flag.NArg() < 1 || ((*interactive || *points) && flag.NArg() != 1) {
-		fmt.Fprintln(os.Stderr, "usage: opt [-opts LIST | -i | -points] [-run] [-input v,v,...] program.mf [more.mf ...]")
+		flag.Usage()
 		os.Exit(2)
 	}
 
@@ -99,7 +127,7 @@ func main() {
 			r.err = err
 			return r
 		}
-		if r.err = pipeline(p, *optsFlag, *specFiles, &r.log); r.err != nil {
+		if r.err = pipeline(p, *optsFlag, *specFiles, *maxIter, &r.log); r.err != nil {
 			return r
 		}
 		if *minif {
@@ -128,18 +156,24 @@ func main() {
 }
 
 // pipeline applies the -opts list and then any -spec files to p, reporting
-// application counts to logw.
-func pipeline(p *ir.Program, optsFlag, specFiles string, logw io.Writer) error {
+// application counts to logw. Each pass is capped at maxIter applications
+// (0 = the optlib default); a capped pass still reports its count before
+// the iteration-limit error propagates.
+func pipeline(p *ir.Program, optsFlag, specFiles string, maxIter int, logw io.Writer) error {
+	copts := []genesis.Option{}
+	if maxIter > 0 {
+		copts = append(copts, genesis.WithMaxApplications(maxIter))
+	}
 	for _, name := range splitList(optsFlag) {
-		o, err := genesis.BuiltIn(name)
+		o, err := genesis.BuiltIn(name, copts...)
 		if err != nil {
 			return err
 		}
 		n, err := o.ApplyAll(p)
-		if err != nil {
-			return err
-		}
 		fmt.Fprintf(logw, "%s: %d application(s)\n", name, n)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
 	}
 	for _, file := range strings.Split(specFiles, ",") {
 		file = strings.TrimSpace(file)
@@ -154,15 +188,15 @@ func pipeline(p *ir.Program, optsFlag, specFiles string, logw io.Writer) error {
 		if err != nil {
 			return err
 		}
-		o, err := spec.Compile()
+		o, err := spec.Compile(copts...)
 		if err != nil {
 			return err
 		}
 		n, err := o.ApplyAll(p)
-		if err != nil {
-			return err
-		}
 		fmt.Fprintf(logw, "%s: %d application(s)\n", spec.Name(), n)
+		if err != nil {
+			return fmt.Errorf("%s: %w", spec.Name(), err)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,111 @@
+// Command optd is the long-running optimization service: the paper's
+// constructor-built optimizer interface served over HTTP/JSON instead of a
+// one-shot CLI. It exposes the full parse → dependence-compute → optimize →
+// MiniF pipeline statelessly and through stateful constructor sessions.
+//
+// Endpoints:
+//
+//	GET  /healthz                      liveness
+//	GET  /metrics                      expvar-style counters (JSON)
+//	POST /v1/optimize                  {source, opts, specs?, max_iterations?} → optimized MiniF/IR
+//	POST /v1/points                    {source, opts?} → application-point census
+//	POST /v1/session                   create an interactive constructor session
+//	GET  /v1/session/{id}/points?opt=X candidate application points
+//	POST /v1/session/{id}/apply        apply at a point (override dependences with {"override":true})
+//	POST /v1/session/{id}/skip         exclude a point from applyall
+//	POST /v1/session/{id}/applyall     fixpoint over the remaining points
+//	POST /v1/session/{id}/recompute    toggle dependence recomputation
+//	GET  /v1/session/{id}/result       fetch the optimized program
+//	DELETE /v1/session/{id}            end the session
+//
+// Results are cached content-addressed (SHA-256 of source, opt sequence,
+// spec text and limits) in a bounded LRU; concurrency is bounded by an
+// admission limiter; every request carries a deadline; optimizer panics
+// become 500s without killing the daemon; SIGINT/SIGTERM drain in-flight
+// requests while refusing new ones.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8724", "listen address")
+		workers  = flag.Int("workers", 0, "max concurrent optimization requests (0 = GOMAXPROCS)")
+		cacheN   = flag.Int("cache", 256, "result cache entries (0 disables)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request deadline")
+		maxIter  = flag.Int("maxiter", 0, "default per-pass application cap (0 = optlib default, 1000)")
+		maxBody  = flag.Int64("max-body", 1<<20, "max request body bytes")
+		sessions = flag.Int("sessions", 64, "max live constructor sessions")
+		ttl      = flag.Duration("session-ttl", 30*time.Minute, "idle session lifetime")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+	if *workers < 0 {
+		fmt.Fprintln(os.Stderr, "optd: -workers must be >= 0")
+		os.Exit(2)
+	}
+
+	cacheEntries := *cacheN
+	if cacheEntries == 0 {
+		cacheEntries = -1 // Config: negative disables, 0 selects the default
+	}
+	srv := server.New(server.Config{
+		MaxConcurrent:  *workers,
+		CacheEntries:   cacheEntries,
+		RequestTimeout: *timeout,
+		MaxIterations:  *maxIter,
+		MaxBodyBytes:   *maxBody,
+		MaxSessions:    *sessions,
+		SessionTTL:     *ttl,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("optd: %v", err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	log.Printf("optd listening on %s", ln.Addr())
+
+	select {
+	case err := <-errc:
+		log.Fatalf("optd: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("optd draining (up to %s)", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Refuse new requests at the application layer first, then close
+	// listeners and wait for connections at the HTTP layer.
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("optd: drain incomplete: %v", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("optd: http shutdown: %v", err)
+	}
+	log.Printf("optd stopped")
+}

@@ -22,6 +22,7 @@
 package genesis
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -107,6 +108,17 @@ func WithoutIncremental() Option {
 	}
 }
 
+// WithMaxApplications bounds ApplyAll at n applications (the optlib.Limits
+// iteration cap surfaced through the compiled-optimizer API; n < 1 keeps
+// the default of 1000). When the cap is hit while another application point
+// remains, ApplyAll returns the count so far alongside
+// optlib.ErrIterationLimit.
+func WithMaxApplications(n int) Option {
+	return func(c *compileConfig) {
+		c.engineOpts = append(c.engineOpts, engine.WithMaxApplications(n))
+	}
+}
+
 // Optimizer is an executable optimizer produced from a specification —
 // what GENesis generates.
 type Optimizer struct {
@@ -169,6 +181,15 @@ func (o *Optimizer) ApplyOnce(p *ir.Program) (bool, error) {
 // most once) and returns the number of applications.
 func (o *Optimizer) ApplyAll(p *ir.Program) (int, error) {
 	apps, err := o.inner.ApplyAll(p)
+	return len(apps), err
+}
+
+// ApplyAllCtx is ApplyAll under a context: the fixpoint loop stops early
+// with ctx.Err() when the context is cancelled or its deadline passes,
+// returning the applications already performed. The program is left in its
+// partially-optimized (structurally valid) state.
+func (o *Optimizer) ApplyAllCtx(ctx context.Context, p *ir.Program) (int, error) {
+	apps, err := o.inner.ApplyAllCtx(ctx, p)
 	return len(apps), err
 }
 

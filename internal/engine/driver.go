@@ -1,12 +1,15 @@
 package engine
 
 import (
+	stdcontext "context"
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/dep"
 	"repro/ir"
+	"repro/optlib"
 )
 
 // envSignature renders an application point as a stable string over the
@@ -57,6 +60,11 @@ type Application struct {
 	Signature string
 }
 
+// Signature renders an application point's stable identity string — the
+// key ApplyAll deduplicates on. Exported for callers (interactive sessions,
+// services) that track skipped or applied points across calls.
+func Signature(e Env) string { return envSignature(e) }
+
 // ApplyOnce runs the Fig. 5 driver once: search for the first application
 // point and apply the actions there. It computes its own dependence graph.
 // Returns whether an application was performed.
@@ -84,8 +92,24 @@ func (o *Optimizer) ApplyOnceWith(p *ir.Program, g *dep.Graph) (bool, error) {
 // default, or from scratch per application with WithoutIncremental. A point
 // signature is applied at most once, which terminates otherwise self-inverse
 // transformations such as loop interchange. Returns the list of performed
-// applications.
+// applications. Hitting MaxApplications while another fresh point remains
+// returns the applications performed so far alongside
+// optlib.ErrIterationLimit.
 func (o *Optimizer) ApplyAll(p *ir.Program) ([]Application, error) {
+	return o.ApplyAllCtx(stdcontext.Background(), p)
+}
+
+// ApplyAllCtx is ApplyAll under a context: the driver loop checks ctx
+// between applications and stops early with ctx.Err() when the context is
+// cancelled or its deadline passes, returning the applications already
+// performed. The program is left in its partially-optimized (structurally
+// valid) state. This is the entry point request-scoped callers (the optd
+// service) use to bound optimization time.
+func (o *Optimizer) ApplyAllCtx(ctx stdcontext.Context, p *ir.Program) (apps []Application, err error) {
+	if o.OnPassDone != nil {
+		t0 := time.Now()
+		defer func() { o.OnPassDone(o.Spec.Name, len(apps), time.Since(t0)) }()
+	}
 	var done []Application
 	seen := map[string]bool{}
 	log, owned := p.EnsureLog()
@@ -93,11 +117,14 @@ func (o *Optimizer) ApplyAll(p *ir.Program) ([]Application, error) {
 		defer log.Detach()
 	}
 	g := dep.Compute(p)
-	for len(done) < o.MaxApplications {
-		ctx := o.newContext(p, g)
+	for {
+		if err := ctx.Err(); err != nil {
+			return done, err
+		}
+		ectx := o.newContext(p, g)
 		var chosen Env
 		found := false
-		o.matchPattern(ctx, 0, Env{}, func(env Env) bool {
+		o.matchPattern(ectx, 0, Env{}, func(env Env) bool {
 			sig := envSignature(env)
 			if seen[sig] {
 				return true // keep searching
@@ -109,10 +136,15 @@ func (o *Optimizer) ApplyAll(p *ir.Program) ([]Application, error) {
 		if !found {
 			break
 		}
+		if len(done) >= o.MaxApplications {
+			// A fresh point exists beyond the cap: a non-converging rewrite
+			// system or a cap set too low for the program.
+			return done, optlib.ErrIterationLimit
+		}
 		sig := envSignature(chosen)
 		seen[sig] = true
 		start := log.Mark()
-		if err := o.applyAt(ctx, chosen); err != nil {
+		if err := o.applyAt(ectx, chosen); err != nil {
 			// The actions could not be applied at this point (e.g. an
 			// unrepresentable substitution). The undo log rolled the program
 			// back in place, preserving statement identity, so the graph is

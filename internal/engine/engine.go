@@ -2,11 +2,17 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"repro/dep"
 	"repro/internal/gospel"
 	"repro/ir"
 )
+
+// PassTimingFunc observes one completed ApplyAll run: the specification
+// name, the number of applications performed, and the wall-clock duration.
+// Hooks must be safe for concurrent use when the optimizer is shared.
+type PassTimingFunc func(spec string, applications int, d time.Duration)
 
 // Optimizer is a compiled GOSpeL specification: the output of GENesis for
 // one optimization. It is stateless with respect to programs; Cost is
@@ -25,8 +31,13 @@ type Optimizer struct {
 	// dep.Compute per application (WithoutIncremental — the seed behavior,
 	// kept for differential testing and as an escape hatch).
 	IncrementalDeps bool
-	// MaxApplications bounds ApplyAll as a safety net.
+	// MaxApplications bounds ApplyAll as a safety net. When the cap is hit
+	// while another application point is still available, ApplyAll returns
+	// the applications performed alongside optlib.ErrIterationLimit.
 	MaxApplications int
+	// OnPassDone, when non-nil, is called at the end of every ApplyAll run
+	// with the pass timing (services use this to feed latency metrics).
+	OnPassDone PassTimingFunc
 
 	cost Cost
 }
@@ -43,6 +54,20 @@ func WithoutRecompute() Option { return func(o *Optimizer) { o.RecomputeDeps = f
 // WithoutIncremental makes ApplyAll rebuild the dependence graph from
 // scratch after each application instead of incrementally maintaining it.
 func WithoutIncremental() Option { return func(o *Optimizer) { o.IncrementalDeps = false } }
+
+// WithMaxApplications bounds ApplyAll at n applications (n < 1 keeps the
+// default). Hitting the bound with work remaining surfaces as
+// optlib.ErrIterationLimit.
+func WithMaxApplications(n int) Option {
+	return func(o *Optimizer) {
+		if n >= 1 {
+			o.MaxApplications = n
+		}
+	}
+}
+
+// WithPassTiming installs a pass-timing hook called after every ApplyAll.
+func WithPassTiming(f PassTimingFunc) Option { return func(o *Optimizer) { o.OnPassDone = f } }
 
 // Compile turns a checked specification into an optimizer. It performs the
 // generator's static work: validating that the specification's element
@@ -104,6 +129,22 @@ func (o *Optimizer) Preconditions(p *ir.Program, g *dep.Graph) []Env {
 	return out
 }
 
+// PreconditionsPatternOnly finds every binding of the Code_Pattern section
+// alone, skipping the Depend clauses: the application points available when
+// the user overrides dependence restrictions, as the paper's
+// constructor-built interactive interface permits. Elements bound only by
+// Depend clauses stay unbound; actions that need them will fail at ApplyAt.
+func (o *Optimizer) PreconditionsPatternOnly(p *ir.Program, g *dep.Graph) []Env {
+	ctx := o.newContext(p, g)
+	ctx.patternOnly = true
+	var out []Env
+	o.matchPattern(ctx, 0, Env{}, func(env Env) bool {
+		out = append(out, env.clone())
+		return true // continue searching
+	})
+	return out
+}
+
 // findFirst returns the first full precondition binding, if any.
 func (o *Optimizer) findFirst(ctx *context) (Env, bool) {
 	var found Env
@@ -121,6 +162,9 @@ func (o *Optimizer) findFirst(ctx *context) (Env, bool) {
 // false to stop the search.
 func (o *Optimizer) matchPattern(ctx *context, idx int, env Env, yield func(Env) bool) bool {
 	if idx >= len(o.Spec.Patterns) {
+		if ctx.patternOnly {
+			return yield(env)
+		}
 		return o.matchDepend(ctx, 0, env, yield)
 	}
 	pc := o.Spec.Patterns[idx]

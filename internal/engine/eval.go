@@ -32,6 +32,9 @@ type context struct {
 	// inPattern switches cost accounting between pattern and dependence
 	// checks.
 	inPattern bool
+	// patternOnly stops the precondition search after the Code_Pattern
+	// section, skipping Depend clauses (dependence-override mode).
+	patternOnly bool
 }
 
 func (c *context) countCheck() {

@@ -6,6 +6,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -64,3 +65,47 @@ func Do(workers int, fns ...func()) {
 		return struct{}{}
 	})
 }
+
+// Limiter is a counting semaphore for admission control: at most n holders
+// at a time, with context-bounded waiting for a slot. It is the request-
+// scoped sibling of Map's worker pool — where Map bounds a fixed batch,
+// Limiter bounds an open-ended stream (e.g. HTTP requests).
+type Limiter struct {
+	slots chan struct{}
+}
+
+// NewLimiter returns a limiter admitting at most n concurrent holders;
+// n < 1 selects GOMAXPROCS via Workers.
+func NewLimiter(n int) *Limiter {
+	return &Limiter{slots: make(chan struct{}, Workers(n))}
+}
+
+// Acquire blocks until a slot is free or ctx is done, returning ctx.Err()
+// in the latter case. Every successful Acquire must be paired with Release.
+func (l *Limiter) Acquire(ctx context.Context) error {
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// TryAcquire takes a slot without blocking, reporting whether it got one.
+func (l *Limiter) TryAcquire() bool {
+	select {
+	case l.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a slot taken by Acquire or TryAcquire.
+func (l *Limiter) Release() { <-l.slots }
+
+// InFlight returns the number of slots currently held.
+func (l *Limiter) InFlight() int { return len(l.slots) }
+
+// Cap returns the limiter's concurrency bound.
+func (l *Limiter) Cap() int { return cap(l.slots) }

@@ -1,7 +1,9 @@
 package par
 
 import (
+	"context"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -67,5 +69,60 @@ func TestDo(t *testing.T) {
 	Do(3, fns...)
 	if total != 190 {
 		t.Errorf("total = %d, want 190", total)
+	}
+}
+
+// TestLimiterBound: no more than the limiter's cap of holders run at once,
+// and a cancelled context unblocks a waiter with its error.
+func TestLimiterBound(t *testing.T) {
+	l := NewLimiter(3)
+	if l.Cap() != 3 {
+		t.Fatalf("Cap = %d, want 3", l.Cap())
+	}
+	var cur, max int64
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := l.Acquire(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			defer l.Release()
+			n := atomic.AddInt64(&cur, 1)
+			for {
+				m := atomic.LoadInt64(&max)
+				if n <= m || atomic.CompareAndSwapInt64(&max, m, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			atomic.AddInt64(&cur, -1)
+		}()
+	}
+	wg.Wait()
+	if max > 3 {
+		t.Errorf("observed %d concurrent holders, cap 3", max)
+	}
+	if l.InFlight() != 0 {
+		t.Errorf("InFlight = %d after drain, want 0", l.InFlight())
+	}
+}
+
+// TestLimiterCancel: Acquire returns the context error when no slot frees.
+func TestLimiterCancel(t *testing.T) {
+	l := NewLimiter(1)
+	if !l.TryAcquire() {
+		t.Fatal("TryAcquire on empty limiter failed")
+	}
+	defer l.Release()
+	if l.TryAcquire() {
+		t.Fatal("TryAcquire on full limiter succeeded")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if err := l.Acquire(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Acquire = %v, want DeadlineExceeded", err)
 	}
 }

@@ -1,0 +1,58 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCacheKeyFraming(t *testing.T) {
+	// Length prefixes keep concatenation-ambiguous part lists apart.
+	if CacheKey("ab", "c") == CacheKey("a", "bc") {
+		t.Error(`CacheKey("ab","c") collides with CacheKey("a","bc")`)
+	}
+	if CacheKey("x") != CacheKey("x") {
+		t.Error("CacheKey is not deterministic")
+	}
+	if CacheKey("x") == CacheKey("x", "") {
+		t.Error("trailing empty part must change the key")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(3)
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprint(i), []byte{byte(i)})
+	}
+	// Touch 0 so 1 is the least recently used.
+	if _, ok := c.Get("0"); !ok {
+		t.Fatal("entry 0 missing")
+	}
+	c.Put("3", []byte{3})
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	if _, ok := c.Get("1"); ok {
+		t.Error("LRU entry 1 survived eviction")
+	}
+	for _, k := range []string{"0", "2", "3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("entry %s evicted, want kept", k)
+		}
+	}
+	// Overwrite refreshes, not duplicates.
+	c.Put("3", []byte{9})
+	if v, _ := c.Get("3"); len(v) != 1 || v[0] != 9 {
+		t.Errorf("overwrite lost: %v", v)
+	}
+	if c.Len() != 3 {
+		t.Errorf("Len after overwrite = %d, want 3", c.Len())
+	}
+}
+
+func TestCacheZeroCapacity(t *testing.T) {
+	c := NewCache(0)
+	c.Put("k", []byte("v"))
+	if _, ok := c.Get("k"); ok {
+		t.Error("zero-capacity cache stored an entry")
+	}
+}

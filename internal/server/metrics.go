@@ -1,0 +1,114 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the daemon's expvar-style counter set, exposed as JSON on
+// GET /metrics. All counters are monotonic except InFlight and
+// SessionsActive, which are gauges. Everything is safe for concurrent use.
+type Metrics struct {
+	RequestsTotal        atomic.Int64
+	InFlight             atomic.Int64
+	CacheHits            atomic.Int64
+	CacheMisses          atomic.Int64
+	IterationLimitAborts atomic.Int64
+	Timeouts             atomic.Int64
+	PanicsRecovered      atomic.Int64
+	RejectedOverload     atomic.Int64
+	RejectedDraining     atomic.Int64
+	SessionsCreated      atomic.Int64
+	SessionsActive       atomic.Int64
+	SessionsEvicted      atomic.Int64
+
+	mu       sync.Mutex
+	byRoute  map[string]int64
+	passTime map[string]*passStat
+}
+
+// passStat accumulates per-optimization pass latency.
+type passStat struct {
+	Runs         int64 `json:"runs"`
+	Applications int64 `json:"applications"`
+	TotalNS      int64 `json:"total_ns"`
+	MaxNS        int64 `json:"max_ns"`
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{
+		byRoute:  map[string]int64{},
+		passTime: map[string]*passStat{},
+	}
+}
+
+// CountRoute tallies one request against its route.
+func (m *Metrics) CountRoute(route string) {
+	m.RequestsTotal.Add(1)
+	m.mu.Lock()
+	m.byRoute[route]++
+	m.mu.Unlock()
+}
+
+// PassDone records one completed optimization pass; it has the shape of
+// engine.PassTimingFunc so it can be installed directly as the hook.
+func (m *Metrics) PassDone(spec string, applications int, d time.Duration) {
+	m.mu.Lock()
+	st := m.passTime[spec]
+	if st == nil {
+		st = &passStat{}
+		m.passTime[spec] = st
+	}
+	st.Runs++
+	st.Applications += int64(applications)
+	st.TotalNS += int64(d)
+	if int64(d) > st.MaxNS {
+		st.MaxNS = int64(d)
+	}
+	m.mu.Unlock()
+}
+
+// Snapshot renders the counters as a JSON-marshalable tree.
+func (m *Metrics) Snapshot() map[string]any {
+	m.mu.Lock()
+	routes := make(map[string]int64, len(m.byRoute))
+	for k, v := range m.byRoute {
+		routes[k] = v
+	}
+	passes := make(map[string]passStat, len(m.passTime))
+	names := make([]string, 0, len(m.passTime))
+	for k := range m.passTime {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		passes[k] = *m.passTime[k]
+	}
+	m.mu.Unlock()
+	return map[string]any{
+		"requests": map[string]any{
+			"total":     m.RequestsTotal.Load(),
+			"by_route":  routes,
+			"in_flight": m.InFlight.Load(),
+		},
+		"cache": map[string]any{
+			"hits":   m.CacheHits.Load(),
+			"misses": m.CacheMisses.Load(),
+		},
+		"rejected": map[string]any{
+			"overload": m.RejectedOverload.Load(),
+			"draining": m.RejectedDraining.Load(),
+		},
+		"sessions": map[string]any{
+			"created": m.SessionsCreated.Load(),
+			"active":  m.SessionsActive.Load(),
+			"evicted": m.SessionsEvicted.Load(),
+		},
+		"iteration_limit_aborts": m.IterationLimitAborts.Load(),
+		"timeouts":               m.Timeouts.Load(),
+		"panics_recovered":       m.PanicsRecovered.Load(),
+		"pass_latency":           passes,
+	}
+}

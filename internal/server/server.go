@@ -1,0 +1,238 @@
+// Package server implements optd, the long-running optimization service:
+// the paper's constructor-built optimizer interface exposed as an HTTP/JSON
+// API instead of a one-shot CLI. The full parse → dependence-compute →
+// optimize → MiniF pipeline is available both statelessly (POST
+// /v1/optimize, POST /v1/points) and through a stateful session API
+// mirroring the interactive constructor (create a session, list candidate
+// application points, apply or skip points, override dependence
+// restrictions, toggle recomputation, fetch the result).
+//
+// Robustness is first-class: a content-addressed LRU result cache keyed by
+// SHA-256 of the request material, admission control over a bounded
+// concurrency limiter (internal/par), per-request timeouts via context,
+// panic recovery that converts optimizer panics into 500s without killing
+// the daemon, optlib.ErrIterationLimit surfaced as a structured 422, and
+// graceful shutdown that drains in-flight requests while refusing new ones.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"repro/internal/par"
+)
+
+// Config tunes the server. The zero value selects production defaults.
+type Config struct {
+	// MaxConcurrent bounds the number of optimization requests running at
+	// once (admission control); values < 1 select GOMAXPROCS.
+	MaxConcurrent int
+	// CacheEntries bounds the result cache; 0 selects 256, negative
+	// disables caching.
+	CacheEntries int
+	// RequestTimeout bounds each optimization request; 0 selects 30s.
+	RequestTimeout time.Duration
+	// MaxIterations is the per-pass application cap used when a request
+	// does not set its own; 0 selects the optlib default (1000).
+	MaxIterations int
+	// MaxBodyBytes bounds request bodies; 0 selects 1 MiB.
+	MaxBodyBytes int64
+	// MaxSessions bounds live constructor sessions; 0 selects 64.
+	MaxSessions int
+	// SessionTTL evicts sessions idle longer than this; 0 selects 30m.
+	SessionTTL time.Duration
+
+	// testHook, when non-nil, runs inside the optimize handler after
+	// admission and before the pipeline — a seam for shutdown/timeout
+	// tests. It receives the request context.
+	testHook func(ctx context.Context) error
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.CacheEntries < 0 {
+		c.CacheEntries = 0
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 30 * time.Minute
+	}
+	return c
+}
+
+// Server is one optd instance: handlers plus the shared cache, metrics,
+// session store and admission limiter. Create with New, mount Handler into
+// an http.Server, and call Shutdown to drain.
+type Server struct {
+	cfg      Config
+	limiter  *par.Limiter
+	cache    *Cache
+	metrics  *Metrics
+	sessions *sessionStore
+	mux      *http.ServeMux
+
+	mu       sync.RWMutex // guards draining against in-flight accounting
+	draining bool
+	inflight sync.WaitGroup
+}
+
+// New builds a server from the configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		limiter: par.NewLimiter(cfg.MaxConcurrent),
+		cache:   NewCache(cfg.CacheEntries),
+		metrics: newMetrics(),
+	}
+	s.sessions = newSessionStore(cfg.MaxSessions, cfg.SessionTTL, s.metrics)
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s
+}
+
+// Metrics exposes the server's counters (primarily for tests and benches).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Handler returns the root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.wrap("healthz", false, s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.wrap("metrics", false, s.handleMetrics))
+	s.mux.HandleFunc("POST /v1/optimize", s.wrap("optimize", true, s.handleOptimize))
+	s.mux.HandleFunc("POST /v1/points", s.wrap("points", true, s.handlePoints))
+	s.mux.HandleFunc("POST /v1/session", s.wrap("session.create", true, s.handleSessionCreate))
+	s.mux.HandleFunc("GET /v1/session/{id}", s.wrap("session.get", false, s.handleSessionGet))
+	s.mux.HandleFunc("DELETE /v1/session/{id}", s.wrap("session.delete", false, s.handleSessionDelete))
+	s.mux.HandleFunc("GET /v1/session/{id}/points", s.wrap("session.points", true, s.handleSessionPoints))
+	s.mux.HandleFunc("POST /v1/session/{id}/apply", s.wrap("session.apply", true, s.handleSessionApply))
+	s.mux.HandleFunc("POST /v1/session/{id}/skip", s.wrap("session.skip", true, s.handleSessionSkip))
+	s.mux.HandleFunc("POST /v1/session/{id}/applyall", s.wrap("session.applyall", true, s.handleSessionApplyAll))
+	s.mux.HandleFunc("POST /v1/session/{id}/recompute", s.wrap("session.recompute", false, s.handleSessionRecompute))
+	s.mux.HandleFunc("GET /v1/session/{id}/result", s.wrap("session.result", false, s.handleSessionResult))
+}
+
+// begin registers a request for draining accounting, refusing it when the
+// server is shutting down. The WaitGroup Add happens under the read lock so
+// Shutdown's Wait can never start between the draining check and the Add.
+func (s *Server) begin() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.draining {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+// Shutdown refuses new requests and waits for in-flight ones to complete,
+// or for ctx to expire. The session store is closed either way.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	defer s.sessions.close()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// wrap is the common middleware: draining gate, in-flight accounting,
+// per-route metrics, panic recovery, optional admission control and the
+// per-request timeout for heavy (admit=true) routes.
+func (s *Server) wrap(route string, admit bool, h func(w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.begin() {
+			s.metrics.RejectedDraining.Add(1)
+			writeError(w, http.StatusServiceUnavailable, "draining", "server is shutting down")
+			return
+		}
+		defer s.inflight.Done()
+		s.metrics.CountRoute(route)
+		s.metrics.InFlight.Add(1)
+		defer s.metrics.InFlight.Add(-1)
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.metrics.PanicsRecovered.Add(1)
+				debug.PrintStack()
+				writeError(w, http.StatusInternalServerError, "panic", "internal error: optimizer panicked")
+			}
+		}()
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+		if admit {
+			if err := s.limiter.Acquire(ctx); err != nil {
+				s.metrics.RejectedOverload.Add(1)
+				writeError(w, http.StatusServiceUnavailable, "overloaded", "no capacity within the request deadline")
+				return
+			}
+			defer s.limiter.Release()
+		}
+		if err := h(w, r); err != nil {
+			var he *httpErr
+			if errors.As(err, &he) {
+				writeJSON(w, he.status, he.body)
+				return
+			}
+			writeError(w, http.StatusInternalServerError, "internal", err.Error())
+		}
+	}
+}
+
+// apiError is the structured error body every non-200 response carries.
+type apiError struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+	// Pass and Applications qualify iteration_limit errors: which pass hit
+	// the cap and how many applications it had performed.
+	Pass         string `json:"pass,omitempty"`
+	Applications int    `json:"applications,omitempty"`
+}
+
+func writeError(w http.ResponseWriter, status int, kind, msg string) {
+	writeJSON(w, status, apiError{Error: msg, Kind: kind})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	return nil
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+	return nil
+}

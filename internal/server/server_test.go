@@ -1,0 +1,408 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/frontend"
+)
+
+// sampleSrc exercises CTP (n propagates into the first loop bound) and DCE
+// (n's definition then dies).
+const sampleSrc = `
+PROGRAM demo
+INTEGER n, i
+REAL a(16), s
+n = 16
+s = 0.0
+DO i = 1, n
+  a(i) = i * 2.0
+ENDDO
+DO i = 1, 16
+  s = s + a(i)
+ENDDO
+PRINT s
+END
+`
+
+// deadSrc has three dead assignments: three DCE application points.
+const deadSrc = `
+PROGRAM dead
+INTEGER a, b, c, x
+x = 7
+a = 1
+b = 2
+c = 3
+PRINT x
+END
+`
+
+func newTestServer(t testing.TB, cfg Config) *Server {
+	t.Helper()
+	return New(cfg)
+}
+
+// doJSON drives one request through the server's handler.
+func doJSON(t testing.TB, s *Server, method, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd *bytes.Reader
+	switch b := body.(type) {
+	case nil:
+		rd = bytes.NewReader(nil)
+	case string:
+		rd = bytes.NewReader([]byte(b))
+	default:
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+func decodeAs[T any](t testing.TB, rec *httptest.ResponseRecorder) T {
+	t.Helper()
+	var v T
+	if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+		t.Fatalf("decode %q: %v", rec.Body.String(), err)
+	}
+	return v
+}
+
+func TestHealthz(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec := doJSON(t, s, "GET", "/healthz", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", rec.Code)
+	}
+}
+
+func TestOptimizeBasic(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec := doJSON(t, s, "POST", "/v1/optimize",
+		OptimizeRequest{Source: sampleSrc, Opts: []string{"CTP", "DCE"}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("optimize = %d: %s", rec.Code, rec.Body.String())
+	}
+	resp := decodeAs[OptimizeResponse](t, rec)
+	if resp.Cached {
+		t.Error("first request reported cached")
+	}
+	total := 0
+	for _, p := range resp.Applications {
+		total += p.Applications
+	}
+	if total == 0 {
+		t.Errorf("no applications performed: %+v", resp.Applications)
+	}
+	if len(resp.Applications) != 2 {
+		t.Errorf("got %d pass results, want 2", len(resp.Applications))
+	}
+	// The MiniF output must reparse (printer/parser agreement).
+	if _, err := frontend.Parse(resp.MiniF); err != nil {
+		t.Errorf("optimized MiniF does not reparse: %v\n%s", err, resp.MiniF)
+	}
+	// CTP should have propagated the constant loop bound.
+	if strings.Contains(resp.MiniF, "DO i = 1, n") {
+		t.Errorf("CTP did not propagate the loop bound:\n%s", resp.MiniF)
+	}
+}
+
+func TestOptimizeValidation(t *testing.T) {
+	s := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		body any
+		code int
+		kind string
+	}{
+		{"bad json", "{not json", http.StatusBadRequest, "bad_json"},
+		{"no source", OptimizeRequest{Opts: []string{"CTP"}}, http.StatusBadRequest, "bad_request"},
+		{"no opts", OptimizeRequest{Source: sampleSrc}, http.StatusBadRequest, "bad_request"},
+		{"unknown opt", OptimizeRequest{Source: sampleSrc, Opts: []string{"NOPE"}}, http.StatusBadRequest, "unknown_optimization"},
+		{"parse error", OptimizeRequest{Source: "PROGRAM p\nbogus!!\nEND", Opts: []string{"CTP"}}, http.StatusUnprocessableEntity, "parse_error"},
+		{"bad spec", OptimizeRequest{Source: sampleSrc, Specs: []SpecText{{Name: "X", Text: "TYPE garbage"}}}, http.StatusUnprocessableEntity, "spec_error"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := doJSON(t, s, "POST", "/v1/optimize", tc.body)
+			if rec.Code != tc.code {
+				t.Fatalf("code = %d, want %d: %s", rec.Code, tc.code, rec.Body.String())
+			}
+			if e := decodeAs[apiError](t, rec); e.Kind != tc.kind {
+				t.Errorf("kind = %q, want %q", e.Kind, tc.kind)
+			}
+		})
+	}
+}
+
+func TestOptimizeInlineSpec(t *testing.T) {
+	s := newTestServer(t, Config{})
+	// DCE restated as an inline user spec.
+	spec := `
+TYPE
+  Stmt: Si, Sj;
+PRECOND
+  Code_Pattern
+    any Si: Si.kind == assign AND type(Si.opr_1) == var;
+  Depend
+    no Sj: flow_dep(Si, Sj);
+ACTION
+  delete(Si);
+`
+	rec := doJSON(t, s, "POST", "/v1/optimize",
+		OptimizeRequest{Source: deadSrc, Specs: []SpecText{{Name: "mydce", Text: spec}}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("optimize = %d: %s", rec.Code, rec.Body.String())
+	}
+	resp := decodeAs[OptimizeResponse](t, rec)
+	if len(resp.Applications) != 1 || resp.Applications[0].Name != "MYDCE" || resp.Applications[0].Applications != 3 {
+		t.Fatalf("applications = %+v, want MYDCE x3", resp.Applications)
+	}
+}
+
+func TestOptimizeIterationLimit(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec := doJSON(t, s, "POST", "/v1/optimize",
+		OptimizeRequest{Source: deadSrc, Opts: []string{"DCE"}, MaxIterations: 1})
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("code = %d, want 422: %s", rec.Code, rec.Body.String())
+	}
+	e := decodeAs[apiError](t, rec)
+	if e.Kind != "iteration_limit" || e.Pass != "DCE" || e.Applications != 1 {
+		t.Errorf("error = %+v, want iteration_limit on DCE after 1 application", e)
+	}
+	if got := s.Metrics().IterationLimitAborts.Load(); got != 1 {
+		t.Errorf("IterationLimitAborts = %d, want 1", got)
+	}
+}
+
+func TestOptimizeCacheHit(t *testing.T) {
+	s := newTestServer(t, Config{})
+	req := OptimizeRequest{Source: sampleSrc, Opts: []string{"CTP", "DCE"}}
+	first := decodeAs[OptimizeResponse](t, doJSON(t, s, "POST", "/v1/optimize", req))
+	rec := doJSON(t, s, "POST", "/v1/optimize", req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("second optimize = %d", rec.Code)
+	}
+	second := decodeAs[OptimizeResponse](t, rec)
+	if !second.Cached {
+		t.Error("second identical request was not served from cache")
+	}
+	if second.MiniF != first.MiniF {
+		t.Error("cached MiniF differs from cold MiniF")
+	}
+	if hits := s.Metrics().CacheHits.Load(); hits != 1 {
+		t.Errorf("CacheHits = %d, want 1", hits)
+	}
+	// A different opt sequence is a different content address.
+	third := decodeAs[OptimizeResponse](t, doJSON(t, s, "POST", "/v1/optimize",
+		OptimizeRequest{Source: sampleSrc, Opts: []string{"DCE", "CTP"}}))
+	if third.Cached {
+		t.Error("different opt order must not share a cache entry")
+	}
+}
+
+func TestPointsCensus(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec := doJSON(t, s, "POST", "/v1/points", PointsRequest{Source: deadSrc})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("points = %d: %s", rec.Code, rec.Body.String())
+	}
+	resp := decodeAs[PointsResponse](t, rec)
+	if resp.Points["DCE"] != 3 {
+		t.Errorf("DCE points = %d, want 3", resp.Points["DCE"])
+	}
+	if len(resp.Points) != 10 {
+		t.Errorf("census covers %d opts, want the paper's ten", len(resp.Points))
+	}
+	// Pattern-only census sees at least as many points.
+	po := decodeAs[PointsResponse](t, doJSON(t, s, "POST", "/v1/points",
+		PointsRequest{Source: deadSrc, Opts: []string{"CTP"}, PatternOnly: true}))
+	full := decodeAs[PointsResponse](t, doJSON(t, s, "POST", "/v1/points",
+		PointsRequest{Source: deadSrc, Opts: []string{"CTP"}}))
+	if po.Points["CTP"] < full.Points["CTP"] {
+		t.Errorf("pattern-only CTP points %d < full %d", po.Points["CTP"], full.Points["CTP"])
+	}
+}
+
+// TestConcurrentOptimize drives 32 concurrent /v1/optimize requests with
+// distinct sources (every one takes the cold path) through the full
+// middleware stack; run under -race this exercises admission control, the
+// cache, metrics and the engine across goroutines.
+func TestConcurrentOptimize(t *testing.T) {
+	s := newTestServer(t, Config{MaxConcurrent: 4})
+	const n = 32
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			src := fmt.Sprintf(`
+PROGRAM p%d
+INTEGER n, i
+REAL a(16), s
+n = %d
+s = 0.0
+DO i = 1, n
+  a(i) = i * 2.0
+ENDDO
+PRINT s
+END
+`, i, i+2)
+			rec := doJSON(t, s, "POST", "/v1/optimize",
+				OptimizeRequest{Source: src, Opts: []string{"CTP", "DCE"}})
+			codes[i] = rec.Code
+		}(i)
+	}
+	wg.Wait()
+	for i, c := range codes {
+		if c != http.StatusOK {
+			t.Errorf("request %d: code %d", i, c)
+		}
+	}
+	if got := s.Metrics().RequestsTotal.Load(); got != n {
+		t.Errorf("RequestsTotal = %d, want %d", got, n)
+	}
+	if inflight := s.Metrics().InFlight.Load(); inflight != 0 {
+		t.Errorf("InFlight = %d after drain, want 0", inflight)
+	}
+}
+
+// TestGracefulShutdown: an in-flight request completes during Shutdown
+// while new requests are refused with 503 draining.
+func TestGracefulShutdown(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	hold := make(chan struct{})
+	s := newTestServer(t, Config{
+		testHook: func(ctx context.Context) error {
+			entered <- struct{}{}
+			<-hold
+			return nil
+		},
+	})
+
+	inflightDone := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		inflightDone <- doJSON(t, s, "POST", "/v1/optimize",
+			OptimizeRequest{Source: sampleSrc, Opts: []string{"CTP"}})
+	}()
+	<-entered // the request is inside the pipeline
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownErr <- s.Shutdown(ctx)
+	}()
+
+	// Draining flips synchronously at the start of Shutdown; poll until new
+	// requests are refused.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rec := doJSON(t, s, "GET", "/healthz", nil)
+		if rec.Code == http.StatusServiceUnavailable {
+			if e := decodeAs[apiError](t, rec); e.Kind != "draining" {
+				t.Fatalf("refusal kind = %q, want draining", e.Kind)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never started refusing requests")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rec := doJSON(t, s, "POST", "/v1/optimize",
+		OptimizeRequest{Source: sampleSrc, Opts: []string{"CTP"}})
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("new optimize during drain = %d, want 503", rec.Code)
+	}
+
+	close(hold) // let the in-flight request finish
+	if rec := <-inflightDone; rec.Code != http.StatusOK {
+		t.Errorf("in-flight request = %d, want 200: %s", rec.Code, rec.Body.String())
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Errorf("Shutdown = %v, want nil", err)
+	}
+	if got := s.Metrics().RejectedDraining.Load(); got < 2 {
+		t.Errorf("RejectedDraining = %d, want >= 2", got)
+	}
+}
+
+// TestPanicRecovery: an optimizer panic becomes a 500 and the daemon keeps
+// serving.
+func TestPanicRecovery(t *testing.T) {
+	s := newTestServer(t, Config{
+		testHook: func(ctx context.Context) error { panic("boom") },
+	})
+	rec := doJSON(t, s, "POST", "/v1/optimize",
+		OptimizeRequest{Source: sampleSrc, Opts: []string{"CTP"}})
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("code = %d, want 500", rec.Code)
+	}
+	if e := decodeAs[apiError](t, rec); e.Kind != "panic" {
+		t.Errorf("kind = %q, want panic", e.Kind)
+	}
+	if got := s.Metrics().PanicsRecovered.Load(); got != 1 {
+		t.Errorf("PanicsRecovered = %d, want 1", got)
+	}
+	if rec := doJSON(t, s, "GET", "/healthz", nil); rec.Code != http.StatusOK {
+		t.Errorf("healthz after panic = %d, want 200", rec.Code)
+	}
+}
+
+// TestRequestTimeout: a request that outlives its deadline comes back as a
+// structured 504.
+func TestRequestTimeout(t *testing.T) {
+	s := newTestServer(t, Config{
+		RequestTimeout: 20 * time.Millisecond,
+		testHook: func(ctx context.Context) error {
+			<-ctx.Done()
+			return ctx.Err()
+		},
+	})
+	rec := doJSON(t, s, "POST", "/v1/optimize",
+		OptimizeRequest{Source: sampleSrc, Opts: []string{"CTP"}})
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("code = %d, want 504: %s", rec.Code, rec.Body.String())
+	}
+	if e := decodeAs[apiError](t, rec); e.Kind != "timeout" {
+		t.Errorf("kind = %q, want timeout", e.Kind)
+	}
+	if got := s.Metrics().Timeouts.Load(); got != 1 {
+		t.Errorf("Timeouts = %d, want 1", got)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{})
+	doJSON(t, s, "POST", "/v1/optimize", OptimizeRequest{Source: sampleSrc, Opts: []string{"CTP"}})
+	rec := doJSON(t, s, "GET", "/metrics", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics = %d", rec.Code)
+	}
+	snap := decodeAs[map[string]any](t, rec)
+	for _, key := range []string{"requests", "cache", "pass_latency", "sessions", "panics_recovered"} {
+		if _, ok := snap[key]; !ok {
+			t.Errorf("metrics snapshot missing %q", key)
+		}
+	}
+	pl, _ := snap["pass_latency"].(map[string]any)
+	if _, ok := pl["CTP"]; !ok {
+		t.Errorf("pass_latency missing CTP after an optimize: %v", pl)
+	}
+}

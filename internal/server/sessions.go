@@ -1,0 +1,543 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/dep"
+	"repro/internal/engine"
+	"repro/internal/frontend"
+	"repro/internal/gospel"
+	"repro/internal/specs"
+	"repro/ir"
+	"repro/optlib"
+)
+
+// session is one interactive constructor session: the paper's Step 3.b.iii
+// interface (select optimizations, application points and orderings,
+// override dependence restrictions, choose whether dependences are
+// recomputed) held server-side across requests. The session owns its
+// program's change journal and keeps the dependence graph synchronized
+// incrementally, exactly as the interactive CLI does.
+type session struct {
+	mu        sync.Mutex
+	id        string
+	prog      *ir.Program
+	graph     *dep.Graph
+	log       *ir.ChangeLog
+	recompute bool
+	maxIter   int
+	// skipped maps optimization name → the point signatures the user asked
+	// to pass over; applyall honours them.
+	skipped map[string]map[string]bool
+	applied []engine.Application
+	created time.Time
+	lastUse time.Time
+	// optimizers caches compiled specs per session (cost counters and the
+	// recompute toggle are per-session state, so no cross-session sharing).
+	optimizers map[string]*engine.Optimizer
+}
+
+// sync consumes the change journal into the dependence graph.
+func (sn *session) sync() {
+	if cs := sn.log.Changes(); len(cs) > 0 {
+		sn.graph.Update(cs)
+	}
+	sn.log.Reset()
+}
+
+// optimizer compiles (or returns the cached) engine for a built-in name
+// under the session's current toggles.
+func (sn *session) optimizer(name string) (*engine.Optimizer, error) {
+	name = strings.ToUpper(strings.TrimSpace(name))
+	src, ok := specs.Sources[name]
+	if !ok {
+		return nil, failf(http.StatusBadRequest, "unknown_optimization",
+			"unknown optimization %q (have %s)", name, strings.Join(specs.Names(), ", "))
+	}
+	if o, ok := sn.optimizers[name]; ok {
+		return o, nil
+	}
+	spec, err := gospel.ParseAndCheck(name, src)
+	if err != nil {
+		return nil, failf(http.StatusInternalServerError, "internal", "built-in %s failed to parse: %v", name, err)
+	}
+	opts := []engine.Option{}
+	if sn.maxIter > 0 {
+		opts = append(opts, engine.WithMaxApplications(sn.maxIter))
+	}
+	o, err := engine.Compile(spec, opts...)
+	if err != nil {
+		return nil, failf(http.StatusInternalServerError, "internal", "built-in %s failed to compile: %v", name, err)
+	}
+	sn.optimizers[name] = o
+	return o, nil
+}
+
+// points lists the session's candidate application points for an
+// optimization, pattern-only when override is set.
+func (sn *session) points(name string, override bool) (string, []engine.Env, error) {
+	o, err := sn.optimizer(name)
+	if err != nil {
+		return "", nil, err
+	}
+	sn.sync()
+	if override {
+		return o.Name(), o.PreconditionsPatternOnly(sn.prog, sn.graph), nil
+	}
+	return o.Name(), o.Preconditions(sn.prog, sn.graph), nil
+}
+
+// sessionStore holds live sessions with a count bound and idle TTL.
+// Eviction is piggybacked on access instead of a background goroutine, so
+// an idle daemon stays quiescent.
+type sessionStore struct {
+	mu      sync.Mutex
+	max     int
+	ttl     time.Duration
+	m       map[string]*session
+	metrics *Metrics
+}
+
+func newSessionStore(max int, ttl time.Duration, m *Metrics) *sessionStore {
+	return &sessionStore{max: max, ttl: ttl, m: map[string]*session{}, metrics: m}
+}
+
+func newSessionID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("server: session id entropy unavailable: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// evictLocked drops sessions idle past the TTL; called with st.mu held.
+func (st *sessionStore) evictLocked(now time.Time) {
+	for id, sn := range st.m {
+		if now.Sub(sn.lastUse) > st.ttl {
+			delete(st.m, id)
+			st.metrics.SessionsEvicted.Add(1)
+			st.metrics.SessionsActive.Add(-1)
+		}
+	}
+}
+
+// create parses the source and registers a new session.
+func (st *sessionStore) create(source string, maxIter int) (*session, error) {
+	prog, err := frontend.Parse(source)
+	if err != nil {
+		return nil, failf(http.StatusUnprocessableEntity, "parse_error", "%v", err)
+	}
+	log, _ := prog.EnsureLog()
+	now := time.Now()
+	sn := &session{
+		id:         newSessionID(),
+		prog:       prog,
+		graph:      dep.Compute(prog),
+		log:        log,
+		recompute:  true,
+		maxIter:    maxIter,
+		skipped:    map[string]map[string]bool{},
+		created:    now,
+		lastUse:    now,
+		optimizers: map[string]*engine.Optimizer{},
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.evictLocked(now)
+	if len(st.m) >= st.max {
+		return nil, failf(http.StatusServiceUnavailable, "session_limit",
+			"session limit (%d) reached; delete a session or retry later", st.max)
+	}
+	st.m[sn.id] = sn
+	st.metrics.SessionsCreated.Add(1)
+	st.metrics.SessionsActive.Add(1)
+	return sn, nil
+}
+
+// get returns a live session, refreshing its idle clock.
+func (st *sessionStore) get(id string) (*session, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	now := time.Now()
+	st.evictLocked(now)
+	sn, ok := st.m[id]
+	if !ok {
+		return nil, failf(http.StatusNotFound, "no_session", "no session %q (expired or never created)", id)
+	}
+	sn.lastUse = now
+	return sn, nil
+}
+
+// delete removes a session, reporting whether it existed.
+func (st *sessionStore) delete(id string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.m[id]; !ok {
+		return false
+	}
+	delete(st.m, id)
+	st.metrics.SessionsActive.Add(-1)
+	return true
+}
+
+// close drops every session (graceful shutdown).
+func (st *sessionStore) close() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.metrics.SessionsActive.Add(-int64(len(st.m)))
+	st.m = map[string]*session{}
+}
+
+// --- session handlers ---
+
+// SessionCreateRequest is the body of POST /v1/session.
+type SessionCreateRequest struct {
+	Source string `json:"source"`
+	// MaxIterations caps applyall per pass; 0 selects the server default.
+	MaxIterations int `json:"max_iterations,omitempty"`
+}
+
+// SessionInfo describes a session's current state.
+type SessionInfo struct {
+	ID           string   `json:"id"`
+	Statements   int      `json:"statements"`
+	Recompute    bool     `json:"recompute"`
+	Applications []string `json:"applications"`
+	Opts         []string `json:"opts"`
+}
+
+func (sn *session) info() SessionInfo {
+	apps := make([]string, len(sn.applied))
+	for i, a := range sn.applied {
+		apps[i] = fmt.Sprintf("%s@%s", a.Spec, a.Signature)
+	}
+	return SessionInfo{
+		ID:           sn.id,
+		Statements:   sn.prog.Len(),
+		Recompute:    sn.recompute,
+		Applications: apps,
+		Opts:         specs.Names(),
+	}
+}
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) error {
+	var req SessionCreateRequest
+	if err := decodeBody(r, &req); err != nil {
+		return err
+	}
+	if strings.TrimSpace(req.Source) == "" {
+		return failf(http.StatusBadRequest, "bad_request", "request needs a MiniF program in source")
+	}
+	maxIter := req.MaxIterations
+	if maxIter <= 0 {
+		maxIter = s.cfg.MaxIterations
+	}
+	sn, err := s.sessions.create(req.Source, maxIter)
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusCreated, sn.info())
+	return nil
+}
+
+func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) error {
+	sn, err := s.sessions.get(r.PathValue("id"))
+	if err != nil {
+		return err
+	}
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	writeJSON(w, http.StatusOK, sn.info())
+	return nil
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) error {
+	if !s.sessions.delete(r.PathValue("id")) {
+		return failf(http.StatusNotFound, "no_session", "no session %q", r.PathValue("id"))
+	}
+	w.WriteHeader(http.StatusNoContent)
+	return nil
+}
+
+// SessionPoint is one candidate application point.
+type SessionPoint struct {
+	// Index is the 1-based position used by apply/skip.
+	Index int `json:"index"`
+	// Bindings maps element variables to their bound values (S3, L7, ...).
+	Bindings map[string]string `json:"bindings"`
+	// Signature is the point's stable identity.
+	Signature string `json:"signature"`
+	// Skipped reports whether the user asked applyall to pass this over.
+	Skipped bool `json:"skipped"`
+}
+
+// SessionPointsResponse is the body of GET /v1/session/{id}/points.
+type SessionPointsResponse struct {
+	Opt    string         `json:"opt"`
+	Points []SessionPoint `json:"points"`
+	// Override reports pattern-only matching (dependence checks skipped).
+	Override bool `json:"override"`
+}
+
+func renderEnv(env engine.Env) map[string]string {
+	out := make(map[string]string, len(env))
+	keys := make([]string, 0, len(env))
+	for k := range env {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out[k] = env[k].String()
+	}
+	return out
+}
+
+func (s *Server) handleSessionPoints(w http.ResponseWriter, r *http.Request) error {
+	sn, err := s.sessions.get(r.PathValue("id"))
+	if err != nil {
+		return err
+	}
+	optName := r.URL.Query().Get("opt")
+	if optName == "" {
+		return failf(http.StatusBadRequest, "bad_request", "points needs ?opt=NAME")
+	}
+	override := r.URL.Query().Get("override") != ""
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	name, pts, err := sn.points(optName, override)
+	if err != nil {
+		return err
+	}
+	resp := SessionPointsResponse{Opt: name, Override: override, Points: make([]SessionPoint, len(pts))}
+	for i, env := range pts {
+		sig := engine.Signature(env)
+		resp.Points[i] = SessionPoint{
+			Index:     i + 1,
+			Bindings:  renderEnv(env),
+			Signature: sig,
+			Skipped:   sn.skipped[name][sig],
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// SessionApplyRequest is the body of apply and skip.
+type SessionApplyRequest struct {
+	Opt string `json:"opt"`
+	// Point is the 1-based index from the points listing; 0 means the first
+	// eligible (non-skipped) point.
+	Point int `json:"point,omitempty"`
+	// Override applies at a pattern-only point, skipping dependence
+	// restrictions (the paper's per-point override).
+	Override bool `json:"override,omitempty"`
+}
+
+// SessionApplyResponse reports one apply or skip.
+type SessionApplyResponse struct {
+	Opt       string `json:"opt"`
+	Signature string `json:"signature"`
+	Applied   bool   `json:"applied"`
+	Skipped   bool   `json:"skipped"`
+}
+
+// pickPoint resolves a 1-based index (or first-eligible for 0) against the
+// current candidate list.
+func (sn *session) pickPoint(name string, pts []engine.Env, idx int) (engine.Env, error) {
+	if idx == 0 {
+		for _, env := range pts {
+			if !sn.skipped[name][engine.Signature(env)] {
+				return env, nil
+			}
+		}
+		return nil, failf(http.StatusConflict, "no_point", "no eligible application point for %s", name)
+	}
+	if idx < 1 || idx > len(pts) {
+		return nil, failf(http.StatusConflict, "no_point", "point %d of %d not available for %s", idx, len(pts), name)
+	}
+	return pts[idx-1], nil
+}
+
+func (s *Server) handleSessionApply(w http.ResponseWriter, r *http.Request) error {
+	sn, err := s.sessions.get(r.PathValue("id"))
+	if err != nil {
+		return err
+	}
+	var req SessionApplyRequest
+	if err := decodeBody(r, &req); err != nil {
+		return err
+	}
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	name, pts, err := sn.points(req.Opt, req.Override)
+	if err != nil {
+		return err
+	}
+	o := sn.optimizers[name]
+	env, err := sn.pickPoint(name, pts, req.Point)
+	if err != nil {
+		return err
+	}
+	sig := engine.Signature(env)
+	if err := o.ApplyAt(sn.prog, sn.graph, env); err != nil {
+		return failf(http.StatusConflict, "apply_failed", "%s at %s: %v", name, sig, err)
+	}
+	sn.sync()
+	sn.applied = append(sn.applied, engine.Application{Spec: name, Signature: sig})
+	writeJSON(w, http.StatusOK, SessionApplyResponse{Opt: name, Signature: sig, Applied: true})
+	return nil
+}
+
+func (s *Server) handleSessionSkip(w http.ResponseWriter, r *http.Request) error {
+	sn, err := s.sessions.get(r.PathValue("id"))
+	if err != nil {
+		return err
+	}
+	var req SessionApplyRequest
+	if err := decodeBody(r, &req); err != nil {
+		return err
+	}
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	name, pts, err := sn.points(req.Opt, req.Override)
+	if err != nil {
+		return err
+	}
+	env, err := sn.pickPoint(name, pts, req.Point)
+	if err != nil {
+		return err
+	}
+	sig := engine.Signature(env)
+	if sn.skipped[name] == nil {
+		sn.skipped[name] = map[string]bool{}
+	}
+	sn.skipped[name][sig] = true
+	writeJSON(w, http.StatusOK, SessionApplyResponse{Opt: name, Signature: sig, Skipped: true})
+	return nil
+}
+
+// SessionApplyAllResponse reports a fixpoint run inside a session.
+type SessionApplyAllResponse struct {
+	Opt          string `json:"opt"`
+	Applications int    `json:"applications"`
+}
+
+func (s *Server) handleSessionApplyAll(w http.ResponseWriter, r *http.Request) error {
+	sn, err := s.sessions.get(r.PathValue("id"))
+	if err != nil {
+		return err
+	}
+	var req SessionApplyRequest
+	if err := decodeBody(r, &req); err != nil {
+		return err
+	}
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	o, err := sn.optimizer(req.Opt)
+	if err != nil {
+		return err
+	}
+	name := o.Name()
+	// The session's own fixpoint loop: engine.ApplyAll cannot honour the
+	// user's skipped points, so drive Preconditions + ApplyAt directly,
+	// respecting the recompute toggle between applications.
+	seen := map[string]bool{}
+	for sig := range sn.skipped[name] {
+		seen[sig] = true
+	}
+	max := sn.maxIter
+	if max <= 0 {
+		max = optlib.DefaultMaxIterations
+	}
+	applied := 0
+	sn.sync()
+	for {
+		if err := r.Context().Err(); err != nil {
+			return s.classify(err, name, applied)
+		}
+		if sn.recompute {
+			sn.sync()
+		}
+		var chosen engine.Env
+		found := false
+		for _, env := range o.Preconditions(sn.prog, sn.graph) {
+			if sig := engine.Signature(env); !seen[sig] {
+				chosen, found = env, true
+				break
+			}
+		}
+		if !found {
+			break
+		}
+		if applied >= max {
+			return s.classify(optlib.ErrIterationLimit, name, applied)
+		}
+		sig := engine.Signature(chosen)
+		seen[sig] = true
+		if err := o.ApplyAt(sn.prog, sn.graph, chosen); err != nil {
+			continue // rolled back in place; try the next point
+		}
+		if sn.recompute {
+			sn.sync()
+		}
+		applied++
+		sn.applied = append(sn.applied, engine.Application{Spec: name, Signature: sig})
+	}
+	sn.sync()
+	writeJSON(w, http.StatusOK, SessionApplyAllResponse{Opt: name, Applications: applied})
+	return nil
+}
+
+// SessionRecomputeRequest toggles dependence recomputation.
+type SessionRecomputeRequest struct {
+	Enabled bool `json:"enabled"`
+}
+
+func (s *Server) handleSessionRecompute(w http.ResponseWriter, r *http.Request) error {
+	sn, err := s.sessions.get(r.PathValue("id"))
+	if err != nil {
+		return err
+	}
+	var req SessionRecomputeRequest
+	if err := decodeBody(r, &req); err != nil {
+		return err
+	}
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	sn.recompute = req.Enabled
+	writeJSON(w, http.StatusOK, map[string]bool{"recompute": sn.recompute})
+	return nil
+}
+
+// SessionResultResponse is the session's current program.
+type SessionResultResponse struct {
+	MiniF        string   `json:"minif"`
+	IR           string   `json:"ir"`
+	Applications []string `json:"applications"`
+}
+
+func (s *Server) handleSessionResult(w http.ResponseWriter, r *http.Request) error {
+	sn, err := s.sessions.get(r.PathValue("id"))
+	if err != nil {
+		return err
+	}
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	apps := make([]string, len(sn.applied))
+	for i, a := range sn.applied {
+		apps[i] = fmt.Sprintf("%s@%s", a.Spec, a.Signature)
+	}
+	writeJSON(w, http.StatusOK, SessionResultResponse{
+		MiniF:        ir.ToMiniF(sn.prog),
+		IR:           sn.prog.String(),
+		Applications: apps,
+	})
+	return nil
+}

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSessionLifecycle walks the constructor workflow end to end: create,
+// census points, skip one, apply one, applyall the rest, toggle
+// recomputation, fetch the result, delete.
+func TestSessionLifecycle(t *testing.T) {
+	s := newTestServer(t, Config{})
+
+	// Create.
+	rec := doJSON(t, s, "POST", "/v1/session", SessionCreateRequest{Source: deadSrc})
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create = %d: %s", rec.Code, rec.Body.String())
+	}
+	info := decodeAs[SessionInfo](t, rec)
+	if info.ID == "" || info.Statements == 0 || !info.Recompute {
+		t.Fatalf("bad session info: %+v", info)
+	}
+	base := "/v1/session/" + info.ID
+
+	// Candidate points for DCE: the three dead assignments.
+	pts := decodeAs[SessionPointsResponse](t, doJSON(t, s, "GET", base+"/points?opt=dce", nil))
+	if len(pts.Points) != 3 {
+		t.Fatalf("DCE points = %d, want 3: %+v", len(pts.Points), pts)
+	}
+	if pts.Opt != "DCE" {
+		t.Errorf("opt echoed as %q, want DCE", pts.Opt)
+	}
+
+	// Skip the first point (the a = 1 assignment).
+	skipped := decodeAs[SessionApplyResponse](t, doJSON(t, s, "POST", base+"/skip",
+		SessionApplyRequest{Opt: "DCE", Point: 1}))
+	if !skipped.Skipped || skipped.Signature != pts.Points[0].Signature {
+		t.Fatalf("skip = %+v", skipped)
+	}
+	pts = decodeAs[SessionPointsResponse](t, doJSON(t, s, "GET", base+"/points?opt=DCE", nil))
+	if !pts.Points[0].Skipped {
+		t.Error("points listing does not show the skip")
+	}
+
+	// Apply the first eligible (non-skipped) point.
+	applied := decodeAs[SessionApplyResponse](t, doJSON(t, s, "POST", base+"/apply",
+		SessionApplyRequest{Opt: "DCE"}))
+	if !applied.Applied || applied.Signature == skipped.Signature {
+		t.Fatalf("apply = %+v", applied)
+	}
+
+	// Toggle recomputation off and back on (the paper's constructor choice).
+	tog := decodeAs[map[string]bool](t, doJSON(t, s, "POST", base+"/recompute",
+		SessionRecomputeRequest{Enabled: false}))
+	if tog["recompute"] {
+		t.Error("recompute did not toggle off")
+	}
+	doJSON(t, s, "POST", base+"/recompute", SessionRecomputeRequest{Enabled: true})
+
+	// Fixpoint over the remaining points honours the skip.
+	all := decodeAs[SessionApplyAllResponse](t, doJSON(t, s, "POST", base+"/applyall",
+		SessionApplyRequest{Opt: "DCE"}))
+	if all.Applications != 1 {
+		t.Fatalf("applyall = %d applications, want 1 (one applied, one skipped)", all.Applications)
+	}
+
+	// Result: the skipped assignment survives, the other two are gone.
+	res := decodeAs[SessionResultResponse](t, doJSON(t, s, "GET", base+"/result", nil))
+	if !strings.Contains(res.MiniF, "a = 1") {
+		t.Errorf("skipped statement was deleted:\n%s", res.MiniF)
+	}
+	if strings.Contains(res.MiniF, "b = 2") || strings.Contains(res.MiniF, "c = 3") {
+		t.Errorf("dead statements survived applyall:\n%s", res.MiniF)
+	}
+	if len(res.Applications) != 2 {
+		t.Errorf("result lists %d applications, want 2", len(res.Applications))
+	}
+
+	// Session info reflects the work; delete ends it.
+	got := decodeAs[SessionInfo](t, doJSON(t, s, "GET", base, nil))
+	if len(got.Applications) != 2 {
+		t.Errorf("info lists %d applications, want 2", len(got.Applications))
+	}
+	if rec := doJSON(t, s, "DELETE", base, nil); rec.Code != http.StatusNoContent {
+		t.Fatalf("delete = %d, want 204", rec.Code)
+	}
+	if rec := doJSON(t, s, "GET", base, nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("get after delete = %d, want 404", rec.Code)
+	}
+	if active := s.Metrics().SessionsActive.Load(); active != 0 {
+		t.Errorf("SessionsActive = %d, want 0", active)
+	}
+}
+
+// TestSessionOverride: pattern-only points ignore Depend clauses, letting
+// the user apply where dependences forbid — CTP's pattern matches any
+// constant scalar definition, with or without a reachable use.
+func TestSessionOverride(t *testing.T) {
+	s := newTestServer(t, Config{})
+	info := decodeAs[SessionInfo](t, doJSON(t, s, "POST", "/v1/session",
+		SessionCreateRequest{Source: deadSrc}))
+	base := "/v1/session/" + info.ID
+
+	full := decodeAs[SessionPointsResponse](t, doJSON(t, s, "GET", base+"/points?opt=CTP", nil))
+	over := decodeAs[SessionPointsResponse](t, doJSON(t, s, "GET", base+"/points?opt=CTP&override=1", nil))
+	if !over.Override {
+		t.Error("override flag not echoed")
+	}
+	if len(over.Points) <= len(full.Points) {
+		t.Errorf("pattern-only points = %d, full = %d; want strictly more here (a,b,c have no uses)",
+			len(over.Points), len(full.Points))
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	s := newTestServer(t, Config{})
+	if rec := doJSON(t, s, "POST", "/v1/session", SessionCreateRequest{}); rec.Code != http.StatusBadRequest {
+		t.Errorf("empty create = %d, want 400", rec.Code)
+	}
+	if rec := doJSON(t, s, "GET", "/v1/session/nope", nil); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown session = %d, want 404", rec.Code)
+	}
+	info := decodeAs[SessionInfo](t, doJSON(t, s, "POST", "/v1/session",
+		SessionCreateRequest{Source: deadSrc}))
+	base := "/v1/session/" + info.ID
+	if rec := doJSON(t, s, "GET", base+"/points", nil); rec.Code != http.StatusBadRequest {
+		t.Errorf("points without opt = %d, want 400", rec.Code)
+	}
+	if rec := doJSON(t, s, "POST", base+"/apply",
+		SessionApplyRequest{Opt: "DCE", Point: 9}); rec.Code != http.StatusConflict {
+		t.Errorf("apply at missing point = %d, want 409", rec.Code)
+	}
+	if rec := doJSON(t, s, "POST", base+"/apply",
+		SessionApplyRequest{Opt: "NOPE"}); rec.Code != http.StatusBadRequest {
+		t.Errorf("apply unknown opt = %d, want 400", rec.Code)
+	}
+}
+
+// TestSessionTTLAndLimit: idle sessions expire; the store bounds its count.
+func TestSessionTTLAndLimit(t *testing.T) {
+	s := newTestServer(t, Config{MaxSessions: 2, SessionTTL: 30 * time.Millisecond})
+	a := decodeAs[SessionInfo](t, doJSON(t, s, "POST", "/v1/session", SessionCreateRequest{Source: deadSrc}))
+	decodeAs[SessionInfo](t, doJSON(t, s, "POST", "/v1/session", SessionCreateRequest{Source: deadSrc}))
+	if rec := doJSON(t, s, "POST", "/v1/session", SessionCreateRequest{Source: deadSrc}); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("create over limit = %d, want 503", rec.Code)
+	}
+	time.Sleep(50 * time.Millisecond)
+	// Creation evicts the expired pair, making room again.
+	if rec := doJSON(t, s, "POST", "/v1/session", SessionCreateRequest{Source: deadSrc}); rec.Code != http.StatusCreated {
+		t.Fatalf("create after TTL = %d, want 201", rec.Code)
+	}
+	if rec := doJSON(t, s, "GET", "/v1/session/"+a.ID, nil); rec.Code != http.StatusNotFound {
+		t.Errorf("expired session still served: %d", rec.Code)
+	}
+	if evicted := s.Metrics().SessionsEvicted.Load(); evicted < 2 {
+		t.Errorf("SessionsEvicted = %d, want >= 2", evicted)
+	}
+}

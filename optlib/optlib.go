@@ -8,6 +8,7 @@
 package optlib
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -451,6 +452,16 @@ type Limits struct {
 // through the same journal, so the graph stays valid without any per-attempt
 // recomputation.
 func Fixpoint(p *ir.Program, apply ApplyFunc, lim Limits) (int, error) {
+	return FixpointCtx(context.Background(), p, apply, lim)
+}
+
+// FixpointCtx is Fixpoint under a context: the loop checks ctx between
+// iterations and stops early with ctx.Err() when the context is cancelled or
+// its deadline passes. The application count up to the stop is returned; the
+// program is left in its partially-optimized (but structurally valid) state.
+// This is the entry point long-running services use to bound per-request
+// optimization time.
+func FixpointCtx(ctx context.Context, p *ir.Program, apply ApplyFunc, lim Limits) (int, error) {
 	max := lim.MaxIterations
 	if max <= 0 {
 		max = DefaultMaxIterations
@@ -463,6 +474,9 @@ func Fixpoint(p *ir.Program, apply ApplyFunc, lim Limits) (int, error) {
 	g := dep.Compute(p)
 	n := 0
 	for i := 0; i < max; i++ {
+		if err := ctx.Err(); err != nil {
+			return n, err
+		}
 		start := log.Mark()
 		if !apply(p, g, seen) {
 			return n, nil

@@ -1,5 +1,6 @@
 #!/bin/sh
-# Run the driver-fixpoint benchmarks with benchstat-comparable output.
+# Run the driver-fixpoint and server benchmarks with benchstat-comparable
+# output.
 #
 # Usage:
 #   scripts/bench.sh                 # print results, save to bench-new.txt
@@ -7,14 +8,14 @@
 #                                    # (uses benchstat when installed)
 #
 # Environment:
-#   BENCH    regexp of benchmarks to run  (default: DriverFixpoint)
+#   BENCH    regexp of benchmarks to run  (default: DriverFixpoint|ServerOptimize)
 #   COUNT    -count for statistical runs  (default: 6)
 #   OUT      output file                  (default: bench-new.txt)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-BENCH=${BENCH:-DriverFixpoint}
+BENCH=${BENCH:-'DriverFixpoint|ServerOptimize'}
 COUNT=${COUNT:-6}
 OUT=${OUT:-bench-new.txt}
 BASELINE=
