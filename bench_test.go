@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/gospel"
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/proggen"
 	"repro/internal/server"
 	"repro/internal/specs"
@@ -226,6 +228,42 @@ func BenchmarkDriverFixpoint(b *testing.B) {
 	}
 }
 
+// BenchmarkDriverFixpointObs isolates the cost of the tracing layer on the
+// driver fixpoint: no tracer at all, a disabled tracer threaded through every
+// candidate point (the production default — must stay within 5% of "none";
+// scripts/bench.sh -overhead enforces this), and a fully collecting tracer.
+func BenchmarkDriverFixpointObs(b *testing.B) {
+	template := proggen.Generate(11, proggen.Config{MaxStmts: 120})
+	variants := []struct {
+		name string
+		opts func() []Option
+	}{
+		{"none", func() []Option { return nil }},
+		{"disabled", func() []Option {
+			return []Option{WithTracer(obs.NewTracer(obs.Disabled()))}
+		}},
+		{"traced", func() []Option {
+			return []Option{WithTracer(obs.NewTracer(obs.Collect()))}
+		}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				o, err := BuiltIn("CTP", v.opts()...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p := template.Clone()
+				b.StartTimer()
+				if _, err := o.ApplyAll(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkServerOptimize measures one POST /v1/optimize through the optd
 // handler stack (routing, admission, decoding, the full pipeline, encoding):
 // cold runs bypass the result cache with no_cache, hit runs repeat an
@@ -252,8 +290,9 @@ func BenchmarkServerOptimize(b *testing.B) {
 		}
 	}
 
+	quiet := server.Config{Logger: slog.New(slog.DiscardHandler)}
 	b.Run("cold", func(b *testing.B) {
-		h := server.New(server.Config{}).Handler()
+		h := server.New(quiet).Handler()
 		cold, err := json.Marshal(map[string]any{
 			"source":   ir.ToMiniF(prog),
 			"opts":     []string{"CTP", "DCE"},
@@ -268,7 +307,7 @@ func BenchmarkServerOptimize(b *testing.B) {
 		}
 	})
 	b.Run("cache-hit", func(b *testing.B) {
-		srv := server.New(server.Config{})
+		srv := server.New(quiet)
 		h := srv.Handler()
 		post(b, h, body) // warm the cache
 		b.ResetTimer()

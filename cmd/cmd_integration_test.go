@@ -4,6 +4,7 @@ package cmd_test
 
 import (
 	"bufio"
+	"encoding/json"
 	"io"
 	"net/http"
 	"os"
@@ -291,11 +292,65 @@ END
 	}
 }
 
+// TestOptTrace: -trace dumps the span forest as JSON naming every pass and
+// the match/depend/action phases, while the default stderr report format is
+// untouched; -logfmt json switches the per-pass reports to slog records.
+func TestOptTrace(t *testing.T) {
+	b := buildAll(t)
+	prog := writeSample(t)
+	traceFile := filepath.Join(t.TempDir(), "trace.json")
+
+	out, err := exec.Command(b.opt, "-opts", "CTP,DCE", "-trace", traceFile, prog).CombinedOutput()
+	if err != nil {
+		t.Fatalf("opt -trace: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "CTP: 1 application(s)") {
+		t.Errorf("default report format changed:\n%s", out)
+	}
+	raw, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trees []struct {
+		Name  string `json:"name"`
+		Attrs []struct {
+			Key   string `json:"key"`
+			Value any    `json:"value"`
+		} `json:"attrs"`
+	}
+	if err := json.Unmarshal(raw, &trees); err != nil {
+		t.Fatalf("trace file is not a JSON span forest: %v\n%s", err, raw)
+	}
+	if len(trees) != 2 {
+		t.Fatalf("trace has %d roots, want 2 (CTP, DCE)", len(trees))
+	}
+	text := string(raw)
+	for _, frag := range []string{`"name": "pass"`, `"name": "match"`, `"name": "depend"`, `"name": "action"`, `"value": "CTP"`, `"value": "DCE"`} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("trace missing %s", frag)
+		}
+	}
+
+	jout, err := exec.Command(b.opt, "-opts", "CTP", "-logfmt", "json", prog).CombinedOutput()
+	if err != nil {
+		t.Fatalf("opt -logfmt json: %v\n%s", err, jout)
+	}
+	if !strings.Contains(string(jout), `"msg":"pass done"`) || !strings.Contains(string(jout), `"pass":"CTP"`) {
+		t.Errorf("json report format missing slog record:\n%s", jout)
+	}
+
+	if out, err := exec.Command(b.opt, "-opts", "CTP", "-logfmt", "yaml", prog).CombinedOutput(); err == nil {
+		t.Errorf("bad -logfmt accepted:\n%s", out)
+	} else if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+		t.Errorf("bad -logfmt exit = %v, want 2", err)
+	}
+}
+
 // TestOptdSmoke boots the daemon, optimizes over HTTP, and shuts it down
 // gracefully with SIGTERM.
 func TestOptdSmoke(t *testing.T) {
 	b := buildAll(t)
-	cmd := exec.Command(b.optd, "-addr", "127.0.0.1:0")
+	cmd := exec.Command(b.optd, "-addr", "127.0.0.1:0", "-debug-addr", "127.0.0.1:0")
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -305,15 +360,25 @@ func TestOptdSmoke(t *testing.T) {
 	}
 	defer cmd.Process.Kill()
 
-	// The daemon logs the resolved listen address.
+	// The daemon logs the resolved listen addresses as structured slog
+	// records: msg="optd listening" addr=HOST:PORT (and "optd debug
+	// listening" for the pprof listener).
 	addrCh := make(chan string, 1)
+	debugCh := make(chan string, 1)
 	go func() {
 		sc := bufio.NewScanner(stderr)
 		for sc.Scan() {
 			line := sc.Text()
-			if i := strings.Index(line, "listening on "); i >= 0 {
+			ch := addrCh
+			if strings.Contains(line, "optd debug listening") {
+				ch = debugCh
+			} else if !strings.Contains(line, "optd listening") {
+				continue
+			}
+			if i := strings.Index(line, "addr="); i >= 0 {
+				addr := strings.Trim(strings.Fields(line[i+len("addr="):])[0], `"`)
 				select {
-				case addrCh <- strings.TrimSpace(line[i+len("listening on "):]):
+				case ch <- addr:
 				default:
 				}
 			}
@@ -325,6 +390,13 @@ func TestOptdSmoke(t *testing.T) {
 		base = "http://" + addr
 	case <-time.After(10 * time.Second):
 		t.Fatal("optd never reported its listen address")
+	}
+	var debugBase string
+	select {
+	case addr := <-debugCh:
+		debugBase = "http://" + addr
+	case <-time.After(10 * time.Second):
+		t.Fatal("optd never reported its debug listen address")
 	}
 
 	get := func(path string) (*http.Response, error) { return http.Get(base + path) }
@@ -349,6 +421,48 @@ func TestOptdSmoke(t *testing.T) {
 	}
 	if !strings.Contains(string(out), `"minif"`) || !strings.Contains(string(out), "DO i = 1, 16") {
 		t.Errorf("optimize response missing optimized MiniF: %s", out)
+	}
+
+	// A text/plain scrape negotiates the Prometheus exposition with the
+	// pass histograms populated by the optimize call above.
+	mreq, _ := http.NewRequest("GET", base+"/metrics", nil)
+	mreq.Header.Set("Accept", "text/plain")
+	mresp, err := http.DefaultClient.Do(mreq)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	mout, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("metrics Content-Type = %q", ct)
+	}
+	for _, frag := range []string{
+		"# TYPE optd_pass_latency_seconds histogram",
+		`optd_pass_latency_seconds_count{pass="CTP"} 1`,
+		`optd_requests_total{route="optimize"} 1`,
+		`optd_dep_lookups_total{kind="scalar"}`,
+		"optd_undo_rollbacks_total",
+	} {
+		if !strings.Contains(string(mout), frag) {
+			t.Errorf("prometheus exposition missing %q:\n%s", frag, mout)
+		}
+	}
+
+	// The pprof index is served from the debug listener only.
+	presp, err := http.Get(debugBase + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("pprof: %v", err)
+	}
+	pout, _ := io.ReadAll(presp.Body)
+	presp.Body.Close()
+	if presp.StatusCode != 200 || !strings.Contains(string(pout), "goroutine") {
+		t.Errorf("pprof index = %d:\n%.200s", presp.StatusCode, pout)
+	}
+	if aresp, err := http.Get(base + "/debug/pprof/"); err == nil {
+		if aresp.StatusCode == 200 {
+			t.Error("pprof exposed on the public API address")
+		}
+		aresp.Body.Close()
 	}
 
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {

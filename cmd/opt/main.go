@@ -18,9 +18,10 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
@@ -28,6 +29,7 @@ import (
 	"repro"
 	"repro/dep"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/specs"
 	"repro/ir"
@@ -44,6 +46,8 @@ func main() {
 		specFiles   = flag.String("spec", "", "comma-separated GOSpeL specification files to apply after -opts")
 		workers     = flag.Int("workers", 0, "worker pool size for multi-program batch runs (0 = GOMAXPROCS)")
 		maxIter     = flag.Int("maxiter", 0, "cap applications per optimization (0 = optlib default, 1000); hitting the cap with work remaining reports the iteration-limit error")
+		traceFile   = flag.String("trace", "", "write the optimization span trees as JSON to this file ('-' for stderr)")
+		logfmt      = flag.String("logfmt", "text", "per-pass report format: text (NAME: N application(s)) or json (structured slog records)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: opt [-opts LIST | -i | -points] [-run] [-input v,v,...] [-maxiter N] program.mf [more.mf ...]")
@@ -64,6 +68,10 @@ low for the program), and exits 1.`)
 	}
 	if *maxIter < 0 {
 		fmt.Fprintf(os.Stderr, "opt: -maxiter must be >= 0 (got %d)\n", *maxIter)
+		os.Exit(2)
+	}
+	if *logfmt != "text" && *logfmt != "json" {
+		fmt.Fprintf(os.Stderr, "opt: -logfmt must be text or json (got %q)\n", *logfmt)
 		os.Exit(2)
 	}
 	for _, name := range splitList(*optsFlag) {
@@ -110,10 +118,11 @@ low for the program), and exits 1.`)
 	}
 	files := flag.Args()
 	type result struct {
-		log  strings.Builder // per-optimization application counts (stderr)
-		text string          // rendered program (stdout)
-		out  []ir.Value      // execution output when -run is set
-		err  error
+		log    strings.Builder // per-optimization pass reports (stderr)
+		text   string          // rendered program (stdout)
+		out    []ir.Value      // execution output when -run is set
+		tracer *obs.Tracer     // span collection when -trace is set
+		err    error
 	}
 	results := par.Map(len(files), *workers, func(i int) *result {
 		r := &result{}
@@ -127,7 +136,22 @@ low for the program), and exits 1.`)
 			r.err = err
 			return r
 		}
-		if r.err = pipeline(p, *optsFlag, *specFiles, *maxIter, &r.log); r.err != nil {
+		// Each job reports into its own buffer so parallel sweeps still print
+		// in argument order: plain counts in text mode, slog records in json.
+		report := func(name string, n int) {
+			fmt.Fprintf(&r.log, "%s: %d application(s)\n", name, n)
+		}
+		if *logfmt == "json" {
+			jl := obs.NewLogger(&r.log, "json", slog.LevelInfo)
+			report = func(name string, n int) {
+				jl.Info("pass done", slog.String("file", files[i]),
+					slog.String("pass", name), slog.Int("applications", n))
+			}
+		}
+		if *traceFile != "" {
+			r.tracer = obs.NewTracer(obs.Collect())
+		}
+		if r.err = pipeline(p, *optsFlag, *specFiles, *maxIter, report, r.tracer); r.err != nil {
 			return r
 		}
 		if *minif {
@@ -153,16 +177,38 @@ low for the program), and exits 1.`)
 			fmt.Println(v)
 		}
 	}
+	if *traceFile != "" {
+		// Merge every job's span forest in argument order into one JSON
+		// document, one "pass" root per fixpoint run.
+		var trees []*obs.Node
+		for _, r := range results {
+			trees = append(trees, r.tracer.Trees()...)
+		}
+		raw, err := json.MarshalIndent(trees, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		raw = append(raw, '\n')
+		if *traceFile == "-" {
+			os.Stderr.Write(raw)
+		} else if err := os.WriteFile(*traceFile, raw, 0o644); err != nil {
+			fatal(err)
+		}
+	}
 }
 
-// pipeline applies the -opts list and then any -spec files to p, reporting
-// application counts to logw. Each pass is capped at maxIter applications
-// (0 = the optlib default); a capped pass still reports its count before
-// the iteration-limit error propagates.
-func pipeline(p *ir.Program, optsFlag, specFiles string, maxIter int, logw io.Writer) error {
+// pipeline applies the -opts list and then any -spec files to p, calling
+// report with each pass's application count. Each pass is capped at maxIter
+// applications (0 = the optlib default); a capped pass still reports its
+// count before the iteration-limit error propagates. A non-nil tracer
+// records one span tree per fixpoint run.
+func pipeline(p *ir.Program, optsFlag, specFiles string, maxIter int, report func(name string, n int), tracer *obs.Tracer) error {
 	copts := []genesis.Option{}
 	if maxIter > 0 {
 		copts = append(copts, genesis.WithMaxApplications(maxIter))
+	}
+	if tracer != nil {
+		copts = append(copts, genesis.WithTracer(tracer))
 	}
 	for _, name := range splitList(optsFlag) {
 		o, err := genesis.BuiltIn(name, copts...)
@@ -170,7 +216,7 @@ func pipeline(p *ir.Program, optsFlag, specFiles string, maxIter int, logw io.Wr
 			return err
 		}
 		n, err := o.ApplyAll(p)
-		fmt.Fprintf(logw, "%s: %d application(s)\n", name, n)
+		report(name, n)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
@@ -193,7 +239,7 @@ func pipeline(p *ir.Program, optsFlag, specFiles string, maxIter int, logw io.Wr
 			return err
 		}
 		n, err := o.ApplyAll(p)
-		fmt.Fprintf(logw, "%s: %d application(s)\n", spec.Name(), n)
+		report(spec.Name(), n)
 		if err != nil {
 			return fmt.Errorf("%s: %w", spec.Name(), err)
 		}

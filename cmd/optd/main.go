@@ -6,8 +6,10 @@
 // Endpoints:
 //
 //	GET  /healthz                      liveness
-//	GET  /metrics                      expvar-style counters (JSON)
+//	GET  /metrics                      counters — JSON by default, Prometheus
+//	                                   text format with Accept: text/plain
 //	POST /v1/optimize                  {source, opts, specs?, max_iterations?} → optimized MiniF/IR
+//	                                   (?trace=1 adds the span tree inline)
 //	POST /v1/points                    {source, opts?} → application-point census
 //	POST /v1/session                   create an interactive constructor session
 //	GET  /v1/session/{id}/points?opt=X candidate application points
@@ -23,6 +25,11 @@
 // admission limiter; every request carries a deadline; optimizer panics
 // become 500s without killing the daemon; SIGINT/SIGTERM drain in-flight
 // requests while refusing new ones.
+//
+// Logs are structured (log/slog); -logfmt selects text (default) or json.
+// -debug-addr starts a second listener serving net/http/pprof under
+// /debug/pprof/ — kept off the public address so profiling endpoints are
+// never exposed to API clients.
 package main
 
 import (
@@ -30,34 +37,44 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8724", "listen address")
-		workers  = flag.Int("workers", 0, "max concurrent optimization requests (0 = GOMAXPROCS)")
-		cacheN   = flag.Int("cache", 256, "result cache entries (0 disables)")
-		timeout  = flag.Duration("timeout", 30*time.Second, "per-request deadline")
-		maxIter  = flag.Int("maxiter", 0, "default per-pass application cap (0 = optlib default, 1000)")
-		maxBody  = flag.Int64("max-body", 1<<20, "max request body bytes")
-		sessions = flag.Int("sessions", 64, "max live constructor sessions")
-		ttl      = flag.Duration("session-ttl", 30*time.Minute, "idle session lifetime")
-		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+		addr      = flag.String("addr", ":8724", "listen address")
+		debugAddr = flag.String("debug-addr", "", "pprof/debug listen address (empty disables)")
+		logfmt    = flag.String("logfmt", "text", "log format: text or json")
+		workers   = flag.Int("workers", 0, "max concurrent optimization requests (0 = GOMAXPROCS)")
+		cacheN    = flag.Int("cache", 256, "result cache entries (0 disables)")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request deadline")
+		maxIter   = flag.Int("maxiter", 0, "default per-pass application cap (0 = optlib default, 1000)")
+		maxBody   = flag.Int64("max-body", 1<<20, "max request body bytes")
+		sessions  = flag.Int("sessions", 64, "max live constructor sessions")
+		ttl       = flag.Duration("session-ttl", 30*time.Minute, "idle session lifetime")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 	)
 	flag.Parse()
 	if *workers < 0 {
 		fmt.Fprintln(os.Stderr, "optd: -workers must be >= 0")
 		os.Exit(2)
 	}
+	if *logfmt != "text" && *logfmt != "json" {
+		fmt.Fprintf(os.Stderr, "optd: -logfmt must be text or json (got %q)\n", *logfmt)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, *logfmt, slog.LevelInfo)
+	slog.SetDefault(logger)
 
 	cacheEntries := *cacheN
 	if cacheEntries == 0 {
@@ -71,6 +88,7 @@ func main() {
 		MaxBodyBytes:   *maxBody,
 		MaxSessions:    *sessions,
 		SessionTTL:     *ttl,
+		Logger:         logger,
 	})
 
 	httpSrv := &http.Server{
@@ -84,28 +102,55 @@ func main() {
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("optd: %v", err)
+		logger.Error("listen failed", slog.Any("err", err))
+		os.Exit(1)
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
-	log.Printf("optd listening on %s", ln.Addr())
+	logger.Info("optd listening", slog.String("addr", ln.Addr().String()))
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			logger.Error("debug listen failed", slog.Any("err", err))
+			os.Exit(1)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := debugSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug server failed", slog.Any("err", err))
+			}
+		}()
+		logger.Info("optd debug listening", slog.String("addr", dln.Addr().String()))
+	}
 
 	select {
 	case err := <-errc:
-		log.Fatalf("optd: %v", err)
+		logger.Error("serve failed", slog.Any("err", err))
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 
-	log.Printf("optd draining (up to %s)", *drain)
+	logger.Info("optd draining", slog.Duration("budget", *drain))
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	// Refuse new requests at the application layer first, then close
 	// listeners and wait for connections at the HTTP layer.
 	if err := srv.Shutdown(drainCtx); err != nil {
-		log.Printf("optd: drain incomplete: %v", err)
+		logger.Warn("drain incomplete", slog.Any("err", err))
 	}
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("optd: http shutdown: %v", err)
+		logger.Warn("http shutdown", slog.Any("err", err))
 	}
-	log.Printf("optd stopped")
+	if debugSrv != nil {
+		_ = debugSrv.Shutdown(drainCtx)
+	}
+	logger.Info("optd stopped")
 }

@@ -32,7 +32,13 @@ func (g *Graph) arrayDeps(lt *loopTable, filter map[string]bool) {
 	accesses := collectAccesses(p)
 	byName := make(map[string][]access)
 	var names []string
+	if g.arrays == nil {
+		g.arrays = make(map[string]bool)
+	}
 	for _, ac := range accesses {
+		// Record every array name — filtered ones included — so lookup
+		// counters can classify edges kept from before this update.
+		g.arrays[ac.op.Name] = true
 		if filter != nil && !filter[ac.op.Name] {
 			continue
 		}

@@ -209,6 +209,66 @@ type Graph struct {
 	to     [][]int32
 	byKind [numKinds][]int32
 	index  map[uint64][]int32
+
+	// arrays names every array accessed by the program, so lookup counters
+	// can classify data edges as scalar or array. Filled by arrayDeps.
+	arrays map[string]bool
+	// stats counts this graph's query and maintenance traffic. Plain (not
+	// atomic) counters: a Graph, like a Program, is not safe for concurrent
+	// use, and each fixpoint pass owns its graph.
+	stats Stats
+}
+
+// Stats counts a graph's query and maintenance traffic. Lookups count the
+// candidate edges Query/Exists examined, classified by the edge: control
+// dependences, data dependences on array locations, and data dependences
+// on scalars. Updates count how the graph was refreshed after program
+// edits: in place from the change journal (incremental) or by the
+// structural fallback's full recomputation.
+type Stats struct {
+	ScalarLookups      int64
+	ArrayLookups       int64
+	ControlLookups     int64
+	IncrementalUpdates int64
+	StructuralRebuilds int64
+}
+
+// Add returns the element-wise sum.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		ScalarLookups:      s.ScalarLookups + o.ScalarLookups,
+		ArrayLookups:       s.ArrayLookups + o.ArrayLookups,
+		ControlLookups:     s.ControlLookups + o.ControlLookups,
+		IncrementalUpdates: s.IncrementalUpdates + o.IncrementalUpdates,
+		StructuralRebuilds: s.StructuralRebuilds + o.StructuralRebuilds,
+	}
+}
+
+// Sub returns the element-wise difference (for phase deltas).
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		ScalarLookups:      s.ScalarLookups - o.ScalarLookups,
+		ArrayLookups:       s.ArrayLookups - o.ArrayLookups,
+		ControlLookups:     s.ControlLookups - o.ControlLookups,
+		IncrementalUpdates: s.IncrementalUpdates - o.IncrementalUpdates,
+		StructuralRebuilds: s.StructuralRebuilds - o.StructuralRebuilds,
+	}
+}
+
+// Stats returns the graph's traffic counters (monotonic over the graph's
+// lifetime; recomputations do not reset them).
+func (g *Graph) Stats() Stats { return g.stats }
+
+// countLookup classifies one examined candidate edge.
+func (g *Graph) countLookup(d *Dependence) {
+	switch {
+	case d.Kind == Control:
+		g.stats.ControlLookups++
+	case g.arrays[d.Var]:
+		g.stats.ArrayLookups++
+	default:
+		g.stats.ScalarLookups++
+	}
 }
 
 // numKinds is the number of Kind values (Flow..Control).
@@ -251,6 +311,7 @@ func (g *Graph) recompute() {
 	p := g.Prog
 	g.Deps = g.Deps[:0]
 	g.resetMaps()
+	g.arrays = make(map[string]bool)
 	lt := buildLoopTable(p)
 	a := dataflow.Analyze(p)
 	g.flow = a
@@ -420,7 +481,9 @@ func (g *Graph) matches(d *Dependence, kind Kind, src, dst *ir.Stmt, pattern Vec
 func (g *Graph) Query(kind Kind, src, dst *ir.Stmt, pattern Vector) []Dependence {
 	var out []Dependence
 	for _, i := range g.candidates(kind, src, dst) {
-		if d := &g.Deps[i]; g.matches(d, kind, src, dst, pattern) {
+		d := &g.Deps[i]
+		g.countLookup(d)
+		if g.matches(d, kind, src, dst, pattern) {
 			out = append(out, *d)
 		}
 	}
@@ -431,7 +494,9 @@ func (g *Graph) Query(kind Kind, src, dst *ir.Stmt, pattern Vector) []Dependence
 // allocates nothing and stops at the first match.
 func (g *Graph) Exists(kind Kind, src, dst *ir.Stmt, pattern Vector) bool {
 	for _, i := range g.candidates(kind, src, dst) {
-		if g.matches(&g.Deps[i], kind, src, dst, pattern) {
+		d := &g.Deps[i]
+		g.countLookup(d)
+		if g.matches(d, kind, src, dst, pattern) {
 			return true
 		}
 	}

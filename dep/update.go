@@ -47,6 +47,7 @@ func (g *Graph) Update(changes []ir.Change) bool {
 	touched := make(map[*ir.Stmt]bool)
 	for _, c := range changes {
 		if structuralChange(c) {
+			g.stats.StructuralRebuilds++
 			g.recompute()
 			return false
 		}
@@ -107,6 +108,7 @@ func (g *Graph) Update(changes []ir.Change) bool {
 		}
 	}
 	g.normalize()
+	g.stats.IncrementalUpdates++
 	return true
 }
 

@@ -33,6 +33,7 @@ import (
 	"repro/internal/frontend"
 	"repro/internal/gospel"
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/specs"
 	"repro/ir"
 )
@@ -116,6 +117,26 @@ func WithoutIncremental() Option {
 func WithMaxApplications(n int) Option {
 	return func(c *compileConfig) {
 		c.engineOpts = append(c.engineOpts, engine.WithMaxApplications(n))
+	}
+}
+
+// WithTracer installs a span tracer on the compiled optimizer's driver
+// loop: every ApplyAll run produces one "pass" span tree with a child per
+// candidate application point covering the pattern-match,
+// dependence-evaluation and action-application phases. A nil or disabled
+// tracer costs only nil checks on the hot path.
+func WithTracer(t *obs.Tracer) Option {
+	return func(c *compileConfig) {
+		c.engineOpts = append(c.engineOpts, engine.WithTracer(t))
+	}
+}
+
+// WithPassStats installs a hook receiving one obs.PassStats per ApplyAll
+// run: the engine's precondition-check counters plus the dependence-store
+// lookup, graph-maintenance and undo-log rollback totals.
+func WithPassStats(f func(obs.PassStats)) Option {
+	return func(c *compileConfig) {
+		c.engineOpts = append(c.engineOpts, engine.WithPassStats(f))
 	}
 }
 

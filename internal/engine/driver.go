@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/dep"
+	"repro/internal/obs"
 	"repro/ir"
 	"repro/optlib"
 )
@@ -106,10 +107,8 @@ func (o *Optimizer) ApplyAll(p *ir.Program) ([]Application, error) {
 // valid) state. This is the entry point request-scoped callers (the optd
 // service) use to bound optimization time.
 func (o *Optimizer) ApplyAllCtx(ctx stdcontext.Context, p *ir.Program) (apps []Application, err error) {
-	if o.OnPassDone != nil {
-		t0 := time.Now()
-		defer func() { o.OnPassDone(o.Spec.Name, len(apps), time.Since(t0)) }()
-	}
+	traced := o.Tracer.Enabled()
+	root := o.Tracer.Start("pass", obs.String("spec", o.Spec.Name))
 	var done []Application
 	seen := map[string]bool{}
 	log, owned := p.EnsureLog()
@@ -117,6 +116,41 @@ func (o *Optimizer) ApplyAllCtx(ctx stdcontext.Context, p *ir.Program) (apps []A
 		defer log.Detach()
 	}
 	g := dep.Compute(p)
+	// depAcc accumulates the stats of graphs already replaced by a full
+	// recomputation (WithoutIncremental mode), so the pass total is exact.
+	var depAcc dep.Stats
+	if o.OnPassDone != nil || o.OnPassStats != nil || traced {
+		t0 := time.Now()
+		costBase := o.cost
+		rollbackBase := log.Rollbacks()
+		defer func() {
+			d := time.Since(t0)
+			if err != nil {
+				root.Set("error", err.Error())
+			}
+			root.Set("applications", len(apps))
+			root.End()
+			if o.OnPassDone != nil {
+				o.OnPassDone(o.Spec.Name, len(apps), d)
+			}
+			if o.OnPassStats != nil {
+				c, st := o.cost, depAcc.Add(g.Stats())
+				o.OnPassStats(obs.PassStats{
+					Spec:               o.Spec.Name,
+					Applications:       len(apps),
+					Duration:           d,
+					PatternChecks:      int64(c.PatternChecks - costBase.PatternChecks),
+					DepChecks:          int64(c.DepChecks - costBase.DepChecks),
+					ScalarLookups:      st.ScalarLookups,
+					ArrayLookups:       st.ArrayLookups,
+					ControlLookups:     st.ControlLookups,
+					IncrementalUpdates: st.IncrementalUpdates,
+					StructuralRebuilds: st.StructuralRebuilds,
+					Rollbacks:          log.Rollbacks() - rollbackBase,
+				})
+			}
+		}()
+	}
 	for {
 		if err := ctx.Err(); err != nil {
 			return done, err
@@ -124,6 +158,15 @@ func (o *Optimizer) ApplyAllCtx(ctx stdcontext.Context, p *ir.Program) (apps []A
 		ectx := o.newContext(p, g)
 		var chosen Env
 		found := false
+		var searchStart time.Time
+		var costPre Cost
+		var statsPre dep.Stats
+		if traced {
+			ectx.timed = true
+			searchStart = time.Now()
+			costPre = o.cost
+			statsPre = g.Stats()
+		}
 		o.matchPattern(ectx, 0, Env{}, func(env Env) bool {
 			sig := envSignature(env)
 			if seen[sig] {
@@ -133,7 +176,22 @@ func (o *Optimizer) ApplyAllCtx(ctx stdcontext.Context, p *ir.Program) (apps []A
 			found = true
 			return false
 		})
+		var searchDur, depDur time.Duration
+		var costPost Cost
+		var statsPost dep.Stats
+		if traced {
+			searchDur = time.Since(searchStart)
+			depDur = time.Duration(ectx.depNS)
+			costPost = o.cost
+			statsPost = g.Stats()
+		}
 		if !found {
+			if traced {
+				// The terminating search: the pass reached its fixpoint.
+				sp := root.Child("search", obs.Bool("found", false))
+				setSearchAttrs(sp, costPost, costPre, statsPost.Sub(statsPre))
+				sp.EndWith(searchDur)
+			}
 			break
 		}
 		if len(done) >= o.MaxApplications {
@@ -143,21 +201,60 @@ func (o *Optimizer) ApplyAllCtx(ctx stdcontext.Context, p *ir.Program) (apps []A
 		}
 		sig := envSignature(chosen)
 		seen[sig] = true
+		var pt, act *obs.Span
+		var actStart time.Time
+		var rbPre int64
+		if traced {
+			pt = root.Child("point", obs.Int("index", len(done)), obs.String("sig", sig))
+			m := pt.Child("match",
+				obs.Int64("pattern_checks", int64(costPost.PatternChecks-costPre.PatternChecks)))
+			m.EndWith(searchDur - depDur)
+			ds := statsPost.Sub(statsPre)
+			dsp := pt.Child("depend",
+				obs.Int64("dep_checks", int64(costPost.DepChecks-costPre.DepChecks)),
+				obs.Int64("scalar_lookups", ds.ScalarLookups),
+				obs.Int64("array_lookups", ds.ArrayLookups),
+				obs.Int64("control_lookups", ds.ControlLookups))
+			dsp.EndWith(depDur)
+			act = pt.Child("action")
+			actStart = time.Now()
+			rbPre = log.Rollbacks()
+		}
 		start := log.Mark()
-		if err := o.applyAt(ectx, chosen); err != nil {
+		if aerr := o.applyAt(ectx, chosen); aerr != nil {
 			// The actions could not be applied at this point (e.g. an
 			// unrepresentable substitution). The undo log rolled the program
 			// back in place, preserving statement identity, so the graph is
 			// still valid — keep searching with it as-is.
+			if traced {
+				act.Set("applied", false)
+				act.Set("rollbacks", log.Rollbacks()-rbPre)
+				act.Set("error", aerr.Error())
+				act.EndWith(time.Since(actStart))
+				pt.End()
+			}
 			continue
 		}
+		act.Set("applied", true)
 		done = append(done, Application{Spec: o.Spec.Name, Signature: sig})
 		if o.RecomputeDeps {
 			if o.IncrementalDeps {
-				g.Update(log.Since(start))
+				if g.Update(log.Since(start)) {
+					act.Set("dep_update", "incremental")
+				} else {
+					act.Set("dep_update", "structural")
+				}
 			} else {
+				depAcc = depAcc.Add(g.Stats())
 				g = dep.Compute(p)
+				act.Set("dep_update", "full")
 			}
+		} else {
+			act.Set("dep_update", "none")
+		}
+		if traced {
+			act.EndWith(time.Since(actStart))
+			pt.End()
 		}
 		if owned {
 			// The journal's changes are consumed; keep it from growing
@@ -167,6 +264,16 @@ func (o *Optimizer) ApplyAllCtx(ctx stdcontext.Context, p *ir.Program) (apps []A
 		}
 	}
 	return done, nil
+}
+
+// setSearchAttrs annotates a search span with the precondition-check and
+// dependence-lookup deltas of one full search.
+func setSearchAttrs(sp *obs.Span, post, pre Cost, ds dep.Stats) {
+	sp.Set("pattern_checks", int64(post.PatternChecks-pre.PatternChecks))
+	sp.Set("dep_checks", int64(post.DepChecks-pre.DepChecks))
+	sp.Set("scalar_lookups", ds.ScalarLookups)
+	sp.Set("array_lookups", ds.ArrayLookups)
+	sp.Set("control_lookups", ds.ControlLookups)
 }
 
 // ApplyAt applies the optimizer's actions at a specific, already-found

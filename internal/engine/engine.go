@@ -6,6 +6,7 @@ import (
 
 	"repro/dep"
 	"repro/internal/gospel"
+	"repro/internal/obs"
 	"repro/ir"
 )
 
@@ -38,6 +39,16 @@ type Optimizer struct {
 	// OnPassDone, when non-nil, is called at the end of every ApplyAll run
 	// with the pass timing (services use this to feed latency metrics).
 	OnPassDone PassTimingFunc
+	// OnPassStats, when non-nil, is called at the end of every ApplyAll run
+	// with the full per-pass observability counters: precondition checks,
+	// dependence-store lookups split scalar/array/control, incremental vs
+	// structural graph maintenance, and undo-log rollbacks.
+	OnPassStats func(obs.PassStats)
+	// Tracer, when enabled, receives one span tree per ApplyAll run: a pass
+	// span with a child per candidate application point covering the
+	// pattern-match, dependence-evaluation and action-application phases.
+	// A nil tracer costs only nil checks on the hot path.
+	Tracer *obs.Tracer
 
 	cost Cost
 }
@@ -68,6 +79,17 @@ func WithMaxApplications(n int) Option {
 
 // WithPassTiming installs a pass-timing hook called after every ApplyAll.
 func WithPassTiming(f PassTimingFunc) Option { return func(o *Optimizer) { o.OnPassDone = f } }
+
+// WithPassStats installs a per-pass statistics hook called after every
+// ApplyAll run with the aggregated engine, dependence-store and undo-log
+// counters (services fold these into Prometheus metrics).
+func WithPassStats(f func(obs.PassStats)) Option {
+	return func(o *Optimizer) { o.OnPassStats = f }
+}
+
+// WithTracer installs a span tracer on the driver loop. A nil or disabled
+// tracer leaves the hot path untraced (nil checks only).
+func WithTracer(t *obs.Tracer) Option { return func(o *Optimizer) { o.Tracer = t } }
 
 // Compile turns a checked specification into an optimizer. It performs the
 // generator's static work: validating that the specification's element
@@ -165,7 +187,15 @@ func (o *Optimizer) matchPattern(ctx *context, idx int, env Env, yield func(Env)
 		if ctx.patternOnly {
 			return yield(env)
 		}
-		return o.matchDepend(ctx, 0, env, yield)
+		if !ctx.timed {
+			return o.matchDepend(ctx, 0, env, yield)
+		}
+		// Tracing: attribute the Depend section's evaluation time to the
+		// depend phase, leaving search-minus-depend as the match phase.
+		t0 := time.Now()
+		r := o.matchDepend(ctx, 0, env, yield)
+		ctx.depNS += time.Since(t0).Nanoseconds()
+		return r
 	}
 	pc := o.Spec.Patterns[idx]
 

@@ -35,6 +35,11 @@ type context struct {
 	// patternOnly stops the precondition search after the Code_Pattern
 	// section, skipping Depend clauses (dependence-override mode).
 	patternOnly bool
+	// timed makes matchPattern accumulate the Depend section's evaluation
+	// time into depNS (set by the driver when a tracer is active).
+	timed bool
+	// depNS accumulates nanoseconds spent in matchDepend for one search.
+	depNS int64
 }
 
 func (c *context) countCheck() {

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLatencyBuckets are the fixed histogram bounds (seconds) used for
+// pass and HTTP route latencies: 100µs to 10s, roughly logarithmic. Fixed
+// buckets keep Observe lock-free and allocation-free.
+var DefaultLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent use.
+// Observe is a binary search plus two atomic adds — no locks — so scrapes
+// rendering a snapshot never contend with the hot path recording into it.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds, seconds; +Inf implicit
+	counts []atomic.Int64
+	sumNS  atomic.Int64
+	count  atomic.Int64
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds
+// (seconds). With no bounds, DefaultLatencyBuckets is used.
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	return h
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	sec := d.Seconds()
+	// Binary search for the first bound >= sec; the final slot is +Inf.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sec <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo].Add(1)
+	h.sumNS.Add(int64(d))
+	h.count.Add(1)
+}
+
+// HistogramSnapshot is a consistent-enough copy of a histogram for
+// rendering (counters may lag each other by in-flight observations, which
+// Prometheus tolerates).
+type HistogramSnapshot struct {
+	// Bounds are the upper bounds in seconds (the +Inf bucket is implicit).
+	Bounds []float64
+	// Counts are per-bucket (not cumulative) counts; len(Bounds)+1 entries,
+	// the last being the +Inf bucket.
+	Counts []int64
+	// Count is the total number of observations.
+	Count int64
+	// Sum is the total observed time in seconds.
+	Sum float64
+}
+
+// Snapshot copies the histogram state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    time.Duration(h.sumNS.Load()).Seconds(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBuckets: observations land in the first bucket whose upper
+// bound is >= the value; oversized values land in +Inf.
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(0.001, 0.01, 0.1) // 1ms, 10ms, 100ms
+	h.Observe(500 * time.Microsecond)   // bucket 0
+	h.Observe(time.Millisecond)         // bucket 0 (le is inclusive)
+	h.Observe(5 * time.Millisecond)     // bucket 1
+	h.Observe(50 * time.Millisecond)    // bucket 2
+	h.Observe(2 * time.Second)          // +Inf
+
+	s := h.Snapshot()
+	want := []int64{2, 1, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], w)
+		}
+	}
+	if s.Count != 5 {
+		t.Errorf("count = %d, want 5", s.Count)
+	}
+	wantSum := (0.0005 + 0.001 + 0.005 + 0.05 + 2.0)
+	if diff := s.Sum - wantSum; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("sum = %v, want %v", s.Sum, wantSum)
+	}
+}
+
+// TestHistogramDefaults: the zero-arg constructor uses the default latency
+// bounds.
+func TestHistogramDefaults(t *testing.T) {
+	h := NewHistogram()
+	if len(h.bounds) != len(DefaultLatencyBuckets) {
+		t.Fatalf("bounds = %d, want %d", len(h.bounds), len(DefaultLatencyBuckets))
+	}
+}
+
+// TestHistogramConcurrent: concurrent observation is lock-free and loses
+// nothing.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	const g, per = 8, 1000
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				h.Observe(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != g*per {
+		t.Fatalf("count = %d, want %d", got, g*per)
+	}
+}
+
+// TestPromHistogram: the exposition renders cumulative buckets, an +Inf
+// bucket matching _count, and _sum.
+func TestPromHistogram(t *testing.T) {
+	h := NewHistogram(0.001, 0.01)
+	h.Observe(500 * time.Microsecond)
+	h.Observe(5 * time.Millisecond)
+	h.Observe(5 * time.Second)
+
+	var b strings.Builder
+	pw := NewPromWriter(&b)
+	pw.Header("x_seconds", "Test histogram.", "histogram")
+	pw.Histogram("x_seconds", []Label{L("pass", "CTP")}, h.Snapshot())
+	if err := pw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, line := range []string{
+		"# HELP x_seconds Test histogram.",
+		"# TYPE x_seconds histogram",
+		`x_seconds_bucket{pass="CTP",le="0.001"} 1`,
+		`x_seconds_bucket{pass="CTP",le="0.01"} 2`,
+		`x_seconds_bucket{pass="CTP",le="+Inf"} 3`,
+		`x_seconds_count{pass="CTP"} 3`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("exposition missing %q:\n%s", line, out)
+		}
+	}
+}
+
+// TestPromEscaping: label values with quotes, backslashes and newlines are
+// escaped per the exposition format.
+func TestPromEscaping(t *testing.T) {
+	var b strings.Builder
+	pw := NewPromWriter(&b)
+	pw.IntSample("m", []Label{L("k", "a\"b\\c\nd")}, 1)
+	want := `m{k="a\"b\\c\nd"} 1` + "\n"
+	if got := b.String(); got != want {
+		t.Errorf("escaped sample = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+type loggerKey struct{}
+
+// ContextWithLogger returns a context carrying a request-scoped logger
+// (typically one annotated with a request ID and route).
+func ContextWithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	return context.WithValue(ctx, loggerKey{}, l)
+}
+
+// LoggerFrom returns the context's request-scoped logger, falling back to
+// slog.Default. Nil-safe on the context.
+func LoggerFrom(ctx context.Context) *slog.Logger {
+	if ctx != nil {
+		if l, ok := ctx.Value(loggerKey{}).(*slog.Logger); ok && l != nil {
+			return l
+		}
+	}
+	return slog.Default()
+}
+
+// NewLogger builds a logger writing to w in the named format: "json"
+// selects slog's JSON handler, anything else the text handler. This is
+// the single -logfmt implementation both binaries share.
+func NewLogger(w io.Writer, format string, level slog.Level) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	if format == "json" {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}

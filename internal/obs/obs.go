@@ -1,0 +1,274 @@
+// Package obs is the cross-cutting observability layer: a lightweight
+// span/event tracer for the optimization driver loop, fixed-bucket latency
+// histograms, Prometheus text-format rendering, and request-scoped
+// structured logging.
+//
+// The tracer is deliberately minimal — no sampling, no propagation, no
+// clock injection — because its single producer is the Fig. 5 driver loop:
+// one span per optimization pass, child spans per candidate application
+// point covering the pattern-match, dependence-evaluation and
+// action-application phases. Spans form a tree built by exactly one
+// goroutine; only finishing a root span touches the (mutex-guarded)
+// tracer, so parallel sweeps sharing one Tracer never interleave spans
+// corruptly.
+//
+// A nil *Tracer is valid and disabled: every method no-ops and Start
+// returns a nil *Span whose methods also no-op, so instrumented code pays
+// only a nil check when observability is off.
+package obs
+
+import (
+	"fmt"
+	"log/slog"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span. Attribute order is
+// preserved (insertion order), which keeps rendered traces stable.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// String builds a string attribute.
+func String(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int) Attr { return Attr{Key: k, Value: int64(v)} }
+
+// Int64 builds an integer attribute.
+func Int64(k string, v int64) Attr { return Attr{Key: k, Value: v} }
+
+// Bool builds a boolean attribute.
+func Bool(k string, v bool) Attr { return Attr{Key: k, Value: v} }
+
+// Span is one node of a trace tree: a named, attributed, timed region.
+// Spans are built by a single goroutine; a root span becomes visible to
+// other goroutines only after End hands it to its Tracer.
+type Span struct {
+	Name     string
+	Attrs    []Attr
+	Children []*Span
+	// Duration is set by End (or EndWith). Zero until then.
+	Duration time.Duration
+
+	start  time.Time
+	tracer *Tracer // non-nil on roots only
+}
+
+// Tracer collects finished root spans and optionally emits each one as a
+// structured log record. The zero value is unusable; construct with
+// NewTracer. A nil *Tracer is valid and disabled.
+type Tracer struct {
+	disabled bool
+	collect  bool
+	logger   *slog.Logger
+
+	mu    sync.Mutex
+	roots []*Span
+}
+
+// TracerOption configures NewTracer.
+type TracerOption func(*Tracer)
+
+// Collect retains finished root spans for retrieval via Roots/Trees
+// (services return them inline; one-shot runs dump them to a file).
+func Collect() TracerOption { return func(t *Tracer) { t.collect = true } }
+
+// WithLogger emits every finished root span as one structured log record
+// (message "trace") carrying the rendered span tree.
+func WithLogger(l *slog.Logger) TracerOption { return func(t *Tracer) { t.logger = l } }
+
+// Disabled constructs the tracer in the off state: Start returns nil and
+// nothing is recorded. Used to measure the disabled-path overhead and to
+// keep a single code path behind a runtime switch.
+func Disabled() TracerOption { return func(t *Tracer) { t.disabled = true } }
+
+// NewTracer builds a tracer.
+func NewTracer(opts ...TracerOption) *Tracer {
+	t := &Tracer{}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// Enabled reports whether the tracer records anything. Nil-safe.
+func (t *Tracer) Enabled() bool { return t != nil && !t.disabled }
+
+// Start opens a root span. Returns nil when the tracer is disabled; all
+// *Span methods tolerate a nil receiver, so callers need no guard.
+func (t *Tracer) Start(name string, attrs ...Attr) *Span {
+	if !t.Enabled() {
+		return nil
+	}
+	return &Span{Name: name, Attrs: attrs, start: time.Now(), tracer: t}
+}
+
+// Roots returns a snapshot of the finished root spans collected so far.
+func (t *Tracer) Roots() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.roots...)
+}
+
+// Trees renders the collected root spans as JSON-marshalable nodes.
+func (t *Tracer) Trees() []*Node {
+	roots := t.Roots()
+	out := make([]*Node, len(roots))
+	for i, s := range roots {
+		out[i] = s.Tree()
+	}
+	return out
+}
+
+// finish records a completed root span.
+func (t *Tracer) finish(s *Span) {
+	if t.collect {
+		t.mu.Lock()
+		t.roots = append(t.roots, s)
+		t.mu.Unlock()
+	}
+	if t.logger != nil {
+		t.logger.LogAttrs(nil, slog.LevelInfo, "trace",
+			slog.String("span", s.Name),
+			slog.Int64("duration_us", s.Duration.Microseconds()),
+			slog.Any("tree", s.Tree()))
+	}
+}
+
+// Child opens a sub-span. Nil-safe.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{Name: name, Attrs: attrs, start: time.Now()}
+	s.Children = append(s.Children, c)
+	return c
+}
+
+// Set appends one attribute. Nil-safe.
+func (s *Span) Set(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: value})
+}
+
+// End closes the span, stamping its duration. Ending a root span hands it
+// to the tracer (collection and/or log emission). Nil-safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.EndWith(time.Since(s.start))
+}
+
+// EndWith closes the span with an explicit duration — used for derived
+// phases (the match phase is the search minus the accumulated dependence
+// evaluation time, which no single time.Since can measure). Nil-safe.
+func (s *Span) EndWith(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.Duration = d
+	if s.tracer != nil {
+		s.tracer.finish(s)
+	}
+}
+
+// Node is the JSON-marshalable form of a span tree, returned inline by
+// /v1/optimize?trace=1 and dumped by opt -trace.
+type Node struct {
+	Name       string  `json:"name"`
+	Attrs      []Field `json:"attrs,omitempty"`
+	DurationUS int64   `json:"duration_us"`
+	Children   []*Node `json:"children,omitempty"`
+}
+
+// Field is one rendered attribute (order-preserving, unlike a map).
+type Field struct {
+	Key   string `json:"key"`
+	Value any    `json:"value"`
+}
+
+// Tree renders the span (and its subtree) as Nodes. Nil-safe.
+func (s *Span) Tree() *Node {
+	if s == nil {
+		return nil
+	}
+	n := &Node{Name: s.Name, DurationUS: s.Duration.Microseconds()}
+	for _, a := range s.Attrs {
+		n.Attrs = append(n.Attrs, Field{Key: a.Key, Value: a.Value})
+	}
+	for _, c := range s.Children {
+		n.Children = append(n.Children, c.Tree())
+	}
+	return n
+}
+
+// Format renders the span tree as indented text with attributes but no
+// timestamps or durations — the stable form golden tests compare.
+func (s *Span) Format() string {
+	var b strings.Builder
+	s.format(&b, 0)
+	return b.String()
+}
+
+func (s *Span) format(b *strings.Builder, depth int) {
+	if s == nil {
+		return
+	}
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	b.WriteString(s.Name)
+	for _, a := range s.Attrs {
+		fmt.Fprintf(b, " %s=%v", a.Key, a.Value)
+	}
+	b.WriteByte('\n')
+	for _, c := range s.Children {
+		c.format(b, depth+1)
+	}
+}
+
+// FormatSpans renders several trees in order.
+func FormatSpans(spans []*Span) string {
+	var b strings.Builder
+	for _, s := range spans {
+		s.format(&b, 0)
+	}
+	return b.String()
+}
+
+// PassStats aggregates the observable work of one fixpoint pass (one
+// engine ApplyAll run): the paper's cost counters plus the dependence
+// store and undo-log traffic this reproduction adds. The engine emits one
+// PassStats per pass through its OnPassStats hook; the optd service folds
+// them into its Prometheus counters and histograms.
+type PassStats struct {
+	Spec         string
+	Applications int
+	Duration     time.Duration
+
+	// Engine precondition counters (the paper's cost units).
+	PatternChecks int64
+	DepChecks     int64
+
+	// Dependence store traffic (dep.Graph.Stats deltas): candidate edges
+	// examined by Query/Exists, split by edge class, and how the graph was
+	// maintained between applications.
+	ScalarLookups      int64
+	ArrayLookups       int64
+	ControlLookups     int64
+	IncrementalUpdates int64
+	StructuralRebuilds int64
+
+	// Rollbacks counts undo-log rollbacks of failed action applications.
+	Rollbacks int64
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilSafety: a nil tracer and the nil spans it hands out must be fully
+// inert — the disabled hot path leans on this.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	s := tr.Start("pass")
+	if s != nil {
+		t.Fatalf("nil tracer Start = %v, want nil", s)
+	}
+	c := s.Child("point")
+	c.Set("k", 1)
+	c.End()
+	s.EndWith(time.Second)
+	if got := tr.Roots(); got != nil {
+		t.Fatalf("nil tracer Roots = %v, want nil", got)
+	}
+	if got := tr.Trees(); len(got) != 0 {
+		t.Fatalf("nil tracer Trees = %v, want empty", got)
+	}
+	if s.Tree() != nil {
+		t.Fatal("nil span Tree != nil")
+	}
+}
+
+// TestDisabledTracer: Disabled() builds an installed-but-off tracer whose
+// Start returns nil, the same inert path as a nil tracer.
+func TestDisabledTracer(t *testing.T) {
+	tr := NewTracer(Disabled(), Collect())
+	if tr.Enabled() {
+		t.Fatal("disabled tracer reports enabled")
+	}
+	if s := tr.Start("pass"); s != nil {
+		t.Fatalf("disabled tracer Start = %v, want nil", s)
+	}
+}
+
+// TestSpanTree builds a small tree and checks structure, attribute order
+// and the stable text rendering.
+func TestSpanTree(t *testing.T) {
+	tr := NewTracer(Collect())
+	root := tr.Start("pass", String("spec", "CTP"))
+	pt := root.Child("point", Int("index", 0))
+	m := pt.Child("match", Int64("pattern_checks", 7))
+	m.EndWith(time.Millisecond)
+	pt.Set("applied", true)
+	pt.End()
+	root.Set("applications", 1)
+	root.End()
+
+	roots := tr.Roots()
+	if len(roots) != 1 {
+		t.Fatalf("got %d roots, want 1", len(roots))
+	}
+	want := "pass spec=CTP applications=1\n" +
+		"  point index=0 applied=true\n" +
+		"    match pattern_checks=7\n"
+	if got := roots[0].Format(); got != want {
+		t.Errorf("Format:\n%s\nwant:\n%s", got, want)
+	}
+
+	// The JSON form preserves attribute order and carries durations.
+	raw, err := json.Marshal(tr.Trees())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, frag := range []string{`"name":"pass"`, `"key":"spec"`, `"value":"CTP"`, `"name":"match"`} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("JSON missing %s: %s", frag, text)
+		}
+	}
+	if m.Duration != time.Millisecond {
+		t.Errorf("EndWith duration = %v, want 1ms", m.Duration)
+	}
+}
+
+// TestTracerLogger: ending a root span emits one structured "trace" record.
+func TestTracerLogger(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(WithLogger(slog.New(slog.NewJSONHandler(&buf, nil))))
+	s := tr.Start("pass", String("spec", "DCE"))
+	s.End()
+	out := buf.String()
+	if !strings.Contains(out, `"msg":"trace"`) || !strings.Contains(out, `"span":"pass"`) {
+		t.Errorf("log record missing trace fields: %s", out)
+	}
+}
+
+// TestConcurrentRootFinish: parallel goroutines each building their own
+// span tree against one shared tracer must not corrupt collection.
+func TestConcurrentRootFinish(t *testing.T) {
+	tr := NewTracer(Collect())
+	var wg sync.WaitGroup
+	const n = 16
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			root := tr.Start("pass")
+			for j := 0; j < 8; j++ {
+				c := root.Child("point", Int("index", j))
+				c.End()
+			}
+			root.End()
+		}()
+	}
+	wg.Wait()
+	roots := tr.Roots()
+	if len(roots) != n {
+		t.Fatalf("collected %d roots, want %d", len(roots), n)
+	}
+	for _, r := range roots {
+		if len(r.Children) != 8 {
+			t.Fatalf("root has %d children, want 8", len(r.Children))
+		}
+	}
+}
+
+func TestFormatSpans(t *testing.T) {
+	tr := NewTracer(Collect())
+	a := tr.Start("a")
+	a.End()
+	b := tr.Start("b")
+	b.End()
+	if got := FormatSpans(tr.Roots()); got != "a\nb\n" {
+		t.Errorf("FormatSpans = %q", got)
+	}
+}

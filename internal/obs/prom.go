@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Label is one Prometheus label pair.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L builds a label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// PromWriter renders metrics in the Prometheus text exposition format
+// (version 0.0.4): HELP/TYPE headers, samples with escaped label values,
+// and cumulative histogram buckets. It is a minimal hand-rolled writer so
+// the service needs no client library dependency.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// ContentType is the exposition format's content type.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Err returns the first write error encountered, if any.
+func (pw *PromWriter) Err() error { return pw.err }
+
+func (pw *PromWriter) printf(format string, args ...any) {
+	if pw.err != nil {
+		return
+	}
+	_, pw.err = fmt.Fprintf(pw.w, format, args...)
+}
+
+// Header writes the HELP and TYPE comment lines for a metric family.
+// typ is one of counter, gauge, histogram.
+func (pw *PromWriter) Header(name, help, typ string) {
+	pw.printf("# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+// Sample writes one sample line.
+func (pw *PromWriter) Sample(name string, labels []Label, value float64) {
+	pw.printf("%s%s %s\n", name, renderLabels(labels), formatFloat(value))
+}
+
+// IntSample writes one sample line with an integer value.
+func (pw *PromWriter) IntSample(name string, labels []Label, value int64) {
+	pw.printf("%s%s %d\n", name, renderLabels(labels), value)
+}
+
+// Histogram writes the cumulative _bucket series plus _sum and _count for
+// one labeled histogram.
+func (pw *PromWriter) Histogram(name string, labels []Label, s HistogramSnapshot) {
+	cum := int64(0)
+	for i, b := range s.Bounds {
+		cum += s.Counts[i]
+		pw.IntSample(name+"_bucket", append(append([]Label(nil), labels...), L("le", formatFloat(b))), cum)
+	}
+	cum += s.Counts[len(s.Counts)-1]
+	pw.IntSample(name+"_bucket", append(append([]Label(nil), labels...), L("le", "+Inf")), cum)
+	pw.Sample(name+"_sum", labels, s.Sum)
+	pw.IntSample(name+"_count", labels, s.Count)
+}
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote and newline.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// escapeHelp escapes a HELP text: backslash and newline only.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

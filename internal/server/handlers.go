@@ -13,6 +13,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/frontend"
 	"repro/internal/gospel"
+	"repro/internal/obs"
 	"repro/internal/specs"
 	"repro/ir"
 	"repro/optlib"
@@ -71,6 +72,10 @@ type OptimizeResponse struct {
 	TotalUS      int64        `json:"total_us"`
 	// Cached reports whether this response came from the result cache.
 	Cached bool `json:"cached"`
+	// Trace is the span forest of the optimization run — one "pass" root per
+	// pipeline stage with match/depend/action children per candidate point.
+	// Present only when the request asked for it with ?trace=1.
+	Trace []*obs.Node `json:"trace,omitempty"`
 }
 
 func decodeBody(r *http.Request, v any) error {
@@ -106,13 +111,20 @@ type pass struct {
 }
 
 // compilePasses builds the request's pipeline: built-in opts in order, then
-// inline GOSpeL specs. Compilation failures are client errors.
-func (s *Server) compilePasses(req *OptimizeRequest, timing engine.PassTimingFunc) ([]pass, error) {
+// inline GOSpeL specs. Compilation failures are client errors. A non-nil
+// tracer records one span tree per pass for the inline-trace response.
+func (s *Server) compilePasses(req *OptimizeRequest, timing engine.PassTimingFunc, tracer *obs.Tracer) ([]pass, error) {
 	maxIter := req.MaxIterations
 	if maxIter <= 0 {
 		maxIter = s.cfg.MaxIterations
 	}
-	eopts := []engine.Option{engine.WithPassTiming(timing)}
+	eopts := []engine.Option{
+		engine.WithPassTiming(timing),
+		engine.WithPassStats(s.metrics.PassObserved),
+	}
+	if tracer != nil {
+		eopts = append(eopts, engine.WithTracer(tracer))
+	}
 	if maxIter > 0 {
 		eopts = append(eopts, engine.WithMaxApplications(maxIter))
 	}
@@ -195,8 +207,13 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) error {
 		return failf(http.StatusBadRequest, "bad_request", "request needs a MiniF program in source")
 	}
 
+	// ?trace=1 asks for the span forest inline in the response. Tracing
+	// bypasses the cache both ways: a cached body has no trace, and a traced
+	// body must not be served to untraced requests.
+	wantTrace := r.URL.Query().Get("trace") == "1"
+
 	var key string
-	if !req.NoCache {
+	if !req.NoCache && !wantTrace {
 		key = req.cacheKey()
 		if raw, ok := s.cache.Get(key); ok {
 			s.metrics.CacheHits.Add(1)
@@ -213,10 +230,13 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) error {
 	var results []PassResult
 	var current string // pass currently running, for error reporting
 	timing := func(spec string, apps int, d time.Duration) {
-		s.metrics.PassDone(spec, apps, d)
 		results = append(results, PassResult{Name: spec, Applications: apps, DurationUS: d.Microseconds()})
 	}
-	passes, err := s.compilePasses(&req, timing)
+	var tracer *obs.Tracer
+	if wantTrace {
+		tracer = obs.NewTracer(obs.Collect(), obs.WithLogger(obs.LoggerFrom(r.Context())))
+	}
+	passes, err := s.compilePasses(&req, timing, tracer)
 	if err != nil {
 		return err
 	}
@@ -248,8 +268,9 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) error {
 		Applications: results,
 		ParseUS:      parseUS,
 		TotalUS:      time.Since(t0).Microseconds(),
+		Trace:        tracer.Trees(),
 	}
-	if !req.NoCache {
+	if !req.NoCache && !wantTrace {
 		if raw, err := json.Marshal(resp); err == nil {
 			s.cache.Put(key, raw)
 		}

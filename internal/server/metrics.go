@@ -1,15 +1,22 @@
 package server
 
 import (
+	"io"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// Metrics is the daemon's expvar-style counter set, exposed as JSON on
-// GET /metrics. All counters are monotonic except InFlight and
-// SessionsActive, which are gauges. Everything is safe for concurrent use.
+// Metrics is the daemon's counter set, exposed on GET /metrics as JSON
+// (default) or Prometheus text exposition format (Accept: text/plain).
+// Scalar counters are lock-free atomics; the per-route and per-pass maps are
+// guarded by RWMutexes held in read mode on the hot paths — a write lock is
+// taken only the first time a new route or pass name appears, so recording a
+// pass never contends with a concurrent /metrics scrape. All counters are
+// monotonic except InFlight and SessionsActive, which are gauges.
 type Metrics struct {
 	RequestsTotal        atomic.Int64
 	InFlight             atomic.Int64
@@ -24,13 +31,45 @@ type Metrics struct {
 	SessionsActive       atomic.Int64
 	SessionsEvicted      atomic.Int64
 
-	mu       sync.Mutex
-	byRoute  map[string]int64
-	passTime map[string]*passStat
+	// Dependence-store and undo-log totals, aggregated across every pass run
+	// through PassObserved.
+	DepScalarLookups      atomic.Int64
+	DepArrayLookups       atomic.Int64
+	DepControlLookups     atomic.Int64
+	DepIncrementalUpdates atomic.Int64
+	DepStructuralRebuilds atomic.Int64
+	UndoRollbacks         atomic.Int64
+	PatternChecks         atomic.Int64
+	DepChecks             atomic.Int64
+
+	routeMu sync.RWMutex
+	routes  map[string]*routeStat
+
+	passMu sync.RWMutex
+	passes map[string]*passStat
 }
 
-// passStat accumulates per-optimization pass latency.
+// passStat accumulates per-optimization pass counters. All fields are
+// atomics so concurrent passes (parallel sweeps) and scrapes never block
+// each other once the entry exists.
 type passStat struct {
+	runs         atomic.Int64
+	applications atomic.Int64
+	totalNS      atomic.Int64
+	maxNS        atomic.Int64
+	hist         *obs.Histogram
+}
+
+// routeStat accumulates per-route request counts and latencies.
+type routeStat struct {
+	count atomic.Int64
+	hist  *obs.Histogram
+}
+
+// passStatJSON is the wire shape of one pass entry in the JSON snapshot —
+// the pre-histogram shape, kept stable for existing scrapers, plus bucket
+// data.
+type passStatJSON struct {
 	Runs         int64 `json:"runs"`
 	Applications int64 `json:"applications"`
 	TotalNS      int64 `json:"total_ns"`
@@ -39,54 +78,136 @@ type passStat struct {
 
 func newMetrics() *Metrics {
 	return &Metrics{
-		byRoute:  map[string]int64{},
-		passTime: map[string]*passStat{},
+		routes: map[string]*routeStat{},
+		passes: map[string]*passStat{},
 	}
+}
+
+// routeStatFor returns the stat record for route, creating it on first use.
+func (m *Metrics) routeStatFor(route string) *routeStat {
+	m.routeMu.RLock()
+	st := m.routes[route]
+	m.routeMu.RUnlock()
+	if st != nil {
+		return st
+	}
+	m.routeMu.Lock()
+	st = m.routes[route]
+	if st == nil {
+		st = &routeStat{hist: obs.NewHistogram()}
+		m.routes[route] = st
+	}
+	m.routeMu.Unlock()
+	return st
+}
+
+// passStatFor returns the stat record for spec, creating it on first use.
+func (m *Metrics) passStatFor(spec string) *passStat {
+	m.passMu.RLock()
+	st := m.passes[spec]
+	m.passMu.RUnlock()
+	if st != nil {
+		return st
+	}
+	m.passMu.Lock()
+	st = m.passes[spec]
+	if st == nil {
+		st = &passStat{hist: obs.NewHistogram()}
+		m.passes[spec] = st
+	}
+	m.passMu.Unlock()
+	return st
 }
 
 // CountRoute tallies one request against its route.
 func (m *Metrics) CountRoute(route string) {
 	m.RequestsTotal.Add(1)
-	m.mu.Lock()
-	m.byRoute[route]++
-	m.mu.Unlock()
+	m.routeStatFor(route).count.Add(1)
+}
+
+// RouteDone records one completed request's latency against its route.
+func (m *Metrics) RouteDone(route string, d time.Duration) {
+	m.routeStatFor(route).hist.Observe(d)
 }
 
 // PassDone records one completed optimization pass; it has the shape of
 // engine.PassTimingFunc so it can be installed directly as the hook.
 func (m *Metrics) PassDone(spec string, applications int, d time.Duration) {
-	m.mu.Lock()
-	st := m.passTime[spec]
-	if st == nil {
-		st = &passStat{}
-		m.passTime[spec] = st
+	st := m.passStatFor(spec)
+	st.runs.Add(1)
+	st.applications.Add(int64(applications))
+	st.totalNS.Add(int64(d))
+	for {
+		old := st.maxNS.Load()
+		if int64(d) <= old || st.maxNS.CompareAndSwap(old, int64(d)) {
+			break
+		}
 	}
-	st.Runs++
-	st.Applications += int64(applications)
-	st.TotalNS += int64(d)
-	if int64(d) > st.MaxNS {
-		st.MaxNS = int64(d)
-	}
-	m.mu.Unlock()
+	st.hist.Observe(d)
 }
 
-// Snapshot renders the counters as a JSON-marshalable tree.
-func (m *Metrics) Snapshot() map[string]any {
-	m.mu.Lock()
-	routes := make(map[string]int64, len(m.byRoute))
-	for k, v := range m.byRoute {
-		routes[k] = v
-	}
-	passes := make(map[string]passStat, len(m.passTime))
-	names := make([]string, 0, len(m.passTime))
-	for k := range m.passTime {
+// PassObserved folds one pass's full observability counters into the
+// process-wide totals and the per-pass latency histogram. It has the shape
+// of the engine's OnPassStats hook.
+func (m *Metrics) PassObserved(ps obs.PassStats) {
+	m.PassDone(ps.Spec, ps.Applications, ps.Duration)
+	m.PatternChecks.Add(ps.PatternChecks)
+	m.DepChecks.Add(ps.DepChecks)
+	m.DepScalarLookups.Add(ps.ScalarLookups)
+	m.DepArrayLookups.Add(ps.ArrayLookups)
+	m.DepControlLookups.Add(ps.ControlLookups)
+	m.DepIncrementalUpdates.Add(ps.IncrementalUpdates)
+	m.DepStructuralRebuilds.Add(ps.StructuralRebuilds)
+	m.UndoRollbacks.Add(ps.Rollbacks)
+}
+
+// sortedRouteNames returns the route names under a read lock.
+func (m *Metrics) sortedRouteNames() []string {
+	m.routeMu.RLock()
+	names := make([]string, 0, len(m.routes))
+	for k := range m.routes {
 		names = append(names, k)
 	}
+	m.routeMu.RUnlock()
 	sort.Strings(names)
-	for _, k := range names {
-		passes[k] = *m.passTime[k]
+	return names
+}
+
+// sortedPassNames returns the pass names under a read lock.
+func (m *Metrics) sortedPassNames() []string {
+	m.passMu.RLock()
+	names := make([]string, 0, len(m.passes))
+	for k := range m.passes {
+		names = append(names, k)
 	}
-	m.mu.Unlock()
+	m.passMu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot renders the counters as a JSON-marshalable tree. The shape is
+// backward compatible with the pre-histogram snapshot; dependence-store and
+// undo-log counters appear under "dep".
+func (m *Metrics) Snapshot() map[string]any {
+	routes := make(map[string]int64)
+	for _, k := range m.sortedRouteNames() {
+		m.routeMu.RLock()
+		st := m.routes[k]
+		m.routeMu.RUnlock()
+		routes[k] = st.count.Load()
+	}
+	passes := make(map[string]passStatJSON)
+	for _, k := range m.sortedPassNames() {
+		m.passMu.RLock()
+		st := m.passes[k]
+		m.passMu.RUnlock()
+		passes[k] = passStatJSON{
+			Runs:         st.runs.Load(),
+			Applications: st.applications.Load(),
+			TotalNS:      st.totalNS.Load(),
+			MaxNS:        st.maxNS.Load(),
+		}
+	}
 	return map[string]any{
 		"requests": map[string]any{
 			"total":     m.RequestsTotal.Load(),
@@ -106,9 +227,107 @@ func (m *Metrics) Snapshot() map[string]any {
 			"active":  m.SessionsActive.Load(),
 			"evicted": m.SessionsEvicted.Load(),
 		},
+		"dep": map[string]any{
+			"pattern_checks":      m.PatternChecks.Load(),
+			"dep_checks":          m.DepChecks.Load(),
+			"scalar_lookups":      m.DepScalarLookups.Load(),
+			"array_lookups":       m.DepArrayLookups.Load(),
+			"control_lookups":     m.DepControlLookups.Load(),
+			"incremental_updates": m.DepIncrementalUpdates.Load(),
+			"structural_rebuilds": m.DepStructuralRebuilds.Load(),
+			"undo_rollbacks":      m.UndoRollbacks.Load(),
+		},
 		"iteration_limit_aborts": m.IterationLimitAborts.Load(),
 		"timeouts":               m.Timeouts.Load(),
 		"panics_recovered":       m.PanicsRecovered.Load(),
 		"pass_latency":           passes,
 	}
+}
+
+// WriteProm renders every counter in Prometheus text exposition format
+// (version 0.0.4). It never blocks a concurrent PassDone/RouteDone beyond a
+// map read lock.
+func (m *Metrics) WriteProm(w io.Writer) error {
+	pw := obs.NewPromWriter(w)
+
+	pw.Header("optd_requests_total", "Total HTTP requests by route.", "counter")
+	for _, k := range m.sortedRouteNames() {
+		m.routeMu.RLock()
+		st := m.routes[k]
+		m.routeMu.RUnlock()
+		pw.IntSample("optd_requests_total", []obs.Label{obs.L("route", k)}, st.count.Load())
+	}
+	pw.Header("optd_in_flight_requests", "Requests currently being served.", "gauge")
+	pw.IntSample("optd_in_flight_requests", nil, m.InFlight.Load())
+
+	pw.Header("optd_http_request_duration_seconds", "HTTP request latency by route.", "histogram")
+	for _, k := range m.sortedRouteNames() {
+		m.routeMu.RLock()
+		st := m.routes[k]
+		m.routeMu.RUnlock()
+		pw.Histogram("optd_http_request_duration_seconds", []obs.Label{obs.L("route", k)}, st.hist.Snapshot())
+	}
+
+	pw.Header("optd_pass_runs_total", "Optimization pass executions by pass.", "counter")
+	for _, k := range m.sortedPassNames() {
+		m.passMu.RLock()
+		st := m.passes[k]
+		m.passMu.RUnlock()
+		pw.IntSample("optd_pass_runs_total", []obs.Label{obs.L("pass", k)}, st.runs.Load())
+	}
+	pw.Header("optd_pass_applications_total", "Transformation applications performed by pass.", "counter")
+	for _, k := range m.sortedPassNames() {
+		m.passMu.RLock()
+		st := m.passes[k]
+		m.passMu.RUnlock()
+		pw.IntSample("optd_pass_applications_total", []obs.Label{obs.L("pass", k)}, st.applications.Load())
+	}
+	pw.Header("optd_pass_latency_seconds", "Optimization pass latency by pass.", "histogram")
+	for _, k := range m.sortedPassNames() {
+		m.passMu.RLock()
+		st := m.passes[k]
+		m.passMu.RUnlock()
+		pw.Histogram("optd_pass_latency_seconds", []obs.Label{obs.L("pass", k)}, st.hist.Snapshot())
+	}
+
+	pw.Header("optd_cache_hits_total", "Optimization cache hits.", "counter")
+	pw.IntSample("optd_cache_hits_total", nil, m.CacheHits.Load())
+	pw.Header("optd_cache_misses_total", "Optimization cache misses.", "counter")
+	pw.IntSample("optd_cache_misses_total", nil, m.CacheMisses.Load())
+
+	pw.Header("optd_pattern_checks_total", "Pattern-format precondition evaluations.", "counter")
+	pw.IntSample("optd_pattern_checks_total", nil, m.PatternChecks.Load())
+	pw.Header("optd_dep_checks_total", "Depend-clause predicate evaluations.", "counter")
+	pw.IntSample("optd_dep_checks_total", nil, m.DepChecks.Load())
+
+	pw.Header("optd_dep_lookups_total", "Dependence-store edge lookups by kind.", "counter")
+	pw.IntSample("optd_dep_lookups_total", []obs.Label{obs.L("kind", "scalar")}, m.DepScalarLookups.Load())
+	pw.IntSample("optd_dep_lookups_total", []obs.Label{obs.L("kind", "array")}, m.DepArrayLookups.Load())
+	pw.IntSample("optd_dep_lookups_total", []obs.Label{obs.L("kind", "control")}, m.DepControlLookups.Load())
+
+	pw.Header("optd_dep_updates_total", "Dependence-graph maintenance operations by mode.", "counter")
+	pw.IntSample("optd_dep_updates_total", []obs.Label{obs.L("mode", "incremental")}, m.DepIncrementalUpdates.Load())
+	pw.IntSample("optd_dep_updates_total", []obs.Label{obs.L("mode", "structural")}, m.DepStructuralRebuilds.Load())
+
+	pw.Header("optd_undo_rollbacks_total", "Failed action applications rolled back through the undo log.", "counter")
+	pw.IntSample("optd_undo_rollbacks_total", nil, m.UndoRollbacks.Load())
+
+	pw.Header("optd_iteration_limit_aborts_total", "Optimizations aborted at the iteration limit.", "counter")
+	pw.IntSample("optd_iteration_limit_aborts_total", nil, m.IterationLimitAborts.Load())
+	pw.Header("optd_timeouts_total", "Requests that exceeded their deadline.", "counter")
+	pw.IntSample("optd_timeouts_total", nil, m.Timeouts.Load())
+	pw.Header("optd_panics_recovered_total", "Handler panics recovered.", "counter")
+	pw.IntSample("optd_panics_recovered_total", nil, m.PanicsRecovered.Load())
+	pw.Header("optd_rejected_total", "Requests rejected before handling, by reason.", "counter")
+	pw.IntSample("optd_rejected_total", []obs.Label{obs.L("reason", "overload")}, m.RejectedOverload.Load())
+	pw.IntSample("optd_rejected_total", []obs.Label{obs.L("reason", "draining")}, m.RejectedDraining.Load())
+
+	pw.Header("optd_sessions_created_total", "Interactive sessions created.", "counter")
+	pw.IntSample("optd_sessions_created_total", nil, m.SessionsCreated.Load())
+	pw.Header("optd_sessions_active", "Interactive sessions currently live.", "gauge")
+	pw.IntSample("optd_sessions_active", nil, m.SessionsActive.Load())
+	pw.Header("optd_sessions_evicted_total", "Interactive sessions evicted.", "counter")
+	pw.IntSample("optd_sessions_evicted_total", nil, m.SessionsEvicted.Load())
+
+	return pw.Err()
 }

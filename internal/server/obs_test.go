@@ -1,0 +1,246 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// promLine matches one Prometheus exposition sample:
+// name{label="v",...} value  — or an unlabeled name value.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (-?[0-9.e+-]+|\+Inf|NaN)$`)
+
+// TestMetricsPrometheus: Accept: text/plain negotiates the Prometheus
+// exposition; every non-comment line must be a well-formed sample, and the
+// pass/route histograms plus dep and rollback counters must be present
+// after an optimization ran.
+func TestMetricsPrometheus(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec := doJSON(t, s, "POST", "/v1/optimize", map[string]any{
+		"source": sampleSrc, "opts": []string{"CTP", "DCE"},
+	})
+	if rec.Code != 200 {
+		t.Fatalf("optimize = %d: %s", rec.Code, rec.Body)
+	}
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	mrec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(mrec, req)
+	if mrec.Code != 200 {
+		t.Fatalf("/metrics = %d", mrec.Code)
+	}
+	if ct := mrec.Header().Get("Content-Type"); ct != obs.ContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, obs.ContentType)
+	}
+	body := mrec.Body.String()
+
+	// Structural validity: each line is a comment or a sample.
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("malformed exposition line: %q", line)
+		}
+	}
+
+	for _, want := range []string{
+		`optd_requests_total{route="optimize"} 1`,
+		`optd_http_request_duration_seconds_bucket{route="optimize",le="+Inf"} 1`,
+		`optd_pass_latency_seconds_bucket{pass="CTP",le="+Inf"} 1`,
+		`optd_pass_latency_seconds_count{pass="DCE"} 1`,
+		`optd_pass_runs_total{pass="CTP"} 1`,
+		`optd_dep_lookups_total{kind="scalar"}`,
+		`optd_dep_lookups_total{kind="array"}`,
+		`optd_dep_lookups_total{kind="control"}`,
+		`optd_dep_updates_total{mode="incremental"}`,
+		`optd_dep_updates_total{mode="structural"}`,
+		`optd_undo_rollbacks_total`,
+		`# TYPE optd_pass_latency_seconds histogram`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestMetricsContentNegotiation: the default representation stays JSON (for
+// existing scrapers) and includes the new dep counter block.
+func TestMetricsContentNegotiation(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec := doJSON(t, s, "POST", "/v1/optimize", map[string]any{
+		"source": sampleSrc, "opts": []string{"CTP"},
+	})
+	if rec.Code != 200 {
+		t.Fatalf("optimize = %d: %s", rec.Code, rec.Body)
+	}
+	mrec := doJSON(t, s, "GET", "/metrics", nil)
+	if ct := mrec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("default Content-Type = %q, want application/json", ct)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(mrec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("JSON snapshot: %v", err)
+	}
+	dep, ok := snap["dep"].(map[string]any)
+	if !ok {
+		t.Fatalf("snapshot missing dep block: %v", snap)
+	}
+	if dep["scalar_lookups"].(float64) == 0 {
+		t.Errorf("dep.scalar_lookups = 0 after an optimization")
+	}
+	if _, ok := snap["pass_latency"].(map[string]any)["CTP"]; !ok {
+		t.Errorf("pass_latency missing CTP: %v", snap["pass_latency"])
+	}
+}
+
+// TestOptimizeTrace: ?trace=1 returns the span forest naming every pass and
+// the match/depend/action phases, and bypasses the result cache.
+func TestOptimizeTrace(t *testing.T) {
+	s := newTestServer(t, Config{})
+	body := map[string]any{"source": sampleSrc, "opts": []string{"CTP", "DCE"}}
+
+	rec := doJSON(t, s, "POST", "/v1/optimize?trace=1", body)
+	if rec.Code != 200 {
+		t.Fatalf("optimize?trace=1 = %d: %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		Trace  []*obs.Node `json:"trace"`
+		Cached bool        `json:"cached"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Trace) != 2 {
+		t.Fatalf("trace has %d roots, want 2 (CTP, DCE)", len(resp.Trace))
+	}
+	passes := map[string]bool{}
+	phases := map[string]bool{}
+	var walk func(n *obs.Node)
+	walk = func(n *obs.Node) {
+		phases[n.Name] = true
+		if n.Name == "pass" {
+			for _, a := range n.Attrs {
+				if a.Key == "spec" {
+					passes[a.Value.(string)] = true
+				}
+			}
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, n := range resp.Trace {
+		walk(n)
+	}
+	for _, p := range []string{"CTP", "DCE"} {
+		if !passes[p] {
+			t.Errorf("trace missing pass %s", p)
+		}
+	}
+	for _, ph := range []string{"match", "depend", "action"} {
+		if !phases[ph] {
+			t.Errorf("trace missing phase %s", ph)
+		}
+	}
+
+	// A traced response is never served from (or stored into) the cache: the
+	// same body without trace=1 must be a cache miss, and a repeat traced
+	// request must carry a fresh trace.
+	rec2 := doJSON(t, s, "POST", "/v1/optimize?trace=1", body)
+	var resp2 struct {
+		Trace  []*obs.Node `json:"trace"`
+		Cached bool        `json:"cached"`
+	}
+	if err := json.Unmarshal(rec2.Body.Bytes(), &resp2); err != nil {
+		t.Fatal(err)
+	}
+	if resp2.Cached || len(resp2.Trace) == 0 {
+		t.Errorf("repeat traced request: cached=%v trace=%d, want fresh trace", resp2.Cached, len(resp2.Trace))
+	}
+	if hits := s.Metrics().CacheHits.Load(); hits != 0 {
+		t.Errorf("cache hits = %d after traced-only requests, want 0", hits)
+	}
+
+	// An untraced request must not see a trace.
+	rec3 := doJSON(t, s, "POST", "/v1/optimize", body)
+	if strings.Contains(rec3.Body.String(), `"trace"`) {
+		t.Errorf("untraced response carries a trace: %s", rec3.Body)
+	}
+}
+
+// TestRequestID: every response carries an X-Request-ID.
+func TestRequestID(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec := doJSON(t, s, "GET", "/healthz", nil)
+	if rec.Header().Get("X-Request-ID") == "" {
+		t.Error("response missing X-Request-ID")
+	}
+	rec2 := doJSON(t, s, "GET", "/healthz", nil)
+	if rec.Header().Get("X-Request-ID") == rec2.Header().Get("X-Request-ID") {
+		t.Error("request IDs not unique")
+	}
+}
+
+// TestMetricsScrapeContention: concurrent PassObserved/RouteDone writers
+// against continuous snapshot and Prometheus scrapes. Run under -race in
+// CI; the writers must never block on a scrape beyond a map read lock.
+func TestMetricsScrapeContention(t *testing.T) {
+	m := newMetrics()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			spec := []string{"CTP", "DCE", "ICM", "LUR"}[w]
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m.PassObserved(obs.PassStats{
+					Spec: spec, Applications: 1, Duration: time.Millisecond,
+					PatternChecks: 3, DepChecks: 2, ScalarLookups: 5,
+					IncrementalUpdates: 1,
+				})
+				m.RouteDone("optimize", time.Millisecond)
+				m.CountRoute("optimize")
+			}
+		}(w)
+	}
+	deadline := time.After(200 * time.Millisecond)
+	for done := false; !done; {
+		select {
+		case <-deadline:
+			done = true
+		default:
+			_ = m.Snapshot()
+			var sb strings.Builder
+			if err := m.WriteProm(&sb); err != nil {
+				t.Errorf("WriteProm: %v", err)
+				done = true
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// Totals must be coherent: runs equals the sum over passes.
+	snap := m.Snapshot()
+	passes := snap["pass_latency"].(map[string]passStatJSON)
+	var runs int64
+	for _, ps := range passes {
+		runs += ps.Runs
+	}
+	if runs == 0 {
+		t.Fatal("no passes recorded")
+	}
+}

@@ -19,11 +19,16 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -46,6 +51,10 @@ type Config struct {
 	MaxSessions int
 	// SessionTTL evicts sessions idle longer than this; 0 selects 30m.
 	SessionTTL time.Duration
+	// Logger receives structured request and pass logs; nil selects
+	// slog.Default(). Handlers derive a request-scoped logger from it
+	// carrying the request ID and route.
+	Logger *slog.Logger
 
 	// testHook, when non-nil, runs inside the optimize handler after
 	// admission and before the pipeline — a seam for shutdown/timeout
@@ -72,6 +81,9 @@ func (c Config) withDefaults() Config {
 	if c.SessionTTL <= 0 {
 		c.SessionTTL = 30 * time.Minute
 	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
 	return c
 }
 
@@ -89,6 +101,8 @@ type Server struct {
 	mu       sync.RWMutex // guards draining against in-flight accounting
 	draining bool
 	inflight sync.WaitGroup
+
+	reqSeq atomic.Int64 // request ID sequence
 }
 
 // New builds a server from the configuration.
@@ -161,23 +175,61 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
+// statusRecorder captures the response status for route metrics and logs.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	return sr.ResponseWriter.Write(b)
+}
+
 // wrap is the common middleware: draining gate, in-flight accounting,
-// per-route metrics, panic recovery, optional admission control and the
+// per-route metrics and latency histograms, request IDs, a request-scoped
+// structured logger, panic recovery, optional admission control and the
 // per-request timeout for heavy (admit=true) routes.
 func (s *Server) wrap(route string, admit bool, h func(w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
+	return func(rw http.ResponseWriter, r *http.Request) {
 		if !s.begin() {
 			s.metrics.RejectedDraining.Add(1)
-			writeError(w, http.StatusServiceUnavailable, "draining", "server is shutting down")
+			writeError(rw, http.StatusServiceUnavailable, "draining", "server is shutting down")
 			return
 		}
 		defer s.inflight.Done()
 		s.metrics.CountRoute(route)
 		s.metrics.InFlight.Add(1)
 		defer s.metrics.InFlight.Add(-1)
+
+		reqID := fmt.Sprintf("%08x", s.reqSeq.Add(1))
+		rw.Header().Set("X-Request-ID", reqID)
+		logger := s.cfg.Logger.With(slog.String("req_id", reqID), slog.String("route", route))
+		w := &statusRecorder{ResponseWriter: rw}
+		t0 := time.Now()
+		defer func() {
+			d := time.Since(t0)
+			s.metrics.RouteDone(route, d)
+			status := w.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			logger.Info("request", slog.Int("status", status), slog.Int64("duration_us", d.Microseconds()))
+		}()
+
 		defer func() {
 			if rec := recover(); rec != nil {
 				s.metrics.PanicsRecovered.Add(1)
+				logger.Error("panic recovered", slog.Any("panic", rec))
 				debug.PrintStack()
 				writeError(w, http.StatusInternalServerError, "panic", "internal error: optimizer panicked")
 			}
@@ -185,9 +237,9 @@ func (s *Server) wrap(route string, admit bool, h func(w http.ResponseWriter, r 
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
-		r = r.WithContext(ctx)
+		r = r.WithContext(obs.ContextWithLogger(ctx, logger))
 		if admit {
-			if err := s.limiter.Acquire(ctx); err != nil {
+			if err := s.limiter.Acquire(r.Context()); err != nil {
 				s.metrics.RejectedOverload.Add(1)
 				writeError(w, http.StatusServiceUnavailable, "overloaded", "no capacity within the request deadline")
 				return
@@ -232,7 +284,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
 	return nil
 }
 
+// handleMetrics serves the counter set. The default (and "application/json")
+// representation is the JSON snapshot, kept shape-stable for existing
+// scrapers; an Accept header naming text/plain or openmetrics selects the
+// Prometheus text exposition format.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
+	accept := r.Header.Get("Accept")
+	if strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics") {
+		w.Header().Set("Content-Type", obs.ContentType)
+		w.WriteHeader(http.StatusOK)
+		// A write error here means the scraper hung up; the status line is
+		// already out, so there is nothing useful to report back.
+		_ = s.metrics.WriteProm(w)
+		return nil
+	}
 	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
 	return nil
 }

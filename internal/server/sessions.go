@@ -14,6 +14,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/frontend"
 	"repro/internal/gospel"
+	"repro/internal/obs"
 	"repro/internal/specs"
 	"repro/ir"
 	"repro/optlib"
@@ -42,6 +43,9 @@ type session struct {
 	// optimizers caches compiled specs per session (cost counters and the
 	// recompute toggle are per-session state, so no cross-session sharing).
 	optimizers map[string]*engine.Optimizer
+	// stats receives per-pass observability counters from every optimizer
+	// this session compiles (wired to the store's process-wide Metrics).
+	stats func(obs.PassStats)
 }
 
 // sync consumes the change journal into the dependence graph.
@@ -69,6 +73,9 @@ func (sn *session) optimizer(name string) (*engine.Optimizer, error) {
 		return nil, failf(http.StatusInternalServerError, "internal", "built-in %s failed to parse: %v", name, err)
 	}
 	opts := []engine.Option{}
+	if sn.stats != nil {
+		opts = append(opts, engine.WithPassStats(sn.stats))
+	}
 	if sn.maxIter > 0 {
 		opts = append(opts, engine.WithMaxApplications(sn.maxIter))
 	}
@@ -147,6 +154,7 @@ func (st *sessionStore) create(source string, maxIter int) (*session, error) {
 		created:    now,
 		lastUse:    now,
 		optimizers: map[string]*engine.Optimizer{},
+		stats:      st.metrics.PassObserved,
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()

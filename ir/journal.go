@@ -71,7 +71,21 @@ type Change struct {
 type ChangeLog struct {
 	prog    *Program
 	changes []Change
+	// rollbacks counts UndoTo calls that reverted at least one change;
+	// undone counts the individual changes replayed backwards. Both are
+	// monotonic over the log's lifetime (Reset does not clear them) and
+	// feed the observability layer's undo-log counters.
+	rollbacks int64
+	undone    int64
 }
+
+// Rollbacks returns the number of UndoTo calls that reverted at least one
+// change — each one a failed (and rolled back) action application.
+func (l *ChangeLog) Rollbacks() int64 { return l.rollbacks }
+
+// UndoneChanges returns the total number of journal entries replayed
+// backwards across all rollbacks.
+func (l *ChangeLog) UndoneChanges() int64 { return l.undone }
 
 // Log attaches a fresh change log to p and returns it. It panics when a log
 // is already attached; cooperating layers should use EnsureLog instead.
@@ -146,6 +160,10 @@ func (l *ChangeLog) UndoTo(mark int) {
 	}
 	if mark < 0 {
 		mark = 0
+	}
+	if len(l.changes) > mark {
+		l.rollbacks++
+		l.undone += int64(len(l.changes) - mark)
 	}
 	for i := len(l.changes) - 1; i >= mark; i-- {
 		c := l.changes[i]

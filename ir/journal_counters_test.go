@@ -1,0 +1,65 @@
+package ir
+
+import "testing"
+
+func journalProgram() *Program {
+	b := NewBuilder("j")
+	b.Declare("x", false)
+	b.Copy(VarOp("x"), IntOp(1))
+	b.Print(VarOp("x"))
+	return b.P
+}
+
+// TestRollbackCounters: UndoTo counts one rollback per call that reverted
+// work, plus the individual changes replayed; empty undos count nothing,
+// and Reset leaves the monotonic counters intact.
+func TestRollbackCounters(t *testing.T) {
+	p := journalProgram()
+	log := p.Log()
+	defer log.Detach()
+
+	if log.Rollbacks() != 0 || log.UndoneChanges() != 0 {
+		t.Fatalf("fresh log: rollbacks=%d undone=%d", log.Rollbacks(), log.UndoneChanges())
+	}
+
+	// An UndoTo with nothing recorded is not a rollback.
+	log.UndoTo(log.Mark())
+	if log.Rollbacks() != 0 {
+		t.Fatalf("empty UndoTo counted as rollback")
+	}
+
+	// Two edits, one rollback: one rollback event, two undone changes.
+	mark := log.Mark()
+	s := p.At(0)
+	p.NoteModified(s)
+	op := s.Op
+	s.Op = op
+	p.Delete(p.At(1))
+	if got := log.Len() - mark; got != 2 {
+		t.Fatalf("journaled %d changes, want 2", got)
+	}
+	log.UndoTo(mark)
+	if log.Rollbacks() != 1 || log.UndoneChanges() != 2 {
+		t.Fatalf("after rollback: rollbacks=%d undone=%d, want 1, 2", log.Rollbacks(), log.UndoneChanges())
+	}
+	if p.Len() != 2 {
+		t.Fatalf("program not restored: %d statements", p.Len())
+	}
+
+	// Reset consumes changes without touching the monotonic counters.
+	p.NoteModified(p.At(0))
+	log.Reset()
+	if log.Rollbacks() != 1 || log.UndoneChanges() != 2 {
+		t.Fatalf("Reset cleared monotonic counters: rollbacks=%d undone=%d",
+			log.Rollbacks(), log.UndoneChanges())
+	}
+
+	// A second rollback accumulates.
+	mark = log.Mark()
+	p.NoteModified(p.At(0))
+	log.UndoTo(mark)
+	if log.Rollbacks() != 2 || log.UndoneChanges() != 3 {
+		t.Fatalf("after second rollback: rollbacks=%d undone=%d, want 2, 3",
+			log.Rollbacks(), log.UndoneChanges())
+	}
+}

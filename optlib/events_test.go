@@ -1,0 +1,88 @@
+package optlib
+
+import (
+	"testing"
+
+	"repro/dep"
+	"repro/ir"
+)
+
+// TestFixpointEvents: OnEvent observes every iteration — one Applied event
+// per application plus the final converging search — with correct
+// Incremental reporting per maintenance mode.
+func TestFixpointEvents(t *testing.T) {
+	for _, full := range []bool{false, true} {
+		p, s := limitProgram()
+		left := 2
+		apply := func(p *ir.Program, g *dep.Graph, seen map[string]bool) bool {
+			if left == 0 {
+				return false
+			}
+			left--
+			lit := "sub"
+			if s.Op == ir.OpSub {
+				lit = "add"
+			}
+			if err := ModifyOpc(s, lit); err != nil {
+				t.Fatal(err)
+			}
+			return true
+		}
+		var events []FixpointEvent
+		n, err := Fixpoint(p, apply, Limits{
+			FullRecompute: full,
+			OnEvent:       func(e FixpointEvent) { events = append(events, e) },
+		})
+		if err != nil || n != 2 {
+			t.Fatalf("FullRecompute=%t: n=%d err=%v", full, n, err)
+		}
+		if len(events) != 3 {
+			t.Fatalf("FullRecompute=%t: %d events, want 3", full, len(events))
+		}
+		for i, e := range events[:2] {
+			if e.Iteration != i || !e.Applied {
+				t.Errorf("FullRecompute=%t: event %d = %+v", full, i, e)
+			}
+			// An in-place opcode modification is journal-expressible, so the
+			// incremental path handles it whenever it is enabled.
+			if e.Incremental == full {
+				t.Errorf("FullRecompute=%t: event %d Incremental=%t", full, i, e.Incremental)
+			}
+		}
+		last := events[2]
+		if last.Applied || last.Iteration != 2 {
+			t.Errorf("FullRecompute=%t: final event = %+v, want unapplied iteration 2", full, last)
+		}
+	}
+}
+
+// TestFixpointEventsAtLimit: a capped run emits only Applied events (the
+// loop never reaches a converging search).
+func TestFixpointEventsAtLimit(t *testing.T) {
+	p, s := limitProgram()
+	toggle := func(p *ir.Program, g *dep.Graph, seen map[string]bool) bool {
+		lit := "sub"
+		if s.Op == ir.OpSub {
+			lit = "add"
+		}
+		if err := ModifyOpc(s, lit); err != nil {
+			t.Fatal(err)
+		}
+		return true
+	}
+	var applied int
+	_, err := Fixpoint(p, toggle, Limits{
+		MaxIterations: 4,
+		OnEvent: func(e FixpointEvent) {
+			if e.Applied {
+				applied++
+			}
+		},
+	})
+	if err == nil {
+		t.Fatal("expected ErrIterationLimit")
+	}
+	if applied != 4 {
+		t.Fatalf("applied events = %d, want 4", applied)
+	}
+}

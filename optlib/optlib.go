@@ -430,6 +430,23 @@ const DefaultMaxIterations = 1000
 // returned alongside it.
 var ErrIterationLimit = errors.New("optlib: fixpoint iteration limit reached without convergence")
 
+// FixpointEvent describes one iteration of a Fixpoint run, emitted
+// through Limits.OnEvent for observability: which iteration ran, whether
+// an application was performed, and how the dependence graph was
+// refreshed afterwards.
+type FixpointEvent struct {
+	// Iteration is the 0-based loop iteration.
+	Iteration int
+	// Applied reports whether this iteration performed an application
+	// (false only on the final, fixpoint-reaching search).
+	Applied bool
+	// Incremental reports whether the dependence refresh consumed the
+	// change journal in place; false means the structural fallback or a
+	// configured full recomputation rebuilt the graph from scratch.
+	// Meaningless when Applied is false.
+	Incremental bool
+}
+
 // Limits configures a Fixpoint run. The zero value selects the defaults:
 // DefaultMaxIterations and incremental dependence maintenance.
 type Limits struct {
@@ -439,6 +456,9 @@ type Limits struct {
 	// application instead of incrementally updating it from the change
 	// journal (the seed behavior; kept for differential benchmarking).
 	FullRecompute bool
+	// OnEvent, when non-nil, observes every fixpoint iteration. It is
+	// called synchronously from the loop; keep it cheap.
+	OnEvent func(FixpointEvent)
 }
 
 // Fixpoint runs the Fig. 5 loop to fixpoint: search, apply, refresh
@@ -479,13 +499,20 @@ func FixpointCtx(ctx context.Context, p *ir.Program, apply ApplyFunc, lim Limits
 		}
 		start := log.Mark()
 		if !apply(p, g, seen) {
+			if lim.OnEvent != nil {
+				lim.OnEvent(FixpointEvent{Iteration: i})
+			}
 			return n, nil
 		}
 		n++
+		incremental := false
 		if lim.FullRecompute {
 			g = dep.Compute(p)
 		} else {
-			g.Update(log.Since(start))
+			incremental = g.Update(log.Since(start))
+		}
+		if lim.OnEvent != nil {
+			lim.OnEvent(FixpointEvent{Iteration: i, Applied: true, Incremental: incremental})
 		}
 		if owned {
 			log.Reset() // consumed; keep the journal from growing unboundedly

@@ -6,6 +6,9 @@
 #   scripts/bench.sh                 # print results, save to bench-new.txt
 #   scripts/bench.sh -c old.txt      # additionally diff against a baseline
 #                                    # (uses benchstat when installed)
+#   scripts/bench.sh -overhead       # run BenchmarkDriverFixpointObs and fail
+#                                    # if the disabled tracer costs >5% over
+#                                    # no tracer at all
 #
 # Environment:
 #   BENCH    regexp of benchmarks to run  (default: DriverFixpoint|ServerOptimize)
@@ -19,13 +22,34 @@ BENCH=${BENCH:-'DriverFixpoint|ServerOptimize'}
 COUNT=${COUNT:-6}
 OUT=${OUT:-bench-new.txt}
 BASELINE=
+OVERHEAD=
 
 while [ $# -gt 0 ]; do
   case "$1" in
     -c) BASELINE=$2; shift 2 ;;
-    *) echo "usage: scripts/bench.sh [-c baseline.txt]" >&2; exit 2 ;;
+    -overhead) OVERHEAD=1; shift ;;
+    *) echo "usage: scripts/bench.sh [-c baseline.txt] [-overhead]" >&2; exit 2 ;;
   esac
 done
+
+if [ -n "$OVERHEAD" ]; then
+  # Compare the no-tracer and disabled-tracer variants of the driver
+  # fixpoint: the nil-safe span API must stay within 5% when tracing is off.
+  go test -run '^$' -bench 'BenchmarkDriverFixpointObs/(none|disabled)$' \
+    -count "$COUNT" . | tee "$OUT"
+  awk '
+    /DriverFixpointObs\/none/     { none += $3; nc++ }
+    /DriverFixpointObs\/disabled/ { dis  += $3; dc++ }
+    END {
+      if (nc == 0 || dc == 0) { print "overhead: missing benchmark output"; exit 1 }
+      none /= nc; dis /= dc
+      ratio = dis / none
+      printf "overhead: none=%.0f ns/op disabled=%.0f ns/op ratio=%.3f\n", none, dis, ratio
+      if (ratio > 1.05) { print "FAIL: disabled-tracer overhead exceeds 5%"; exit 1 }
+      print "OK: disabled-tracer overhead within 5%"
+    }' "$OUT"
+  exit 0
+fi
 
 go test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" . | tee "$OUT"
 
