@@ -8,6 +8,7 @@ package genesis
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"log/slog"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/gospel"
 	"repro/internal/interp"
+	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/proggen"
 	"repro/internal/server"
@@ -292,7 +294,11 @@ func BenchmarkServerOptimize(b *testing.B) {
 
 	quiet := server.Config{Logger: slog.New(slog.DiscardHandler)}
 	b.Run("cold", func(b *testing.B) {
-		h := server.New(quiet).Handler()
+		srv, err := server.New(quiet)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h := srv.Handler()
 		cold, err := json.Marshal(map[string]any{
 			"source":   ir.ToMiniF(prog),
 			"opts":     []string{"CTP", "DCE"},
@@ -307,7 +313,10 @@ func BenchmarkServerOptimize(b *testing.B) {
 		}
 	})
 	b.Run("cache-hit", func(b *testing.B) {
-		srv := server.New(quiet)
+		srv, err := server.New(quiet)
+		if err != nil {
+			b.Fatal(err)
+		}
 		h := srv.Handler()
 		post(b, h, body) // warm the cache
 		b.ResetTimer()
@@ -319,6 +328,58 @@ func BenchmarkServerOptimize(b *testing.B) {
 			b.Fatalf("cache hits = %d, want >= %d", hits, b.N)
 		}
 	})
+}
+
+// BenchmarkJobsThroughput measures the batch-job path end to end: HTTP
+// submission through WAL journaling, scheduling, a worker-pool optimization
+// run, and completion. Every iteration submits a unique program so neither
+// the idempotency key nor the result cache short-circuits the pipeline; the
+// WAL runs without per-append fsync so the benchmark measures the subsystem
+// rather than the disk.
+func BenchmarkJobsThroughput(b *testing.B) {
+	srv, err := server.New(server.Config{
+		Logger:     slog.New(slog.DiscardHandler),
+		JobsDir:    b.TempDir(),
+		JobsNoSync: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := srv.Handler()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		payload, err := json.Marshal(map[string]any{
+			"source": fmt.Sprintf("PROGRAM j%d\nINTEGER a, x\nx = %d\na = 1\nPRINT x\nEND\n", i, i),
+			"opts":   []string{"DCE"},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		req := httptest.NewRequest("POST", "/v1/jobs", bytes.NewReader(payload))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusAccepted {
+			b.Fatalf("submit = %d: %s", rec.Code, rec.Body.String())
+		}
+		var v struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+			b.Fatal(err)
+		}
+		j, err := srv.Jobs().Wait(context.Background(), v.ID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if j.State != jobs.StateDone {
+			b.Fatalf("job %s = %s: %s", j.ID, j.State, j.LastError)
+		}
+	}
+	b.StopTimer()
+	if err := srv.Shutdown(context.Background()); err != nil {
+		b.Fatal(err)
+	}
 }
 
 // BenchmarkGenerateCode measures emitting Go source for the whole suite.

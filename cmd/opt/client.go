@@ -1,0 +1,218 @@
+package main
+
+// Client mode: instead of optimizing in-process, -submit ships each program
+// to a running optd instance as a durable batch job over the /v1/jobs API.
+// Submission is idempotent (the server content-addresses the request), so
+// re-running the same command after a crash or ^C picks up the same jobs
+// rather than queueing duplicates. With -wait the client long-polls each
+// job to completion and prints results in argument order, exactly like the
+// local batch pipeline.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+// jobClient talks to one optd instance.
+type jobClient struct {
+	base string
+	hc   *http.Client
+}
+
+// jobRequest mirrors the server's JobSubmitRequest wire shape.
+type jobRequest struct {
+	Source        string     `json:"source"`
+	Opts          []string   `json:"opts,omitempty"`
+	Specs         []specText `json:"specs,omitempty"`
+	MaxIterations int        `json:"max_iterations,omitempty"`
+	Priority      string     `json:"priority,omitempty"`
+}
+
+type specText struct {
+	Name string `json:"name"`
+	Text string `json:"text"`
+}
+
+// jobStatus mirrors the server's JobView wire shape.
+type jobStatus struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	Attempts  int    `json:"attempts"`
+	LastError string `json:"last_error"`
+	Existing  bool   `json:"existing"`
+}
+
+// jobResult is the subset of the optimize response the client renders.
+type jobResult struct {
+	MiniF        string `json:"minif"`
+	IR           string `json:"ir"`
+	Applications []struct {
+		Name         string `json:"name"`
+		Applications int    `json:"applications"`
+	} `json:"applications"`
+}
+
+type apiErrorBody struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+func newJobClient(base string) *jobClient {
+	// No overall client timeout: status polls use the server's long-poll
+	// (?wait=1), which intentionally holds the connection up to the
+	// server's request deadline.
+	return &jobClient{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+// apiErr renders a non-2xx response as an error.
+func apiErr(op string, resp *http.Response) error {
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var body apiErrorBody
+	if json.Unmarshal(raw, &body) == nil && body.Error != "" {
+		return fmt.Errorf("%s: %s (%s)", op, body.Error, body.Kind)
+	}
+	return fmt.Errorf("%s: HTTP %d: %s", op, resp.StatusCode, strings.TrimSpace(string(raw)))
+}
+
+// submit posts one job and returns its status.
+func (c *jobClient) submit(req jobRequest) (jobStatus, error) {
+	var st jobStatus
+	raw, err := json.Marshal(req)
+	if err != nil {
+		return st, err
+	}
+	resp, err := c.hc.Post(c.base+"/v1/jobs", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return st, err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return st, apiErr("submit", resp)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, fmt.Errorf("submit: decoding response: %w", err)
+	}
+	return st, nil
+}
+
+// wait long-polls until the job reaches a terminal state.
+func (c *jobClient) wait(id string) (jobStatus, error) {
+	var st jobStatus
+	for {
+		resp, err := c.hc.Get(c.base + "/v1/jobs/" + id + "?wait=1")
+		if err != nil {
+			return st, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return st, apiErr("wait", resp)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return st, fmt.Errorf("wait: decoding response: %w", err)
+		}
+		switch st.State {
+		case "done", "failed", "cancelled":
+			return st, nil
+		}
+		// The long poll returned early (server restart, proxy timeout);
+		// back off briefly before re-arming it.
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// result fetches a finished job's optimize response.
+func (c *jobClient) result(id string) (jobResult, error) {
+	var r jobResult
+	resp, err := c.hc.Get(c.base + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		return r, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return r, apiErr("result", resp)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		return r, fmt.Errorf("result: decoding response: %w", err)
+	}
+	return r, nil
+}
+
+// runClient is the -submit entry point: one job per program argument.
+func runClient(base string, files []string, optsFlag, specFiles string, maxIter int, wait, minif bool, priority string) error {
+	c := newJobClient(base)
+	opts := splitList(optsFlag)
+	var specs []specText
+	for _, file := range strings.Split(specFiles, ",") {
+		file = strings.TrimSpace(file)
+		if file == "" {
+			continue
+		}
+		text, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		specs = append(specs, specText{Name: stem(file), Text: string(text)})
+	}
+
+	ids := make([]string, len(files))
+	for i, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		st, err := c.submit(jobRequest{
+			Source:        string(src),
+			Opts:          opts,
+			Specs:         specs,
+			MaxIterations: maxIter,
+			Priority:      priority,
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", file, err)
+		}
+		ids[i] = st.ID
+		note := ""
+		if st.Existing {
+			note = " (existing)"
+		}
+		fmt.Fprintf(os.Stderr, "%s: job %s %s%s\n", file, st.ID, st.State, note)
+	}
+	if !wait {
+		return nil
+	}
+
+	for i, id := range ids {
+		st, err := c.wait(id)
+		if err != nil {
+			return fmt.Errorf("%s: %w", files[i], err)
+		}
+		if st.State != "done" {
+			return fmt.Errorf("%s: job %s %s after %d attempt(s): %s",
+				files[i], id, st.State, st.Attempts, st.LastError)
+		}
+		r, err := c.result(id)
+		if err != nil {
+			return fmt.Errorf("%s: %w", files[i], err)
+		}
+		if len(files) > 1 {
+			fmt.Printf("== %s ==\n", files[i])
+		}
+		for _, p := range r.Applications {
+			fmt.Fprintf(os.Stderr, "%s: %d application(s)\n", p.Name, p.Applications)
+		}
+		if minif {
+			fmt.Print(r.MiniF)
+		} else {
+			fmt.Print(r.IR)
+		}
+	}
+	return nil
+}

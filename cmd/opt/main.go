@@ -11,6 +11,8 @@
 //	opt -opts CTP,DCE a.mf b.mf c.mf      # parallel multi-program sweep
 //	opt -i program.mf                     # interactive session
 //	opt -points program.mf                # application-point census
+//	opt -submit URL -opts DCE a.mf        # queue a durable job on optd
+//	opt -submit URL -wait -opts DCE a.mf  # queue, then block for the result
 //
 // With several program arguments the batch pipeline runs each program on a
 // bounded worker pool (-workers) and prints the results in argument order.
@@ -48,6 +50,9 @@ func main() {
 		maxIter     = flag.Int("maxiter", 0, "cap applications per optimization (0 = optlib default, 1000); hitting the cap with work remaining reports the iteration-limit error")
 		traceFile   = flag.String("trace", "", "write the optimization span trees as JSON to this file ('-' for stderr)")
 		logfmt      = flag.String("logfmt", "text", "per-pass report format: text (NAME: N application(s)) or json (structured slog records)")
+		submitURL   = flag.String("submit", "", "optd base URL: submit each program as a durable batch job instead of optimizing locally")
+		waitJobs    = flag.Bool("wait", false, "with -submit, block until each job finishes and print its result")
+		priority    = flag.String("priority", "", "with -submit, job priority: high, normal or low")
 	)
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: opt [-opts LIST | -i | -points] [-run] [-input v,v,...] [-maxiter N] program.mf [more.mf ...]")
@@ -84,6 +89,23 @@ low for the program), and exits 1.`)
 	if flag.NArg() < 1 || ((*interactive || *points) && flag.NArg() != 1) {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *submitURL != "" {
+		if *interactive || *points || *run {
+			fmt.Fprintln(os.Stderr, "opt: -submit is incompatible with -i, -points and -run")
+			os.Exit(2)
+		}
+		switch *priority {
+		case "", "high", "normal", "low":
+		default:
+			fmt.Fprintf(os.Stderr, "opt: -priority must be high, normal or low (got %q)\n", *priority)
+			os.Exit(2)
+		}
+		if err := runClient(*submitURL, flag.Args(), *optsFlag, *specFiles, *maxIter, *waitJobs, *minif, *priority); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	if *interactive || *points {

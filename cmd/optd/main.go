@@ -19,6 +19,16 @@
 //	POST /v1/session/{id}/recompute    toggle dependence recomputation
 //	GET  /v1/session/{id}/result       fetch the optimized program
 //	DELETE /v1/session/{id}            end the session
+//	POST /v1/jobs                      submit a batch optimization job (202 + job ID)
+//	GET  /v1/jobs                      list jobs (?state=, ?limit=, ?before= cursor)
+//	GET  /v1/jobs/{id}                 job status (?wait=1 long-polls to terminal)
+//	GET  /v1/jobs/{id}/result          fetch a finished job's result
+//	DELETE /v1/jobs/{id}               cancel a job
+//
+// Jobs are durable when -jobs-dir is set: every state transition is
+// journaled to a write-ahead log, and a restart replays it — jobs caught
+// mid-run by a crash or kill -9 are requeued and complete. Without
+// -jobs-dir the queue is in-memory only.
 //
 // Results are cached content-addressed (SHA-256 of source, opt sequence,
 // spec text and limits) in a bounded LRU; concurrency is bounded by an
@@ -63,6 +73,10 @@ func main() {
 		sessions  = flag.Int("sessions", 64, "max live constructor sessions")
 		ttl       = flag.Duration("session-ttl", 30*time.Minute, "idle session lifetime")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+
+		jobsDir     = flag.String("jobs-dir", "", "batch-job WAL directory (empty = in-memory queue)")
+		jobsWorkers = flag.Int("jobs-workers", 0, "max concurrently running batch jobs (0 = GOMAXPROCS)")
+		jobsRetries = flag.Int("jobs-retries", 2, "default re-run budget after a job's first attempt")
 	)
 	flag.Parse()
 	if *workers < 0 {
@@ -80,7 +94,11 @@ func main() {
 	if cacheEntries == 0 {
 		cacheEntries = -1 // Config: negative disables, 0 selects the default
 	}
-	srv := server.New(server.Config{
+	if *jobsRetries < 0 {
+		fmt.Fprintln(os.Stderr, "optd: -jobs-retries must be >= 0")
+		os.Exit(2)
+	}
+	srv, err := server.New(server.Config{
 		MaxConcurrent:  *workers,
 		CacheEntries:   cacheEntries,
 		RequestTimeout: *timeout,
@@ -89,7 +107,14 @@ func main() {
 		MaxSessions:    *sessions,
 		SessionTTL:     *ttl,
 		Logger:         logger,
+		JobsDir:        *jobsDir,
+		JobsWorkers:    *jobsWorkers,
+		JobsRetries:    *jobsRetries,
 	})
+	if err != nil {
+		logger.Error("server init failed", slog.Any("err", err))
+		os.Exit(1)
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

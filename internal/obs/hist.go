@@ -16,6 +16,17 @@ var DefaultLatencyBuckets = []float64{
 	1, 2.5, 5, 10,
 }
 
+// JobLatencyBuckets are the histogram bounds (seconds) for asynchronous
+// job enqueue→complete latency: jobs sit through queueing, retries and
+// backoff, so the range extends well past the per-request buckets — 1ms
+// to 10 minutes, roughly logarithmic.
+var JobLatencyBuckets = []float64{
+	0.001, 0.005, 0.01, 0.05,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 30,
+	60, 150, 300, 600,
+}
+
 // Histogram is a fixed-bucket latency histogram safe for concurrent use.
 // Observe is a binary search plus two atomic adds — no locks — so scrapes
 // rendering a snapshot never contend with the hot path recording into it.

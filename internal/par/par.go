@@ -104,6 +104,27 @@ func (l *Limiter) TryAcquire() bool {
 // Release returns a slot taken by Acquire or TryAcquire.
 func (l *Limiter) Release() { <-l.slots }
 
+// Drain waits until every slot is free — i.e. all current holders have
+// released — by acquiring the full capacity and handing it back. It is a
+// barrier for graceful shutdown: once Drain returns, no work admitted
+// before the call is still running (provided no new Acquires race with
+// it; callers gate admissions first).
+func (l *Limiter) Drain(ctx context.Context) error {
+	n := cap(l.slots)
+	for i := 0; i < n; i++ {
+		if err := l.Acquire(ctx); err != nil {
+			for ; i > 0; i-- {
+				l.Release()
+			}
+			return err
+		}
+	}
+	for i := 0; i < n; i++ {
+		l.Release()
+	}
+	return nil
+}
+
 // InFlight returns the number of slots currently held.
 func (l *Limiter) InFlight() int { return len(l.slots) }
 

@@ -126,3 +126,36 @@ func TestLimiterCancel(t *testing.T) {
 		t.Fatalf("Acquire = %v, want DeadlineExceeded", err)
 	}
 }
+
+// TestLimiterDrain: Drain blocks until every holder releases, then leaves
+// the limiter fully free; a stuck holder surfaces the context error.
+func TestLimiterDrain(t *testing.T) {
+	l := NewLimiter(3)
+	release := make(chan struct{})
+	for i := 0; i < 3; i++ {
+		if err := l.Acquire(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			<-release
+			l.Release()
+		}()
+	}
+	// Drain with holders stuck: context error, slots restored.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	if err := l.Drain(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("stuck Drain = %v, want DeadlineExceeded", err)
+	}
+	cancel()
+	close(release)
+	if err := l.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain = %v", err)
+	}
+	if l.InFlight() != 0 {
+		t.Fatalf("InFlight = %d after Drain, want 0", l.InFlight())
+	}
+	if !l.TryAcquire() {
+		t.Fatal("limiter not usable after Drain")
+	}
+	l.Release()
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/jobs"
 	"repro/internal/obs"
 )
 
@@ -30,6 +31,19 @@ type Metrics struct {
 	SessionsCreated      atomic.Int64
 	SessionsActive       atomic.Int64
 	SessionsEvicted      atomic.Int64
+
+	// Batch-job lifecycle counters. JobsQueued and JobsRunning are gauges
+	// tracking the manager's queue depth and in-flight count; the rest are
+	// monotonic. JobLatency observes enqueue→terminal latency.
+	JobsSubmitted atomic.Int64
+	JobsDeduped   atomic.Int64
+	JobsRetried   atomic.Int64
+	JobsQueued    atomic.Int64
+	JobsRunning   atomic.Int64
+	JobsDone      atomic.Int64
+	JobsFailed    atomic.Int64
+	JobsCancelled atomic.Int64
+	JobLatency    *obs.Histogram
 
 	// Dependence-store and undo-log totals, aggregated across every pass run
 	// through PassObserved.
@@ -78,8 +92,53 @@ type passStatJSON struct {
 
 func newMetrics() *Metrics {
 	return &Metrics{
-		routes: map[string]*routeStat{},
-		passes: map[string]*passStat{},
+		routes:     map[string]*routeStat{},
+		passes:     map[string]*passStat{},
+		JobLatency: obs.NewHistogram(obs.JobLatencyBuckets...),
+	}
+}
+
+// jobsObs adapts the counter set to the job manager's lifecycle callbacks.
+// The callbacks run under the manager lock, so everything here is a bare
+// atomic bump.
+func (m *Metrics) jobsObs() jobs.Obs {
+	gauge := func(s jobs.State) *atomic.Int64 {
+		switch s {
+		case jobs.StateQueued:
+			return &m.JobsQueued
+		case jobs.StateRunning:
+			return &m.JobsRunning
+		}
+		return nil
+	}
+	return jobs.Obs{
+		Submitted: func(deduped bool) {
+			if deduped {
+				m.JobsDeduped.Add(1)
+			} else {
+				m.JobsSubmitted.Add(1)
+			}
+		},
+		StateChange: func(from, to jobs.State) {
+			if g := gauge(from); g != nil {
+				g.Add(-1)
+			}
+			if g := gauge(to); g != nil {
+				g.Add(1)
+			}
+		},
+		Retried: func() { m.JobsRetried.Add(1) },
+		Finished: func(final jobs.State, latency time.Duration) {
+			switch final {
+			case jobs.StateDone:
+				m.JobsDone.Add(1)
+			case jobs.StateFailed:
+				m.JobsFailed.Add(1)
+			case jobs.StateCancelled:
+				m.JobsCancelled.Add(1)
+			}
+			m.JobLatency.Observe(latency)
+		},
 	}
 }
 
@@ -237,6 +296,16 @@ func (m *Metrics) Snapshot() map[string]any {
 			"structural_rebuilds": m.DepStructuralRebuilds.Load(),
 			"undo_rollbacks":      m.UndoRollbacks.Load(),
 		},
+		"jobs": map[string]any{
+			"submitted": m.JobsSubmitted.Load(),
+			"deduped":   m.JobsDeduped.Load(),
+			"retried":   m.JobsRetried.Load(),
+			"queued":    m.JobsQueued.Load(),
+			"running":   m.JobsRunning.Load(),
+			"done":      m.JobsDone.Load(),
+			"failed":    m.JobsFailed.Load(),
+			"cancelled": m.JobsCancelled.Load(),
+		},
 		"iteration_limit_aborts": m.IterationLimitAborts.Load(),
 		"timeouts":               m.Timeouts.Load(),
 		"panics_recovered":       m.PanicsRecovered.Load(),
@@ -328,6 +397,22 @@ func (m *Metrics) WriteProm(w io.Writer) error {
 	pw.IntSample("optd_sessions_active", nil, m.SessionsActive.Load())
 	pw.Header("optd_sessions_evicted_total", "Interactive sessions evicted.", "counter")
 	pw.IntSample("optd_sessions_evicted_total", nil, m.SessionsEvicted.Load())
+
+	pw.Header("optd_jobs_submitted_total", "Batch jobs accepted, by dedup outcome.", "counter")
+	pw.IntSample("optd_jobs_submitted_total", []obs.Label{obs.L("dedup", "new")}, m.JobsSubmitted.Load())
+	pw.IntSample("optd_jobs_submitted_total", []obs.Label{obs.L("dedup", "existing")}, m.JobsDeduped.Load())
+	pw.Header("optd_jobs_retries_total", "Batch job attempts re-queued after a retryable failure.", "counter")
+	pw.IntSample("optd_jobs_retries_total", nil, m.JobsRetried.Load())
+	pw.Header("optd_jobs_queued", "Batch jobs waiting to run.", "gauge")
+	pw.IntSample("optd_jobs_queued", nil, m.JobsQueued.Load())
+	pw.Header("optd_jobs_running", "Batch jobs currently executing.", "gauge")
+	pw.IntSample("optd_jobs_running", nil, m.JobsRunning.Load())
+	pw.Header("optd_jobs_finished_total", "Batch jobs reaching a terminal state, by state.", "counter")
+	pw.IntSample("optd_jobs_finished_total", []obs.Label{obs.L("state", "done")}, m.JobsDone.Load())
+	pw.IntSample("optd_jobs_finished_total", []obs.Label{obs.L("state", "failed")}, m.JobsFailed.Load())
+	pw.IntSample("optd_jobs_finished_total", []obs.Label{obs.L("state", "cancelled")}, m.JobsCancelled.Load())
+	pw.Header("optd_jobs_duration_seconds", "Batch job enqueue-to-terminal latency.", "histogram")
+	pw.Histogram("optd_jobs_duration_seconds", nil, m.JobLatency.Snapshot())
 
 	return pw.Err()
 }

@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/par"
 )
@@ -55,6 +56,22 @@ type Config struct {
 	// slog.Default(). Handlers derive a request-scoped logger from it
 	// carrying the request ID and route.
 	Logger *slog.Logger
+
+	// JobsDir holds the batch-job write-ahead log; empty selects an
+	// in-memory (non-durable) queue.
+	JobsDir string
+	// JobsWorkers bounds concurrently running batch jobs; values < 1
+	// select GOMAXPROCS.
+	JobsWorkers int
+	// JobsRetries is the default re-run budget after a job's first
+	// attempt; negative selects 2.
+	JobsRetries int
+	// JobsRetryBase shapes the retry backoff; 0 selects 250ms.
+	JobsRetryBase time.Duration
+	// JobsKeepTerminal bounds retained finished jobs; 0 selects 1024.
+	JobsKeepTerminal int
+	// JobsNoSync skips the WAL's per-append fsync (benchmarks only).
+	JobsNoSync bool
 
 	// testHook, when non-nil, runs inside the optimize handler after
 	// admission and before the pipeline — a seam for shutdown/timeout
@@ -96,6 +113,7 @@ type Server struct {
 	cache    *Cache
 	metrics  *Metrics
 	sessions *sessionStore
+	jobs     *jobs.Manager
 	mux      *http.ServeMux
 
 	mu       sync.RWMutex // guards draining against in-flight accounting
@@ -105,8 +123,11 @@ type Server struct {
 	reqSeq atomic.Int64 // request ID sequence
 }
 
-// New builds a server from the configuration.
-func New(cfg Config) *Server {
+// New builds a server from the configuration. It can fail: a durable jobs
+// directory (Config.JobsDir) is opened — and its write-ahead log replayed —
+// before the server accepts traffic, so jobs interrupted by a crash are
+// requeued up front.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
@@ -115,13 +136,36 @@ func New(cfg Config) *Server {
 		metrics: newMetrics(),
 	}
 	s.sessions = newSessionStore(cfg.MaxSessions, cfg.SessionTTL, s.metrics)
+	mgr, err := jobs.New(s.runJob, jobs.Config{
+		Dir:          cfg.JobsDir,
+		Workers:      cfg.JobsWorkers,
+		MaxRetries:   cfg.JobsRetries,
+		RetryBase:    cfg.JobsRetryBase,
+		Timeout:      cfg.RequestTimeout,
+		KeepTerminal: cfg.JobsKeepTerminal,
+		NoSync:       cfg.JobsNoSync,
+		Obs:          s.metrics.jobsObs(),
+	})
+	if err != nil {
+		s.sessions.close()
+		return nil, fmt.Errorf("server: opening jobs dir %q: %w", cfg.JobsDir, err)
+	}
+	s.jobs = mgr
+	// WAL replay re-creates jobs without firing the lifecycle callbacks;
+	// seed the gauges from the recovered table.
+	q, r := mgr.Depths()
+	s.metrics.JobsQueued.Store(int64(q))
+	s.metrics.JobsRunning.Store(int64(r))
 	s.mux = http.NewServeMux()
 	s.routes()
-	return s
+	return s, nil
 }
 
 // Metrics exposes the server's counters (primarily for tests and benches).
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Jobs exposes the job manager (primarily for tests and benches).
+func (s *Server) Jobs() *jobs.Manager { return s.jobs }
 
 // Handler returns the root handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -140,6 +184,14 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/session/{id}/applyall", s.wrap("session.applyall", true, s.handleSessionApplyAll))
 	s.mux.HandleFunc("POST /v1/session/{id}/recompute", s.wrap("session.recompute", false, s.handleSessionRecompute))
 	s.mux.HandleFunc("GET /v1/session/{id}/result", s.wrap("session.result", false, s.handleSessionResult))
+	// Batch jobs. None of these admit through the request limiter: the
+	// handlers only touch the job table, and execution is bounded by the
+	// job manager's own worker pool.
+	s.mux.HandleFunc("POST /v1/jobs", s.wrap("jobs.submit", false, s.handleJobSubmit))
+	s.mux.HandleFunc("GET /v1/jobs", s.wrap("jobs.list", false, s.handleJobList))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.wrap("jobs.get", false, s.handleJobGet))
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.wrap("jobs.result", false, s.handleJobResult))
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.wrap("jobs.cancel", false, s.handleJobCancel))
 }
 
 // begin registers a request for draining accounting, refusing it when the
@@ -155,8 +207,10 @@ func (s *Server) begin() bool {
 	return true
 }
 
-// Shutdown refuses new requests and waits for in-flight ones to complete,
-// or for ctx to expire. The session store is closed either way.
+// Shutdown is the two-phase drain: refuse new requests, wait for in-flight
+// ones (or ctx), then drain the job workers — interrupted attempts are
+// checkpointed back to queued in the WAL so a restart re-runs them. The
+// session store is closed either way.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
@@ -167,12 +221,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		close(done)
 	}()
 	defer s.sessions.close()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	if jerr := s.jobs.Close(ctx); err == nil {
+		err = jerr
+	}
+	return err
 }
 
 // statusRecorder captures the response status for route metrics and logs.
@@ -203,6 +261,9 @@ func (s *Server) wrap(route string, admit bool, h func(w http.ResponseWriter, r 
 	return func(rw http.ResponseWriter, r *http.Request) {
 		if !s.begin() {
 			s.metrics.RejectedDraining.Add(1)
+			// This instance is going away; tell well-behaved clients when a
+			// replacement is likely to be answering.
+			rw.Header().Set("Retry-After", "5")
 			writeError(rw, http.StatusServiceUnavailable, "draining", "server is shutting down")
 			return
 		}
@@ -241,6 +302,9 @@ func (s *Server) wrap(route string, admit bool, h func(w http.ResponseWriter, r 
 		if admit {
 			if err := s.limiter.Acquire(r.Context()); err != nil {
 				s.metrics.RejectedOverload.Add(1)
+				// Capacity frees as in-flight optimizations finish; a short
+				// backoff is enough.
+				w.Header().Set("Retry-After", "1")
 				writeError(w, http.StatusServiceUnavailable, "overloaded", "no capacity within the request deadline")
 				return
 			}

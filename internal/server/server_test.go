@@ -47,7 +47,11 @@ END
 
 func newTestServer(t testing.TB, cfg Config) *Server {
 	t.Helper()
-	return New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
 }
 
 // doJSON drives one request through the server's handler.

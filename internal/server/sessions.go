@@ -102,18 +102,55 @@ func (sn *session) points(name string, override bool) (string, []engine.Env, err
 }
 
 // sessionStore holds live sessions with a count bound and idle TTL.
-// Eviction is piggybacked on access instead of a background goroutine, so
-// an idle daemon stays quiescent.
+// Eviction happens on access and from a periodic background sweep, so
+// sessions abandoned by clients that never come back are still collected
+// (and their programs freed) on an idle daemon.
 type sessionStore struct {
 	mu      sync.Mutex
 	max     int
 	ttl     time.Duration
 	m       map[string]*session
 	metrics *Metrics
+
+	stopOnce  sync.Once
+	stop      chan struct{}
+	sweepDone chan struct{}
 }
 
 func newSessionStore(max int, ttl time.Duration, m *Metrics) *sessionStore {
-	return &sessionStore{max: max, ttl: ttl, m: map[string]*session{}, metrics: m}
+	st := &sessionStore{
+		max: max, ttl: ttl, m: map[string]*session{}, metrics: m,
+		stop: make(chan struct{}), sweepDone: make(chan struct{}),
+	}
+	go st.sweep()
+	return st
+}
+
+// sweep evicts idle sessions on a timer until close. The interval tracks
+// the TTL (so an expired session lingers at most ~25% past it) with floors
+// and ceilings keeping test-scale TTLs responsive and production TTLs from
+// sweeping too rarely.
+func (st *sessionStore) sweep() {
+	defer close(st.sweepDone)
+	interval := st.ttl / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	if interval > 5*time.Minute {
+		interval = 5 * time.Minute
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-st.stop:
+			return
+		case <-t.C:
+			st.mu.Lock()
+			st.evictLocked(time.Now())
+			st.mu.Unlock()
+		}
+	}
 }
 
 func newSessionID() string {
@@ -195,8 +232,11 @@ func (st *sessionStore) delete(id string) bool {
 	return true
 }
 
-// close drops every session (graceful shutdown).
+// close stops the sweeper and drops every session (graceful shutdown).
+// Safe to call more than once.
 func (st *sessionStore) close() {
+	st.stopOnce.Do(func() { close(st.stop) })
+	<-st.sweepDone
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.metrics.SessionsActive.Add(-int64(len(st.m)))

@@ -11,14 +11,14 @@
 #                                    # no tracer at all
 #
 # Environment:
-#   BENCH    regexp of benchmarks to run  (default: DriverFixpoint|ServerOptimize)
+#   BENCH    regexp of benchmarks to run  (default: DriverFixpoint|ServerOptimize|JobsThroughput)
 #   COUNT    -count for statistical runs  (default: 6)
 #   OUT      output file                  (default: bench-new.txt)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-BENCH=${BENCH:-'DriverFixpoint|ServerOptimize'}
+BENCH=${BENCH:-'DriverFixpoint|ServerOptimize|JobsThroughput'}
 COUNT=${COUNT:-6}
 OUT=${OUT:-bench-new.txt}
 BASELINE=
