@@ -11,10 +11,13 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"repro/dep"
 	"repro/internal/codegen"
@@ -410,5 +413,89 @@ func BenchmarkInterpreter(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	}
+}
+
+// BenchmarkClusterForward prices the sharded routing hop: an optimize cache
+// hit served by the owning node directly ("local") against the identical
+// request arriving at the non-owner and being proxied one hop to the owner
+// ("forwarded"). Both paths terminate in the owner's result cache, so the
+// gap is pure forwarding overhead — proxy round-trip, header copy, response
+// relay over real loopback TCP.
+func BenchmarkClusterForward(b *testing.B) {
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	addrA, addrB := lnA.Addr().String(), lnB.Addr().String()
+	peers := []string{addrA, addrB}
+	start := func(self string, ln net.Listener) (*server.Server, *http.Server) {
+		srv, err := server.New(server.Config{
+			Logger:        slog.New(slog.DiscardHandler),
+			Peers:         peers,
+			Advertise:     self,
+			ProbeInterval: time.Hour, // quiet: no probe traffic during timing
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		return srv, hs
+	}
+	srvA, hsA := start(addrA, lnA)
+	srvB, hsB := start(addrB, lnB)
+	defer func() {
+		hsA.Close()
+		hsB.Close()
+		srvA.Shutdown(context.Background())
+		srvB.Shutdown(context.Background())
+	}()
+
+	prog := proggen.Generate(7, proggen.Config{MaxStmts: 120})
+	body, err := json.Marshal(map[string]any{
+		"source": ir.ToMiniF(prog),
+		"opts":   []string{"CTP", "DCE"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	post := func(addr string) *http.Response {
+		resp, err := http.Post("http://"+addr+"/v1/optimize", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			raw, _ := io.ReadAll(resp.Body)
+			b.Fatalf("optimize = %d: %s", resp.StatusCode, raw)
+		}
+		return resp
+	}
+	// Ownership is hash-determined; discover it empirically (and warm the
+	// owner's cache) from the routing header any node stamps.
+	resp := post(addrA)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	owner := resp.Header.Get(server.ServedByHeader)
+	other := addrA
+	if owner == addrA {
+		other = addrB
+	}
+
+	for _, bc := range []struct{ name, addr string }{
+		{"local", owner},
+		{"forwarded", other},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				resp := post(bc.addr)
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		})
 	}
 }

@@ -11,6 +11,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -67,7 +68,19 @@ func newJobClient(base string) *jobClient {
 	// No overall client timeout: status polls use the server's long-poll
 	// (?wait=1), which intentionally holds the connection up to the
 	// server's request deadline.
-	return &jobClient{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+	//
+	// A sharded optd answers status lookups for jobs it does not own with
+	// a 307 to the owning node; follow exactly that one hop, so two nodes
+	// disagreeing about ownership can never bounce the client around the
+	// ring.
+	return &jobClient{base: strings.TrimRight(base, "/"), hc: &http.Client{
+		CheckRedirect: func(req *http.Request, via []*http.Request) error {
+			if len(via) > 1 {
+				return errors.New("more than one cluster redirect hop")
+			}
+			return nil
+		},
+	}}
 }
 
 // apiErr renders a non-2xx response as an error.

@@ -30,6 +30,15 @@
 // mid-run by a crash or kill -9 are requeued and complete. Without
 // -jobs-dir the queue is in-memory only.
 //
+// With -peers (and -advertise naming this node's entry in that list) optd
+// runs sharded: a consistent-hash ring routes each content-addressed
+// request — POST /v1/optimize and POST /v1/jobs — to its owning node, the
+// server proxies requests that arrive elsewhere (one hop, deadline
+// propagated, single-retry failover to the ring successor when the owner
+// is down), and job-status routes answer with a one-hop 307 to the job's
+// owner. Per-peer health comes from probing /healthz with exponential
+// backoff on down peers.
+//
 // Results are cached content-addressed (SHA-256 of source, opt sequence,
 // spec text and limits) in a bounded LRU; concurrency is bounded by an
 // admission limiter; every request carries a deadline; optimizer panics
@@ -53,6 +62,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -77,6 +87,9 @@ func main() {
 		jobsDir     = flag.String("jobs-dir", "", "batch-job WAL directory (empty = in-memory queue)")
 		jobsWorkers = flag.Int("jobs-workers", 0, "max concurrently running batch jobs (0 = GOMAXPROCS)")
 		jobsRetries = flag.Int("jobs-retries", 2, "default re-run budget after a job's first attempt")
+
+		peers     = flag.String("peers", "", "comma-separated cluster member addresses (host:port, including this node); empty = single node")
+		advertise = flag.String("advertise", "", "this node's address as it appears in -peers (required with -peers)")
 	)
 	flag.Parse()
 	if *workers < 0 {
@@ -98,6 +111,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "optd: -jobs-retries must be >= 0")
 		os.Exit(2)
 	}
+	// Cluster flags fail fast: a node with a bad membership view must not
+	// come up and silently mis-route content-addressed traffic.
+	var peerList []string
+	if *peers != "" {
+		found := false
+		for _, p := range strings.Split(*peers, ",") {
+			p = strings.TrimSpace(p)
+			if p == "" {
+				continue
+			}
+			peerList = append(peerList, p)
+			found = found || p == *advertise
+		}
+		if *advertise == "" {
+			fmt.Fprintln(os.Stderr, "optd: -peers requires -advertise (this node's entry in the peer list)")
+			os.Exit(2)
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "optd: -advertise %q is not in -peers %q\n", *advertise, *peers)
+			os.Exit(2)
+		}
+	} else if *advertise != "" {
+		fmt.Fprintln(os.Stderr, "optd: -advertise is meaningless without -peers")
+		os.Exit(2)
+	}
 	srv, err := server.New(server.Config{
 		MaxConcurrent:  *workers,
 		CacheEntries:   cacheEntries,
@@ -110,6 +148,8 @@ func main() {
 		JobsDir:        *jobsDir,
 		JobsWorkers:    *jobsWorkers,
 		JobsRetries:    *jobsRetries,
+		Peers:          peerList,
+		Advertise:      *advertise,
 	})
 	if err != nil {
 		logger.Error("server init failed", slog.Any("err", err))

@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Config describes one node's view of the cluster. The peer list is static
+// and must be identical (up to order) on every node — the ring derives the
+// key→owner mapping from it, and agreement on ownership is what lets each
+// node route without coordination.
+type Config struct {
+	// Self is this node's advertise address; it must appear in Peers.
+	Self string
+	// Peers lists every cluster member as a dialable host:port.
+	Peers []string
+	// VNodes is the virtual-node count per peer; <1 selects DefaultVNodes.
+	VNodes int
+	// ProbeInterval is the healthy-peer re-check period (default 1s);
+	// ProbeBackoffCap bounds the exponential backoff applied to down peers
+	// (default 15s).
+	ProbeInterval   time.Duration
+	ProbeBackoffCap time.Duration
+	// Client is used for probes and shared with forwarding; nil selects a
+	// transport tuned for many small same-host requests.
+	Client *http.Client
+	// Logger receives peer up/down transitions; nil selects slog.Default().
+	Logger *slog.Logger
+	// OnPeerChange, when non-nil, additionally fires on every up↔down
+	// transition (the server wires metrics here).
+	OnPeerChange func(addr string, up bool)
+}
+
+// Route is the ring's decision for one content key.
+type Route struct {
+	// Owner is the node the key belongs to.
+	Owner string
+	// Local reports that the owner is this node.
+	Local bool
+	// Fallback is the ring successor after Owner — the single-retry
+	// failover target — or "" in a one-node cluster.
+	Fallback string
+}
+
+// Cluster ties the ring and the prober together behind the queries the
+// server's forwarding layer needs. All methods are safe for concurrent use;
+// the ring is immutable after New.
+type Cluster struct {
+	self   string
+	ring   *Ring
+	prober *Prober
+	client *http.Client
+	logger *slog.Logger
+}
+
+// normalize trims, drops empties, dedups and sorts a peer list.
+func normalize(peers []string) []string {
+	seen := map[string]bool{}
+	out := make([]string, 0, len(peers))
+	for _, p := range peers {
+		p = strings.TrimSpace(p)
+		if p == "" || seen[p] {
+			continue
+		}
+		seen[p] = true
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// New validates the membership and builds the ring and prober. Call Start
+// to begin probing and Close to stop.
+func New(cfg Config) (*Cluster, error) {
+	peers := normalize(cfg.Peers)
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: peer list is empty")
+	}
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: advertise address is empty")
+	}
+	self := false
+	for _, p := range peers {
+		if _, _, err := net.SplitHostPort(p); err != nil {
+			return nil, fmt.Errorf("cluster: peer %q is not host:port: %v", p, err)
+		}
+		self = self || p == cfg.Self
+	}
+	if !self {
+		return nil, fmt.Errorf("cluster: advertise address %q is not in the peer list %v", cfg.Self, peers)
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 16,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	ring := NewRing(cfg.VNodes)
+	var probed []string
+	for _, p := range peers {
+		ring.Add(p)
+		if p != cfg.Self {
+			probed = append(probed, p)
+		}
+	}
+	onChange := func(addr string, up bool) {
+		logger.Info("cluster peer health changed", slog.String("peer", addr), slog.Bool("up", up))
+		if cfg.OnPeerChange != nil {
+			cfg.OnPeerChange(addr, up)
+		}
+	}
+	c := &Cluster{
+		self:   cfg.Self,
+		ring:   ring,
+		client: client,
+		logger: logger,
+		prober: NewProber(probed, client, cfg.ProbeInterval, cfg.ProbeBackoffCap, onChange),
+	}
+	return c, nil
+}
+
+// Start begins health probing.
+func (c *Cluster) Start() { c.prober.Start() }
+
+// Close stops health probing.
+func (c *Cluster) Close() { c.prober.Close() }
+
+// Self returns this node's advertise address.
+func (c *Cluster) Self() string { return c.self }
+
+// Size returns the number of cluster members.
+func (c *Cluster) Size() int { return c.ring.Len() }
+
+// Peers returns every member address in sorted order.
+func (c *Cluster) Peers() []string { return c.ring.Nodes() }
+
+// Client returns the shared intra-cluster HTTP client.
+func (c *Cluster) Client() *http.Client { return c.client }
+
+// Route maps a content key to its owner and failover target.
+func (c *Cluster) Route(key string) Route {
+	succ := c.ring.Successors(key, 2)
+	rt := Route{}
+	if len(succ) > 0 {
+		rt.Owner = succ[0]
+		rt.Local = succ[0] == c.self
+	}
+	if len(succ) > 1 {
+		rt.Fallback = succ[1]
+	}
+	return rt
+}
+
+// Up reports whether addr is believed healthy (the local node always is).
+func (c *Cluster) Up(addr string) bool { return c.prober.Up(addr) }
+
+// MarkDown feeds a forwarding failure back into health state.
+func (c *Cluster) MarkDown(addr string, err error) { c.prober.MarkDown(addr, err) }
+
+// Status snapshots peer health (the local node is not probed and is not
+// listed).
+func (c *Cluster) Status() []PeerStatus { return c.prober.Status() }

@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// PeerStatus is one peer's health as the prober last saw it.
+type PeerStatus struct {
+	Addr string `json:"addr"`
+	Up   bool   `json:"up"`
+	// Fails counts consecutive failed probes; it resets on the first
+	// success and drives the probe backoff.
+	Fails       int       `json:"fails,omitempty"`
+	LastErr     string    `json:"last_error,omitempty"`
+	LastChecked time.Time `json:"last_checked,omitzero"`
+}
+
+// peerState is the mutable probe record behind one PeerStatus.
+type peerState struct {
+	addr  string
+	up    bool
+	fails int
+	err   string
+	at    time.Time
+}
+
+// Prober watches a fixed peer set by polling each peer's /healthz. Peers
+// start optimistically up — a fresh cluster must not refuse to forward
+// before its first probe round — and healthy peers are re-checked every
+// interval. A failing peer backs off exponentially (interval doubling per
+// consecutive failure, capped) so a long-dead peer costs a connect attempt
+// every backoffCap rather than every tick, while the forwarding layer's
+// MarkDown feedback keeps detection latency at one failed request, not one
+// probe cycle.
+type Prober struct {
+	client     *http.Client
+	interval   time.Duration
+	timeout    time.Duration // per-probe deadline
+	backoffCap time.Duration
+	onChange   func(addr string, up bool)
+
+	mu    sync.RWMutex
+	peers map[string]*peerState
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewProber builds a prober over the peer addresses. onChange, when
+// non-nil, fires on every up↔down transition (not on each probe).
+func NewProber(peers []string, client *http.Client, interval, backoffCap time.Duration, onChange func(addr string, up bool)) *Prober {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if backoffCap < interval {
+		backoffCap = 15 * time.Second
+	}
+	// Each probe gets its own deadline — the shared client is also the
+	// forwarding client and deliberately carries no client-wide timeout —
+	// clamped so a huge interval cannot leave a probe goroutine pinned to
+	// a black-holed peer.
+	timeout := interval
+	if timeout < 500*time.Millisecond {
+		timeout = 500 * time.Millisecond
+	}
+	if timeout > 5*time.Second {
+		timeout = 5 * time.Second
+	}
+	p := &Prober{
+		client:     client,
+		interval:   interval,
+		timeout:    timeout,
+		backoffCap: backoffCap,
+		onChange:   onChange,
+		peers:      map[string]*peerState{},
+		stop:       make(chan struct{}),
+	}
+	for _, addr := range peers {
+		p.peers[addr] = &peerState{addr: addr, up: true}
+	}
+	return p
+}
+
+// Start launches one probe loop per peer.
+func (p *Prober) Start() {
+	for addr := range p.peers {
+		p.wg.Add(1)
+		go p.loop(addr)
+	}
+}
+
+// Close stops the probe loops and waits for them.
+func (p *Prober) Close() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	p.wg.Wait()
+}
+
+// delay returns how long to sleep before re-probing a peer that has failed
+// fails consecutive times: interval << fails, capped.
+func (p *Prober) delay(fails int) time.Duration {
+	d := p.interval
+	for i := 0; i < fails && d < p.backoffCap; i++ {
+		d *= 2
+	}
+	if d > p.backoffCap {
+		d = p.backoffCap
+	}
+	return d
+}
+
+func (p *Prober) loop(addr string) {
+	defer p.wg.Done()
+	// The first probe waits a full interval rather than firing at once:
+	// peers start optimistically up precisely so that a cluster whose
+	// nodes boot simultaneously does not mark everyone down in the race
+	// between probe zero and the peers' listeners coming up.
+	timer := time.NewTimer(p.interval)
+	defer timer.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-timer.C:
+		}
+		err := p.check(addr)
+		p.mu.Lock()
+		st := p.peers[addr]
+		st.at = time.Now()
+		was := st.up
+		if err != nil {
+			st.fails++
+			st.err = err.Error()
+			st.up = false
+		} else {
+			st.fails = 0
+			st.err = ""
+			st.up = true
+		}
+		now, fails := st.up, st.fails
+		p.mu.Unlock()
+		if was != now && p.onChange != nil {
+			p.onChange(addr, now)
+		}
+		timer.Reset(p.delay(fails))
+	}
+}
+
+// check performs one /healthz round-trip under the per-probe deadline.
+func (p *Prober) check(addr string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), p.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// Up reports whether addr is believed healthy. Unknown addresses (the
+// local node, which is never probed) count as up.
+func (p *Prober) Up(addr string) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	st, ok := p.peers[addr]
+	return !ok || st.up
+}
+
+// MarkDown records out-of-band failure evidence — a forward that could not
+// reach the peer — so routing stops picking it before the next probe tick.
+// The probe loop remains the sole recovery path.
+func (p *Prober) MarkDown(addr string, err error) {
+	p.mu.Lock()
+	st, ok := p.peers[addr]
+	var was bool
+	if ok {
+		was = st.up
+		st.up = false
+		st.fails++
+		if err != nil {
+			st.err = err.Error()
+		}
+		st.at = time.Now()
+	}
+	p.mu.Unlock()
+	if ok && was && p.onChange != nil {
+		p.onChange(addr, false)
+	}
+}
+
+// Status snapshots every probed peer, sorted by address.
+func (p *Prober) Status() []PeerStatus {
+	p.mu.RLock()
+	out := make([]PeerStatus, 0, len(p.peers))
+	for _, st := range p.peers {
+		out = append(out, PeerStatus{
+			Addr: st.addr, Up: st.up, Fails: st.fails,
+			LastErr: st.err, LastChecked: st.at,
+		})
+	}
+	p.mu.RUnlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].Addr < out[b].Addr })
+	return out
+}

@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond for up to two seconds.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestProberDetectsDownAndUp(t *testing.T) {
+	var healthy atomic.Bool
+	healthy.Store(true)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" {
+			t.Errorf("probe hit %s, want /healthz", r.URL.Path)
+		}
+		if !healthy.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+	addr := strings.TrimPrefix(ts.URL, "http://")
+
+	var transitions atomic.Int64
+	p := NewProber([]string{addr}, ts.Client(), 20*time.Millisecond, 200*time.Millisecond,
+		func(a string, up bool) {
+			if a != addr {
+				t.Errorf("transition for %q, want %q", a, addr)
+			}
+			transitions.Add(1)
+		})
+	p.Start()
+	defer p.Close()
+
+	waitFor(t, "initial up probe", func() bool {
+		st := p.Status()
+		return len(st) == 1 && st[0].Up && !st[0].LastChecked.IsZero()
+	})
+
+	healthy.Store(false)
+	waitFor(t, "down detection", func() bool { return !p.Up(addr) })
+	st := p.Status()[0]
+	if st.Fails == 0 || st.LastErr == "" {
+		t.Fatalf("down status lacks failure detail: %+v", st)
+	}
+
+	healthy.Store(true)
+	waitFor(t, "recovery detection", func() bool { return p.Up(addr) })
+	if transitions.Load() < 2 {
+		t.Fatalf("transitions = %d, want >= 2 (down, up)", transitions.Load())
+	}
+}
+
+func TestProberMarkDownIsImmediate(t *testing.T) {
+	// No probe loop started: MarkDown alone must flip the state.
+	p := NewProber([]string{"198.51.100.1:1"}, &http.Client{}, time.Hour, time.Hour, nil)
+	if !p.Up("198.51.100.1:1") {
+		t.Fatal("peer should start optimistically up")
+	}
+	p.MarkDown("198.51.100.1:1", errors.New("connection refused"))
+	if p.Up("198.51.100.1:1") {
+		t.Fatal("peer still up after MarkDown")
+	}
+	if st := p.Status()[0]; st.LastErr != "connection refused" || st.Fails != 1 {
+		t.Fatalf("MarkDown status = %+v", st)
+	}
+	// Unknown addresses (the local node) are always up; marking them down
+	// is a no-op rather than a panic.
+	p.MarkDown("unknown:1", nil)
+	if !p.Up("unknown:1") {
+		t.Fatal("unknown address should report up")
+	}
+}

@@ -1,0 +1,181 @@
+// Package cluster is optd's horizontal-sharding substrate: a consistent-hash
+// ring with virtual nodes over a static peer list, plus per-peer health
+// probing. The server's forwarding layer asks the ring who owns a
+// content-addressed request key and proxies the request to that node, so the
+// content-addressed result cache and the idempotent job table scale with
+// node count instead of fragmenting — every replica of the same request
+// lands on the same owner.
+//
+// Membership is static (the -peers flag); failure handling is routing-time
+// failover to the ring successor, not membership change. That keeps the
+// ring's key→owner mapping identical on every node without a consensus
+// protocol: nodes may disagree about who is *up*, but never about who
+// *owns* a key.
+package cluster
+
+import (
+	"sort"
+)
+
+// DefaultVNodes is the virtual-node count per physical node. 128 points per
+// node keeps the per-node share of the keyspace within a few percent of
+// 1/n while the ring stays small enough to rebuild on every membership
+// edit (membership is static in practice).
+const DefaultVNodes = 128
+
+// hash64 is an xxhash-style 64-bit string hash: an FNV-1a core run through
+// a splitmix64 avalanche finalizer. The finalizer matters — vnode labels
+// ("addr#0", "addr#1", …) differ only in their tail, and raw FNV leaves
+// such near-identical inputs clustered on the ring.
+func hash64(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// point is one virtual node: a position on the ring and the physical node
+// it maps back to, packed flat (like dep's query index) so lookups are a
+// binary search over one contiguous slice.
+type point struct {
+	hash uint64
+	node string
+}
+
+// Ring is a consistent-hash ring. It is not safe for concurrent mutation;
+// build it up front (membership is static) and share it read-only, or wrap
+// it as Cluster does.
+type Ring struct {
+	vnodes int
+	points []point // sorted by hash
+	nodes  map[string]bool
+}
+
+// NewRing returns an empty ring placing vnodes virtual nodes per physical
+// node; vnodes < 1 selects DefaultVNodes.
+func NewRing(vnodes int) *Ring {
+	if vnodes < 1 {
+		vnodes = DefaultVNodes
+	}
+	return &Ring{vnodes: vnodes, nodes: map[string]bool{}}
+}
+
+// vnodeLabel renders the i'th virtual node of a physical node. The '#'
+// separator cannot appear in a host:port address, so distinct nodes can
+// never collide on a label.
+func vnodeLabel(node string, i int) string {
+	// Hand-rolled itoa keeps Add allocation-light; i is always >= 0.
+	var buf [20]byte
+	p := len(buf)
+	for {
+		p--
+		buf[p] = byte('0' + i%10)
+		i /= 10
+		if i == 0 {
+			break
+		}
+	}
+	return node + "#" + string(buf[p:])
+}
+
+// Add inserts a physical node (idempotent).
+func (r *Ring) Add(node string) {
+	if node == "" || r.nodes[node] {
+		return
+	}
+	r.nodes[node] = true
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, point{hash: hash64(vnodeLabel(node, i)), node: node})
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Tie-break on the owner so hash collisions between vnodes of
+		// different nodes still order identically on every replica.
+		return r.points[a].node < r.points[b].node
+	})
+}
+
+// Remove deletes a physical node (idempotent). Only keys owned by the
+// removed node change owner — the consistency property the property test
+// pins down.
+func (r *Ring) Remove(node string) {
+	if !r.nodes[node] {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Len returns the number of physical nodes.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Nodes returns the physical nodes in sorted order.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// search returns the index of the first ring point at or clockwise of the
+// key's hash (wrapping past the top back to index 0).
+func (r *Ring) search(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// Owner returns the physical node owning key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.search(key)].node
+}
+
+// Successors returns up to n distinct physical nodes in ring order starting
+// at the key's owner. Successors(key, 2)[1] is the failover target when the
+// owner is down: the node that would own the key if the owner left the
+// ring, so retried work lands where a real membership change would put it.
+func (r *Ring) Successors(key string, n int) []string {
+	if len(r.points) == 0 || n < 1 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i, start := r.search(key), 0; start < len(r.points) && len(out) < n; start++ {
+		p := r.points[(i+start)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}

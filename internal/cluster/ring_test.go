@@ -1,0 +1,275 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func testNodes(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("10.0.0.%d:8724", i+1)
+	}
+	return out
+}
+
+func testKeys(k int) []string {
+	out := make([]string, k)
+	for i := range out {
+		// Shaped like the server's routing keys: hex content addresses.
+		out[i] = fmt.Sprintf("%064x", i*2654435761)
+	}
+	return out
+}
+
+func owners(r *Ring, keys []string) map[string]string {
+	m := make(map[string]string, len(keys))
+	for _, k := range keys {
+		m[k] = r.Owner(k)
+	}
+	return m
+}
+
+// TestRingRemoveRemapBound is the consistency property: removing one of n
+// nodes remaps exactly the keys that node owned — around K/n of K keys, and
+// never a key owned by a surviving node.
+func TestRingRemoveRemapBound(t *testing.T) {
+	const K = 20000
+	nodes := testNodes(8)
+	keys := testKeys(K)
+	r := NewRing(0)
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	before := owners(r, keys)
+
+	victim := nodes[3]
+	r.Remove(victim)
+	after := owners(r, keys)
+
+	moved := 0
+	for _, k := range keys {
+		if before[k] != after[k] {
+			moved++
+			if before[k] != victim {
+				t.Fatalf("key %s moved %s -> %s although %s was removed",
+					k[:12], before[k], after[k], victim)
+			}
+		} else if before[k] == victim {
+			t.Fatalf("key %s still owned by removed node %s", k[:12], victim)
+		}
+	}
+	// Expect ~K/n moved; allow 2x slack for vnode placement variance.
+	bound := 2 * K / len(nodes)
+	if moved > bound {
+		t.Fatalf("removal remapped %d of %d keys, want <= ~K/n = %d (2x slack %d)",
+			moved, K, K/len(nodes), bound)
+	}
+	if moved == 0 {
+		t.Fatal("removal remapped no keys; victim owned nothing")
+	}
+}
+
+// TestRingAddRemapBound: adding an (n+1)'th node steals around K/(n+1) keys
+// for the new node and moves nothing between pre-existing nodes.
+func TestRingAddRemapBound(t *testing.T) {
+	const K = 20000
+	nodes := testNodes(8)
+	keys := testKeys(K)
+	r := NewRing(0)
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	before := owners(r, keys)
+
+	newcomer := "10.0.1.1:8724"
+	r.Add(newcomer)
+	after := owners(r, keys)
+
+	moved := 0
+	for _, k := range keys {
+		if before[k] != after[k] {
+			moved++
+			if after[k] != newcomer {
+				t.Fatalf("key %s moved %s -> %s although only %s was added",
+					k[:12], before[k], after[k], newcomer)
+			}
+		}
+	}
+	bound := 2 * K / (len(nodes) + 1)
+	if moved > bound {
+		t.Fatalf("addition remapped %d of %d keys, want <= ~K/(n+1) = %d (2x slack %d)",
+			moved, K, K/(len(nodes)+1), bound)
+	}
+	if moved == 0 {
+		t.Fatal("addition remapped no keys; newcomer owns nothing")
+	}
+}
+
+// TestRingRemoveAddRoundTrip: membership edits are position-stable — putting
+// a removed node back restores the exact original assignment.
+func TestRingRemoveAddRoundTrip(t *testing.T) {
+	nodes := testNodes(5)
+	keys := testKeys(5000)
+	r := NewRing(64)
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	before := owners(r, keys)
+	r.Remove(nodes[2])
+	r.Add(nodes[2])
+	for _, k := range keys {
+		if got := r.Owner(k); got != before[k] {
+			t.Fatalf("owner of %s changed across remove/re-add: %s -> %s", k[:12], before[k], got)
+		}
+	}
+}
+
+// TestRingAgreement: two rings built from the same membership in different
+// insertion orders assign every key identically — the property that lets
+// each node route without coordination.
+func TestRingAgreement(t *testing.T) {
+	nodes := testNodes(6)
+	a := NewRing(0)
+	b := NewRing(0)
+	for _, n := range nodes {
+		a.Add(n)
+	}
+	for i := len(nodes) - 1; i >= 0; i-- {
+		b.Add(nodes[i])
+	}
+	for _, k := range testKeys(2000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("rings disagree on %s: %s vs %s", k[:12], a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestRingBalance: with DefaultVNodes the per-node load stays within 2x of
+// the mean.
+func TestRingBalance(t *testing.T) {
+	const K = 30000
+	nodes := testNodes(10)
+	r := NewRing(0)
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	load := map[string]int{}
+	for _, k := range testKeys(K) {
+		load[r.Owner(k)]++
+	}
+	mean := K / len(nodes)
+	for _, n := range nodes {
+		if load[n] > 2*mean {
+			t.Fatalf("node %s owns %d keys, more than 2x the mean %d", n, load[n], mean)
+		}
+		if load[n] == 0 {
+			t.Fatalf("node %s owns no keys", n)
+		}
+	}
+}
+
+func TestRingSuccessors(t *testing.T) {
+	nodes := testNodes(4)
+	r := NewRing(0)
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	for _, k := range testKeys(200) {
+		succ := r.Successors(k, 3)
+		if len(succ) != 3 {
+			t.Fatalf("Successors(%s, 3) = %v", k[:12], succ)
+		}
+		if succ[0] != r.Owner(k) {
+			t.Fatalf("Successors[0] = %s, Owner = %s", succ[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("Successors(%s) repeats %s: %v", k[:12], s, succ)
+			}
+			seen[s] = true
+		}
+	}
+	// The failover target is where the key would land if the owner left.
+	for _, k := range testKeys(500) {
+		succ := r.Successors(k, 2)
+		r2 := NewRing(0)
+		for _, n := range nodes {
+			r2.Add(n)
+		}
+		r2.Remove(succ[0])
+		if got := r2.Owner(k); got != succ[1] {
+			t.Fatalf("successor of %s is %s, but removal reassigns to %s", k[:12], succ[1], got)
+		}
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	r := NewRing(0)
+	if got := r.Owner("k"); got != "" {
+		t.Fatalf("empty ring Owner = %q", got)
+	}
+	if got := r.Successors("k", 2); got != nil {
+		t.Fatalf("empty ring Successors = %v", got)
+	}
+	r.Add("a:1")
+	r.Add("a:1") // idempotent
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d after double Add", r.Len())
+	}
+	if got := r.Owner("k"); got != "a:1" {
+		t.Fatalf("single-node Owner = %q", got)
+	}
+	if got := r.Successors("k", 5); len(got) != 1 || got[0] != "a:1" {
+		t.Fatalf("single-node Successors = %v", got)
+	}
+	r.Remove("b:2") // unknown: no-op
+	r.Remove("a:1")
+	if r.Len() != 0 || len(r.points) != 0 {
+		t.Fatalf("ring not empty after Remove: len=%d points=%d", r.Len(), len(r.points))
+	}
+}
+
+func TestClusterConfigValidation(t *testing.T) {
+	if _, err := New(Config{Self: "a:1", Peers: nil}); err == nil {
+		t.Fatal("empty peer list accepted")
+	}
+	if _, err := New(Config{Self: "", Peers: []string{"a:1"}}); err == nil {
+		t.Fatal("empty advertise accepted")
+	}
+	if _, err := New(Config{Self: "c:3", Peers: []string{"a:1", "b:2"}}); err == nil {
+		t.Fatal("advertise outside peer list accepted")
+	}
+	if _, err := New(Config{Self: "a:1", Peers: []string{"a:1", "nohostport"}}); err == nil {
+		t.Fatal("non-host:port peer accepted")
+	}
+	c, err := New(Config{Self: "a:1", Peers: []string{" a:1 ", "b:2", "b:2", ""}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 2 {
+		t.Fatalf("Size = %d, want 2 after dedup", c.Size())
+	}
+	rt := c.Route("somekey")
+	if rt.Owner == "" || rt.Fallback == "" || rt.Owner == rt.Fallback {
+		t.Fatalf("Route = %+v", rt)
+	}
+	if rt.Local != (rt.Owner == "a:1") {
+		t.Fatalf("Route.Local inconsistent: %+v", rt)
+	}
+}
+
+func TestProberDelayBackoff(t *testing.T) {
+	p := NewProber(nil, nil, time.Second, 15*time.Second, nil)
+	if d := p.delay(0); d != time.Second {
+		t.Fatalf("delay(0) = %v", d)
+	}
+	if d := p.delay(2); d != 4*time.Second {
+		t.Fatalf("delay(2) = %v", d)
+	}
+	if d := p.delay(10); d != 15*time.Second {
+		t.Fatalf("delay(10) = %v, want the 15s cap", d)
+	}
+}

@@ -142,6 +142,7 @@ var (
 	ErrNotFound = errors.New("jobs: no such job")
 	ErrTerminal = errors.New("jobs: job already finished")
 	ErrClosed   = errors.New("jobs: manager closed")
+	ErrIDInUse  = errors.New("jobs: id held by a live job")
 )
 
 // permanentError marks a failure that retrying cannot fix (bad input,

@@ -239,6 +239,13 @@ func newJobID() string {
 
 // SubmitRequest describes one job submission.
 type SubmitRequest struct {
+	// ID, when non-empty, fixes the new job's identity; "" selects a
+	// random one. Owner-aware submission derives the ID from the content
+	// key, so every node of a sharded deployment maps the ID to the same
+	// owner. An ID held by a live (non-terminal) job under a different key
+	// rejects the submission with ErrIDInUse; a cancelled holder is
+	// superseded in place.
+	ID string
 	// Key is the idempotency key; "" disables deduplication.
 	Key      string
 	Payload  json.RawMessage
@@ -268,12 +275,30 @@ func (m *Manager) Submit(req SubmitRequest) (j *Job, existing bool, err error) {
 			}
 		}
 	}
+	id := req.ID
+	if id == "" {
+		id = newJobID()
+	}
+	if prior := m.jobs[id]; prior != nil {
+		// A deterministic (content-derived) ID can legitimately collide
+		// with a terminal holder: a cancelled job does not dedup by key
+		// (resubmission is allowed to take the key over), and done/failed
+		// holders were already returned by the key check above. The new
+		// record supersedes the old one in place — the WAL's full-record
+		// upsert makes replay agree.
+		if !prior.Terminal() {
+			return nil, false, fmt.Errorf("%w: job %s is %s", ErrIDInUse, id, prior.State)
+		}
+		if m.byKey[prior.Key] == prior.ID {
+			delete(m.byKey, prior.Key)
+		}
+	}
 	retries := m.cfg.MaxRetries
 	if req.MaxRetries >= 0 {
 		retries = req.MaxRetries
 	}
 	nj := &Job{
-		ID:          newJobID(),
+		ID:          id,
 		Seq:         m.nextSeq,
 		Key:         req.Key,
 		Payload:     req.Payload,

@@ -582,3 +582,72 @@ func TestObsCallbacks(t *testing.T) {
 		t.Fatalf("transitions = %d, want 5", transitions.Load())
 	}
 }
+
+// TestExplicitIDSubmission covers owner-aware submission: the caller fixes
+// the job ID (derived from the content key in the sharded server), a live
+// holder under another key rejects, and a cancelled holder is superseded in
+// place — including across a WAL restart.
+func TestExplicitIDSubmission(t *testing.T) {
+	dir := t.TempDir()
+	r := newTestRunner()
+	r.block["k1"] = make(chan struct{})
+	m, err := New(r.run, fastCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	j, existing, err := m.Submit(SubmitRequest{ID: "deadbeefdeadbeefdeadbeef", Key: "k1", MaxRetries: -1})
+	if err != nil || existing {
+		t.Fatalf("submit = %v existing=%v", err, existing)
+	}
+	if j.ID != "deadbeefdeadbeefdeadbeef" {
+		t.Fatalf("ID = %s, want the explicit one", j.ID)
+	}
+
+	// Same key dedups (and keeps the ID) regardless of the requested ID.
+	j2, existing, err := m.Submit(SubmitRequest{ID: "deadbeefdeadbeefdeadbeef", Key: "k1", MaxRetries: -1})
+	if err != nil || !existing || j2.ID != j.ID {
+		t.Fatalf("resubmit = %v existing=%v id=%s", err, existing, j2.ID)
+	}
+
+	// A different key claiming a live job's ID is a collision.
+	if _, _, err := m.Submit(SubmitRequest{ID: j.ID, Key: "k2", MaxRetries: -1}); !errors.Is(err, ErrIDInUse) {
+		t.Fatalf("collision err = %v, want ErrIDInUse", err)
+	}
+
+	// Cancel, then resubmit under the same key and ID: the cancelled
+	// holder is superseded, not an error and not a dedup hit.
+	close(r.block["k1"])
+	if _, err := m.Cancel(j.ID); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if w, err := m.Wait(ctx, j.ID); err == nil && !w.State.Terminal() {
+		t.Fatalf("job not terminal after cancel: %s", w.State)
+	}
+	delete(r.block, "k1")
+	j3, existing, err := m.Submit(SubmitRequest{ID: j.ID, Key: "k1", MaxRetries: -1})
+	if err != nil || existing {
+		t.Fatalf("takeover submit = %v existing=%v", err, existing)
+	}
+	if j3.ID != j.ID || j3.Seq == j.Seq {
+		t.Fatalf("takeover job = id %s seq %d, want same id, fresh seq (was %d)", j3.ID, j3.Seq, j.Seq)
+	}
+	waitState(t, m, j3.ID, StateDone)
+	if err := m.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart over the same WAL: the takeover record must have superseded
+	// the cancelled one.
+	m2, err := New(r.run, fastCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close(context.Background())
+	got, ok := m2.Get(j.ID)
+	if !ok || got.State != StateDone || got.Seq != j3.Seq {
+		t.Fatalf("after replay: job %s = %+v, want done at seq %d", j.ID, got, j3.Seq)
+	}
+}

@@ -1,0 +1,215 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+)
+
+// Cluster routing. When Config.Peers is set, the heavy content-addressed
+// routes — POST /v1/optimize and POST /v1/jobs — are owned by exactly one
+// node: the consistent-hash owner of the request's SHA-256 content address.
+// A request arriving anywhere else is proxied to its owner, so every
+// replica of the same request shares one node's result cache and job table
+// instead of fragmenting across the fleet.
+//
+// Invariants:
+//
+//   - One hop, ever. A proxied request carries ForwardedByHeader, and a
+//     node never re-forwards a request bearing it — even if its ring
+//     disagrees about ownership. Transient membership disagreement degrades
+//     cache locality, never availability, and can never loop.
+//   - Deadline propagation. The proxied request runs under the original
+//     request's context, so the upstream deadline bounds the hop.
+//   - Single-retry failover. When the owner is down (prober state or a
+//     failed dial), the request is retried once on the ring successor —
+//     the node that would own the key if the owner left the ring. A
+//     successor that is this node is served locally.
+
+const (
+	// ForwardedByHeader carries the proxying node's advertise address; its
+	// presence is the loop protection (see above).
+	ForwardedByHeader = "X-Optd-Forwarded-By"
+	// ServedByHeader names the node that actually executed the request, so
+	// clients and smoke tests can observe routing decisions.
+	ServedByHeader = "X-Optd-Served-By"
+	// redirectedParam marks a job-status 307 already followed once, so two
+	// nodes disagreeing about a job's owner bounce a client at most one hop.
+	redirectedParam = "_redirected"
+)
+
+// routeKeyFunc extracts a routing key from a request body; ok=false means
+// the body is unroutable (malformed) and the local handler should produce
+// its usual 4xx.
+type routeKeyFunc func(raw []byte) (key string, ok bool)
+
+// optimizeRouteKey routes POST /v1/optimize by the same content address the
+// result cache is keyed on.
+func optimizeRouteKey(raw []byte) (string, bool) {
+	var req OptimizeRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		return "", false
+	}
+	return req.cacheKey(), true
+}
+
+// jobRouteKey routes POST /v1/jobs by the job ID derived from the
+// idempotency key, the same string job-status routes hash — so a job's
+// submission, dedup table and status lookups all agree on one owner.
+func jobRouteKey(raw []byte) (string, bool) {
+	var req JobSubmitRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		return "", false
+	}
+	if names, err := canonOpts(req.Opts); err == nil {
+		// Mirror submission's canonicalization so "dce" and "DCE" route to
+		// the same owner they dedup on.
+		req.Opts = names
+	}
+	return jobIDForKey(req.jobKey()), true
+}
+
+// jobIDForKey derives the job ID from the idempotency key's content
+// address. Deterministic IDs make job placement computable from the ID
+// alone: any node can route GET /v1/jobs/{id} to the owner by hashing the
+// ID, without a lookup table.
+func jobIDForKey(key string) string {
+	if len(key) > 24 {
+		return key[:24]
+	}
+	return key
+}
+
+// sharded wraps a body-keyed handler with cluster routing; without a
+// cluster it is the identity.
+func (s *Server) sharded(keyFn routeKeyFunc, h func(http.ResponseWriter, *http.Request) error) func(http.ResponseWriter, *http.Request) error {
+	if s.cluster == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) error {
+		raw, err := io.ReadAll(r.Body)
+		if err != nil {
+			// MaxBytesReader fires here instead of inside the handler's
+			// decoder; same client error either way.
+			return failf(http.StatusBadRequest, "bad_json", "reading request body: %v", err)
+		}
+		r.Body = io.NopCloser(bytes.NewReader(raw))
+		key, ok := keyFn(raw)
+		if !ok {
+			return h(w, r) // let the handler produce its usual 400
+		}
+		rt := s.cluster.Route(key)
+		if rt.Local || r.Header.Get(ForwardedByHeader) != "" {
+			s.metrics.ClusterLocal.Add(1)
+			return h(w, r)
+		}
+		return s.forward(w, r, raw, rt, h)
+	}
+}
+
+// forward proxies the request to its owner, with single-retry failover to
+// the ring successor. Peers believed down are skipped outright; a candidate
+// resolving to this node runs the local handler.
+func (s *Server) forward(w http.ResponseWriter, r *http.Request, raw []byte, rt cluster.Route, h func(http.ResponseWriter, *http.Request) error) error {
+	candidates := []string{rt.Owner}
+	if rt.Fallback != "" {
+		candidates = append(candidates, rt.Fallback)
+	}
+	for i, target := range candidates {
+		if i > 0 {
+			s.metrics.ClusterFailovers.Add(1)
+		}
+		if target == s.cluster.Self() {
+			s.metrics.ClusterLocal.Add(1)
+			return h(w, r)
+		}
+		if !s.cluster.Up(target) {
+			continue
+		}
+		resp, err := s.forwardTo(r, target, raw)
+		if err != nil {
+			// Dial/transport failure: feed it back to the prober so later
+			// requests skip the peer without paying a dial timeout, then
+			// fail over. A context error is ours, not the peer's — bubble
+			// it up as the usual timeout response without smearing the
+			// peer's health.
+			if r.Context().Err() != nil {
+				return s.classify(r.Context().Err(), "forward", 0)
+			}
+			s.cluster.MarkDown(target, err)
+			obs.LoggerFrom(r.Context()).Warn("cluster forward failed",
+				"peer", target, "err", err)
+			continue
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			// The owner is up but refusing work (draining or saturated);
+			// the successor may still have capacity.
+			resp.Body.Close()
+			continue
+		}
+		defer resp.Body.Close()
+		s.metrics.ClusterForwarded.Add(1)
+		for k, vv := range resp.Header {
+			w.Header()[k] = vv
+		}
+		w.WriteHeader(resp.StatusCode)
+		_, _ = io.Copy(w, resp.Body)
+		return nil
+	}
+	// Owner and successor both unreachable: last resort is serving locally.
+	// The result will be correct, merely cached on the wrong node until the
+	// owners come back.
+	s.metrics.ClusterLocal.Add(1)
+	return h(w, r)
+}
+
+// forwardTo performs one proxied round-trip under the original request's
+// context (deadline propagation), measuring forward latency.
+func (s *Server) forwardTo(r *http.Request, target string, raw []byte) (*http.Response, error) {
+	u := "http://" + target + r.URL.RequestURI()
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, u, bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	req.Header = r.Header.Clone()
+	req.Header.Set(ForwardedByHeader, s.cluster.Self())
+	t0 := time.Now()
+	resp, err := s.cluster.Client().Do(req)
+	s.metrics.ForwardLatency.Observe(time.Since(t0))
+	return resp, err
+}
+
+// redirectJob answers a job-status route (GET/DELETE /v1/jobs/{id}...) with
+// a one-hop 307 to the job's owner when the job lives elsewhere. It returns
+// true when the response has been written. Jobs present locally are always
+// served locally, whatever the ring says — data beats topology.
+func (s *Server) redirectJob(w http.ResponseWriter, r *http.Request, id string) bool {
+	if s.cluster == nil {
+		return false
+	}
+	if _, ok := s.jobs.Get(id); ok {
+		return false
+	}
+	if r.Header.Get(ForwardedByHeader) != "" || r.URL.Query().Get(redirectedParam) == "1" {
+		return false
+	}
+	rt := s.cluster.Route(id)
+	if rt.Local || !s.cluster.Up(rt.Owner) {
+		// Owner down: a redirect would strand the client against a dead
+		// node; the honest local answer is 404 (the job state lives in the
+		// owner's WAL and will resurface when it restarts).
+		return false
+	}
+	q := r.URL.Query()
+	q.Set(redirectedParam, "1")
+	loc := url.URL{Scheme: "http", Host: rt.Owner, Path: r.URL.Path, RawQuery: q.Encode()}
+	s.metrics.ClusterRedirects.Add(1)
+	http.Redirect(w, r, loc.String(), http.StatusTemporaryRedirect)
+	return true
+}

@@ -1,0 +1,319 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// sourceFor renders a distinct valid MiniF program per seed.
+func sourceFor(seed int) string {
+	return fmt.Sprintf("PROGRAM f%d\nINTEGER x\nx = %d\nPRINT x\nEND\n", seed, seed)
+}
+
+// optimizeBodyOwnedBy searches for an optimize request whose routing key is
+// owned by the wanted node in a ring over peers.
+func optimizeBodyOwnedBy(t *testing.T, peers []string, want string) []byte {
+	t.Helper()
+	ring := cluster.NewRing(0)
+	for _, p := range peers {
+		ring.Add(p)
+	}
+	for seed := 0; seed < 10000; seed++ {
+		req := OptimizeRequest{Source: sourceFor(seed), Opts: []string{"CTP", "DCE"}}
+		if ring.Owner(req.cacheKey()) == want {
+			raw, err := json.Marshal(&req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return raw
+		}
+	}
+	t.Fatalf("no source routed to %s in 10000 tries", want)
+	return nil
+}
+
+// newClusterServer builds a Server that believes it is self within peers.
+func newClusterServer(t *testing.T, self string, peers []string) *Server {
+	t.Helper()
+	srv, err := New(Config{
+		Logger:    slog.New(slog.DiscardHandler),
+		Peers:     peers,
+		Advertise: self,
+		// Slow probing: these tests exercise the forwarding path's own
+		// failure handling, not the prober.
+		ProbeInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+	return srv
+}
+
+// TestForwardLoopProtection: a request that already carries the forwarded
+// header is served locally even when the ring assigns it to a peer — the
+// invariant that makes cross-node loops impossible.
+func TestForwardLoopProtection(t *testing.T) {
+	self := "127.0.0.1:8724"
+	// TEST-NET-1 address: any forward attempt would fail, loudly bumping
+	// the failover counter — which this test asserts stays at zero.
+	peer := "192.0.2.1:1"
+	srv := newClusterServer(t, self, []string{self, peer})
+	body := optimizeBodyOwnedBy(t, []string{self, peer}, peer)
+
+	req := httptest.NewRequest("POST", "/v1/optimize", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(ForwardedByHeader, peer)
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("forwarded request = %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get(ServedByHeader); got != self {
+		t.Fatalf("%s = %q, want %q", ServedByHeader, got, self)
+	}
+	m := srv.Metrics()
+	if m.ClusterLocal.Load() != 1 || m.ClusterForwarded.Load() != 0 || m.ClusterFailovers.Load() != 0 {
+		t.Fatalf("counters local=%d forwarded=%d failover=%d, want 1/0/0",
+			m.ClusterLocal.Load(), m.ClusterForwarded.Load(), m.ClusterFailovers.Load())
+	}
+}
+
+// TestForwardFailoverToSelf: with the owner unreachable, the single retry
+// goes to the ring successor — in a two-node cluster, this node — and the
+// request still succeeds.
+func TestForwardFailoverToSelf(t *testing.T) {
+	self := "127.0.0.1:8724"
+	peer := "127.0.0.1:1" // closed port: dial fails immediately
+	srv := newClusterServer(t, self, []string{self, peer})
+	body := optimizeBodyOwnedBy(t, []string{self, peer}, peer)
+
+	req := httptest.NewRequest("POST", "/v1/optimize", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("failover request = %d: %s", rec.Code, rec.Body.String())
+	}
+	m := srv.Metrics()
+	if m.ClusterFailovers.Load() != 1 {
+		t.Fatalf("failovers = %d, want 1", m.ClusterFailovers.Load())
+	}
+	if !strings.Contains(rec.Body.String(), `"minif"`) {
+		t.Fatalf("failover response lacks minif: %s", rec.Body.String())
+	}
+	// The dial failure is health feedback: the peer is now marked down,
+	// so the next mis-routed request skips the dial entirely.
+	if srv.Cluster().Up(peer) {
+		t.Fatal("peer still believed up after a failed forward")
+	}
+	rec2 := httptest.NewRecorder()
+	req2 := httptest.NewRequest("POST", "/v1/optimize", bytes.NewReader(body))
+	req2.Header.Set("Content-Type", "application/json")
+	srv.Handler().ServeHTTP(rec2, req2)
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("second failover request = %d", rec2.Code)
+	}
+}
+
+// twoNodeCluster starts two fully wired servers on real listeners and
+// returns their advertise addresses.
+func twoNodeCluster(t *testing.T) (addrA, addrB string, srvA, srvB *Server) {
+	t.Helper()
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrA, addrB = lnA.Addr().String(), lnB.Addr().String()
+	peers := []string{addrA, addrB}
+	srvA = newClusterServer(t, addrA, peers)
+	srvB = newClusterServer(t, addrB, peers)
+	for _, pair := range []struct {
+		ln  net.Listener
+		srv *Server
+	}{{lnA, srvA}, {lnB, srvB}} {
+		hs := &http.Server{Handler: pair.srv.Handler()}
+		go func() { _ = hs.Serve(pair.ln) }()
+		t.Cleanup(func() { _ = hs.Close() })
+	}
+	return addrA, addrB, srvA, srvB
+}
+
+// TestForwardTwoNodes: a request posted to the non-owner is proxied to the
+// owner, lands in the owner's cache, and a repeat through the non-owner is
+// an owner-side cache hit — cache-aware routing end to end.
+func TestForwardTwoNodes(t *testing.T) {
+	addrA, addrB, srvA, srvB := twoNodeCluster(t)
+	body := optimizeBodyOwnedBy(t, []string{addrA, addrB}, addrB)
+
+	post := func(addr string) (*http.Response, OptimizeResponse) {
+		t.Helper()
+		resp, err := http.Post("http://"+addr+"/v1/optimize", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("optimize via %s = %d: %s", addr, resp.StatusCode, raw)
+		}
+		var or OptimizeResponse
+		if err := json.Unmarshal(raw, &or); err != nil {
+			t.Fatal(err)
+		}
+		return resp, or
+	}
+
+	resp, or := post(addrA) // A does not own the key: proxied to B
+	if got := resp.Header.Get(ServedByHeader); got != addrB {
+		t.Fatalf("%s = %q, want owner %q", ServedByHeader, got, addrB)
+	}
+	if or.Cached {
+		t.Fatal("first request reported cached")
+	}
+	if srvA.Metrics().ClusterForwarded.Load() != 1 {
+		t.Fatalf("A forwarded = %d, want 1", srvA.Metrics().ClusterForwarded.Load())
+	}
+	if srvB.cache.Len() != 1 {
+		t.Fatalf("owner cache len = %d, want 1", srvB.cache.Len())
+	}
+
+	resp, or = post(addrA) // repeat through the non-owner: owner cache hit
+	if !or.Cached || resp.Header.Get(ServedByHeader) != addrB {
+		t.Fatalf("repeat: cached=%v served-by=%q, want true/%q", or.Cached, resp.Header.Get(ServedByHeader), addrB)
+	}
+	if hits := srvB.Metrics().CacheHits.Load(); hits != 1 {
+		t.Fatalf("owner cache hits = %d, want 1", hits)
+	}
+	if srvA.cache.Len() != 0 {
+		t.Fatalf("non-owner cached a forwarded result: len = %d", srvA.cache.Len())
+	}
+
+	_, or = post(addrB) // straight to the owner: local hit, no forwarding
+	if !or.Cached || srvB.Metrics().ClusterForwarded.Load() != 0 {
+		t.Fatalf("owner-direct: cached=%v, B forwarded=%d", or.Cached, srvB.Metrics().ClusterForwarded.Load())
+	}
+}
+
+// TestJobForwardAndRedirect: job submission is proxied to the owner of the
+// content-derived job ID, and job-status lookups anywhere else answer with
+// a one-hop 307 to that owner.
+func TestJobForwardAndRedirect(t *testing.T) {
+	addrA, addrB, srvA, srvB := twoNodeCluster(t)
+
+	// Find a job payload owned by B.
+	ring := cluster.NewRing(0)
+	ring.Add(addrA)
+	ring.Add(addrB)
+	var body []byte
+	for seed := 0; ; seed++ {
+		if seed == 10000 {
+			t.Fatal("no job routed to B in 10000 tries")
+		}
+		req := JobSubmitRequest{OptimizeRequest: OptimizeRequest{Source: sourceFor(seed), Opts: []string{"DCE"}}}
+		if ring.Owner(jobIDForKey(req.jobKey())) == addrB {
+			var err error
+			if body, err = json.Marshal(&req); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+
+	resp, err := http.Post("http://"+addrA+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit via A = %d: %s", resp.StatusCode, raw)
+	}
+	var jv JobView
+	if err := json.Unmarshal(raw, &jv); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := srvB.Jobs().Get(jv.ID); !ok {
+		t.Fatalf("job %s not on owner B", jv.ID)
+	}
+	if _, ok := srvA.Jobs().Get(jv.ID); ok {
+		t.Fatalf("job %s duplicated on non-owner A", jv.ID)
+	}
+
+	// Status on the non-owner: a single 307 to the owner, marked so the
+	// owner never bounces it back.
+	nofollow := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	sresp, err := nofollow.Get("http://" + addrA + "/v1/jobs/" + jv.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, sresp.Body)
+	sresp.Body.Close()
+	if sresp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("status via A = %d, want 307", sresp.StatusCode)
+	}
+	loc := sresp.Header.Get("Location")
+	if !strings.Contains(loc, addrB) || !strings.Contains(loc, redirectedParam+"=1") {
+		t.Fatalf("Location = %q, want owner %s with %s=1", loc, addrB, redirectedParam)
+	}
+	if srvA.Metrics().ClusterRedirects.Load() != 1 {
+		t.Fatalf("A redirects = %d, want 1", srvA.Metrics().ClusterRedirects.Load())
+	}
+
+	// A default client (like opt -submit) follows the hop and long-polls
+	// the job to completion on the owner.
+	wresp, err := http.Get("http://" + addrA + "/v1/jobs/" + jv.ID + "?wait=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wraw, _ := io.ReadAll(wresp.Body)
+	wresp.Body.Close()
+	if wresp.StatusCode != http.StatusOK {
+		t.Fatalf("wait = %d: %s", wresp.StatusCode, wraw)
+	}
+	var done JobView
+	if err := json.Unmarshal(wraw, &done); err != nil {
+		t.Fatal(err)
+	}
+	if done.State != "done" {
+		t.Fatalf("job state = %s: %s", done.State, wraw)
+	}
+
+	// Resubmitting the identical payload through the other node dedups
+	// onto the owner's existing job: cluster-wide idempotency.
+	resp2, err := http.Post("http://"+addrB+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	var jv2 JobView
+	if err := json.Unmarshal(raw2, &jv2); err != nil {
+		t.Fatal(err)
+	}
+	if jv2.ID != jv.ID || !jv2.Existing {
+		t.Fatalf("resubmission = id %s existing %v, want %s/true", jv2.ID, jv2.Existing, jv.ID)
+	}
+}

@@ -120,8 +120,16 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return failf(http.StatusBadRequest, "bad_request", "unencodable job payload: %v", err)
 	}
+	// The job ID is derived from the idempotency key's content address
+	// rather than random: every cluster node can then compute a job's
+	// owning shard from the ID alone, and status routes redirect without a
+	// lookup table. Owner-aware submission rides on the same property — a
+	// resubmission anywhere in the cluster routes to the same owner and
+	// dedups there.
+	key := req.jobKey()
 	j, existing, err := s.jobs.Submit(jobs.SubmitRequest{
-		Key:        req.jobKey(),
+		ID:         jobIDForKey(key),
+		Key:        key,
 		Payload:    payload,
 		Priority:   prio,
 		MaxRetries: retries,
@@ -131,6 +139,8 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) error {
 	case errors.Is(err, jobs.ErrClosed):
 		w.Header().Set("Retry-After", "5")
 		return failf(http.StatusServiceUnavailable, "draining", "job queue is shutting down")
+	case errors.Is(err, jobs.ErrIDInUse):
+		return failf(http.StatusConflict, "id_conflict", "%v", err)
 	case err != nil:
 		return failf(http.StatusInternalServerError, "jobs_wal", "could not persist job: %v", err)
 	}
@@ -143,6 +153,9 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) error {
 
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) error {
 	id := r.PathValue("id")
+	if s.redirectJob(w, r, id) {
+		return nil
+	}
 	// ?wait=1 long-polls until the job is terminal or the request deadline
 	// hits, then reports whatever state the job is in.
 	if r.URL.Query().Get("wait") == "1" {
@@ -163,6 +176,9 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) error {
 
 func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) error {
 	id := r.PathValue("id")
+	if s.redirectJob(w, r, id) {
+		return nil
+	}
 	j, ok := s.jobs.Get(id)
 	if !ok {
 		return failf(http.StatusNotFound, "no_job", "no job %q", id)
@@ -189,6 +205,9 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) error {
 
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) error {
 	id := r.PathValue("id")
+	if s.redirectJob(w, r, id) {
+		return nil
+	}
 	j, err := s.jobs.Cancel(id)
 	switch {
 	case errors.Is(err, jobs.ErrNotFound):

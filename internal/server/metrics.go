@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/jobs"
 	"repro/internal/obs"
 )
@@ -44,6 +45,26 @@ type Metrics struct {
 	JobsFailed    atomic.Int64
 	JobsCancelled atomic.Int64
 	JobLatency    *obs.Histogram
+
+	// Cluster routing counters. Local counts content-addressed requests
+	// served on this node (owner here, loop-protected, or failover landing
+	// back home); Forwarded counts requests proxied to a peer; Failovers
+	// counts owner-unreachable retries against the ring successor;
+	// Redirects counts job-status 307s; PeerTransitions counts peer
+	// up↔down flips. ForwardLatency observes the proxied round-trip.
+	ClusterLocal           atomic.Int64
+	ClusterForwarded       atomic.Int64
+	ClusterFailovers       atomic.Int64
+	ClusterRedirects       atomic.Int64
+	ClusterPeerTransitions atomic.Int64
+	ForwardLatency         *obs.Histogram
+
+	// Cluster identity and live peer health, installed by the server when
+	// clustering is enabled; nil otherwise (single-node /metrics output is
+	// unchanged).
+	clusterSelf   string
+	clusterPeers  []string
+	clusterStatus func() []cluster.PeerStatus
 
 	// Dependence-store and undo-log totals, aggregated across every pass run
 	// through PassObserved.
@@ -92,10 +113,19 @@ type passStatJSON struct {
 
 func newMetrics() *Metrics {
 	return &Metrics{
-		routes:     map[string]*routeStat{},
-		passes:     map[string]*passStat{},
-		JobLatency: obs.NewHistogram(obs.JobLatencyBuckets...),
+		routes:         map[string]*routeStat{},
+		passes:         map[string]*passStat{},
+		JobLatency:     obs.NewHistogram(obs.JobLatencyBuckets...),
+		ForwardLatency: obs.NewHistogram(),
 	}
+}
+
+// setClusterStatus installs the cluster identity and health snapshot
+// source. Called once at server construction, before any scrape can run.
+func (m *Metrics) setClusterStatus(self string, peers []string, status func() []cluster.PeerStatus) {
+	m.clusterSelf = self
+	m.clusterPeers = peers
+	m.clusterStatus = status
 }
 
 // jobsObs adapts the counter set to the job manager's lifecycle callbacks.
@@ -267,7 +297,7 @@ func (m *Metrics) Snapshot() map[string]any {
 			MaxNS:        st.maxNS.Load(),
 		}
 	}
-	return map[string]any{
+	snap := map[string]any{
 		"requests": map[string]any{
 			"total":     m.RequestsTotal.Load(),
 			"by_route":  routes,
@@ -311,6 +341,21 @@ func (m *Metrics) Snapshot() map[string]any {
 		"panics_recovered":       m.PanicsRecovered.Load(),
 		"pass_latency":           passes,
 	}
+	if m.clusterStatus != nil {
+		snap["cluster"] = map[string]any{
+			"self":  m.clusterSelf,
+			"size":  len(m.clusterPeers),
+			"peers": m.clusterStatus(),
+			"routed": map[string]any{
+				"local":     m.ClusterLocal.Load(),
+				"forwarded": m.ClusterForwarded.Load(),
+				"failover":  m.ClusterFailovers.Load(),
+				"redirect":  m.ClusterRedirects.Load(),
+			},
+			"peer_transitions": m.ClusterPeerTransitions.Load(),
+		}
+	}
+	return snap
 }
 
 // WriteProm renders every counter in Prometheus text exposition format
@@ -413,6 +458,28 @@ func (m *Metrics) WriteProm(w io.Writer) error {
 	pw.IntSample("optd_jobs_finished_total", []obs.Label{obs.L("state", "cancelled")}, m.JobsCancelled.Load())
 	pw.Header("optd_jobs_duration_seconds", "Batch job enqueue-to-terminal latency.", "histogram")
 	pw.Histogram("optd_jobs_duration_seconds", nil, m.JobLatency.Snapshot())
+
+	if m.clusterStatus != nil {
+		pw.Header("optd_cluster_peers", "Cluster membership size (including this node).", "gauge")
+		pw.IntSample("optd_cluster_peers", nil, int64(len(m.clusterPeers)))
+		pw.Header("optd_cluster_peer_up", "Peer health as last probed (1 up, 0 down).", "gauge")
+		for _, st := range m.clusterStatus() {
+			up := int64(0)
+			if st.Up {
+				up = 1
+			}
+			pw.IntSample("optd_cluster_peer_up", []obs.Label{obs.L("peer", st.Addr)}, up)
+		}
+		pw.Header("optd_cluster_routed_total", "Content-addressed requests by routing decision.", "counter")
+		pw.IntSample("optd_cluster_routed_total", []obs.Label{obs.L("decision", "local")}, m.ClusterLocal.Load())
+		pw.IntSample("optd_cluster_routed_total", []obs.Label{obs.L("decision", "forwarded")}, m.ClusterForwarded.Load())
+		pw.IntSample("optd_cluster_routed_total", []obs.Label{obs.L("decision", "failover")}, m.ClusterFailovers.Load())
+		pw.IntSample("optd_cluster_routed_total", []obs.Label{obs.L("decision", "redirect")}, m.ClusterRedirects.Load())
+		pw.Header("optd_cluster_peer_transitions_total", "Peer up/down health transitions observed.", "counter")
+		pw.IntSample("optd_cluster_peer_transitions_total", nil, m.ClusterPeerTransitions.Load())
+		pw.Header("optd_cluster_forward_seconds", "Proxied request round-trip latency.", "histogram")
+		pw.Histogram("optd_cluster_forward_seconds", nil, m.ForwardLatency.Snapshot())
+	}
 
 	return pw.Err()
 }

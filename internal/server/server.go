@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/par"
@@ -73,6 +74,18 @@ type Config struct {
 	// JobsNoSync skips the WAL's per-append fsync (benchmarks only).
 	JobsNoSync bool
 
+	// Peers lists every cluster member's advertise address (host:port);
+	// empty runs a single node with no routing layer at all. The list must
+	// be identical (up to order) on every member.
+	Peers []string
+	// Advertise is this node's own entry in Peers; required when Peers is
+	// set.
+	Advertise string
+	// ProbeInterval and ProbeBackoffCap tune peer health probing; zero
+	// selects the cluster package defaults (1s, 15s).
+	ProbeInterval   time.Duration
+	ProbeBackoffCap time.Duration
+
 	// testHook, when non-nil, runs inside the optimize handler after
 	// admission and before the pipeline — a seam for shutdown/timeout
 	// tests. It receives the request context.
@@ -114,6 +127,7 @@ type Server struct {
 	metrics  *Metrics
 	sessions *sessionStore
 	jobs     *jobs.Manager
+	cluster  *cluster.Cluster // nil on a single node
 	mux      *http.ServeMux
 
 	mu       sync.RWMutex // guards draining against in-flight accounting
@@ -136,6 +150,23 @@ func New(cfg Config) (*Server, error) {
 		metrics: newMetrics(),
 	}
 	s.sessions = newSessionStore(cfg.MaxSessions, cfg.SessionTTL, s.metrics)
+	if len(cfg.Peers) > 0 {
+		cl, err := cluster.New(cluster.Config{
+			Self:            cfg.Advertise,
+			Peers:           cfg.Peers,
+			ProbeInterval:   cfg.ProbeInterval,
+			ProbeBackoffCap: cfg.ProbeBackoffCap,
+			Logger:          cfg.Logger,
+			OnPeerChange:    func(string, bool) { s.metrics.ClusterPeerTransitions.Add(1) },
+		})
+		if err != nil {
+			s.sessions.close()
+			return nil, err
+		}
+		s.cluster = cl
+		s.metrics.setClusterStatus(cl.Self(), cl.Peers(), cl.Status)
+		cl.Start()
+	}
 	mgr, err := jobs.New(s.runJob, jobs.Config{
 		Dir:          cfg.JobsDir,
 		Workers:      cfg.JobsWorkers,
@@ -148,6 +179,9 @@ func New(cfg Config) (*Server, error) {
 	})
 	if err != nil {
 		s.sessions.close()
+		if s.cluster != nil {
+			s.cluster.Close()
+		}
 		return nil, fmt.Errorf("server: opening jobs dir %q: %w", cfg.JobsDir, err)
 	}
 	s.jobs = mgr
@@ -167,13 +201,16 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // Jobs exposes the job manager (primarily for tests and benches).
 func (s *Server) Jobs() *jobs.Manager { return s.jobs }
 
+// Cluster exposes the routing layer; nil on a single node.
+func (s *Server) Cluster() *cluster.Cluster { return s.cluster }
+
 // Handler returns the root handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.wrap("healthz", false, s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.wrap("metrics", false, s.handleMetrics))
-	s.mux.HandleFunc("POST /v1/optimize", s.wrap("optimize", true, s.handleOptimize))
+	s.mux.HandleFunc("POST /v1/optimize", s.wrap("optimize", true, s.sharded(optimizeRouteKey, s.handleOptimize)))
 	s.mux.HandleFunc("POST /v1/points", s.wrap("points", true, s.handlePoints))
 	s.mux.HandleFunc("POST /v1/session", s.wrap("session.create", true, s.handleSessionCreate))
 	s.mux.HandleFunc("GET /v1/session/{id}", s.wrap("session.get", false, s.handleSessionGet))
@@ -187,7 +224,10 @@ func (s *Server) routes() {
 	// Batch jobs. None of these admit through the request limiter: the
 	// handlers only touch the job table, and execution is bounded by the
 	// job manager's own worker pool.
-	s.mux.HandleFunc("POST /v1/jobs", s.wrap("jobs.submit", false, s.handleJobSubmit))
+	// Submission is proxied to the content address's owner; the status
+	// routes answer with a one-hop 307 to the owner instead (the job ID is
+	// derived from the content address, so any node can compute it).
+	s.mux.HandleFunc("POST /v1/jobs", s.wrap("jobs.submit", false, s.sharded(jobRouteKey, s.handleJobSubmit)))
 	s.mux.HandleFunc("GET /v1/jobs", s.wrap("jobs.list", false, s.handleJobList))
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.wrap("jobs.get", false, s.handleJobGet))
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.wrap("jobs.result", false, s.handleJobResult))
@@ -221,6 +261,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		close(done)
 	}()
 	defer s.sessions.close()
+	if s.cluster != nil {
+		defer s.cluster.Close()
+	}
 	var err error
 	select {
 	case <-done:
@@ -274,6 +317,12 @@ func (s *Server) wrap(route string, admit bool, h func(w http.ResponseWriter, r 
 
 		reqID := fmt.Sprintf("%08x", s.reqSeq.Add(1))
 		rw.Header().Set("X-Request-ID", reqID)
+		if s.cluster != nil {
+			// Forwarded responses overwrite this with the executing node's
+			// value when copying headers back, so the client always sees
+			// where the work actually ran.
+			rw.Header().Set(ServedByHeader, s.cluster.Self())
+		}
 		logger := s.cfg.Logger.With(slog.String("req_id", reqID), slog.String("route", route))
 		w := &statusRecorder{ResponseWriter: rw}
 		t0 := time.Now()

@@ -11,14 +11,14 @@
 #                                    # no tracer at all
 #
 # Environment:
-#   BENCH    regexp of benchmarks to run  (default: DriverFixpoint|ServerOptimize|JobsThroughput)
+#   BENCH    regexp of benchmarks to run  (default: DriverFixpoint|ServerOptimize|JobsThroughput|ClusterForward)
 #   COUNT    -count for statistical runs  (default: 6)
 #   OUT      output file                  (default: bench-new.txt)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-BENCH=${BENCH:-'DriverFixpoint|ServerOptimize|JobsThroughput'}
+BENCH=${BENCH:-'DriverFixpoint|ServerOptimize|JobsThroughput|ClusterForward'}
 COUNT=${COUNT:-6}
 OUT=${OUT:-bench-new.txt}
 BASELINE=
