@@ -39,6 +39,14 @@
 // owner. Per-peer health comes from probing /healthz with exponential
 // backoff on down peers.
 //
+// -engine selects how optimization pipelines execute: auto (the default)
+// serves from ahead-of-time compiled optimizer artifacts once they are
+// built, falling back to the interpreted engine transparently; interp
+// forces interpretation; compiled additionally refuses to start until the
+// artifact covering every built-in optimization is built or loaded.
+// Artifacts are cached content-addressed under -native-dir and every
+// response names its engine in the X-Optd-Engine header.
+//
 // Results are cached content-addressed (SHA-256 of source, opt sequence,
 // spec text and limits) in a bounded LRU; concurrency is bounded by an
 // admission limiter; every request carries a deadline; optimizer panics
@@ -90,6 +98,9 @@ func main() {
 
 		peers     = flag.String("peers", "", "comma-separated cluster member addresses (host:port, including this node); empty = single node")
 		advertise = flag.String("advertise", "", "this node's address as it appears in -peers (required with -peers)")
+
+		engine    = flag.String("engine", "auto", "optimizer engine: auto (serve from compiled artifacts when loaded, interpret otherwise), interp, or compiled (require the built-in artifact before accepting traffic)")
+		nativeDir = flag.String("native-dir", "", "compiled-artifact cache directory (empty = the user cache dir)")
 	)
 	flag.Parse()
 	if *workers < 0 {
@@ -98,6 +109,10 @@ func main() {
 	}
 	if *logfmt != "text" && *logfmt != "json" {
 		fmt.Fprintf(os.Stderr, "optd: -logfmt must be text or json (got %q)\n", *logfmt)
+		os.Exit(2)
+	}
+	if !server.ValidEngine(*engine) {
+		fmt.Fprintf(os.Stderr, "optd: -engine must be auto, interp or compiled (got %q)\n", *engine)
 		os.Exit(2)
 	}
 	logger := obs.NewLogger(os.Stderr, *logfmt, slog.LevelInfo)
@@ -150,6 +165,8 @@ func main() {
 		JobsRetries:    *jobsRetries,
 		Peers:          peerList,
 		Advertise:      *advertise,
+		Engine:         *engine,
+		NativeDir:      *nativeDir,
 	})
 	if err != nil {
 		logger.Error("server init failed", slog.Any("err", err))

@@ -1,0 +1,153 @@
+package nativecache
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os/exec"
+	"plugin"
+	"strconv"
+	"strings"
+
+	"repro/optlib"
+)
+
+// errUnloadable marks a verified on-disk plugin this host process cannot
+// load (plugin runtime disabled by the platform, cgo, or race
+// instrumentation). It is sticky per configuration, never per artifact, so
+// callers skip rebuilds and fall back to the subprocess runner.
+var errUnloadable = errors.New("nativecache: host cannot load plugins")
+
+// Artifact is one loaded compiled optimizer set. Immutable after load.
+type Artifact struct {
+	Key   string
+	mode  Mode
+	specs []string
+	funcs map[string]optlib.ApplyFunc // plugin mode
+	bin   string                      // subprocess mode
+}
+
+// Mode reports how the artifact executes ("plugin" or "subprocess").
+func (a *Artifact) Mode() string { return a.mode.String() }
+
+// Specs returns the spec names the artifact was compiled from.
+func (a *Artifact) Specs() []string { return append([]string(nil), a.specs...) }
+
+// Func returns the compiled ApplyFunc for a spec (plugin mode only).
+func (a *Artifact) Func(name string) (optlib.ApplyFunc, bool) {
+	fn, ok := a.funcs[name]
+	return fn, ok
+}
+
+// Covers reports whether every named pass is compiled into the artifact.
+func (a *Artifact) Covers(names []string) bool {
+	for _, n := range names {
+		found := false
+		for _, s := range a.specs {
+			if s == n {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// InProcess reports whether the artifact's matchers run in this process
+// (plugin mode).
+func (a *Artifact) InProcess() bool { return a.mode == ModePlugin }
+
+// openPlugin loads the shared object and resolves the exported Registry
+// symbol, checking it against the expected spec set.
+func openPlugin(path string, set SpecSet) (map[string]optlib.ApplyFunc, error) {
+	pl, err := plugin.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errUnloadable, err)
+	}
+	sym, err := pl.Lookup("Registry")
+	if err != nil {
+		return nil, fmt.Errorf("nativecache: artifact %s: %w", path, err)
+	}
+	reg, ok := sym.(*map[string]optlib.ApplyFunc)
+	if !ok {
+		return nil, fmt.Errorf("nativecache: artifact %s: Registry has type %T", path, sym)
+	}
+	for _, n := range set.names {
+		if (*reg)[n] == nil {
+			return nil, fmt.Errorf("nativecache: artifact %s: no compiled optimizer %s", path, n)
+		}
+	}
+	return *reg, nil
+}
+
+// RunResult is the subprocess runner's stdout protocol (and, in plugin
+// mode, the shape RunPipeline normalizes to): pass counts and the optimized
+// program in both renderings. ErrKind is one of "parse", "unknown_opt",
+// "iteration_limit" or "optimize"; empty means success.
+type RunResult struct {
+	Passes  []PassCountJSON `json:"passes"`
+	MiniF   string          `json:"minif"`
+	IR      string          `json:"ir"`
+	ParseUS int64           `json:"parse_us"`
+	ErrKind string          `json:"err_kind,omitempty"`
+	Err     string          `json:"err,omitempty"`
+}
+
+// PassCountJSON is one pass of a RunResult.
+type PassCountJSON struct {
+	Name         string `json:"name"`
+	Applications int    `json:"applications"`
+	DurationUS   int64  `json:"duration_us"`
+}
+
+// PipelineError converts a RunResult's error fields back into the error the
+// in-process pipeline would have returned (nil on success). Iteration-limit
+// stops unwrap to optlib.ErrIterationLimit so callers classify both
+// execution modes identically.
+func (r *RunResult) PipelineError() error {
+	switch r.ErrKind {
+	case "":
+		return nil
+	case "iteration_limit":
+		return fmt.Errorf("%s: %w", r.failingPass(), optlib.ErrIterationLimit)
+	default:
+		return fmt.Errorf("nativecache: runner: %s: %s", r.ErrKind, r.Err)
+	}
+}
+
+func (r *RunResult) failingPass() string {
+	if len(r.Passes) == 0 {
+		return "?"
+	}
+	return r.Passes[len(r.Passes)-1].Name
+}
+
+// RunPipeline executes the artifact's subprocess runner over one MiniF
+// source: opts name the passes in order, maxIter caps each pass's fixpoint
+// (0 selects the optlib default). The child is killed when ctx ends.
+func (a *Artifact) RunPipeline(ctx context.Context, source string, opts []string, maxIter int) (*RunResult, error) {
+	if a.mode != ModeSubprocess {
+		return nil, fmt.Errorf("nativecache: RunPipeline needs a subprocess artifact (have %s)", a.mode)
+	}
+	cmd := exec.CommandContext(ctx, a.bin, "-opts", strings.Join(opts, ","), "-maxiter", strconv.Itoa(maxIter))
+	cmd.Stdin = strings.NewReader(source)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, fmt.Errorf("nativecache: runner failed: %w\n%s", err, stderr.String())
+	}
+	var res RunResult
+	if err := json.Unmarshal(stdout.Bytes(), &res); err != nil {
+		return nil, fmt.Errorf("nativecache: undecodable runner output: %w", err)
+	}
+	return &res, nil
+}

@@ -1,0 +1,226 @@
+package nativecache
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/codegen"
+)
+
+// Artifact file layout in the cache dir, per key:
+//
+//	<key>.so        plugin artifact
+//	<key>.bin       subprocess runner artifact
+//	<key>.so.sum    hex SHA-256 of the artifact bytes (integrity sidecar)
+//	<key>.bin.sum
+//	<key>.json      human-readable manifest (debugging aid, never read back)
+//
+// Install order writes the artifact first and its sidecar second, both via
+// atomic renames: a crash between the two leaves an artifact without a
+// sidecar, which verification treats as corrupt and rebuilds.
+
+func (c *Cache) artifactPath(key string, mode Mode) string {
+	ext := ".so"
+	if mode == ModeSubprocess {
+		ext = ".bin"
+	}
+	return filepath.Join(c.cfg.Dir, key+ext)
+}
+
+// loadDisk verifies and loads an installed artifact. A missing artifact
+// reports fs.ErrNotExist; an artifact failing integrity verification is
+// deleted (counted as "corrupt") and reported as an error so the caller
+// rebuilds.
+func (c *Cache) loadDisk(key string, set SpecSet, mode Mode) (*Artifact, error) {
+	path := c.artifactPath(key, mode)
+	if _, err := os.Stat(path); err != nil {
+		return nil, err
+	}
+	if err := verifySum(path); err != nil {
+		c.cfg.Obs.event("corrupt")
+		os.Remove(path)
+		os.Remove(path + ".sum")
+		return nil, err
+	}
+	return c.loadVerified(path, key, set, mode)
+}
+
+// loadVerified turns an integrity-checked artifact file into a live
+// Artifact. Plugin load failures are NOT treated as corruption: a
+// sum-verified .so that fails plugin.Open was built by this very
+// configuration (the key commits to the toolchain), so the failure is a
+// property of the host process — typically a race-instrumented or
+// cgo-disabled binary — and deleting the file would only make every other
+// process rebuild it.
+func (c *Cache) loadVerified(path, key string, set SpecSet, mode Mode) (*Artifact, error) {
+	if mode == ModePlugin {
+		funcs, err := openPlugin(path, set)
+		if err != nil {
+			return nil, err
+		}
+		return &Artifact{Key: key, mode: ModePlugin, specs: set.Names(), funcs: funcs}, nil
+	}
+	if err := checkExecutable(path); err != nil {
+		return nil, err
+	}
+	return &Artifact{Key: key, mode: ModeSubprocess, specs: set.Names(), bin: path}, nil
+}
+
+func verifySum(path string) error {
+	want, err := os.ReadFile(path + ".sum")
+	if err != nil {
+		return fmt.Errorf("nativecache: artifact %s has no integrity sidecar: %w", filepath.Base(path), err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return err
+	}
+	got := hex.EncodeToString(h.Sum(nil))
+	if got != strings.TrimSpace(string(want)) {
+		return fmt.Errorf("nativecache: artifact %s fails integrity verification", filepath.Base(path))
+	}
+	return nil
+}
+
+func checkExecutable(path string) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if info.Mode()&0o111 == 0 {
+		return fmt.Errorf("nativecache: runner %s is not executable", filepath.Base(path))
+	}
+	return nil
+}
+
+// build emits the generated sources into a staging module under the cache
+// dir, runs the Go toolchain, and installs the artifact atomically.
+func (c *Cache) build(ctx context.Context, key string, gen map[string]string, set SpecSet, mode Mode) (*Artifact, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.BuildTimeout)
+	defer cancel()
+
+	stage, err := os.MkdirTemp(c.cfg.Dir, "stage-")
+	if err != nil {
+		return nil, fmt.Errorf("nativecache: staging dir: %w", err)
+	}
+	defer os.RemoveAll(stage)
+
+	files := make(map[string]string, len(gen)+2)
+	for name, src := range gen {
+		files[name] = src
+	}
+	files["main.go"] = runnerSource(set)
+	files["go.mod"] = c.stagingGoMod(key)
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(stage, name), []byte(src), 0o644); err != nil {
+			return nil, fmt.Errorf("nativecache: staging %s: %w", name, err)
+		}
+	}
+
+	// No -trimpath: plugin version checks fingerprint every linked package,
+	// and the host process is built without it — a trimmed plugin would be
+	// rejected by plugin.Open as "built with a different version".
+	out := filepath.Join(stage, "out")
+	args := []string{"build"}
+	if mode == ModePlugin {
+		args = append(args, "-buildmode=plugin")
+	}
+	args = append(args, "-o", out, ".")
+	cmd := exec.CommandContext(ctx, c.cfg.GoBin, args...)
+	cmd.Dir = stage
+	cmd.Env = append(os.Environ(), "GOWORK=off", "GOFLAGS=-mod=mod")
+	if msg, err := cmd.CombinedOutput(); err != nil {
+		return nil, fmt.Errorf("nativecache: go build (%s) failed: %w\n%s", mode, err, msg)
+	}
+
+	path := c.artifactPath(key, mode)
+	if err := installAtomic(out, path); err != nil {
+		return nil, err
+	}
+	c.writeManifest(key, set)
+	return c.loadVerified(path, key, set, mode)
+}
+
+// stagingGoMod names the staging module after the key so every artifact has
+// a unique plugin path — the plugin runtime refuses to load two plugins
+// with the same package path into one process.
+func (c *Cache) stagingGoMod(key string) string {
+	goLine := "go 1.24"
+	if data, err := os.ReadFile(filepath.Join(c.cfg.ModuleRoot, "go.mod")); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			if strings.HasPrefix(strings.TrimSpace(line), "go ") {
+				goLine = strings.TrimSpace(line)
+				break
+			}
+		}
+	}
+	return fmt.Sprintf("module nativegen_%s\n\n%s\n\nrequire repro v0.0.0\n\nreplace repro => %s\n",
+		shortKey(key), goLine, c.cfg.ModuleRoot)
+}
+
+// installAtomic moves a built artifact into place: the artifact bytes via
+// rename (same filesystem — staging lives under the cache dir), then its
+// integrity sidecar.
+func installAtomic(src, dst string) error {
+	f, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	h := sha256.New()
+	_, cerr := io.Copy(h, f)
+	f.Close()
+	if cerr != nil {
+		return cerr
+	}
+	sum := hex.EncodeToString(h.Sum(nil))
+	if err := os.Rename(src, dst); err != nil {
+		return fmt.Errorf("nativecache: installing artifact: %w", err)
+	}
+	tmp := dst + ".sum.tmp"
+	if err := os.WriteFile(tmp, []byte(sum+"\n"), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, dst+".sum")
+}
+
+// manifest is the on-disk debugging record next to each artifact.
+type manifest struct {
+	Specs          []string  `json:"specs"`
+	CodegenVersion string    `json:"codegen_version"`
+	GoVersion      string    `json:"go_version"`
+	Built          time.Time `json:"built"`
+}
+
+func (c *Cache) writeManifest(key string, set SpecSet) {
+	raw, err := json.MarshalIndent(manifest{
+		Specs:          set.Names(),
+		CodegenVersion: codegen.Version,
+		GoVersion:      runtime.Version(),
+		Built:          time.Now().UTC(),
+	}, "", "  ")
+	if err == nil {
+		// Best-effort: the manifest is never read back.
+		_ = os.WriteFile(filepath.Join(c.cfg.Dir, key+".json"), append(raw, '\n'), 0o644)
+	}
+}
+
+// notExist reports a loadDisk miss (as opposed to a corrupt or unloadable
+// artifact).
+func notExist(err error) bool { return errors.Is(err, fs.ErrNotExist) }

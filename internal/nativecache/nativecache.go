@@ -1,0 +1,460 @@
+// Package nativecache turns GOSpeL specifications into *compiled* optimizers
+// ahead of time — the reproduction's analog of GENesis emitting C and running
+// it through cc, instead of interpreting the spec in-process. A spec set is
+// generated to Go with codegen.Generate, built with the real Go toolchain
+// into a plugin.Open-loadable shared object (or, where the plugin runtime is
+// unavailable, a standalone runner binary driven over a pipe), and the
+// resulting optlib.ApplyFuncs are handed to the serving path.
+//
+// Artifacts live in a content-addressed cache directory and persist across
+// restarts: the name of every artifact is the SHA-256 of everything that
+// shapes its behavior — the spec sources, the generated Go, the code
+// generator's version, the Go toolchain version/target, and a tree hash of
+// the library packages the generated code links against. A cache hit is
+// therefore always safe to load, and any change to a spec or to the
+// supporting libraries moves the key instead of invalidating in place.
+// In-process loads are deduplicated behind a singleflight so a thundering
+// herd of first requests triggers exactly one toolchain invocation.
+//
+// Every entry point degrades cleanly: callers that can tolerate the
+// interpreter (the server, cmd/opt under -engine=auto) treat any error from
+// Ensure as "serve interpreted" and let a later request retry.
+package nativecache
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/codegen"
+	"repro/internal/gospel"
+)
+
+// Mode selects how an artifact is executed.
+type Mode int
+
+const (
+	// ModeAuto prefers an in-process plugin and falls back to the
+	// subprocess runner when the plugin cannot be built or loaded (cgo
+	// disabled, race-instrumented host, unsupported platform).
+	ModeAuto Mode = iota
+	// ModePlugin requires an in-process plugin.
+	ModePlugin
+	// ModeSubprocess requires the standalone runner binary.
+	ModeSubprocess
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModePlugin:
+		return "plugin"
+	case ModeSubprocess:
+		return "subprocess"
+	}
+	return "auto"
+}
+
+// Obs carries the cache's telemetry hooks; any field may be nil.
+type Obs struct {
+	// Compile observes one toolchain build (source emission through
+	// artifact install) and whether it succeeded.
+	Compile func(d time.Duration, ok bool)
+	// Event counts artifact-cache outcomes: "hit" (a usable artifact was
+	// already in memory or on disk), "miss" (a build was required) or
+	// "corrupt" (an on-disk artifact failed integrity verification and was
+	// discarded).
+	Event func(kind string)
+	// Loaded reports a spec becoming servable from a compiled artifact, and
+	// through which mode.
+	Loaded func(spec, mode string)
+}
+
+func (o Obs) event(kind string) {
+	if o.Event != nil {
+		o.Event(kind)
+	}
+}
+
+// Config configures a Cache.
+type Config struct {
+	// Dir is the artifact directory; it is created if absent. Required.
+	Dir string
+	// ModuleRoot is the repro module checkout the generated code links
+	// against; empty means discover it from the working directory (then the
+	// executable's directory) upward.
+	ModuleRoot string
+	// GoBin is the go tool; empty means $PATH lookup.
+	GoBin string
+	// DisablePlugin forces the subprocess mode even under ModeAuto — the
+	// escape hatch for hosts whose plugin runtime is unusable, and the seam
+	// the fallback tests use.
+	DisablePlugin bool
+	// BuildTimeout bounds one toolchain invocation; 0 selects 10 minutes.
+	BuildTimeout time.Duration
+	// Logger receives build and fallback logs; nil selects slog.Default().
+	Logger *slog.Logger
+	// Obs receives telemetry; all fields optional.
+	Obs Obs
+}
+
+// Cache is the compiled-artifact cache. Create with New; all methods are
+// safe for concurrent use.
+type Cache struct {
+	cfg     Config
+	version string // toolchain+target component of every key
+	tree    string // tree hash of the linked library packages
+
+	mu     sync.Mutex
+	keys   map[string]keyEntry // spec-set fingerprint → cache key
+	loaded map[string]*Artifact
+	calls  map[string]*call
+
+	wg     sync.WaitGroup
+	closed bool
+}
+
+type keyEntry struct {
+	key string
+	gen map[string]string // generated file name → source
+	err error
+}
+
+// call is one in-flight Ensure, deduplicating concurrent first loads.
+type call struct {
+	done chan struct{}
+	art  *Artifact
+	err  error
+}
+
+// SpecSet is an immutable, order-independent set of named GOSpeL sources.
+type SpecSet struct {
+	names   []string
+	sources map[string]string
+}
+
+// NewSpecSet builds a set from name → GOSpeL source.
+func NewSpecSet(sources map[string]string) SpecSet {
+	cp := make(map[string]string, len(sources))
+	names := make([]string, 0, len(sources))
+	for n, src := range sources {
+		cp[n] = src
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return SpecSet{names: names, sources: cp}
+}
+
+// Names returns the member names, sorted.
+func (s SpecSet) Names() []string { return append([]string(nil), s.names...) }
+
+// Len returns the member count.
+func (s SpecSet) Len() int { return len(s.names) }
+
+// fingerprint is a cheap content address of the raw sources, used to
+// memoize the (expensive) full key computation per process.
+func (s SpecSet) fingerprint() string {
+	h := sha256.New()
+	for _, n := range s.names {
+		fmt.Fprintf(h, "%d:%s%d:%s", len(n), n, len(s.sources[n]), s.sources[n])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// DefaultDir returns the conventional artifact directory,
+// <user cache dir>/repro-native — shared by optd and cmd/opt so a CLI build
+// warms the daemon's cache and vice versa.
+func DefaultDir() (string, error) {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return "", fmt.Errorf("nativecache: no user cache dir (set -native-dir): %w", err)
+	}
+	return filepath.Join(base, "repro-native"), nil
+}
+
+// New builds a Cache: the directory is created, the module root resolved and
+// the library tree hash (a component of every artifact key) computed once.
+func New(cfg Config) (*Cache, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("nativecache: Config.Dir is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("nativecache: cache dir: %w", err)
+	}
+	if cfg.ModuleRoot == "" {
+		root, err := FindModuleRoot()
+		if err != nil {
+			return nil, err
+		}
+		cfg.ModuleRoot = root
+	}
+	if abs, err := filepath.Abs(cfg.ModuleRoot); err == nil {
+		cfg.ModuleRoot = abs
+	}
+	if _, err := os.Stat(filepath.Join(cfg.ModuleRoot, "go.mod")); err != nil {
+		return nil, fmt.Errorf("nativecache: module root %s has no go.mod: %w", cfg.ModuleRoot, err)
+	}
+	if cfg.GoBin == "" {
+		cfg.GoBin = "go"
+	}
+	if cfg.BuildTimeout <= 0 {
+		cfg.BuildTimeout = 10 * time.Minute
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	tree, err := treeHash(cfg.ModuleRoot)
+	if err != nil {
+		return nil, fmt.Errorf("nativecache: hashing library tree: %w", err)
+	}
+	return &Cache{
+		cfg:     cfg,
+		version: runtime.Version() + "/" + runtime.GOOS + "/" + runtime.GOARCH,
+		tree:    tree,
+		keys:    map[string]keyEntry{},
+		loaded:  map[string]*Artifact{},
+		calls:   map[string]*call{},
+	}, nil
+}
+
+// Dir returns the artifact directory.
+func (c *Cache) Dir() string { return c.cfg.Dir }
+
+// Close waits for background builds started with EnsureAsync.
+func (c *Cache) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	c.wg.Wait()
+}
+
+// Key returns the content address an artifact for this set would have. It
+// runs the code generator (memoized per set), so it can fail on a spec the
+// generator rejects.
+func (c *Cache) Key(set SpecSet) (string, error) {
+	key, _, err := c.keyFor(set)
+	return key, err
+}
+
+// keyFor computes (and memoizes) the artifact key and the generated sources
+// for a spec set. The key commits to everything that shapes the compiled
+// artifact: raw spec sources, generated Go, codegen.Version, the Go
+// toolchain version and target, and the tree hash of the library packages
+// the artifact links against.
+func (c *Cache) keyFor(set SpecSet) (string, map[string]string, error) {
+	fp := set.fingerprint()
+	c.mu.Lock()
+	if e, ok := c.keys[fp]; ok {
+		c.mu.Unlock()
+		return e.key, e.gen, e.err
+	}
+	c.mu.Unlock()
+
+	gen := make(map[string]string, len(set.names))
+	h := sha256.New()
+	fmt.Fprintf(h, "nativecache/v1\x00codegen=%s\x00go=%s\x00tree=%s\x00", codegen.Version, c.version, c.tree)
+	var err error
+	for _, name := range set.names {
+		spec, perr := gospel.ParseAndCheck(name, set.sources[name])
+		if perr != nil {
+			err = fmt.Errorf("nativecache: spec %s: %w", name, perr)
+			break
+		}
+		src, gerr := codegen.Generate(spec, codegen.Options{Package: "main"})
+		if gerr != nil {
+			err = fmt.Errorf("nativecache: spec %s: %w", name, gerr)
+			break
+		}
+		gen[genFileName(name)] = src
+		fmt.Fprintf(h, "spec=%s\x00%s\x00gen\x00%s\x00", name, set.sources[name], src)
+	}
+	e := keyEntry{err: err}
+	if err == nil {
+		e.key = hex.EncodeToString(h.Sum(nil))
+		e.gen = gen
+	}
+	c.mu.Lock()
+	c.keys[fp] = e
+	c.mu.Unlock()
+	return e.key, e.gen, e.err
+}
+
+// Lookup returns an already-loaded artifact for the set, preferring the
+// in-process plugin over the subprocess runner. It never touches the disk
+// or the toolchain, so it is cheap enough for the per-request path.
+func (c *Cache) Lookup(set SpecSet) (*Artifact, bool) {
+	key, _, err := c.keyFor(set)
+	if err != nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if a := c.loaded[key+":plugin"]; a != nil {
+		return a, true
+	}
+	if a := c.loaded[key+":subprocess"]; a != nil {
+		return a, true
+	}
+	return nil, false
+}
+
+// Ensure returns a loaded artifact for the set, building it with the Go
+// toolchain if the cache has no usable copy. Concurrent calls for the same
+// artifact share one build. The returned artifact is immutable and safe for
+// concurrent use.
+func (c *Cache) Ensure(ctx context.Context, set SpecSet, mode Mode) (*Artifact, error) {
+	if set.Len() == 0 {
+		return nil, fmt.Errorf("nativecache: empty spec set")
+	}
+	key, gen, err := c.keyFor(set)
+	if err != nil {
+		return nil, err
+	}
+	switch mode {
+	case ModePlugin:
+		return c.ensureOne(ctx, key, gen, set, ModePlugin)
+	case ModeSubprocess:
+		return c.ensureOne(ctx, key, gen, set, ModeSubprocess)
+	default:
+		// Race-instrumented binaries cannot load the (uninstrumented)
+		// plugins; skip straight to the runner instead of proving it with a
+		// wasted build.
+		if !c.cfg.DisablePlugin && !raceEnabled {
+			if a, perr := c.ensureOne(ctx, key, gen, set, ModePlugin); perr == nil {
+				return a, nil
+			} else if ctx.Err() != nil {
+				return nil, perr
+			} else {
+				c.cfg.Logger.Warn("nativecache: plugin unavailable, using subprocess runner",
+					slog.String("key", shortKey(key)), slog.Any("err", perr))
+			}
+		}
+		return c.ensureOne(ctx, key, gen, set, ModeSubprocess)
+	}
+}
+
+// EnsureAsync schedules Ensure in the background (deduplicated with any
+// concurrent Ensure of the same artifact) and reports the result to onDone
+// when non-nil. It never blocks the caller on the toolchain.
+func (c *Cache) EnsureAsync(set SpecSet, mode Mode, onDone func(*Artifact, error)) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.wg.Add(1)
+	c.mu.Unlock()
+	go func() {
+		defer c.wg.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.BuildTimeout)
+		defer cancel()
+		a, err := c.Ensure(ctx, set, mode)
+		if err != nil {
+			c.cfg.Logger.Warn("nativecache: background build failed", slog.Any("err", err))
+		}
+		if onDone != nil {
+			onDone(a, err)
+		}
+	}()
+}
+
+// ensureOne loads or builds the artifact for one concrete mode behind the
+// per-(key,mode) singleflight.
+func (c *Cache) ensureOne(ctx context.Context, key string, gen map[string]string, set SpecSet, mode Mode) (*Artifact, error) {
+	slot := key + ":" + mode.String()
+	c.mu.Lock()
+	if a := c.loaded[slot]; a != nil {
+		c.mu.Unlock()
+		c.cfg.Obs.event("hit")
+		return a, nil
+	}
+	if cl := c.calls[slot]; cl != nil {
+		c.mu.Unlock()
+		select {
+		case <-cl.done:
+			return cl.art, cl.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	cl := &call{done: make(chan struct{})}
+	c.calls[slot] = cl
+	c.mu.Unlock()
+
+	art, err := c.loadOrBuild(ctx, key, gen, set, mode)
+	cl.art, cl.err = art, err
+
+	c.mu.Lock()
+	delete(c.calls, slot)
+	if err == nil {
+		c.loaded[slot] = art
+	}
+	c.mu.Unlock()
+	close(cl.done)
+
+	if err == nil && c.cfg.Obs.Loaded != nil {
+		for _, n := range set.names {
+			c.cfg.Obs.Loaded(n, mode.String())
+		}
+	}
+	return art, err
+}
+
+// loadOrBuild tries the on-disk artifact first (integrity-verified), then
+// falls back to a fresh toolchain build.
+func (c *Cache) loadOrBuild(ctx context.Context, key string, gen map[string]string, set SpecSet, mode Mode) (*Artifact, error) {
+	if a, err := c.loadDisk(key, set, mode); err == nil {
+		c.cfg.Obs.event("hit")
+		return a, nil
+	} else if errors.Is(err, errUnloadable) {
+		// The bytes on disk are exactly what a rebuild would produce (the
+		// key commits to toolchain and sources); the host process simply
+		// cannot load plugins. Don't burn a toolchain run proving it.
+		return nil, err
+	} else if !notExist(err) {
+		c.cfg.Logger.Warn("nativecache: on-disk artifact unusable, rebuilding",
+			slog.String("key", shortKey(key)), slog.String("mode", mode.String()), slog.Any("err", err))
+	}
+	c.cfg.Obs.event("miss")
+	t0 := time.Now()
+	a, err := c.build(ctx, key, gen, set, mode)
+	if c.cfg.Obs.Compile != nil {
+		c.cfg.Obs.Compile(time.Since(t0), err == nil)
+	}
+	if err == nil {
+		c.cfg.Logger.Info("nativecache: built artifact",
+			slog.String("key", shortKey(key)), slog.String("mode", mode.String()),
+			slog.Int("specs", set.Len()), slog.Int64("ms", time.Since(t0).Milliseconds()))
+	}
+	return a, err
+}
+
+func genFileName(spec string) string {
+	out := make([]rune, 0, len(spec))
+	for _, r := range spec {
+		switch {
+		case r >= 'A' && r <= 'Z':
+			out = append(out, r+('a'-'A'))
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return "gen_" + string(out) + ".go"
+}
+
+func shortKey(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
+}

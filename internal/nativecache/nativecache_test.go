@@ -1,0 +1,361 @@
+package nativecache
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/specs"
+	"repro/internal/workloads"
+	"repro/optlib"
+)
+
+// counters instruments a Config with atomic telemetry counters.
+type counters struct {
+	compiles, hits, misses, corrupt atomic.Int64
+}
+
+func (c *counters) obs() Obs {
+	return Obs{
+		Compile: func(time.Duration, bool) { c.compiles.Add(1) },
+		Event: func(kind string) {
+			switch kind {
+			case "hit":
+				c.hits.Add(1)
+			case "miss":
+				c.misses.Add(1)
+			case "corrupt":
+				c.corrupt.Add(1)
+			}
+		},
+	}
+}
+
+func testConfig(t *testing.T, dir string, ct *counters) Config {
+	t.Helper()
+	root, err := FindModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Dir: dir, ModuleRoot: root}
+	if ct != nil {
+		cfg.Obs = ct.obs()
+	}
+	return cfg
+}
+
+func requireToolchain(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("short mode: skipping toolchain integration")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not available")
+	}
+}
+
+func smallSet() SpecSet {
+	return NewSpecSet(map[string]string{"CTP": specs.Sources["CTP"]})
+}
+
+// TestSubprocessRoundTripAndDiskReuse builds a runner artifact, checks its
+// output against the interpreted engine, then reloads through a fresh Cache
+// (a simulated process restart) and asserts the artifact was reused from
+// disk without another toolchain run.
+func TestSubprocessRoundTripAndDiskReuse(t *testing.T) {
+	requireToolchain(t)
+	dir := t.TempDir()
+	var ct counters
+	c, err := New(testConfig(t, dir, &ct))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	art, err := c.Ensure(context.Background(), smallSet(), ModeSubprocess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ct.compiles.Load(), int64(1); got != want {
+		t.Fatalf("compiles = %d, want %d", got, want)
+	}
+	w := workloads.All[0]
+	res, err := art.RunPipeline(context.Background(), w.Source, []string{"CTP"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.PipelineError(); err != nil {
+		t.Fatal(err)
+	}
+	p := w.Program()
+	if _, err := specs.MustCompile("CTP").ApplyAll(p); err != nil {
+		t.Fatal(err)
+	}
+	if res.IR != p.String() {
+		t.Errorf("compiled and interpreted outputs differ\n--- compiled ---\n%s--- engine ---\n%s", res.IR, p.String())
+	}
+
+	// Fresh Cache over the same dir: disk hit, no rebuild.
+	var ct2 counters
+	c2, err := New(testConfig(t, dir, &ct2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.Ensure(context.Background(), smallSet(), ModeSubprocess); err != nil {
+		t.Fatal(err)
+	}
+	if ct2.compiles.Load() != 0 || ct2.hits.Load() != 1 {
+		t.Errorf("restart reload: compiles=%d hits=%d, want 0 compiles and 1 hit",
+			ct2.compiles.Load(), ct2.hits.Load())
+	}
+}
+
+// TestCorruptArtifactRebuilt truncates an installed artifact and asserts a
+// fresh Cache detects the integrity failure, discards the file and
+// rebuilds.
+func TestCorruptArtifactRebuilt(t *testing.T) {
+	requireToolchain(t)
+	dir := t.TempDir()
+	c, err := New(testConfig(t, dir, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := c.Ensure(context.Background(), smallSet(), ModeSubprocess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	bin := filepath.Join(dir, art.Key+".bin")
+	if err := os.Truncate(bin, 100); err != nil {
+		t.Fatal(err)
+	}
+
+	var ct counters
+	c2, err := New(testConfig(t, dir, &ct))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	art2, err := c2.Ensure(context.Background(), smallSet(), ModeSubprocess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.corrupt.Load() != 1 || ct.compiles.Load() != 1 {
+		t.Errorf("corrupt=%d compiles=%d, want 1 and 1", ct.corrupt.Load(), ct.compiles.Load())
+	}
+	res, err := art2.RunPipeline(context.Background(), workloads.All[0].Source, []string{"CTP"}, 0)
+	if err != nil || res.PipelineError() != nil {
+		t.Fatalf("rebuilt artifact does not run: %v / %v", err, res.PipelineError())
+	}
+}
+
+// TestMissingSidecarTreatedAsCorrupt removes only the integrity sidecar —
+// the state a crash between the two installation renames leaves behind.
+func TestMissingSidecarTreatedAsCorrupt(t *testing.T) {
+	requireToolchain(t)
+	dir := t.TempDir()
+	c, err := New(testConfig(t, dir, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := c.Ensure(context.Background(), smallSet(), ModeSubprocess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if err := os.Remove(filepath.Join(dir, art.Key+".bin.sum")); err != nil {
+		t.Fatal(err)
+	}
+	var ct counters
+	c2, err := New(testConfig(t, dir, &ct))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.Ensure(context.Background(), smallSet(), ModeSubprocess); err != nil {
+		t.Fatal(err)
+	}
+	if ct.corrupt.Load() != 1 || ct.compiles.Load() != 1 {
+		t.Errorf("corrupt=%d compiles=%d, want 1 and 1", ct.corrupt.Load(), ct.compiles.Load())
+	}
+}
+
+// TestStaleSpecMovesKey asserts that editing a spec source changes the
+// artifact's content address — stale artifacts are never found, let alone
+// loaded.
+func TestStaleSpecMovesKey(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(testConfig(t, dir, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	k1, err := c.Key(smallSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited := strings.Replace(specs.Sources["CTP"], " ", "  ", 1) // whitespace-only edit still moves the key
+	k2, err := c.Key(NewSpecSet(map[string]string{"CTP": edited}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k2 {
+		t.Fatal("edited spec produced the same artifact key")
+	}
+	if k1 != mustKey(t, c, smallSet()) {
+		t.Fatal("key computation is not deterministic")
+	}
+}
+
+func mustKey(t *testing.T, c *Cache, set SpecSet) string {
+	t.Helper()
+	k, err := c.Key(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// TestConcurrentEnsureSingleflight fires a herd of first loads at one
+// artifact and asserts exactly one toolchain build ran.
+func TestConcurrentEnsureSingleflight(t *testing.T) {
+	requireToolchain(t)
+	var ct counters
+	c, err := New(testConfig(t, t.TempDir(), &ct))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const herd = 8
+	arts := make([]*Artifact, herd)
+	var wg sync.WaitGroup
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			a, err := c.Ensure(context.Background(), smallSet(), ModeSubprocess)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			arts[i] = a
+		}(i)
+	}
+	wg.Wait()
+	if got := ct.compiles.Load(); got != 1 {
+		t.Errorf("herd of %d triggered %d compiles, want 1", herd, got)
+	}
+	for i := 1; i < herd; i++ {
+		if arts[i] != nil && arts[0] != nil && arts[i] != arts[0] {
+			t.Errorf("goroutine %d got a different artifact instance", i)
+		}
+	}
+}
+
+// TestAutoFallsBackWithoutPlugin covers the plugin-unavailable path
+// explicitly: with the plugin runtime disabled, ModeAuto must produce a
+// subprocess artifact, and ModePlugin must fail rather than lie.
+func TestAutoFallsBackWithoutPlugin(t *testing.T) {
+	requireToolchain(t)
+	cfg := testConfig(t, t.TempDir(), nil)
+	cfg.DisablePlugin = true
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	art, err := c.Ensure(context.Background(), smallSet(), ModeAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Mode() != "subprocess" || art.InProcess() {
+		t.Fatalf("auto with plugins disabled loaded mode %s", art.Mode())
+	}
+}
+
+// TestAutoPrefersPlugin checks the happy path on plugin-capable hosts: auto
+// yields an in-process artifact whose compiled matchers match the engine.
+// Race-instrumented runs exercise the subprocess fallback instead.
+func TestAutoPrefersPlugin(t *testing.T) {
+	requireToolchain(t)
+	c, err := New(testConfig(t, t.TempDir(), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	art, err := c.Ensure(context.Background(), smallSet(), ModeAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raceEnabled {
+		if art.Mode() != "subprocess" {
+			t.Fatalf("race build loaded mode %s, want subprocess", art.Mode())
+		}
+		return
+	}
+	if art.Mode() != "plugin" {
+		t.Fatalf("auto loaded mode %s, want plugin", art.Mode())
+	}
+	fn, ok := art.Func("CTP")
+	if !ok {
+		t.Fatal("plugin artifact has no CTP func")
+	}
+	w := workloads.All[0]
+	p := w.Program()
+	if _, err := optlib.Fixpoint(p, fn, optlib.Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	q := w.Program()
+	if _, err := specs.MustCompile("CTP").ApplyAll(q); err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != q.String() {
+		t.Errorf("plugin and engine disagree\n--- plugin ---\n%s--- engine ---\n%s", p.String(), q.String())
+	}
+}
+
+// TestBadModuleRoot asserts a clean constructor error instead of a build
+// failure later.
+func TestBadModuleRoot(t *testing.T) {
+	_, err := New(Config{Dir: t.TempDir(), ModuleRoot: t.TempDir()})
+	if err == nil {
+		t.Fatal("New accepted a module root without go.mod")
+	}
+}
+
+// TestLibraryClosureCurrent keeps libraryDirs honest: every package `go
+// list` reports in the generated code's dependency closure must be hashed
+// into the artifact key. A failure here means a new library import slipped
+// in — add its directory to libraryDirs.
+func TestLibraryClosureCurrent(t *testing.T) {
+	requireToolchain(t)
+	root, err := FindModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "list", "-deps", "repro/optlib", "repro/ir", "repro/dep")
+	cmd.Dir = root
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashed := map[string]bool{}
+	for _, d := range libraryDirs {
+		hashed["repro/"+strings.ReplaceAll(d, string(filepath.Separator), "/")] = true
+	}
+	for _, pkg := range strings.Fields(string(out)) {
+		if !strings.HasPrefix(pkg, "repro/") {
+			continue
+		}
+		if !hashed[pkg] {
+			t.Errorf("package %s is linked into generated artifacts but not part of the key's tree hash; add it to libraryDirs", pkg)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package nativecache
+
+// raceEnabled reports whether this binary carries race instrumentation, in
+// which case the Go plugin runtime refuses to load the (uninstrumented)
+// artifacts and every load falls back to the subprocess runner.
+const raceEnabled = false

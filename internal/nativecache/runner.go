@@ -1,0 +1,116 @@
+package nativecache
+
+import (
+	"fmt"
+	"strings"
+)
+
+// runnerSource emits the staging module's main.go: the exported Registry
+// the plugin loader resolves, and a main() that drives the same module as a
+// standalone runner — MiniF source on stdin, RunResult JSON on stdout. One
+// source tree serves both execution modes; only the -buildmode differs.
+func runnerSource(set SpecSet) string {
+	var b strings.Builder
+	b.WriteString(`package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/ir"
+	"repro/optlib"
+)
+
+// Registry is the artifact's entry point: spec name to compiled optimizer.
+// The plugin loader resolves this symbol; the subprocess main drives it.
+var Registry = map[string]optlib.ApplyFunc{
+`)
+	for _, name := range set.names {
+		fmt.Fprintf(&b, "\t%q: apply%s,\n", name, name)
+	}
+	b.WriteString(`}
+
+// passJSON / resultJSON mirror repro/internal/nativecache.RunResult.
+type passJSON struct {
+	Name         string ` + "`json:\"name\"`" + `
+	Applications int    ` + "`json:\"applications\"`" + `
+	DurationUS   int64  ` + "`json:\"duration_us\"`" + `
+}
+
+type resultJSON struct {
+	Passes  []passJSON ` + "`json:\"passes\"`" + `
+	MiniF   string     ` + "`json:\"minif\"`" + `
+	IR      string     ` + "`json:\"ir\"`" + `
+	ParseUS int64      ` + "`json:\"parse_us\"`" + `
+	ErrKind string     ` + "`json:\"err_kind,omitempty\"`" + `
+	Err     string     ` + "`json:\"err,omitempty\"`" + `
+}
+
+func main() {
+	opts := flag.String("opts", "", "comma-separated pass names, applied in order")
+	maxiter := flag.Int("maxiter", 0, "per-pass fixpoint cap (0 selects the library default)")
+	flag.Parse()
+	src, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var names []string
+	for _, n := range strings.Split(*opts, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	res := run(string(src), names, *maxiter)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(res); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(source string, names []string, maxIter int) resultJSON {
+	var res resultJSON
+	t0 := time.Now()
+	p, err := optlib.ParseMiniF(source)
+	if err != nil {
+		res.ErrKind, res.Err = "parse", err.Error()
+		return res
+	}
+	res.ParseUS = time.Since(t0).Microseconds()
+	passes := make([]optlib.NamedApply, 0, len(names))
+	for _, n := range names {
+		fn := Registry[n]
+		if fn == nil {
+			res.ErrKind, res.Err = "unknown_opt", n
+			return res
+		}
+		passes = append(passes, optlib.NamedApply{Name: n, Apply: fn})
+	}
+	counts, err := optlib.Pipeline(p, passes, optlib.Limits{MaxIterations: maxIter})
+	for _, ct := range counts {
+		res.Passes = append(res.Passes, passJSON{Name: ct.Name, Applications: ct.Applications, DurationUS: ct.Duration.Microseconds()})
+	}
+	if err != nil {
+		if errors.Is(err, optlib.ErrIterationLimit) {
+			res.ErrKind = "iteration_limit"
+		} else {
+			res.ErrKind = "optimize"
+		}
+		res.Err = err.Error()
+		return res
+	}
+	res.MiniF = ir.ToMiniF(p)
+	res.IR = p.String()
+	return res
+}
+`)
+	return b.String()
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/jobs"
+	"repro/internal/nativecache"
 	"repro/internal/obs"
 )
 
@@ -77,6 +78,26 @@ type Metrics struct {
 	PatternChecks         atomic.Int64
 	DepChecks             atomic.Int64
 
+	// Native (compiled-optimizer) engine telemetry. nativeOn gates the
+	// JSON/Prometheus sections so interp-only servers keep their exact
+	// pre-native output. Hits/Misses/Corrupt count artifact-cache outcomes,
+	// Fallbacks counts native-eligible requests served interpreted because
+	// no artifact was loaded yet, and NativeCompileSeconds observes
+	// toolchain builds (source emission through install).
+	NativeHits             atomic.Int64
+	NativeMisses           atomic.Int64
+	NativeCorrupt          atomic.Int64
+	NativeFallbacks        atomic.Int64
+	NativeCompiles         atomic.Int64
+	NativeCompileFailures  atomic.Int64
+	NativeServedPlugin     atomic.Int64
+	NativeServedSubprocess atomic.Int64
+	NativeCompileSeconds   *obs.Histogram
+	nativeOn               atomic.Bool
+
+	nativeMu     sync.RWMutex
+	nativeLoaded map[string]string // spec → artifact mode, the per-spec loaded gauge
+
 	routeMu sync.RWMutex
 	routes  map[string]*routeStat
 
@@ -115,9 +136,59 @@ func newMetrics() *Metrics {
 	return &Metrics{
 		routes:         map[string]*routeStat{},
 		passes:         map[string]*passStat{},
+		nativeLoaded:   map[string]string{},
 		JobLatency:     obs.NewHistogram(obs.JobLatencyBuckets...),
 		ForwardLatency: obs.NewHistogram(),
+		// Toolchain builds run from ~250ms (warm build cache) to tens of
+		// seconds (cold); the default latency buckets top out far too low.
+		NativeCompileSeconds: obs.NewHistogram(0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60),
 	}
+}
+
+// nativeObs adapts the counter set to the artifact cache's telemetry hooks.
+func (m *Metrics) nativeObs() nativecache.Obs {
+	return nativecache.Obs{
+		Compile: func(d time.Duration, ok bool) {
+			if ok {
+				m.NativeCompiles.Add(1)
+			} else {
+				m.NativeCompileFailures.Add(1)
+			}
+			m.NativeCompileSeconds.Observe(d)
+		},
+		Event: func(kind string) {
+			switch kind {
+			case "hit":
+				m.NativeHits.Add(1)
+			case "miss":
+				m.NativeMisses.Add(1)
+			case "corrupt":
+				m.NativeCorrupt.Add(1)
+			}
+		},
+		Loaded: func(spec, mode string) {
+			m.nativeMu.Lock()
+			// A plugin load never downgrades the gauge to subprocess; both
+			// being loaded means in-process serving is available.
+			if prev, ok := m.nativeLoaded[spec]; !ok || prev != "plugin" {
+				m.nativeLoaded[spec] = mode
+			}
+			m.nativeMu.Unlock()
+		},
+	}
+}
+
+// nativeLoadedSnapshot returns the per-spec loaded gauge, sorted by spec.
+func (m *Metrics) nativeLoadedSnapshot() (specsSorted []string, modes map[string]string) {
+	m.nativeMu.RLock()
+	modes = make(map[string]string, len(m.nativeLoaded))
+	for k, v := range m.nativeLoaded {
+		modes[k] = v
+		specsSorted = append(specsSorted, k)
+	}
+	m.nativeMu.RUnlock()
+	sort.Strings(specsSorted)
+	return specsSorted, modes
 }
 
 // setClusterStatus installs the cluster identity and health snapshot
@@ -341,6 +412,22 @@ func (m *Metrics) Snapshot() map[string]any {
 		"panics_recovered":       m.PanicsRecovered.Load(),
 		"pass_latency":           passes,
 	}
+	if m.nativeOn.Load() {
+		_, loaded := m.nativeLoadedSnapshot()
+		snap["native"] = map[string]any{
+			"artifact_hits":    m.NativeHits.Load(),
+			"artifact_misses":  m.NativeMisses.Load(),
+			"artifact_corrupt": m.NativeCorrupt.Load(),
+			"fallbacks":        m.NativeFallbacks.Load(),
+			"compiles":         m.NativeCompiles.Load(),
+			"compile_failures": m.NativeCompileFailures.Load(),
+			"served": map[string]any{
+				"plugin":     m.NativeServedPlugin.Load(),
+				"subprocess": m.NativeServedSubprocess.Load(),
+			},
+			"loaded": loaded,
+		}
+	}
 	if m.clusterStatus != nil {
 		snap["cluster"] = map[string]any{
 			"self":  m.clusterSelf,
@@ -458,6 +545,27 @@ func (m *Metrics) WriteProm(w io.Writer) error {
 	pw.IntSample("optd_jobs_finished_total", []obs.Label{obs.L("state", "cancelled")}, m.JobsCancelled.Load())
 	pw.Header("optd_jobs_duration_seconds", "Batch job enqueue-to-terminal latency.", "histogram")
 	pw.Histogram("optd_jobs_duration_seconds", nil, m.JobLatency.Snapshot())
+
+	if m.nativeOn.Load() {
+		pw.Header("optd_native_compile_seconds", "Native artifact toolchain build latency.", "histogram")
+		pw.Histogram("optd_native_compile_seconds", nil, m.NativeCompileSeconds.Snapshot())
+		pw.Header("optd_native_compiles_total", "Native artifact toolchain builds by result.", "counter")
+		pw.IntSample("optd_native_compiles_total", []obs.Label{obs.L("result", "ok")}, m.NativeCompiles.Load())
+		pw.IntSample("optd_native_compiles_total", []obs.Label{obs.L("result", "error")}, m.NativeCompileFailures.Load())
+		pw.Header("optd_native_artifacts_total", "Native artifact cache outcomes by event.", "counter")
+		pw.IntSample("optd_native_artifacts_total", []obs.Label{obs.L("event", "hit")}, m.NativeHits.Load())
+		pw.IntSample("optd_native_artifacts_total", []obs.Label{obs.L("event", "miss")}, m.NativeMisses.Load())
+		pw.IntSample("optd_native_artifacts_total", []obs.Label{obs.L("event", "corrupt")}, m.NativeCorrupt.Load())
+		pw.IntSample("optd_native_artifacts_total", []obs.Label{obs.L("event", "fallback")}, m.NativeFallbacks.Load())
+		pw.Header("optd_native_served_total", "Requests served by compiled optimizers, by execution mode.", "counter")
+		pw.IntSample("optd_native_served_total", []obs.Label{obs.L("mode", "plugin")}, m.NativeServedPlugin.Load())
+		pw.IntSample("optd_native_served_total", []obs.Label{obs.L("mode", "subprocess")}, m.NativeServedSubprocess.Load())
+		pw.Header("optd_native_spec_loaded", "Whether a compiled optimizer is loaded for the spec (1 when loaded).", "gauge")
+		specsSorted, loaded := m.nativeLoadedSnapshot()
+		for _, spec := range specsSorted {
+			pw.IntSample("optd_native_spec_loaded", []obs.Label{obs.L("spec", spec), obs.L("mode", loaded[spec])}, 1)
+		}
+	}
 
 	if m.clusterStatus != nil {
 		pw.Header("optd_cluster_peers", "Cluster membership size (including this node).", "gauge")

@@ -1,0 +1,180 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func requireToolchain(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("short mode: skipping toolchain integration")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not available")
+	}
+}
+
+// TestNativeEngineServesCompiled boots an auto-engine server, waits for the
+// background built-in artifact build, and asserts requests flip from the
+// interpreter to a compiled matcher — with byte-identical output, the
+// engine named in both the response and the X-Optd-Engine header, and the
+// telemetry counters moving.
+func TestNativeEngineServesCompiled(t *testing.T) {
+	requireToolchain(t)
+	s := newTestServer(t, Config{Engine: EngineAuto, NativeDir: t.TempDir()})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+
+	// Interpreted reference output for the same pipeline.
+	ref := doJSON(t, s, "POST", "/v1/optimize",
+		OptimizeRequest{Source: sampleSrc, Opts: []string{"CTP", "DCE"}, NoCache: true})
+	if ref.Code != http.StatusOK {
+		t.Fatalf("reference optimize = %d: %s", ref.Code, ref.Body.String())
+	}
+	refResp := decodeAs[OptimizeResponse](t, ref)
+
+	deadline := time.Now().Add(2 * time.Minute)
+	var resp OptimizeResponse
+	for {
+		rec := doJSON(t, s, "POST", "/v1/optimize",
+			OptimizeRequest{Source: sampleSrc, Opts: []string{"CTP", "DCE"}, NoCache: true})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("optimize = %d: %s", rec.Code, rec.Body.String())
+		}
+		resp = decodeAs[OptimizeResponse](t, rec)
+		if resp.Engine != EngineInterp {
+			if got := rec.Header().Get(EngineHeader); got != resp.Engine {
+				t.Errorf("%s header = %q, body engine = %q", EngineHeader, got, resp.Engine)
+			}
+			break
+		}
+		if rec.Header().Get(EngineHeader) != EngineInterp {
+			t.Errorf("interpreted response carries %s = %q", EngineHeader, rec.Header().Get(EngineHeader))
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("native artifact never became servable")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if resp.Engine != "compiled-plugin" && resp.Engine != "compiled-subprocess" {
+		t.Fatalf("engine = %q, want compiled-*", resp.Engine)
+	}
+	if resp.MiniF != refResp.MiniF || resp.IR != refResp.IR {
+		t.Errorf("compiled and interpreted outputs differ\n--- compiled ---\n%s--- interp ---\n%s", resp.IR, refResp.IR)
+	}
+	if len(resp.Applications) != len(refResp.Applications) {
+		t.Fatalf("pass results: compiled %d, interp %d", len(resp.Applications), len(refResp.Applications))
+	}
+	for i := range resp.Applications {
+		if resp.Applications[i].Name != refResp.Applications[i].Name ||
+			resp.Applications[i].Applications != refResp.Applications[i].Applications {
+			t.Errorf("pass %d: compiled %+v, interp %+v", i, resp.Applications[i], refResp.Applications[i])
+		}
+	}
+
+	// The jobs path rides the same selection layer: a batch job submitted
+	// now must be served by a compiled matcher too.
+	sub := doJSON(t, s, "POST", "/v1/jobs",
+		JobSubmitRequest{OptimizeRequest: OptimizeRequest{Source: deadSrc, Opts: []string{"DCE"}, NoCache: true}})
+	if sub.Code != http.StatusAccepted {
+		t.Fatalf("job submit = %d: %s", sub.Code, sub.Body.String())
+	}
+	jv := decodeAs[JobView](t, sub)
+	_ = doJSON(t, s, "GET", "/v1/jobs/"+jv.ID+"?wait=1", nil) // long-poll to terminal
+	res := doJSON(t, s, "GET", "/v1/jobs/"+jv.ID+"/result", nil)
+	if res.Code != http.StatusOK {
+		t.Fatalf("job result = %d: %s", res.Code, res.Body.String())
+	}
+	jobResp := decodeAs[OptimizeResponse](t, res)
+	if jobResp.Engine != resp.Engine {
+		t.Errorf("job engine = %q, optimize engine = %q", jobResp.Engine, resp.Engine)
+	}
+
+	m := s.Metrics()
+	if m.NativeServedPlugin.Load()+m.NativeServedSubprocess.Load() == 0 {
+		t.Error("no native serve counted")
+	}
+	if m.NativeFallbacks.Load() == 0 {
+		t.Error("pre-artifact requests were not counted as fallbacks")
+	}
+	snap := m.Snapshot()
+	if _, ok := snap["native"]; !ok {
+		t.Error("metrics snapshot has no native section")
+	}
+	if _, ok := snap["native"].(map[string]any)["loaded"].(map[string]string); !ok {
+		t.Error("native snapshot has no loaded gauge")
+	}
+}
+
+// TestNativeFallbackWhenCacheUnavailable points the auto engine at an
+// uncreatable cache dir: the server must come up and serve interpreted.
+func TestNativeFallbackWhenCacheUnavailable(t *testing.T) {
+	parent := t.TempDir()
+	if err := os.Chmod(parent, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = os.Chmod(parent, 0o755) })
+	dir := filepath.Join(parent, "cache")
+	if _, err := os.Stat(dir); err == nil {
+		t.Skip("running as a user that ignores directory permissions")
+	}
+	if err := os.Mkdir(dir, 0o755); err == nil {
+		t.Skip("running as a user that ignores directory permissions")
+	}
+
+	s := newTestServer(t, Config{Engine: EngineAuto, NativeDir: dir})
+	defer func() { _ = s.Shutdown(context.Background()) }()
+	rec := doJSON(t, s, "POST", "/v1/optimize",
+		OptimizeRequest{Source: sampleSrc, Opts: []string{"CTP"}, NoCache: true})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("optimize = %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get(EngineHeader); got != EngineInterp {
+		t.Errorf("%s = %q, want %q", EngineHeader, got, EngineInterp)
+	}
+	if s.native != nil {
+		t.Error("native layer active despite unusable cache dir")
+	}
+}
+
+// TestEngineCompiledRequiresArtifact asserts the strict mode fails
+// construction when the artifact cache cannot exist, instead of silently
+// serving interpreted.
+func TestEngineCompiledRequiresArtifact(t *testing.T) {
+	parent := t.TempDir()
+	if err := os.Chmod(parent, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = os.Chmod(parent, 0o755) })
+	dir := filepath.Join(parent, "cache")
+	if err := os.Mkdir(dir, 0o755); err == nil {
+		t.Skip("running as a user that ignores directory permissions")
+	}
+	if _, err := New(Config{Engine: EngineCompiled, NativeDir: dir}); err == nil {
+		t.Fatal("New accepted engine=compiled with an unusable cache dir")
+	}
+}
+
+// TestEngineConfigValidation rejects unknown engine names at construction.
+func TestEngineConfigValidation(t *testing.T) {
+	if _, err := New(Config{Engine: "turbo"}); err == nil {
+		t.Fatal("New accepted engine=turbo")
+	}
+	for _, ok := range []string{"", EngineInterp, EngineAuto} {
+		if !ValidEngine(ok) {
+			t.Errorf("ValidEngine(%q) = false", ok)
+		}
+	}
+	if ValidEngine("turbo") {
+		t.Error("ValidEngine(turbo) = true")
+	}
+}

@@ -86,6 +86,17 @@ type Config struct {
 	ProbeInterval   time.Duration
 	ProbeBackoffCap time.Duration
 
+	// Engine selects the optimizer execution engine for /v1/optimize and
+	// /v1/jobs: EngineInterp (or empty) runs the interpreted closure
+	// engine; EngineAuto serves from compiled artifacts whenever one is
+	// loaded, falling back to the interpreter transparently; EngineCompiled
+	// additionally builds (or loads) the built-in artifact before New
+	// returns and fails construction if it cannot.
+	Engine string
+	// NativeDir is the compiled-artifact cache directory; empty selects
+	// nativecache.DefaultDir(). Only used when Engine is auto or compiled.
+	NativeDir string
+
 	// testHook, when non-nil, runs inside the optimize handler after
 	// admission and before the pipeline — a seam for shutdown/timeout
 	// tests. It receives the request context.
@@ -128,6 +139,7 @@ type Server struct {
 	sessions *sessionStore
 	jobs     *jobs.Manager
 	cluster  *cluster.Cluster // nil on a single node
+	native   *native          // nil when serving interpreted only
 	mux      *http.ServeMux
 
 	mu       sync.RWMutex // guards draining against in-flight accounting
@@ -150,6 +162,27 @@ func New(cfg Config) (*Server, error) {
 		metrics: newMetrics(),
 	}
 	s.sessions = newSessionStore(cfg.MaxSessions, cfg.SessionTTL, s.metrics)
+	switch cfg.Engine {
+	case "", EngineInterp:
+	case EngineAuto, EngineCompiled:
+		n, err := newNative(cfg, s.metrics)
+		if err != nil {
+			if cfg.Engine == EngineCompiled {
+				s.sessions.close()
+				return nil, fmt.Errorf("server: compiled engine unavailable: %w", err)
+			}
+			// auto degrades: serve interpreted, leave the cache off so every
+			// request skips straight to the engine.
+			cfg.Logger.Warn("server: native engine unavailable, serving interpreted", slog.Any("err", err))
+		} else {
+			s.native = n
+			s.metrics.nativeOn.Store(true)
+		}
+	default:
+		s.sessions.close()
+		return nil, fmt.Errorf("server: unknown engine %q (have %s, %s, %s)",
+			cfg.Engine, EngineInterp, EngineAuto, EngineCompiled)
+	}
 	if len(cfg.Peers) > 0 {
 		cl, err := cluster.New(cluster.Config{
 			Self:            cfg.Advertise,
@@ -161,6 +194,7 @@ func New(cfg Config) (*Server, error) {
 		})
 		if err != nil {
 			s.sessions.close()
+			s.native.close()
 			return nil, err
 		}
 		s.cluster = cl
@@ -179,6 +213,7 @@ func New(cfg Config) (*Server, error) {
 	})
 	if err != nil {
 		s.sessions.close()
+		s.native.close()
 		if s.cluster != nil {
 			s.cluster.Close()
 		}
@@ -261,6 +296,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		close(done)
 	}()
 	defer s.sessions.close()
+	// Waits for any background artifact build so temp dirs and cache files
+	// are quiescent when the caller tears the directory down.
+	defer s.native.close()
 	if s.cluster != nil {
 		defer s.cluster.Close()
 	}

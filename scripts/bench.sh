@@ -9,6 +9,9 @@
 #   scripts/bench.sh -overhead       # run BenchmarkDriverFixpointObs and fail
 #                                    # if the disabled tracer costs >5% over
 #                                    # no tracer at all
+#   scripts/bench.sh -native         # run BenchmarkCompiledFixpoint and fail
+#                                    # unless the compiled fast path is at
+#                                    # least 1.5x the interpreted engine
 #
 # Environment:
 #   BENCH    regexp of benchmarks to run  (default: DriverFixpoint|ServerOptimize|JobsThroughput|ClusterForward)
@@ -23,12 +26,14 @@ COUNT=${COUNT:-6}
 OUT=${OUT:-bench-new.txt}
 BASELINE=
 OVERHEAD=
+NATIVE=
 
 while [ $# -gt 0 ]; do
   case "$1" in
     -c) BASELINE=$2; shift 2 ;;
     -overhead) OVERHEAD=1; shift ;;
-    *) echo "usage: scripts/bench.sh [-c baseline.txt] [-overhead]" >&2; exit 2 ;;
+    -native) NATIVE=1; shift ;;
+    *) echo "usage: scripts/bench.sh [-c baseline.txt] [-overhead] [-native]" >&2; exit 2 ;;
   esac
 done
 
@@ -47,6 +52,27 @@ if [ -n "$OVERHEAD" ]; then
       printf "overhead: none=%.0f ns/op disabled=%.0f ns/op ratio=%.3f\n", none, dis, ratio
       if (ratio > 1.05) { print "FAIL: disabled-tracer overhead exceeds 5%"; exit 1 }
       print "OK: disabled-tracer overhead within 5%"
+    }' "$OUT"
+  exit 0
+fi
+
+if [ -n "$NATIVE" ]; then
+  # Compare the compiled (plugin artifact + shared-graph pipeline) and
+  # interpreted engines on the paper-scale corpus: the compiled serving
+  # fast path must hold a >=1.5x steady-state speedup. The benchmark's own
+  # setup already proves the outputs byte-identical.
+  go test -run '^$' -bench 'BenchmarkCompiledFixpoint/(interpreted|compiled)$' \
+    -count "$COUNT" . | tee "$OUT"
+  awk '
+    /CompiledFixpoint\/interpreted/ { interp += $3; ic++ }
+    /CompiledFixpoint\/compiled/    { comp   += $3; cc++ }
+    END {
+      if (ic == 0 || cc == 0) { print "native: missing benchmark output (plugin artifact unavailable?)"; exit 1 }
+      interp /= ic; comp /= cc
+      ratio = interp / comp
+      printf "native: interpreted=%.0f ns/op compiled=%.0f ns/op speedup=%.2fx\n", interp, comp, ratio
+      if (ratio < 1.5) { print "FAIL: compiled speedup below 1.5x"; exit 1 }
+      print "OK: compiled fast path is >=1.5x over the interpreted engine"
     }' "$OUT"
   exit 0
 fi
