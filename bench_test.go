@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/dep"
+	"repro/internal/advisor"
 	"repro/internal/codegen"
 	"repro/internal/experiments"
 	"repro/internal/gospel"
@@ -336,6 +337,59 @@ func BenchmarkServerOptimize(b *testing.B) {
 			b.Fatalf("cache hits = %d, want >= %d", hits, b.N)
 		}
 	})
+}
+
+// BenchmarkAdvisorOrder measures what the pass-ordering advisor adds to a
+// POST /v1/optimize: order=default only stamps the requested order, while
+// order=auto featurizes the program and retrieves the k nearest historical
+// outcomes before the pipeline runs. The outcome store is seeded so auto
+// resolves to exactly the order default runs — both variants execute an
+// identical pipeline, making the auto/default ratio the pure cost of the
+// advisor decision. scripts/bench.sh -advisor gates that ratio at 1.05.
+func BenchmarkAdvisorOrder(b *testing.B) {
+	prog := proggen.Generate(7, proggen.Config{MaxStmts: 120})
+	src := ir.ToMiniF(prog)
+	opts := []string{"CTP", "DCE"}
+	run := func(b *testing.B, directive string) {
+		srv, err := server.New(server.Config{Logger: slog.New(slog.DiscardHandler)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Seed enough neighbors that auto retrieves instead of falling back.
+		// Every seeded outcome (and every outcome harvested from the runs
+		// below) carries the default order, so the retrieved recommendation
+		// is always CTP,DCE and the two sub-benchmarks stay comparable.
+		for i := 0; i < 8; i++ {
+			srv.Advisor().Harvest(advisor.Outcome{
+				Source: src, Opts: opts, Order: opts,
+				Applied: 5, WallUS: 100, Engine: "interp",
+			})
+		}
+		srv.Advisor().Flush()
+		payload, err := json.Marshal(map[string]any{
+			"source": src, "opts": opts, "order": directive, "no_cache": true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		h := srv.Handler()
+		post := func() {
+			req := httptest.NewRequest("POST", "/v1/optimize", bytes.NewReader(payload))
+			req.Header.Set("Content-Type", "application/json")
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("optimize = %d: %s", rec.Code, rec.Body.String())
+			}
+		}
+		post() // warm the feature-vector cache, as a steady-state server is
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post()
+		}
+	}
+	b.Run("default", func(b *testing.B) { run(b, server.OrderDefault) })
+	b.Run("auto", func(b *testing.B) { run(b, server.OrderAuto) })
 }
 
 // BenchmarkJobsThroughput measures the batch-job path end to end: HTTP

@@ -30,6 +30,7 @@ type jobClient struct {
 type jobRequest struct {
 	Source        string     `json:"source"`
 	Opts          []string   `json:"opts,omitempty"`
+	Order         string     `json:"order,omitempty"`
 	Specs         []specText `json:"specs,omitempty"`
 	MaxIterations int        `json:"max_iterations,omitempty"`
 	Priority      string     `json:"priority,omitempty"`
@@ -51,8 +52,9 @@ type jobStatus struct {
 
 // jobResult is the subset of the optimize response the client renders.
 type jobResult struct {
-	MiniF        string `json:"minif"`
-	IR           string `json:"ir"`
+	MiniF        string   `json:"minif"`
+	IR           string   `json:"ir"`
+	Order        []string `json:"order"`
 	Applications []struct {
 		Name         string `json:"name"`
 		Applications int    `json:"applications"`
@@ -158,8 +160,11 @@ func (c *jobClient) result(id string) (jobResult, error) {
 	return r, nil
 }
 
-// runClient is the -submit entry point: one job per program argument.
-func runClient(base string, files []string, optsFlag, specFiles string, maxIter int, wait, minif bool, priority string) error {
+// runClient is the -submit entry point: one job per program argument. The
+// order directive rides in the job payload; the server resolves it (auto
+// consults the advisor at submission time) and stamps the effective pass
+// order into the result.
+func runClient(base string, files []string, optsFlag, order, specFiles string, maxIter int, wait, minif bool, priority string) error {
 	c := newJobClient(base)
 	opts := splitList(optsFlag)
 	var specs []specText
@@ -184,6 +189,7 @@ func runClient(base string, files []string, optsFlag, specFiles string, maxIter 
 		st, err := c.submit(jobRequest{
 			Source:        string(src),
 			Opts:          opts,
+			Order:         order,
 			Specs:         specs,
 			MaxIterations: maxIter,
 			Priority:      priority,
@@ -217,6 +223,9 @@ func runClient(base string, files []string, optsFlag, specFiles string, maxIter 
 		}
 		if len(files) > 1 {
 			fmt.Printf("== %s ==\n", files[i])
+		}
+		if len(r.Order) > 0 {
+			fmt.Fprintf(os.Stderr, "order: %s\n", strings.Join(r.Order, ","))
 		}
 		for _, p := range r.Applications {
 			fmt.Fprintf(os.Stderr, "%s: %d application(s)\n", p.Name, p.Applications)

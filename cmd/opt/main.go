@@ -51,6 +51,7 @@ import (
 func main() {
 	var (
 		optsFlag    = flag.String("opts", "", "comma-separated optimizations to apply in order")
+		orderFlag   = flag.String("order", "", "pass-ordering directive: auto (ask the optd advisor; needs -submit), default (run -opts as written) or an explicit comma-separated permutation of -opts")
 		interactive = flag.Bool("i", false, "interactive session")
 		points      = flag.Bool("points", false, "print application-point counts and exit")
 		run         = flag.Bool("run", false, "execute the program after optimizing")
@@ -119,6 +120,51 @@ low for the program), and exits 1.`)
 			os.Exit(2)
 		}
 	}
+	// -order resolves to a directive string for the server (auto, default) or
+	// an explicit pass order that reorders -opts locally. Validation mirrors
+	// the server's rules so a bad directive dies here with exit 2 instead of
+	// as a 400 after the upload.
+	orderDirective := strings.ToLower(strings.TrimSpace(*orderFlag))
+	effectiveOpts := *optsFlag
+	switch orderDirective {
+	case "":
+	case "auto":
+		if *submitURL == "" {
+			fmt.Fprintln(os.Stderr, "opt: -order auto needs -submit (the pass-ordering advisor lives in optd)")
+			os.Exit(2)
+		}
+		if *optsFlag == "" {
+			fmt.Fprintln(os.Stderr, "opt: -order auto needs a non-empty -opts list")
+			os.Exit(2)
+		}
+		if *specFiles != "" {
+			fmt.Fprintln(os.Stderr, "opt: -order auto is incompatible with -spec (inline specs have no recorded history)")
+			os.Exit(2)
+		}
+	case "default":
+		if *optsFlag == "" {
+			fmt.Fprintln(os.Stderr, "opt: -order default needs a non-empty -opts list")
+			os.Exit(2)
+		}
+	default:
+		order := splitList(*orderFlag)
+		for _, name := range order {
+			if _, ok := specs.Sources[name]; !ok {
+				fmt.Fprintf(os.Stderr, "opt: unknown optimization %q in -order (have %s)\n",
+					name, strings.Join(specs.Names(), ", "))
+				os.Exit(2)
+			}
+		}
+		if *optsFlag != "" && !samePermutation(order, splitList(*optsFlag)) {
+			fmt.Fprintf(os.Stderr, "opt: -order %s must be a permutation of -opts %s\n",
+				strings.Join(order, ","), strings.Join(splitList(*optsFlag), ","))
+			os.Exit(2)
+		}
+		// An explicit order IS the pipeline, locally and remotely; with no
+		// -opts it also defines the pass set, exactly like the server.
+		orderDirective = strings.Join(order, ",")
+		effectiveOpts = orderDirective
+	}
 	if flag.NArg() < 1 || ((*interactive || *points) && flag.NArg() != 1) {
 		flag.Usage()
 		os.Exit(2)
@@ -135,7 +181,7 @@ low for the program), and exits 1.`)
 			fmt.Fprintf(os.Stderr, "opt: -priority must be high, normal or low (got %q)\n", *priority)
 			os.Exit(2)
 		}
-		if err := runClient(*submitURL, flag.Args(), *optsFlag, *specFiles, *maxIter, *waitJobs, *minif, *priority); err != nil {
+		if err := runClient(*submitURL, flag.Args(), effectiveOpts, orderDirective, *specFiles, *maxIter, *waitJobs, *minif, *priority); err != nil {
 			fatal(err)
 		}
 		return
@@ -181,7 +227,7 @@ low for the program), and exits 1.`)
 	var art *nativecache.Artifact
 	var order []string
 	if *engineFlag != "interp" && *traceFile == "" {
-		art, order = nativeArtifact(*engineFlag, *nativeDir, *optsFlag, *specFiles)
+		art, order = nativeArtifact(*engineFlag, *nativeDir, effectiveOpts, *specFiles)
 	}
 	type result struct {
 		log    strings.Builder // per-optimization pass reports (stderr)
@@ -221,7 +267,7 @@ low for the program), and exits 1.`)
 		if *traceFile != "" {
 			r.tracer = obs.NewTracer(obs.Collect())
 		}
-		if r.err = pipeline(p, *optsFlag, *specFiles, *maxIter, report, r.tracer); r.err != nil {
+		if r.err = pipeline(p, effectiveOpts, *specFiles, *maxIter, report, r.tracer); r.err != nil {
 			return r
 		}
 		if *minif {
@@ -440,6 +486,25 @@ func nativeRun(art *nativecache.Artifact, order []string, src string, maxIter in
 		}
 	}
 	return text, out, nil
+}
+
+// samePermutation reports whether a and b contain the same names (as sets
+// with multiplicity), matching the server-side permutation check.
+func samePermutation(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	count := make(map[string]int, len(a))
+	for _, n := range a {
+		count[n]++
+	}
+	for _, n := range b {
+		count[n]--
+		if count[n] < 0 {
+			return false
+		}
+	}
+	return true
 }
 
 func splitList(s string) []string {

@@ -47,6 +47,14 @@
 // Artifacts are cached content-addressed under -native-dir and every
 // response names its engine in the X-Optd-Engine header.
 //
+// A pass-ordering advisor learns from every completed run: requests with
+// "order":"auto" (or ?order=auto) are scheduled with the pass order that
+// historically applied the most optimizations to the nearest similar
+// programs, falling back to the requested order when history is thin. The
+// outcome store is durable under -advisor-dir; `optd -advisor-replay URL`
+// re-submits the standing example/proggen corpus as low-priority jobs
+// against a live instance to keep that history fresh, then exits.
+//
 // Results are cached content-addressed (SHA-256 of source, opt sequence,
 // spec text and limits) in a bounded LRU; concurrency is bounded by an
 // admission limiter; every request carries a deadline; optimizer panics
@@ -101,6 +109,12 @@ func main() {
 
 		engine    = flag.String("engine", "auto", "optimizer engine: auto (serve from compiled artifacts when loaded, interpret otherwise), interp, or compiled (require the built-in artifact before accepting traffic)")
 		nativeDir = flag.String("native-dir", "", "compiled-artifact cache directory (empty = the user cache dir)")
+
+		advisorDir    = flag.String("advisor-dir", "", "pass-ordering advisor outcome-store directory (empty = memory-only history)")
+		advisorK      = flag.Int("advisor-k", 0, "advisor k-NN neighborhood size (0 = default, 8)")
+		advisorMin    = flag.Int("advisor-min", 0, "advisor minimum neighbors before it recommends instead of falling back (0 = default, 3)")
+		advisorMax    = flag.Int("advisor-max-records", 0, "advisor outcome-store record cap before compaction (0 = default, 4096)")
+		advisorReplay = flag.String("advisor-replay", "", "optd base URL: instead of serving, re-submit the freshness corpus as low-priority jobs against that instance, wait, and exit")
 	)
 	flag.Parse()
 	if *workers < 0 {
@@ -115,8 +129,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "optd: -engine must be auto, interp or compiled (got %q)\n", *engine)
 		os.Exit(2)
 	}
+	if *advisorK < 0 || *advisorMin < 0 || *advisorMax < 0 {
+		fmt.Fprintln(os.Stderr, "optd: -advisor-k, -advisor-min and -advisor-max-records must be >= 0")
+		os.Exit(2)
+	}
 	logger := obs.NewLogger(os.Stderr, *logfmt, slog.LevelInfo)
 	slog.SetDefault(logger)
+
+	// -advisor-replay turns the binary into a one-shot freshness client: it
+	// re-runs the standing corpus through a live optd so the advisor's
+	// outcome store tracks the deployed engine rather than decaying. Serving
+	// flags are meaningless in this mode.
+	if *advisorReplay != "" {
+		if err := runAdvisorReplay(*advisorReplay, logger); err != nil {
+			logger.Error("advisor replay failed", slog.Any("err", err))
+			os.Exit(1)
+		}
+		return
+	}
 
 	cacheEntries := *cacheN
 	if cacheEntries == 0 {
@@ -152,21 +182,25 @@ func main() {
 		os.Exit(2)
 	}
 	srv, err := server.New(server.Config{
-		MaxConcurrent:  *workers,
-		CacheEntries:   cacheEntries,
-		RequestTimeout: *timeout,
-		MaxIterations:  *maxIter,
-		MaxBodyBytes:   *maxBody,
-		MaxSessions:    *sessions,
-		SessionTTL:     *ttl,
-		Logger:         logger,
-		JobsDir:        *jobsDir,
-		JobsWorkers:    *jobsWorkers,
-		JobsRetries:    *jobsRetries,
-		Peers:          peerList,
-		Advertise:      *advertise,
-		Engine:         *engine,
-		NativeDir:      *nativeDir,
+		MaxConcurrent:       *workers,
+		CacheEntries:        cacheEntries,
+		RequestTimeout:      *timeout,
+		MaxIterations:       *maxIter,
+		MaxBodyBytes:        *maxBody,
+		MaxSessions:         *sessions,
+		SessionTTL:          *ttl,
+		Logger:              logger,
+		JobsDir:             *jobsDir,
+		JobsWorkers:         *jobsWorkers,
+		JobsRetries:         *jobsRetries,
+		Peers:               peerList,
+		Advertise:           *advertise,
+		Engine:              *engine,
+		NativeDir:           *nativeDir,
+		AdvisorDir:          *advisorDir,
+		AdvisorK:            *advisorK,
+		AdvisorMinNeighbors: *advisorMin,
+		AdvisorMaxRecords:   *advisorMax,
 	})
 	if err != nil {
 		logger.Error("server init failed", slog.Any("err", err))

@@ -1,0 +1,196 @@
+package main
+
+// Advisor freshness loop. `optd -advisor-replay URL` is the corpus
+// re-submission half of the self-tuning advisor: it replays a standing
+// corpus — every example program plus a deterministic internal/proggen
+// sample — through a live optd instance under several candidate pass
+// orders, as low-priority no-cache batch jobs. Each completed job is
+// harvested into the server's outcome store, so the advisor's history
+// keeps tracking the engine actually deployed instead of decaying as the
+// optimizer evolves. Run it from cron or a CI schedule; it waits for the
+// jobs and exits.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/proggen"
+	"repro/ir"
+)
+
+// replayCorpusDir is where the example programs live relative to the
+// working directory; a missing directory is fine (proggen still supplies
+// a corpus).
+const replayCorpusDir = "examples/programs"
+
+// replayOpts is the optimization set the freshness loop exercises. It
+// matches the set production traffic most commonly requests, so replayed
+// outcomes land in the same k-NN neighborhoods as live ones.
+var replayOpts = []string{"CPP", "CTP", "DCE", "ICM"}
+
+// replayOrders are the candidate pass orders replayed per program: the
+// default order, its reverse, and two rotations. Covering several orders
+// per program is what gives the retriever something to choose between.
+func replayOrders() [][]string {
+	n := len(replayOpts)
+	def := append([]string(nil), replayOpts...)
+	rev := make([]string, n)
+	for i, name := range def {
+		rev[n-1-i] = name
+	}
+	rot1 := append(append([]string(nil), def[1:]...), def[0])
+	rot2 := append(append([]string(nil), rev[1:]...), rev[0])
+	return [][]string{def, rev, rot1, rot2}
+}
+
+// replayJob mirrors the server's JobSubmitRequest wire shape (the subset
+// the freshness loop needs).
+type replayJob struct {
+	Source   string   `json:"source"`
+	Opts     []string `json:"opts"`
+	Order    string   `json:"order"`
+	NoCache  bool     `json:"no_cache"`
+	Priority string   `json:"priority"`
+}
+
+type replayStatus struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	LastError string `json:"last_error"`
+	Existing  bool   `json:"existing"`
+}
+
+// replayCorpus assembles the program sources: every .mf file under the
+// examples directory, then a deterministic proggen sample. Deterministic
+// seeds keep successive replay runs content-addressed onto the same jobs,
+// so an overlapping cron schedule cannot pile up duplicate work.
+func replayCorpus() (map[string]string, error) {
+	corpus := make(map[string]string)
+	entries, err := os.ReadDir(replayCorpusDir)
+	if err == nil {
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".mf") {
+				continue
+			}
+			src, err := os.ReadFile(filepath.Join(replayCorpusDir, e.Name()))
+			if err != nil {
+				return nil, err
+			}
+			corpus[e.Name()] = string(src)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		p := proggen.Generate(seed, proggen.Config{MaxStmts: 30, MaxDepth: 2})
+		corpus[fmt.Sprintf("proggen-%d", seed)] = ir.ToMiniF(p)
+	}
+	return corpus, nil
+}
+
+// runAdvisorReplay submits the corpus × candidate-order matrix and waits
+// for every job to reach a terminal state. Failed jobs are reported but do
+// not abort the sweep: a single non-converging program must not starve the
+// store of every other outcome.
+func runAdvisorReplay(base string, logger *slog.Logger) error {
+	base = strings.TrimRight(base, "/")
+	corpus, err := replayCorpus()
+	if err != nil {
+		return err
+	}
+	orders := replayOrders()
+	hc := &http.Client{}
+
+	type pending struct {
+		name  string
+		order string
+		id    string
+	}
+	var jobs []pending
+	for name, src := range corpus {
+		for _, order := range orders {
+			req := replayJob{
+				Source:   src,
+				Opts:     replayOpts,
+				Order:    strings.Join(order, ","),
+				NoCache:  true,
+				Priority: "low",
+			}
+			raw, err := json.Marshal(req)
+			if err != nil {
+				return err
+			}
+			resp, err := hc.Post(base+"/v1/jobs", "application/json", bytes.NewReader(raw))
+			if err != nil {
+				return fmt.Errorf("submit %s [%s]: %w", name, req.Order, err)
+			}
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				return fmt.Errorf("submit %s [%s]: HTTP %d: %s",
+					name, req.Order, resp.StatusCode, strings.TrimSpace(string(body)))
+			}
+			var st replayStatus
+			if err := json.Unmarshal(body, &st); err != nil {
+				return fmt.Errorf("submit %s [%s]: decoding response: %w", name, req.Order, err)
+			}
+			jobs = append(jobs, pending{name: name, order: req.Order, id: st.ID})
+		}
+	}
+	logger.Info("advisor replay submitted",
+		slog.Int("programs", len(corpus)), slog.Int("jobs", len(jobs)))
+
+	done, failed := 0, 0
+	for _, j := range jobs {
+		st, err := replayWait(hc, base, j.id)
+		if err != nil {
+			return fmt.Errorf("wait %s [%s]: %w", j.name, j.order, err)
+		}
+		if st.State == "done" {
+			done++
+			continue
+		}
+		failed++
+		logger.Warn("advisor replay job did not finish",
+			slog.String("program", j.name), slog.String("order", j.order),
+			slog.String("state", st.State), slog.String("err", st.LastError))
+	}
+	logger.Info("advisor replay complete",
+		slog.Int("done", done), slog.Int("failed", failed))
+	if done == 0 && len(jobs) > 0 {
+		return fmt.Errorf("no replay job completed (%d failed)", failed)
+	}
+	return nil
+}
+
+// replayWait long-polls one job to a terminal state.
+func replayWait(hc *http.Client, base, id string) (replayStatus, error) {
+	var st replayStatus
+	for {
+		resp, err := hc.Get(base + "/v1/jobs/" + id + "?wait=1")
+		if err != nil {
+			return st, err
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return st, fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			return st, err
+		}
+		switch st.State {
+		case "done", "failed", "cancelled":
+			return st, nil
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}

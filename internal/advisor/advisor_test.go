@@ -1,0 +1,295 @@
+package advisor
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const srcLoopy = `PROGRAM loopy
+INTEGER n, i
+REAL a(16), s
+n = 16
+s = 0.0
+DO i = 1, n
+  a(i) = i * 2.0
+ENDDO
+DO i = 1, 16
+  s = s + a(i)
+ENDDO
+PRINT s
+END
+`
+
+const srcNest = `PROGRAM nest
+INTEGER i, j
+REAL u(8,8)
+DO i = 1, 8
+  DO j = 1, 8
+    u(i,j) = i + j
+  ENDDO
+ENDDO
+PRINT u(1,1)
+END
+`
+
+const srcStraight = `PROGRAM straight
+INTEGER x, y
+x = 1
+y = x + 2
+PRINT y
+END
+`
+
+func TestExtractorVector(t *testing.T) {
+	ex, err := NewExtractor(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := ex.Vector(srcLoopy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != Dims() {
+		t.Fatalf("vector dims %d, want %d", len(v), Dims())
+	}
+	var norm float64
+	for _, x := range v {
+		norm += float64(x) * float64(x)
+	}
+	if norm < 0.999 || norm > 1.001 {
+		t.Fatalf("vector not unit-normalized: |v|^2 = %v", norm)
+	}
+	// Memoization must return the identical slice.
+	v2, err := ex.Vector(srcLoopy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &v[0] != &v2[0] {
+		t.Fatal("feature cache miss on identical source")
+	}
+	// A structurally different program must featurize differently.
+	v3, err := ex.Vector(srcNest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2(v, v3) == 0 {
+		t.Fatal("distinct programs produced identical vectors")
+	}
+	if _, err := ex.Vector("THIS IS NOT MINIF"); err == nil {
+		t.Fatal("expected parse error for junk source")
+	}
+}
+
+func TestChooseFallbackWhenThin(t *testing.T) {
+	a, err := Open(Config{MinNeighbors: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	d, _, err := a.Choose(srcLoopy, []string{"DCE", "CPP"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Fallback || len(d.Order) != 0 {
+		t.Fatalf("cold store: want fallback, got %+v", d)
+	}
+}
+
+func seedAdvisor(t *testing.T, a *Advisor) {
+	t.Helper()
+	// History: on loop-shaped programs, order CPP,DCE applied 9 actions;
+	// order DCE,CPP applied 4. The advisor must prefer the former.
+	for i := 0; i < 4; i++ {
+		if !a.Harvest(Outcome{
+			Source: srcLoopy, Opts: []string{"CPP", "DCE"},
+			Order: []string{"CPP", "DCE"}, Applied: 9, WallUS: 500,
+		}) {
+			t.Fatal("harvest rejected")
+		}
+		if !a.Harvest(Outcome{
+			Source: srcLoopy, Opts: []string{"CPP", "DCE"},
+			Order: []string{"DCE", "CPP"}, Applied: 4, WallUS: 100,
+		}) {
+			t.Fatal("harvest rejected")
+		}
+	}
+	a.Flush()
+}
+
+func TestChoosePrefersMoreApplied(t *testing.T) {
+	a, err := Open(Config{MinNeighbors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	seedAdvisor(t, a)
+	if a.Size() != 8 {
+		t.Fatalf("store size %d, want 8", a.Size())
+	}
+	d, _, err := a.Choose(srcLoopy, []string{"DCE", "CPP"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Fallback {
+		t.Fatal("unexpected fallback with warm store")
+	}
+	// DCE,CPP is faster (4 applied / 100us) but CPP,DCE applied more
+	// actions: applied wins, rate only breaks ties.
+	if got := strings.Join(d.Order, ","); got != "CPP,DCE" {
+		t.Fatalf("chose %q, want CPP,DCE", got)
+	}
+}
+
+func TestChooseOptSetMismatchFallsBack(t *testing.T) {
+	a, err := Open(Config{MinNeighbors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	seedAdvisor(t, a)
+	// History exists only for {CPP,DCE}; asking about {CPP,DCE,ICM} must
+	// not borrow it.
+	d, _, err := a.Choose(srcLoopy, []string{"CPP", "DCE", "ICM"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Fallback {
+		t.Fatalf("want fallback for unseen opt set, got order %v", d.Order)
+	}
+}
+
+// TestChooseDeterministicAcrossNodes: two advisors built from the same
+// persisted store must make byte-identical decisions, run after run.
+func TestChooseDeterministicAcrossNodes(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(Config{Dir: dir, MinNeighbors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedAdvisor(t, a)
+	// Add same-distance ties: two orders with identical applied and wall
+	// harvested from an identical program — only the lexicographic
+	// tie-break separates them.
+	for _, order := range [][]string{{"ICM", "FUS"}, {"FUS", "ICM"}} {
+		for i := 0; i < 2; i++ {
+			a.Harvest(Outcome{
+				Source: srcNest, Opts: []string{"FUS", "ICM"},
+				Order: append([]string(nil), order...), Applied: 5, WallUS: 300,
+			})
+		}
+	}
+	a.Flush()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []string
+	for node := 0; node < 3; node++ {
+		b, err := Open(Config{Dir: dir, MinNeighbors: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for run := 0; run < 5; run++ {
+			d1, _, err := b.Choose(srcLoopy, []string{"DCE", "CPP"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			d2, _, err := b.Choose(srcNest, []string{"ICM", "FUS"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, strings.Join(d1.Order, ",")+"|"+strings.Join(d2.Order, ","))
+		}
+		b.Close()
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[0] {
+			t.Fatalf("nondeterministic decision: run 0 %q vs run %d %q", got[0], i, got[i])
+		}
+	}
+	// The tied orders must resolve to the lexicographically smallest.
+	if !strings.HasSuffix(got[0], "|FUS,ICM") {
+		t.Fatalf("tie not broken lexicographically: %q", got[0])
+	}
+}
+
+func TestHarvestPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(Config{Dir: dir, MinNeighbors: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Harvest(Outcome{
+		Source: srcStraight, Opts: []string{"CPP"},
+		Order: []string{"CPP"}, Applied: 2, WallUS: 50, Engine: "interp",
+	})
+	a.Flush()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := filepath.Glob(filepath.Join(dir, "outcomes.log")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(Config{Dir: dir, MinNeighbors: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if b.Size() != 1 {
+		t.Fatalf("reopened store size %d, want 1", b.Size())
+	}
+	d, _, err := b.Choose(srcStraight, []string{"CPP"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Fallback || strings.Join(d.Order, ",") != "CPP" {
+		t.Fatalf("decision after reopen: %+v", d)
+	}
+}
+
+func TestHarvestRejectsJunk(t *testing.T) {
+	a, err := Open(Config{MinNeighbors: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if a.Harvest(Outcome{Source: "", Order: []string{"DCE"}}) {
+		t.Fatal("accepted empty source")
+	}
+	if a.Harvest(Outcome{Source: srcStraight}) {
+		t.Fatal("accepted empty order")
+	}
+	// Unparseable source is accepted (the queue is decoupled) but must not
+	// land in the store.
+	a.Harvest(Outcome{Source: "NOT MINIF", Opts: []string{"DCE"},
+		Order: []string{"DCE"}, Applied: 1, WallUS: 1})
+	a.Flush()
+	if a.Size() != 0 {
+		t.Fatalf("junk source ingested: store size %d", a.Size())
+	}
+}
+
+func TestObsCallbacks(t *testing.T) {
+	harvested, sizes := 0, []int{}
+	a, err := Open(Config{
+		MinNeighbors: 1,
+		Obs: Obs{
+			Harvested: func() { harvested++ },
+			StoreSize: func(n int) { sizes = append(sizes, n) },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Harvest(Outcome{Source: srcStraight, Opts: []string{"CPP"},
+		Order: []string{"CPP"}, Applied: 1, WallUS: 10})
+	a.Flush()
+	a.Close()
+	if harvested != 1 {
+		t.Fatalf("harvested callbacks %d, want 1", harvested)
+	}
+	if len(sizes) == 0 || sizes[len(sizes)-1] != 1 {
+		t.Fatalf("store size reports %v, want final 1", sizes)
+	}
+}

@@ -1,0 +1,171 @@
+package advisor
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/dep"
+	"repro/internal/engine"
+	"repro/internal/frontend"
+	"repro/internal/specs"
+	"repro/ir"
+)
+
+// SchemaVersion identifies the feature-vector layout. Retrieval only
+// compares vectors of the same schema, so changing the layout (adding a
+// dimension, reordering the census) bumps this and quietly retires old
+// records instead of mixing incomparable geometries.
+const SchemaVersion = 1
+
+// censusDims is the structural prefix of the vector; the per-optimization
+// opportunity counts for specs.Ten follow it.
+const censusDims = 11
+
+// Dims is the feature-vector length under SchemaVersion.
+func Dims() int { return censusDims + len(specs.Ten) }
+
+// Extractor computes the per-program feature vector: a structural census
+// (statement kinds, loop depth histogram, array-reference and constant
+// operand counts) followed by one pattern-only opportunity count per
+// paper optimization. Pattern-only matching skips every Depend clause, so
+// the census costs a parse plus a linear pattern sweep — no dependence
+// graph is ever computed.
+//
+// Vectors are unit-L2 normalized: retrieval distance then measures the
+// *shape* of a program (what kinds of opportunity it offers, how its loops
+// nest) rather than its size, which is what makes a 40-statement training
+// program a useful neighbor for a 400-statement request.
+type Extractor struct {
+	matchers []*engine.Optimizer // pattern-only matchers, specs.Ten order
+
+	mu      sync.Mutex
+	cache   map[[sha256.Size]byte][]float32
+	fifo    [][sha256.Size]byte // eviction order for cache
+	maxKeep int
+}
+
+// NewExtractor compiles the pattern-only matchers. cacheEntries bounds the
+// per-source vector cache (vectors are ~120 bytes; the cache exists so the
+// request path never re-parses a corpus program it just featurized);
+// values < 1 select 256.
+func NewExtractor(cacheEntries int) (*Extractor, error) {
+	if cacheEntries < 1 {
+		cacheEntries = 256
+	}
+	e := &Extractor{
+		cache:   map[[sha256.Size]byte][]float32{},
+		maxKeep: cacheEntries,
+	}
+	for _, name := range specs.Ten {
+		o, err := specs.Compile(name)
+		if err != nil {
+			return nil, fmt.Errorf("advisor: compiling %s matcher: %w", name, err)
+		}
+		e.matchers = append(e.matchers, o)
+	}
+	return e, nil
+}
+
+// Vector featurizes MiniF source, memoizing by content hash.
+func (e *Extractor) Vector(source string) ([]float32, error) {
+	key := sha256.Sum256([]byte(source))
+	e.mu.Lock()
+	if v, ok := e.cache[key]; ok {
+		e.mu.Unlock()
+		return v, nil
+	}
+	e.mu.Unlock()
+	p, err := frontend.Parse(source)
+	if err != nil {
+		return nil, err
+	}
+	v := e.VectorOf(p)
+	e.mu.Lock()
+	if _, ok := e.cache[key]; !ok {
+		e.cache[key] = v
+		e.fifo = append(e.fifo, key)
+		if len(e.fifo) > e.maxKeep {
+			delete(e.cache, e.fifo[0])
+			e.fifo = e.fifo[1:]
+		}
+	}
+	e.mu.Unlock()
+	return v, nil
+}
+
+// VectorOf featurizes an already-parsed program. The returned vector is
+// unit-L2 normalized (or all zero for an empty program).
+func (e *Extractor) VectorOf(p *ir.Program) []float32 {
+	raw := make([]float64, Dims())
+	countOperand := func(op ir.Operand) {
+		switch op.Kind {
+		case ir.ArrayRef:
+			raw[5]++
+		case ir.Const:
+			raw[6]++
+		}
+	}
+	for _, s := range p.Stmts() {
+		raw[0]++
+		switch s.Kind {
+		case ir.SAssign:
+			raw[1]++
+		case ir.SDoHead:
+			raw[2]++
+		case ir.SIf:
+			raw[3]++
+		case ir.SPrint, ir.SRead:
+			raw[4]++
+		}
+		for _, op := range s.Uses() {
+			countOperand(op)
+		}
+		if d, ok := s.Defs(); ok {
+			countOperand(d)
+		}
+	}
+	maxDepth := 0
+	for _, l := range ir.Loops(p) {
+		depth := ir.NestDepth(p, l.Head) + 1
+		switch {
+		case depth == 1:
+			raw[7]++
+		case depth == 2:
+			raw[8]++
+		default:
+			raw[9]++
+		}
+		if depth > maxDepth {
+			maxDepth = depth
+		}
+	}
+	raw[10] = float64(maxDepth)
+	// Opportunity census: how many times each optimization's code pattern
+	// matches, ignoring dependence restrictions. The stub graph is never
+	// consulted in pattern-only mode.
+	g := &dep.Graph{Prog: p}
+	for i, o := range e.matchers {
+		raw[censusDims+i] = float64(o.CountPatternOnly(p, g))
+	}
+	return normalize(raw)
+}
+
+// normalize projects onto the unit sphere (float32 storage keeps records
+// compact; the precision loss is far below retrieval's distance scale).
+func normalize(raw []float64) []float32 {
+	var sum float64
+	for _, v := range raw {
+		sum += v * v
+	}
+	out := make([]float32, len(raw))
+	if sum == 0 {
+		return out
+	}
+	inv := 1 / math.Sqrt(sum)
+	for i, v := range raw {
+		out[i] = float32(v * inv)
+	}
+	return out
+}

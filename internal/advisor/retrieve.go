@@ -1,0 +1,132 @@
+package advisor
+
+import (
+	"math"
+	"sort"
+	"strings"
+)
+
+// Decision is the outcome of one retrieval: the chosen order plus the
+// evidence behind it, for response stamping, metrics and trace spans.
+type Decision struct {
+	// Order is the recommended pass order. Empty when Fallback is true.
+	Order []string
+	// Neighbors is how many comparable records voted.
+	Neighbors int
+	// Fallback is true when history was too thin (fewer than MinNeighbors
+	// comparable records) and the caller should use the default order.
+	Fallback bool
+	// Score is the winning order's weighted mean applied-action count.
+	Score float64
+}
+
+// choose runs the k-nearest-neighbor vote. It is deterministic for a given
+// record list: neighbors sort by (distance, Seq), candidate orders score by
+// weighted mean applied actions with applied-per-microsecond as tie-break,
+// and remaining ties fall to the lexicographically smallest order string —
+// so two nodes with byte-identical stores always agree.
+//
+// The primary criterion is applied actions (not rate): the advisor's
+// contract is "auto never applies fewer actions than the history says the
+// best order achieves on programs shaped like this one"; speed only
+// arbitrates between equally productive orders.
+func choose(recs []*Record, vec []float32, opts []string, k, minNeighbors int) Decision {
+	if k < 1 {
+		k = 1
+	}
+	if minNeighbors < 1 {
+		minNeighbors = 1
+	}
+	want := append([]string(nil), opts...)
+	sort.Strings(want)
+
+	type cand struct {
+		rec  *Record
+		dist float64
+	}
+	var cands []cand
+	for _, r := range recs {
+		if r.Schema != SchemaVersion || len(r.Vec) != len(vec) {
+			continue
+		}
+		if !sameSet(r.Opts, want) {
+			continue
+		}
+		cands = append(cands, cand{rec: r, dist: l2(r.Vec, vec)})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dist != cands[j].dist {
+			return cands[i].dist < cands[j].dist
+		}
+		return cands[i].rec.Seq < cands[j].rec.Seq
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	if len(cands) < minNeighbors {
+		return Decision{Neighbors: len(cands), Fallback: true}
+	}
+
+	// Weighted vote per distinct order among the neighbors.
+	type tally struct {
+		order   []string
+		w       float64 // Σ 1/(dist+ε)
+		applied float64 // Σ w·applied
+		wall    float64 // Σ w·wallUS
+	}
+	byOrder := map[string]*tally{}
+	var keys []string
+	for _, c := range cands {
+		key := strings.Join(c.rec.Order, ",")
+		t := byOrder[key]
+		if t == nil {
+			t = &tally{order: c.rec.Order}
+			byOrder[key] = t
+			keys = append(keys, key)
+		}
+		w := 1 / (c.dist + 1e-6)
+		t.w += w
+		t.applied += w * float64(c.rec.Applied)
+		t.wall += w * float64(c.rec.WallUS)
+	}
+	sort.Strings(keys) // lexicographic final tie-break
+
+	best := ""
+	var bestApplied, bestRate float64
+	for _, key := range keys {
+		t := byOrder[key]
+		meanApplied := t.applied / t.w
+		// applied per microsecond; +1 guards the zero-wall degenerate case.
+		rate := t.applied / (t.wall + 1)
+		if best == "" || meanApplied > bestApplied ||
+			(meanApplied == bestApplied && rate > bestRate) {
+			best, bestApplied, bestRate = key, meanApplied, rate
+		}
+	}
+	return Decision{
+		Order:     append([]string(nil), byOrder[best].order...),
+		Neighbors: len(cands),
+		Score:     bestApplied,
+	}
+}
+
+func sameSet(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func l2(a, b []float32) float64 {
+	var sum float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}

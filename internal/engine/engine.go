@@ -167,6 +167,22 @@ func (o *Optimizer) PreconditionsPatternOnly(p *ir.Program, g *dep.Graph) []Env 
 	return out
 }
 
+// CountPatternOnly counts the Code_Pattern bindings without materializing
+// environments — the advisor's per-optimization opportunity census. It is a
+// cheap upper bound on the application-point count: Depend clauses are
+// skipped, so the search generates no dependence-store traffic and g may be
+// a bare &dep.Graph{Prog: p} stub.
+func (o *Optimizer) CountPatternOnly(p *ir.Program, g *dep.Graph) int {
+	ctx := o.newContext(p, g)
+	ctx.patternOnly = true
+	n := 0
+	o.matchPattern(ctx, 0, Env{}, func(Env) bool {
+		n++
+		return true
+	})
+	return n
+}
+
 // findFirst returns the first full precondition binding, if any.
 func (o *Optimizer) findFirst(ctx *context) (Env, bool) {
 	var found Env

@@ -30,6 +30,11 @@ type Obs struct {
 	// Finished fires once per job reaching a terminal state, with the
 	// enqueue→terminal latency.
 	Finished func(final State, latency time.Duration)
+	// Completed fires once per job reaching StateDone, with the job
+	// snapshot (Payload and Result populated). Like every Obs callback it
+	// runs under the manager lock: consumers must only enqueue — the
+	// advisor harvest hands the snapshot to a worker goroutine.
+	Completed func(j *Job)
 }
 
 // Config tunes a Manager. The zero value selects an in-memory (non-durable)
@@ -204,6 +209,9 @@ func (m *Manager) transitionLocked(j *Job, to State) {
 		delete(m.cancelReq, j.ID)
 		if m.cfg.Obs.Finished != nil {
 			m.cfg.Obs.Finished(to, j.FinishedAt.Sub(j.SubmittedAt))
+		}
+		if to == StateDone && m.cfg.Obs.Completed != nil {
+			m.cfg.Obs.Completed(j.clone())
 		}
 		m.evictTerminalLocked()
 	}

@@ -29,11 +29,63 @@ import (
 // O(live jobs) instead of O(total transitions).
 
 const (
-	walFrameHeader = 8
-	// walMaxRecord rejects absurd lengths during replay so a corrupt
+	// FrameHeader is the size of the length+CRC preamble of every frame.
+	FrameHeader = 8
+	// MaxFrame rejects absurd lengths during replay so a corrupt
 	// header cannot trigger a giant allocation.
-	walMaxRecord = 64 << 20
+	MaxFrame = 64 << 20
 )
+
+// EncodeFrame wraps payload in the WAL's self-delimiting frame:
+// length-prefixed, CRC-checked, ready to append to a record log. The
+// framing is payload-agnostic so other append-only stores (the advisor's
+// outcome log) share the exact torn-tail semantics the jobs WAL is
+// torture-tested for.
+func EncodeFrame(payload []byte) []byte {
+	frame := make([]byte, FrameHeader+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[FrameHeader:], payload)
+	return frame
+}
+
+// ReplayFrames decodes frames from r until EOF or the first bad frame,
+// calling fn with each whole payload. It returns the byte offset of the end
+// of the last good frame — the truncation point that leaves only whole
+// records. A torn or corrupt tail is not an error (it is the expected
+// residue of a crash); err is non-nil only for real I/O failures. fn may
+// return false to treat the record as corrupt and stop (an undecodable
+// payload is equivalent to a torn one).
+func ReplayFrames(r io.Reader, fn func(payload []byte) bool) (good int64, err error) {
+	var hdr [FrameHeader]byte
+	for {
+		if _, rerr := io.ReadFull(r, hdr[:]); rerr != nil {
+			if errors.Is(rerr, io.EOF) || errors.Is(rerr, io.ErrUnexpectedEOF) {
+				return good, nil // clean end or torn header
+			}
+			return good, fmt.Errorf("jobs: wal read: %w", rerr)
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if length == 0 || length > MaxFrame {
+			return good, nil // corrupt length: treat as tail
+		}
+		payload := make([]byte, length)
+		if _, rerr := io.ReadFull(r, payload); rerr != nil {
+			if errors.Is(rerr, io.EOF) || errors.Is(rerr, io.ErrUnexpectedEOF) {
+				return good, nil // torn payload
+			}
+			return good, fmt.Errorf("jobs: wal read: %w", rerr)
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return good, nil // bit rot or torn write: stop here
+		}
+		if !fn(payload) {
+			return good, nil // CRC passed but shape didn't: stop
+		}
+		good += int64(FrameHeader) + int64(length)
+	}
+}
 
 // WAL is the append-only job log. Methods are not safe for concurrent use;
 // the Manager serializes access under its own lock.
@@ -79,36 +131,15 @@ func OpenWAL(path string, nosync bool) (*WAL, []*Job, error) {
 // good frame. A bad tail is not an error — it is the expected residue of a
 // crash — so err is non-nil only for real I/O failures.
 func Replay(r io.Reader) (records []*Job, good int64, err error) {
-	var hdr [walFrameHeader]byte
-	for {
-		if _, rerr := io.ReadFull(r, hdr[:]); rerr != nil {
-			if errors.Is(rerr, io.EOF) || errors.Is(rerr, io.ErrUnexpectedEOF) {
-				return records, good, nil // clean end or torn header
-			}
-			return records, good, fmt.Errorf("jobs: wal read: %w", rerr)
-		}
-		length := binary.LittleEndian.Uint32(hdr[0:4])
-		sum := binary.LittleEndian.Uint32(hdr[4:8])
-		if length == 0 || length > walMaxRecord {
-			return records, good, nil // corrupt length: treat as tail
-		}
-		payload := make([]byte, length)
-		if _, rerr := io.ReadFull(r, payload); rerr != nil {
-			if errors.Is(rerr, io.EOF) || errors.Is(rerr, io.ErrUnexpectedEOF) {
-				return records, good, nil // torn payload
-			}
-			return records, good, fmt.Errorf("jobs: wal read: %w", rerr)
-		}
-		if crc32.ChecksumIEEE(payload) != sum {
-			return records, good, nil // bit rot or torn write: stop here
-		}
+	good, err = ReplayFrames(r, func(payload []byte) bool {
 		var j Job
 		if jerr := json.Unmarshal(payload, &j); jerr != nil {
-			return records, good, nil // CRC passed but shape didn't: stop
+			return false
 		}
 		records = append(records, &j)
-		good += int64(walFrameHeader) + int64(length)
-	}
+		return true
+	})
+	return records, good, err
 }
 
 // Append writes one job-state record and (by default) fsyncs.
@@ -117,10 +148,7 @@ func (w *WAL) Append(j *Job) error {
 	if err != nil {
 		return fmt.Errorf("jobs: wal marshal: %w", err)
 	}
-	frame := make([]byte, walFrameHeader+len(payload))
-	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
-	copy(frame[walFrameHeader:], payload)
+	frame := EncodeFrame(payload)
 	if _, err := w.f.Write(frame); err != nil {
 		return fmt.Errorf("jobs: wal append: %w", err)
 	}

@@ -1,0 +1,386 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/advisor"
+	"repro/internal/frontend"
+	"repro/internal/interp"
+	"repro/internal/proggen"
+	"repro/ir"
+)
+
+func TestOptimizeOrderAutoColdFallback(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec := doJSON(t, s, "POST", "/v1/optimize",
+		OptimizeRequest{Source: sampleSrc, Opts: []string{"CTP", "DCE"}, Order: "auto"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("order=auto on a cold store = %d: %s", rec.Code, rec.Body.String())
+	}
+	resp := decodeAs[OptimizeResponse](t, rec)
+	if !reflect.DeepEqual(resp.Order, []string{"CTP", "DCE"}) {
+		t.Fatalf("cold fallback order = %v, want the default [CTP DCE]", resp.Order)
+	}
+	if got := rec.Header().Get(OrderHeader); got != "CTP,DCE" {
+		t.Fatalf("%s = %q, want CTP,DCE", OrderHeader, got)
+	}
+	if s.Metrics().AdvisorFallback.Load() != 1 {
+		t.Fatalf("fallback counter = %d, want 1", s.Metrics().AdvisorFallback.Load())
+	}
+	if s.Metrics().AdvisorAuto.Load() != 0 {
+		t.Fatalf("auto counter = %d, want 0", s.Metrics().AdvisorAuto.Load())
+	}
+}
+
+func TestOptimizeOrderValidation(t *testing.T) {
+	s := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		req  OptimizeRequest
+	}{
+		{"auto without opts", OptimizeRequest{Source: sampleSrc, Order: "auto"}},
+		{"auto with inline specs", OptimizeRequest{Source: sampleSrc, Opts: []string{"DCE"},
+			Specs: []SpecText{{Name: "X", Text: "bogus"}}, Order: "auto"}},
+		{"unknown pass name", OptimizeRequest{Source: sampleSrc, Opts: []string{"DCE"}, Order: "DCE,NOPE"}},
+		{"not a permutation", OptimizeRequest{Source: sampleSrc, Opts: []string{"CTP", "DCE"}, Order: "DCE,ICM"}},
+		{"default without opts", OptimizeRequest{Source: sampleSrc, Order: "default"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := doJSON(t, s, "POST", "/v1/optimize", tc.req)
+			if rec.Code != http.StatusBadRequest {
+				t.Fatalf("code = %d, want 400: %s", rec.Code, rec.Body.String())
+			}
+		})
+	}
+}
+
+func TestOptimizeOrderExplicit(t *testing.T) {
+	s := newTestServer(t, Config{})
+	// Explicit order permutes opts; lowercase and whitespace are forgiven.
+	rec := doJSON(t, s, "POST", "/v1/optimize",
+		OptimizeRequest{Source: sampleSrc, Opts: []string{"CTP", "DCE"}, Order: " dce, ctp "})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("explicit order = %d: %s", rec.Code, rec.Body.String())
+	}
+	resp := decodeAs[OptimizeResponse](t, rec)
+	if !reflect.DeepEqual(resp.Order, []string{"DCE", "CTP"}) {
+		t.Fatalf("order = %v, want [DCE CTP]", resp.Order)
+	}
+	if len(resp.Applications) != 2 || resp.Applications[0].Name != "DCE" || resp.Applications[1].Name != "CTP" {
+		t.Fatalf("passes did not run in the explicit order: %+v", resp.Applications)
+	}
+	// An order with no opts at all defines the opts list.
+	rec = doJSON(t, s, "POST", "/v1/optimize",
+		OptimizeRequest{Source: sampleSrc, Order: "CTP,DCE"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("order-defines-opts = %d: %s", rec.Code, rec.Body.String())
+	}
+	// The ?order= query parameter overrides the body field.
+	rec = doJSON(t, s, "POST", "/v1/optimize?order=default",
+		OptimizeRequest{Source: sampleSrc, Opts: []string{"CTP", "DCE"}, Order: "auto"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query override = %d: %s", rec.Code, rec.Body.String())
+	}
+	if s.Metrics().AdvisorDefault.Load() != 1 {
+		t.Fatal("query ?order=default did not override the body directive")
+	}
+}
+
+// TestOptimizeOrderCacheKey is the satellite fix: requests differing only in
+// their order directive must not collide in the result cache, and cached
+// replays must reproduce the original order stamp (header and body).
+func TestOptimizeOrderCacheKey(t *testing.T) {
+	s := newTestServer(t, Config{})
+	plain := OptimizeRequest{Source: sampleSrc, Opts: []string{"CTP", "DCE"}}
+	stamped := OptimizeRequest{Source: sampleSrc, Opts: []string{"CTP", "DCE"}, Order: "default"}
+
+	rec := doJSON(t, s, "POST", "/v1/optimize", plain)
+	if rec.Code != http.StatusOK || decodeAs[OptimizeResponse](t, rec).Cached {
+		t.Fatalf("priming request failed or was cached: %d", rec.Code)
+	}
+	// Same program, same opts, now with a directive: must MISS (the plain
+	// entry has no order stamp) and come back stamped.
+	rec = doJSON(t, s, "POST", "/v1/optimize", stamped)
+	resp := decodeAs[OptimizeResponse](t, rec)
+	if resp.Cached {
+		t.Fatal("directive request collided with the directive-free cache entry")
+	}
+	if !reflect.DeepEqual(resp.Order, []string{"CTP", "DCE"}) {
+		t.Fatalf("stamped order = %v", resp.Order)
+	}
+	// Replay of the stamped request: HIT, and the stamp survives — body and
+	// header both.
+	rec = doJSON(t, s, "POST", "/v1/optimize", stamped)
+	resp = decodeAs[OptimizeResponse](t, rec)
+	if !resp.Cached {
+		t.Fatal("identical stamped request did not hit the cache")
+	}
+	if !reflect.DeepEqual(resp.Order, []string{"CTP", "DCE"}) {
+		t.Fatalf("cached replay lost the order stamp: %v", resp.Order)
+	}
+	if got := rec.Header().Get(OrderHeader); got != "CTP,DCE" {
+		t.Fatalf("cached replay %s = %q, want CTP,DCE", OrderHeader, got)
+	}
+	// Different effective order, same opt set: also a distinct entry.
+	rec = doJSON(t, s, "POST", "/v1/optimize",
+		OptimizeRequest{Source: sampleSrc, Opts: []string{"CTP", "DCE"}, Order: "DCE,CTP"})
+	if decodeAs[OptimizeResponse](t, rec).Cached {
+		t.Fatal("permuted order collided with the default order's cache entry")
+	}
+}
+
+// seedHistory plants synthetic outcomes so retrieval has something to vote
+// on: order DCE,CTP historically applied more actions than CTP,DCE on
+// programs shaped like sampleSrc.
+func seedHistory(t *testing.T, s *Server) {
+	t.Helper()
+	for i := 0; i < 4; i++ {
+		if !s.Advisor().Harvest(advisor.Outcome{
+			Source: sampleSrc, Opts: []string{"CTP", "DCE"},
+			Order: []string{"DCE", "CTP"}, Applied: 9, WallUS: 400,
+		}) {
+			t.Fatal("harvest rejected")
+		}
+		if !s.Advisor().Harvest(advisor.Outcome{
+			Source: sampleSrc, Opts: []string{"CTP", "DCE"},
+			Order: []string{"CTP", "DCE"}, Applied: 3, WallUS: 200,
+		}) {
+			t.Fatal("harvest rejected")
+		}
+	}
+	s.Advisor().Flush()
+}
+
+func TestOptimizeOrderAutoRetrieves(t *testing.T) {
+	s := newTestServer(t, Config{})
+	seedHistory(t, s)
+	rec := doJSON(t, s, "POST", "/v1/optimize",
+		OptimizeRequest{Source: sampleSrc, Opts: []string{"CTP", "DCE"}, Order: "auto"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("order=auto = %d: %s", rec.Code, rec.Body.String())
+	}
+	resp := decodeAs[OptimizeResponse](t, rec)
+	if !reflect.DeepEqual(resp.Order, []string{"DCE", "CTP"}) {
+		t.Fatalf("advisor chose %v, history says [DCE CTP]", resp.Order)
+	}
+	if got := rec.Header().Get(OrderHeader); got != "DCE,CTP" {
+		t.Fatalf("%s = %q, want DCE,CTP", OrderHeader, got)
+	}
+	if s.Metrics().AdvisorAuto.Load() != 1 {
+		t.Fatalf("auto counter = %d, want 1", s.Metrics().AdvisorAuto.Load())
+	}
+	// The auto decision must also be deterministic across repeat requests
+	// (NoCache so each run resolves afresh).
+	for i := 0; i < 3; i++ {
+		rec := doJSON(t, s, "POST", "/v1/optimize",
+			OptimizeRequest{Source: sampleSrc, Opts: []string{"CTP", "DCE"}, Order: "auto", NoCache: true})
+		if got := rec.Header().Get(OrderHeader); got != "DCE,CTP" {
+			t.Fatalf("repeat %d: %s = %q, want DCE,CTP", i, OrderHeader, got)
+		}
+	}
+}
+
+func TestOptimizeOrderAutoTraceSpan(t *testing.T) {
+	s := newTestServer(t, Config{})
+	seedHistory(t, s)
+	rec := doJSON(t, s, "POST", "/v1/optimize?trace=1",
+		OptimizeRequest{Source: sampleSrc, Opts: []string{"CTP", "DCE"}, Order: "auto"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("traced auto = %d: %s", rec.Code, rec.Body.String())
+	}
+	resp := decodeAs[OptimizeResponse](t, rec)
+	found := false
+	for _, n := range resp.Trace {
+		if n.Name == "advisor" {
+			found = true
+			attrs := map[string]any{}
+			for _, a := range n.Attrs {
+				attrs[a.Key] = a.Value
+			}
+			if attrs["decision"] != "retrieved" {
+				t.Fatalf("advisor span decision = %v, want retrieved (attrs %v)", attrs["decision"], attrs)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no advisor span in trace forest: %+v", resp.Trace)
+	}
+}
+
+// TestAdvisorHarvestFromOptimize: a successful, uncached /v1/optimize run
+// lands in the outcome store, and the advisor metrics sections appear.
+func TestAdvisorHarvestFromOptimize(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec := doJSON(t, s, "POST", "/v1/optimize",
+		OptimizeRequest{Source: sampleSrc, Opts: []string{"CTP", "DCE"}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("optimize = %d", rec.Code)
+	}
+	s.Advisor().Flush()
+	if n := s.Advisor().Size(); n != 1 {
+		t.Fatalf("store size after one run = %d, want 1", n)
+	}
+	// A cached replay must not harvest again.
+	doJSON(t, s, "POST", "/v1/optimize",
+		OptimizeRequest{Source: sampleSrc, Opts: []string{"CTP", "DCE"}})
+	s.Advisor().Flush()
+	if n := s.Advisor().Size(); n != 1 {
+		t.Fatalf("store size after cached replay = %d, want 1 (no re-harvest)", n)
+	}
+	snap := s.Metrics().Snapshot()
+	adv, ok := snap["advisor"].(map[string]any)
+	if !ok {
+		t.Fatalf("no advisor section in metrics snapshot: %v", snap)
+	}
+	if adv["harvested"].(int64) != 1 {
+		t.Fatalf("advisor.harvested = %v, want 1", adv["harvested"])
+	}
+	// Prometheus exposition carries the optd_advisor_* families.
+	mrec := doJSON(t, s, "GET", "/metrics", nil)
+	t.Cleanup(func() {})
+	if body := mrec.Body.String(); !strings.Contains(body, "\"advisor\"") {
+		t.Fatalf("JSON metrics missing advisor section")
+	}
+}
+
+// TestAdvisorHarvestFromJobs: a completed batch job feeds the store through
+// the jobs.Obs.Completed hook.
+func TestAdvisorHarvestFromJobs(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec := doJSON(t, s, "POST", "/v1/jobs",
+		JobSubmitRequest{OptimizeRequest: OptimizeRequest{
+			Source: sampleSrc, Opts: []string{"CTP", "DCE"}, NoCache: true, Order: "default"}})
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", rec.Code, rec.Body.String())
+	}
+	v := decodeAs[JobView](t, rec)
+	rec = doJSON(t, s, "GET", "/v1/jobs/"+v.ID+"?wait=1", nil)
+	jv := decodeAs[JobView](t, rec)
+	if jv.State != "done" {
+		t.Fatalf("job state = %s, want done", jv.State)
+	}
+	// The result carries the order stamp.
+	rec = doJSON(t, s, "GET", "/v1/jobs/"+v.ID+"/result", nil)
+	resp := decodeAs[OptimizeResponse](t, rec)
+	if !reflect.DeepEqual(resp.Order, []string{"CTP", "DCE"}) {
+		t.Fatalf("job result order = %v, want [CTP DCE]", resp.Order)
+	}
+	// Completion hands the outcome to the advisor via a goroutine; poll
+	// briefly for the ingest (Flush only covers already-accepted outcomes).
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Advisor().Size() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	s.Advisor().Flush()
+	if n := s.Advisor().Size(); n != 1 {
+		t.Fatalf("store size after job completion = %d, want 1", n)
+	}
+}
+
+// TestAdvisorAutoBeatsOrMatchesDefault is the acceptance gate in miniature:
+// over a mixed proggen corpus with history seeded from real runs of several
+// candidate orders, order=auto must apply at least as many actions in total
+// as the default order, with byte-identical interpreter output.
+func TestAdvisorAutoBeatsOrMatchesDefault(t *testing.T) {
+	s := newTestServer(t, Config{})
+	opts := []string{"CPP", "CTP", "DCE", "ICM"}
+	orders := [][]string{
+		{"CPP", "CTP", "DCE", "ICM"},
+		{"CTP", "CPP", "ICM", "DCE"},
+		{"DCE", "ICM", "CPP", "CTP"},
+		{"ICM", "DCE", "CTP", "CPP"},
+	}
+	var corpus []string
+	for seed := int64(1); seed <= 6; seed++ {
+		p := proggen.Generate(seed, proggen.Config{MaxStmts: 30, MaxDepth: 2})
+		corpus = append(corpus, ir.ToMiniF(p))
+	}
+	// Replay phase: run every candidate order over the corpus so the store
+	// holds real outcomes (NoCache so each run computes and harvests).
+	for _, src := range corpus {
+		for _, order := range orders {
+			rec := doJSON(t, s, "POST", "/v1/optimize",
+				OptimizeRequest{Source: src, Opts: order, NoCache: true, Order: strings.Join(order, ",")})
+			if rec.Code != http.StatusOK {
+				t.Fatalf("replay run failed (%d): %s", rec.Code, rec.Body.String())
+			}
+		}
+	}
+	s.Advisor().Flush()
+	if n := s.Advisor().Size(); n < len(corpus)*len(orders) {
+		t.Fatalf("store size = %d after %d replay runs", n, len(corpus)*len(orders))
+	}
+
+	applied := func(resp OptimizeResponse) int {
+		total := 0
+		for _, pr := range resp.Applications {
+			total += pr.Applications
+		}
+		return total
+	}
+	autoTotal, defTotal := 0, 0
+	for i, src := range corpus {
+		recAuto := doJSON(t, s, "POST", "/v1/optimize",
+			OptimizeRequest{Source: src, Opts: opts, NoCache: true, Order: "auto"})
+		recDef := doJSON(t, s, "POST", "/v1/optimize",
+			OptimizeRequest{Source: src, Opts: opts, NoCache: true})
+		if recAuto.Code != http.StatusOK || recDef.Code != http.StatusOK {
+			t.Fatalf("corpus %d: auto=%d default=%d", i, recAuto.Code, recDef.Code)
+		}
+		autoResp := decodeAs[OptimizeResponse](t, recAuto)
+		defResp := decodeAs[OptimizeResponse](t, recDef)
+		autoTotal += applied(autoResp)
+		defTotal += applied(defResp)
+		// Correctness differential: both optimized programs must print the
+		// same values as each other under the reference interpreter. The
+		// proggen corpus reads no input.
+		diff := func(minif string) string {
+			p, err := frontend.Parse(minif)
+			if err != nil {
+				t.Fatalf("corpus %d: optimized MiniF does not reparse: %v", i, err)
+			}
+			r, err := interp.Run(p, nil, interp.Config{})
+			if err != nil {
+				t.Fatalf("corpus %d: interpreter: %v", i, err)
+			}
+			return fmt.Sprint(r.Output)
+		}
+		if a, d := diff(autoResp.MiniF), diff(defResp.MiniF); a != d {
+			t.Fatalf("corpus %d: output divergence\nauto  (%v): %s\ndefault: %s", i, autoResp.Order, a, d)
+		}
+	}
+	if autoTotal < defTotal {
+		t.Fatalf("auto applied %d total actions, default applied %d — advisor made things worse", autoTotal, defTotal)
+	}
+	if s.Metrics().AdvisorAuto.Load() == 0 {
+		t.Fatal("no retrieved decisions recorded during the auto sweep")
+	}
+	t.Logf("auto=%d default=%d applied actions over %d programs", autoTotal, defTotal, len(corpus))
+}
+
+// TestAdvisorPersistsAcrossRestart: with -advisor-dir set, harvested history
+// survives a server restart and keeps informing decisions.
+func TestAdvisorPersistsAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, Config{AdvisorDir: dir, AdvisorMinNeighbors: 2})
+	seedHistory(t, s)
+	if err := s.Shutdown(t.Context()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	s2 := newTestServer(t, Config{AdvisorDir: dir, AdvisorMinNeighbors: 2})
+	defer s2.Shutdown(t.Context())
+	if n := s2.Advisor().Size(); n != 8 {
+		t.Fatalf("store size after restart = %d, want 8", n)
+	}
+	rec := doJSON(t, s2, "POST", "/v1/optimize",
+		OptimizeRequest{Source: sampleSrc, Opts: []string{"CTP", "DCE"}, Order: "auto"})
+	if got := rec.Header().Get(OrderHeader); got != "DCE,CTP" {
+		t.Fatalf("post-restart auto order = %q, want DCE,CTP", got)
+	}
+}

@@ -52,6 +52,11 @@ type OptimizeRequest struct {
 	Recompute *bool `json:"recompute,omitempty"`
 	// NoCache bypasses the result cache (reads and writes).
 	NoCache bool `json:"no_cache,omitempty"`
+	// Order is the pass-order directive: "" (run opts as listed, no
+	// stamping), "default" (same, stamped), "auto" (ask the advisor), or an
+	// explicit comma-separated permutation of opts. The ?order= query
+	// parameter overrides this field.
+	Order string `json:"order,omitempty"`
 }
 
 // PassResult reports one optimization pass of a pipeline.
@@ -77,6 +82,9 @@ type OptimizeResponse struct {
 	// on servers that never enable the native engine, keeping the wire
 	// shape unchanged for existing clients.
 	Engine string `json:"engine,omitempty"`
+	// Order is the effective pass order, present only when the request
+	// carried an order directive (also stamped in X-Optd-Order).
+	Order []string `json:"order,omitempty"`
 	// Trace is the span forest of the optimization run — one "pass" root per
 	// pipeline stage with match/depend/action children per candidate point.
 	// Present only when the request asked for it with ?trace=1.
@@ -173,7 +181,11 @@ func (s *Server) compilePasses(req *OptimizeRequest, timing engine.PassTimingFun
 	return passes, nil
 }
 
-// cacheKey renders the content address of an optimize request.
+// cacheKey renders the content address of an optimize request. It must run
+// after resolveOrder: req.Opts then holds the *effective* pass order (so an
+// advisor-chosen order and the default order for the same program are
+// distinct entries) and req.Order the normalized directive (so a stamped
+// body is never replayed to a directive-free request, and vice versa).
 func (req *OptimizeRequest) cacheKey() string {
 	parts := []string{"optimize/v1", req.Source, strings.Join(req.Opts, ",")}
 	for _, st := range req.Specs {
@@ -181,6 +193,7 @@ func (req *OptimizeRequest) cacheKey() string {
 	}
 	parts = append(parts, fmt.Sprint(req.MaxIterations))
 	parts = append(parts, fmt.Sprint(req.Recompute == nil || *req.Recompute))
+	parts = append(parts, req.Order)
 	return CacheKey(parts...)
 }
 
@@ -216,6 +229,20 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) error {
 	// bypasses the cache both ways: a cached body has no trace, and a traced
 	// body must not be served to untraced requests.
 	wantTrace := r.URL.Query().Get("trace") == "1"
+	var tracer *obs.Tracer
+	if wantTrace {
+		tracer = obs.NewTracer(obs.Collect(), obs.WithLogger(obs.LoggerFrom(r.Context())))
+	}
+
+	// The order directive resolves before the cache key is computed: the
+	// effective order is part of the content address.
+	if q := r.URL.Query().Get("order"); q != "" {
+		req.Order = q
+	}
+	order, err := s.resolveOrder(&req, tracer)
+	if err != nil {
+		return err
+	}
 
 	var key string
 	if !req.NoCache && !wantTrace {
@@ -226,6 +253,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) error {
 			if err := json.Unmarshal(raw, &resp); err == nil {
 				resp.Cached = true
 				setEngineHeader(w, resp.Engine)
+				setOrderHeader(w, resp.Order)
 				writeJSON(w, http.StatusOK, resp)
 				return nil
 			}
@@ -249,12 +277,15 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) error {
 				return s.classify(err, "testhook", 0)
 			}
 		}
+		nresp.Order = order
 		if !req.NoCache && !wantTrace {
 			if raw, err := json.Marshal(nresp); err == nil {
 				s.cache.Put(key, raw)
 			}
 		}
+		s.harvestOptimize(&req, nresp)
 		setEngineHeader(w, nresp.Engine)
+		setOrderHeader(w, order)
 		writeJSON(w, http.StatusOK, *nresp)
 		return nil
 	}
@@ -263,10 +294,6 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) error {
 	var current string // pass currently running, for error reporting
 	timing := func(spec string, apps int, d time.Duration) {
 		results = append(results, PassResult{Name: spec, Applications: apps, DurationUS: d.Microseconds()})
-	}
-	var tracer *obs.Tracer
-	if wantTrace {
-		tracer = obs.NewTracer(obs.Collect(), obs.WithLogger(obs.LoggerFrom(r.Context())))
 	}
 	passes, err := s.compilePasses(&req, timing, tracer)
 	if err != nil {
@@ -300,6 +327,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) error {
 		Applications: results,
 		ParseUS:      parseUS,
 		TotalUS:      time.Since(t0).Microseconds(),
+		Order:        order,
 		Trace:        tracer.Trees(),
 	}
 	if s.native != nil {
@@ -311,7 +339,9 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) error {
 			s.cache.Put(key, raw)
 		}
 	}
+	s.harvestOptimize(&req, &resp)
 	setEngineHeader(w, resp.Engine)
+	setOrderHeader(w, order)
 	writeJSON(w, http.StatusOK, resp)
 	return nil
 }

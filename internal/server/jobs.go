@@ -46,7 +46,8 @@ func (req *JobSubmitRequest) jobKey() string {
 	parts = append(parts,
 		fmt.Sprint(req.MaxIterations),
 		fmt.Sprint(req.Recompute == nil || *req.Recompute),
-		fmt.Sprint(req.Trace))
+		fmt.Sprint(req.Trace),
+		req.Order)
 	return CacheKey(parts...)
 }
 
@@ -101,6 +102,16 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) error {
 		return err
 	}
 	req.Opts = names
+	// The order directive resolves at submission time (an auto decision is
+	// made against the store as it stands now, and the resolved order rides
+	// in the payload), so it shapes the idempotency key like any other
+	// result-affecting field.
+	if q := r.URL.Query().Get("order"); q != "" {
+		req.Order = q
+	}
+	if _, err := s.resolveOrder(&req.OptimizeRequest, nil); err != nil {
+		return err
+	}
 	prio, perr := jobs.ParsePriority(req.Priority)
 	if perr != nil {
 		return failf(http.StatusBadRequest, "bad_request", "%v", perr)
@@ -276,6 +287,12 @@ func (s *Server) runJob(ctx context.Context, j *jobs.Job) (json.RawMessage, erro
 	if err := json.Unmarshal(j.Payload, &req); err != nil {
 		return nil, jobs.Permanent(fmt.Errorf("corrupt job payload: %w", err))
 	}
+	// The order directive was resolved at submission; req.Opts is already
+	// the effective order, so stamping is all that is left to do here.
+	var order []string
+	if strings.TrimSpace(req.Order) != "" {
+		order = append([]string(nil), req.Opts...)
+	}
 
 	var key string
 	if !req.NoCache && !req.Trace {
@@ -311,6 +328,7 @@ func (s *Server) runJob(ctx context.Context, j *jobs.Job) (json.RawMessage, erro
 				return nil, jobs.Permanent(fmt.Errorf("pass %s: %w", nerr.pass, nerr.err))
 			}
 		}
+		nresp.Order = order
 		raw, err := json.Marshal(nresp)
 		if err != nil {
 			return nil, jobs.Permanent(fmt.Errorf("unencodable job result: %w", err))
@@ -366,6 +384,7 @@ func (s *Server) runJob(ctx context.Context, j *jobs.Job) (json.RawMessage, erro
 		Applications: results,
 		ParseUS:      parseUS,
 		TotalUS:      time.Since(t0).Microseconds(),
+		Order:        order,
 	}
 	if s.native != nil {
 		resp.Engine = EngineInterp

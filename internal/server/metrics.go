@@ -95,6 +95,24 @@ type Metrics struct {
 	NativeCompileSeconds   *obs.Histogram
 	nativeOn               atomic.Bool
 
+	// Pass-ordering advisor telemetry. advisorOn gates the JSON/Prometheus
+	// sections (set when the server constructs the advisor). The decision
+	// counters split requests by order directive: Auto counts order=auto
+	// requests served a retrieved order, Fallback counts order=auto requests
+	// that ran the default order for lack of history, Default and Explicit
+	// count the other stamped directives. AdvisorStoreRecords is the live
+	// outcome-store size; AdvisorRetrieval observes the featurize+retrieve
+	// latency on the request path.
+	AdvisorAuto         atomic.Int64
+	AdvisorFallback     atomic.Int64
+	AdvisorDefault      atomic.Int64
+	AdvisorExplicit     atomic.Int64
+	AdvisorHarvested    atomic.Int64
+	AdvisorDropped      atomic.Int64
+	AdvisorStoreRecords atomic.Int64
+	AdvisorRetrieval    *obs.Histogram
+	advisorOn           atomic.Bool
+
 	nativeMu     sync.RWMutex
 	nativeLoaded map[string]string // spec → artifact mode, the per-spec loaded gauge
 
@@ -142,6 +160,9 @@ func newMetrics() *Metrics {
 		// Toolchain builds run from ~250ms (warm build cache) to tens of
 		// seconds (cold); the default latency buckets top out far too low.
 		NativeCompileSeconds: obs.NewHistogram(0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60),
+		// Retrieval is a parse plus a linear scan of a few thousand small
+		// vectors: sub-millisecond typically, single-digit ms worst case.
+		AdvisorRetrieval: obs.NewHistogram(0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1),
 	}
 }
 
@@ -428,6 +449,19 @@ func (m *Metrics) Snapshot() map[string]any {
 			"loaded": loaded,
 		}
 	}
+	if m.advisorOn.Load() {
+		snap["advisor"] = map[string]any{
+			"store_records": m.AdvisorStoreRecords.Load(),
+			"harvested":     m.AdvisorHarvested.Load(),
+			"dropped":       m.AdvisorDropped.Load(),
+			"decisions": map[string]any{
+				"auto":     m.AdvisorAuto.Load(),
+				"fallback": m.AdvisorFallback.Load(),
+				"default":  m.AdvisorDefault.Load(),
+				"explicit": m.AdvisorExplicit.Load(),
+			},
+		}
+	}
 	if m.clusterStatus != nil {
 		snap["cluster"] = map[string]any{
 			"self":  m.clusterSelf,
@@ -565,6 +599,22 @@ func (m *Metrics) WriteProm(w io.Writer) error {
 		for _, spec := range specsSorted {
 			pw.IntSample("optd_native_spec_loaded", []obs.Label{obs.L("spec", spec), obs.L("mode", loaded[spec])}, 1)
 		}
+	}
+
+	if m.advisorOn.Load() {
+		pw.Header("optd_advisor_store_records", "Outcome records live in the advisor store.", "gauge")
+		pw.IntSample("optd_advisor_store_records", nil, m.AdvisorStoreRecords.Load())
+		pw.Header("optd_advisor_harvested_total", "Optimization outcomes ingested into the advisor store.", "counter")
+		pw.IntSample("optd_advisor_harvested_total", nil, m.AdvisorHarvested.Load())
+		pw.Header("optd_advisor_dropped_total", "Outcomes shed because the harvest queue was full.", "counter")
+		pw.IntSample("optd_advisor_dropped_total", nil, m.AdvisorDropped.Load())
+		pw.Header("optd_advisor_decisions_total", "Order-directive resolutions by decision.", "counter")
+		pw.IntSample("optd_advisor_decisions_total", []obs.Label{obs.L("decision", "auto")}, m.AdvisorAuto.Load())
+		pw.IntSample("optd_advisor_decisions_total", []obs.Label{obs.L("decision", "fallback")}, m.AdvisorFallback.Load())
+		pw.IntSample("optd_advisor_decisions_total", []obs.Label{obs.L("decision", "default")}, m.AdvisorDefault.Load())
+		pw.IntSample("optd_advisor_decisions_total", []obs.Label{obs.L("decision", "explicit")}, m.AdvisorExplicit.Load())
+		pw.Header("optd_advisor_retrieval_seconds", "Advisor featurize-and-retrieve latency.", "histogram")
+		pw.Histogram("optd_advisor_retrieval_seconds", nil, m.AdvisorRetrieval.Snapshot())
 	}
 
 	if m.clusterStatus != nil {

@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/advisor"
 	"repro/internal/cluster"
 	"repro/internal/jobs"
 	"repro/internal/obs"
@@ -97,6 +98,24 @@ type Config struct {
 	// nativecache.DefaultDir(). Only used when Engine is auto or compiled.
 	NativeDir string
 
+	// AdvisorDir holds the pass-ordering advisor's outcome store; empty
+	// keeps the harvested history in memory only (lost on restart). The
+	// advisor itself is always on — order=auto against an empty store falls
+	// back to the default order.
+	AdvisorDir string
+	// AdvisorK is the neighbor count per order=auto decision; values < 1
+	// select 8.
+	AdvisorK int
+	// AdvisorMinNeighbors is the evidence floor below which order=auto
+	// falls back to the default order; values < 1 select 3.
+	AdvisorMinNeighbors int
+	// AdvisorMaxRecords bounds the outcome-store window; values < 1 select
+	// 4096.
+	AdvisorMaxRecords int
+	// AdvisorNoSync skips the outcome store's per-append fsync (benchmarks
+	// only).
+	AdvisorNoSync bool
+
 	// testHook, when non-nil, runs inside the optimize handler after
 	// admission and before the pipeline — a seam for shutdown/timeout
 	// tests. It receives the request context.
@@ -140,6 +159,7 @@ type Server struct {
 	jobs     *jobs.Manager
 	cluster  *cluster.Cluster // nil on a single node
 	native   *native          // nil when serving interpreted only
+	advisor  *advisor.Advisor
 	mux      *http.ServeMux
 
 	mu       sync.RWMutex // guards draining against in-flight accounting
@@ -183,6 +203,21 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: unknown engine %q (have %s, %s, %s)",
 			cfg.Engine, EngineInterp, EngineAuto, EngineCompiled)
 	}
+	adv, err := advisor.Open(advisor.Config{
+		Dir:          cfg.AdvisorDir,
+		K:            cfg.AdvisorK,
+		MinNeighbors: cfg.AdvisorMinNeighbors,
+		MaxRecords:   cfg.AdvisorMaxRecords,
+		NoSync:       cfg.AdvisorNoSync,
+		Obs:          s.metrics.advisorObs(),
+	})
+	if err != nil {
+		s.sessions.close()
+		s.native.close()
+		return nil, fmt.Errorf("server: opening advisor dir %q: %w", cfg.AdvisorDir, err)
+	}
+	s.advisor = adv
+	s.metrics.advisorOn.Store(true)
 	if len(cfg.Peers) > 0 {
 		cl, err := cluster.New(cluster.Config{
 			Self:            cfg.Advertise,
@@ -195,12 +230,17 @@ func New(cfg Config) (*Server, error) {
 		if err != nil {
 			s.sessions.close()
 			s.native.close()
+			_ = s.advisor.Close()
 			return nil, err
 		}
 		s.cluster = cl
 		s.metrics.setClusterStatus(cl.Self(), cl.Peers(), cl.Status)
 		cl.Start()
 	}
+	jobsObs := s.metrics.jobsObs()
+	// Completed jobs feed the pass-ordering advisor the same way inline
+	// optimize runs do.
+	jobsObs.Completed = s.jobCompleted
 	mgr, err := jobs.New(s.runJob, jobs.Config{
 		Dir:          cfg.JobsDir,
 		Workers:      cfg.JobsWorkers,
@@ -209,11 +249,12 @@ func New(cfg Config) (*Server, error) {
 		Timeout:      cfg.RequestTimeout,
 		KeepTerminal: cfg.JobsKeepTerminal,
 		NoSync:       cfg.JobsNoSync,
-		Obs:          s.metrics.jobsObs(),
+		Obs:          jobsObs,
 	})
 	if err != nil {
 		s.sessions.close()
 		s.native.close()
+		_ = s.advisor.Close()
 		if s.cluster != nil {
 			s.cluster.Close()
 		}
@@ -238,6 +279,10 @@ func (s *Server) Jobs() *jobs.Manager { return s.jobs }
 
 // Cluster exposes the routing layer; nil on a single node.
 func (s *Server) Cluster() *cluster.Cluster { return s.cluster }
+
+// Advisor exposes the pass-ordering advisor (primarily for tests and
+// benches — e.g. Flush barriers over the asynchronous harvest path).
+func (s *Server) Advisor() *advisor.Advisor { return s.advisor }
 
 // Handler returns the root handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -310,6 +355,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	if jerr := s.jobs.Close(ctx); err == nil {
 		err = jerr
+	}
+	// After the job workers drain: the advisor stops its harvest worker
+	// (ingesting what was already queued) and closes the outcome log.
+	if aerr := s.advisor.Close(); err == nil {
+		err = aerr
 	}
 	return err
 }

@@ -12,6 +12,9 @@
 #   scripts/bench.sh -native         # run BenchmarkCompiledFixpoint and fail
 #                                    # unless the compiled fast path is at
 #                                    # least 1.5x the interpreted engine
+#   scripts/bench.sh -advisor        # run BenchmarkAdvisorOrder and fail if
+#                                    # order=auto costs >5% over order=default
+#                                    # on an identical pipeline
 #
 # Environment:
 #   BENCH    regexp of benchmarks to run  (default: DriverFixpoint|ServerOptimize|JobsThroughput|ClusterForward)
@@ -27,13 +30,15 @@ OUT=${OUT:-bench-new.txt}
 BASELINE=
 OVERHEAD=
 NATIVE=
+ADVISOR=
 
 while [ $# -gt 0 ]; do
   case "$1" in
     -c) BASELINE=$2; shift 2 ;;
     -overhead) OVERHEAD=1; shift ;;
     -native) NATIVE=1; shift ;;
-    *) echo "usage: scripts/bench.sh [-c baseline.txt] [-overhead] [-native]" >&2; exit 2 ;;
+    -advisor) ADVISOR=1; shift ;;
+    *) echo "usage: scripts/bench.sh [-c baseline.txt] [-overhead] [-native] [-advisor]" >&2; exit 2 ;;
   esac
 done
 
@@ -73,6 +78,27 @@ if [ -n "$NATIVE" ]; then
       printf "native: interpreted=%.0f ns/op compiled=%.0f ns/op speedup=%.2fx\n", interp, comp, ratio
       if (ratio < 1.5) { print "FAIL: compiled speedup below 1.5x"; exit 1 }
       print "OK: compiled fast path is >=1.5x over the interpreted engine"
+    }' "$OUT"
+  exit 0
+fi
+
+if [ -n "$ADVISOR" ]; then
+  # Compare order=default and order=auto on an identical pipeline (the
+  # benchmark seeds the outcome store so auto retrieves the default order):
+  # the advisor's featurize + k-NN retrieval must stay within 5% of p50
+  # request latency.
+  go test -run '^$' -bench 'BenchmarkAdvisorOrder/(default|auto)$' \
+    -count "$COUNT" . | tee "$OUT"
+  awk '
+    /AdvisorOrder\/default/ { def  += $3; dc++ }
+    /AdvisorOrder\/auto/    { auto += $3; ac++ }
+    END {
+      if (dc == 0 || ac == 0) { print "advisor: missing benchmark output"; exit 1 }
+      def /= dc; auto /= ac
+      ratio = auto / def
+      printf "advisor: default=%.0f ns/op auto=%.0f ns/op ratio=%.3f\n", def, auto, ratio
+      if (ratio > 1.05) { print "FAIL: order=auto overhead exceeds 5%"; exit 1 }
+      print "OK: order=auto overhead within 5%"
     }' "$OUT"
   exit 0
 fi
