@@ -14,6 +14,8 @@
 //	opt -submit URL -opts DCE a.mf        # queue a durable job on optd
 //	opt -submit URL -wait -opts DCE a.mf  # queue, then block for the result
 //	opt -engine=compiled -opts DCE a.mf   # batch via a compiled artifact
+//	opt -traces URL                       # list optd's retained distributed traces
+//	opt -traces URL TRACE_ID              # print one trace's span tree (cluster-merged)
 //
 // -engine selects how the batch pipeline executes: interp (default) runs
 // the interpreted closure engine; compiled builds — or reuses from the
@@ -67,6 +69,8 @@ func main() {
 		priority    = flag.String("priority", "", "with -submit, job priority: high, normal or low")
 		engineFlag  = flag.String("engine", "interp", "optimizer engine for batch runs: interp, auto (use a compiled artifact when one can be built, interpret otherwise) or compiled (require the compiled artifact, building it if missing)")
 		nativeDir   = flag.String("native-dir", "", "compiled-artifact cache directory (empty = the user cache dir)")
+		tracesURL   = flag.String("traces", "", "optd base URL: list its retained distributed traces, or print the span trees of the trace IDs given as arguments")
+		traceFilter = flag.String("trace-filter", "", "with -traces (list form), a raw query filter passed to /v1/traces, e.g. 'route=optimize&error=1&limit=10'")
 	)
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: opt [-opts LIST | -i | -points] [-run] [-input v,v,...] [-maxiter N] program.mf [more.mf ...]")
@@ -165,6 +169,23 @@ low for the program), and exits 1.`)
 		orderDirective = strings.Join(order, ",")
 		effectiveOpts = orderDirective
 	}
+	// Trace inspection is a pure client mode: arguments are trace IDs (or
+	// nothing, for the listing), never program files.
+	if *tracesURL != "" {
+		if *interactive || *points || *run || *submitURL != "" || *optsFlag != "" {
+			fmt.Fprintln(os.Stderr, "opt: -traces is incompatible with -i, -points, -run, -submit and -opts")
+			os.Exit(2)
+		}
+		if err := runTraces(*tracesURL, *traceFilter, flag.Args()); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *traceFilter != "" {
+		fmt.Fprintln(os.Stderr, "opt: -trace-filter is meaningless without -traces")
+		os.Exit(2)
+	}
+
 	if flag.NArg() < 1 || ((*interactive || *points) && flag.NArg() != 1) {
 		flag.Usage()
 		os.Exit(2)

@@ -1,0 +1,171 @@
+package main
+
+// Trace inspection mode: `opt -traces URL` lists the traces a running optd
+// retained (tail-sampled: every error and slow trace, 1-in-N of the rest),
+// and `opt -traces URL TRACE_ID [...]` fetches one trace's span forest —
+// the serving node merges fragments from every cluster peer — and prints
+// it as an indented tree, rebuilt from parent links. Spans whose parent is
+// missing (a peer down, a fragment evicted) print as extra roots rather
+// than disappearing.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// traceList mirrors the server's TraceListResponse wire shape.
+type traceList struct {
+	Traces []trace.Summary `json:"traces"`
+}
+
+// traceGet mirrors the server's TraceResponse wire shape.
+type traceGet struct {
+	TraceID string        `json:"trace_id"`
+	Spans   []*trace.Span `json:"spans"`
+}
+
+// runTraces drives the -traces mode: with no trace IDs it lists, otherwise
+// it prints each requested trace's span tree. filter is a raw query string
+// ("route=optimize&error=1") passed through to the list endpoint.
+func runTraces(base, filter string, ids []string) error {
+	base = strings.TrimRight(base, "/")
+	hc := &http.Client{Timeout: 30 * time.Second}
+	if len(ids) == 0 {
+		return listTraces(hc, base, filter)
+	}
+	for i, id := range ids {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := showTrace(hc, base, id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func listTraces(hc *http.Client, base, filter string) error {
+	u := base + "/v1/traces"
+	if filter != "" {
+		if _, err := url.ParseQuery(filter); err != nil {
+			return fmt.Errorf("bad -trace-filter %q: %w", filter, err)
+		}
+		u += "?" + filter
+	}
+	var list traceList
+	if err := getJSON(hc, u, &list); err != nil {
+		return err
+	}
+	if len(list.Traces) == 0 {
+		fmt.Fprintln(os.Stderr, "opt: no traces retained (yet)")
+		return nil
+	}
+	w := func(format string, args ...any) { fmt.Printf(format, args...) }
+	w("%-32s  %-14s  %-6s  %10s  %-8s  %s\n",
+		"TRACE", "ROUTE", "STATUS", "MS", "KEPT-AS", "START")
+	for _, t := range list.Traces {
+		status := "-"
+		if t.Status != 0 {
+			status = fmt.Sprint(t.Status)
+		}
+		w("%-32s  %-14s  %-6s  %10.1f  %-8s  %s\n",
+			t.TraceID, t.Route, status,
+			float64(t.DurationUS)/1000, t.Decision,
+			t.Start.Format(time.RFC3339))
+	}
+	return nil
+}
+
+func showTrace(hc *http.Client, base, id string) error {
+	var tr traceGet
+	if err := getJSON(hc, base+"/v1/traces/"+url.PathEscape(id), &tr); err != nil {
+		return err
+	}
+	fmt.Printf("trace %s (%d spans)\n", tr.TraceID, len(tr.Spans))
+	printSpanTree(os.Stdout, tr.Spans)
+	return nil
+}
+
+// printSpanTree reassembles the flat span list into a forest via parent
+// links and prints it depth-first. Children sort by start time; a span
+// referencing an absent parent roots its own subtree.
+func printSpanTree(out io.Writer, spans []*trace.Span) {
+	byID := make(map[string]*trace.Span, len(spans))
+	for _, sp := range spans {
+		byID[sp.SpanID] = sp
+	}
+	children := make(map[string][]*trace.Span)
+	var roots []*trace.Span
+	for _, sp := range spans {
+		if sp.ParentID != "" && byID[sp.ParentID] != nil {
+			children[sp.ParentID] = append(children[sp.ParentID], sp)
+		} else {
+			roots = append(roots, sp)
+		}
+	}
+	byStart := func(s []*trace.Span) {
+		sort.SliceStable(s, func(i, j int) bool { return s[i].Start.Before(s[j].Start) })
+	}
+	byStart(roots)
+	var walk func(sp *trace.Span, depth int)
+	walk = func(sp *trace.Span, depth int) {
+		fmt.Fprintf(out, "%s%s", strings.Repeat("  ", depth+1), sp.Name)
+		if sp.Node != "" {
+			fmt.Fprintf(out, " @%s", sp.Node)
+		}
+		fmt.Fprintf(out, "  %.1fms", float64(sp.DurationUS)/1000)
+		if sp.Status != 0 {
+			fmt.Fprintf(out, "  status=%d", sp.Status)
+		}
+		if sp.Error != "" {
+			fmt.Fprintf(out, "  error=%q", sp.Error)
+		}
+		if len(sp.Attrs) > 0 {
+			keys := make([]string, 0, len(sp.Attrs))
+			for k := range sp.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(out, "  %s=%s", k, sp.Attrs[k])
+			}
+		}
+		fmt.Fprintln(out)
+		kids := children[sp.SpanID]
+		byStart(kids)
+		for _, kid := range kids {
+			walk(kid, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+}
+
+// getJSON fetches u and decodes the body, surfacing the server's structured
+// error on non-200s.
+func getJSON(hc *http.Client, u string, into any) error {
+	resp, err := hc.Get(u)
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var ae apiErrorBody
+		if json.Unmarshal(body, &ae) == nil && ae.Error != "" {
+			return fmt.Errorf("%s: %s (%s)", u, ae.Error, ae.Kind)
+		}
+		return fmt.Errorf("%s: HTTP %d: %s", u, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return json.Unmarshal(body, into)
+}

@@ -24,6 +24,11 @@
 //	GET  /v1/jobs/{id}                 job status (?wait=1 long-polls to terminal)
 //	GET  /v1/jobs/{id}/result          fetch a finished job's result
 //	DELETE /v1/jobs/{id}               cancel a job
+//	GET  /v1/version                   build/runtime identity (module, go, codegen, ring)
+//	GET  /v1/traces                    list stored traces (?route=, ?engine=, ?order=,
+//	                                   ?status=, ?error=1, ?min_duration_ms=, ?limit=)
+//	GET  /v1/traces/{id}               full span forest for one trace ID, merged from
+//	                                   every cluster peer (?local=1 restricts to this node)
 //
 // Jobs are durable when -jobs-dir is set: every state transition is
 // journaled to a write-ahead log, and a restart replays it — jobs caught
@@ -54,6 +59,15 @@
 // outcome store is durable under -advisor-dir; `optd -advisor-replay URL`
 // re-submits the standing example/proggen corpus as low-priority jobs
 // against a live instance to keep that history fresh, then exits.
+//
+// Every request is traced: the server joins a W3C-style Traceparent header
+// when one arrives (one-hop forwards, replay sweeps) and mints a fresh
+// trace otherwise, threading spans through job queues, the advisor and
+// compiled-engine subprocesses. A tail sampler keeps every error and
+// slow-percentile trace plus 1 in -trace-sample of the rest in a bounded
+// per-node store (-trace-store fragments, optionally spilled under
+// -trace-dir), queryable via /v1/traces. Latency histograms carry exemplar
+// trace IDs in the Prometheus exposition.
 //
 // Results are cached content-addressed (SHA-256 of source, opt sequence,
 // spec text and limits) in a bounded LRU; concurrency is bounded by an
@@ -115,6 +129,10 @@ func main() {
 		advisorMin    = flag.Int("advisor-min", 0, "advisor minimum neighbors before it recommends instead of falling back (0 = default, 3)")
 		advisorMax    = flag.Int("advisor-max-records", 0, "advisor outcome-store record cap before compaction (0 = default, 4096)")
 		advisorReplay = flag.String("advisor-replay", "", "optd base URL: instead of serving, re-submit the freshness corpus as low-priority jobs against that instance, wait, and exit")
+
+		traceStore  = flag.Int("trace-store", 0, "retained trace fragments per node (0 = default, 1024; negative disables tracing)")
+		traceSample = flag.Int("trace-sample", 0, "tail-sample 1 in N unremarkable traces; errors and slow traces are always kept (0 = default, 16; 1 keeps everything)")
+		traceDir    = flag.String("trace-dir", "", "spill kept trace fragments to a CRC-framed log in this directory (empty = memory only)")
 	)
 	flag.Parse()
 	if *workers < 0 {
@@ -131,6 +149,10 @@ func main() {
 	}
 	if *advisorK < 0 || *advisorMin < 0 || *advisorMax < 0 {
 		fmt.Fprintln(os.Stderr, "optd: -advisor-k, -advisor-min and -advisor-max-records must be >= 0")
+		os.Exit(2)
+	}
+	if *traceSample < 0 {
+		fmt.Fprintln(os.Stderr, "optd: -trace-sample must be >= 0")
 		os.Exit(2)
 	}
 	logger := obs.NewLogger(os.Stderr, *logfmt, slog.LevelInfo)
@@ -201,6 +223,9 @@ func main() {
 		AdvisorK:            *advisorK,
 		AdvisorMinNeighbors: *advisorMin,
 		AdvisorMaxRecords:   *advisorMax,
+		TraceStore:          *traceStore,
+		TraceSampleN:        *traceSample,
+		TraceDir:            *traceDir,
 	})
 	if err != nil {
 		logger.Error("server init failed", slog.Any("err", err))

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/proggen"
+	"repro/internal/trace"
 	"repro/ir"
 )
 
@@ -109,6 +110,14 @@ func runAdvisorReplay(base string, logger *slog.Logger) error {
 	orders := replayOrders()
 	hc := &http.Client{}
 
+	// One trace and one request ID cover the whole sweep: every submission
+	// carries a traceparent minted under the same trace ID (fresh span ID
+	// per job), so the server threads each replay job's spans — submit,
+	// queue, run, passes — into a single queryable sweep trace.
+	sweepTrace := trace.NewTraceID()
+	sweepReqID := "replay-" + sweepTrace[:8]
+	logger.Info("advisor replay sweep", slog.String("trace_id", sweepTrace))
+
 	type pending struct {
 		name  string
 		order string
@@ -128,7 +137,15 @@ func runAdvisorReplay(base string, logger *slog.Logger) error {
 			if err != nil {
 				return err
 			}
-			resp, err := hc.Post(base+"/v1/jobs", "application/json", bytes.NewReader(raw))
+			hreq, err := http.NewRequest(http.MethodPost, base+"/v1/jobs", bytes.NewReader(raw))
+			if err != nil {
+				return err
+			}
+			hreq.Header.Set("Content-Type", "application/json")
+			hreq.Header.Set("X-Request-ID", sweepReqID)
+			sc := trace.SpanContext{TraceID: sweepTrace, SpanID: trace.NewSpanID()}
+			hreq.Header.Set(trace.TraceparentHeader, sc.Traceparent())
+			resp, err := hc.Do(hreq)
 			if err != nil {
 				return fmt.Errorf("submit %s [%s]: %w", name, req.Order, err)
 			}

@@ -117,6 +117,13 @@ type Job struct {
 	// running.
 	Deadline time.Time `json:"deadline,omitzero"`
 
+	// TraceID and TraceParent carry the submitter's distributed-trace
+	// context (trace identity and parent span, W3C traceparent form) through
+	// the WAL, so the spans of a job attempt — possibly after a crash and
+	// restart — join the trace of the request that submitted it.
+	TraceID     string `json:"trace_id,omitempty"`
+	TraceParent string `json:"trace_parent,omitempty"`
+
 	// LastError is the most recent attempt's failure (also the terminal
 	// error of a failed job).
 	LastError string `json:"last_error,omitempty"`

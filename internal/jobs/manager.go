@@ -262,6 +262,10 @@ type SubmitRequest struct {
 	MaxRetries int
 	// Deadline, when non-zero, fails the job once passed.
 	Deadline time.Time
+	// TraceID and TraceParent are the submitter's distributed-trace context
+	// (see Job); empty on untraced submissions.
+	TraceID     string
+	TraceParent string
 }
 
 // Submit enqueues a job (or returns the existing one for a known key;
@@ -315,6 +319,8 @@ func (m *Manager) Submit(req SubmitRequest) (j *Job, existing bool, err error) {
 		MaxRetries:  retries,
 		SubmittedAt: time.Now(),
 		Deadline:    req.Deadline,
+		TraceID:     req.TraceID,
+		TraceParent: req.TraceParent,
 	}
 	m.nextSeq++
 	m.jobs[nj.ID] = nj

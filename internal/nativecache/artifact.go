@@ -6,11 +6,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
 	"os/exec"
 	"plugin"
 	"strconv"
 	"strings"
 
+	"repro/internal/trace"
 	"repro/optlib"
 )
 
@@ -135,6 +137,12 @@ func (a *Artifact) RunPipeline(ctx context.Context, source string, opts []string
 		return nil, fmt.Errorf("nativecache: RunPipeline needs a subprocess artifact (have %s)", a.mode)
 	}
 	cmd := exec.CommandContext(ctx, a.bin, "-opts", strings.Join(opts, ","), "-maxiter", strconv.Itoa(maxIter))
+	// Propagate the caller's trace context into the runner's environment.
+	// The runner binary is content-addressed and shared across requests, so
+	// the per-invocation identity travels out-of-band rather than baked in.
+	if tp := trace.Traceparent(ctx); tp != "" {
+		cmd.Env = append(os.Environ(), trace.EnvTraceparent+"="+tp)
+	}
 	cmd.Stdin = strings.NewReader(source)
 	var stdout, stderr bytes.Buffer
 	cmd.Stdout = &stdout

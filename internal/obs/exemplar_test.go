@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestObserveWithExemplar(t *testing.T) {
+	h := NewHistogram(0.01, 0.1, 1)
+	h.Observe(5 * time.Millisecond)
+	h.ObserveWithExemplar(50*time.Millisecond, "aaaa")
+	h.ObserveWithExemplar(70*time.Millisecond, "bbbb") // same bucket: replaces
+	h.ObserveWithExemplar(2*time.Second, "cccc")       // +Inf bucket
+	h.ObserveWithExemplar(3*time.Millisecond, "")      // no trace: plain observe
+
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Exemplars == nil || len(s.Exemplars) != 4 {
+		t.Fatalf("exemplars = %+v", s.Exemplars)
+	}
+	if s.Exemplars[0] != nil {
+		t.Fatalf("bucket 0 exemplar = %+v, want none", s.Exemplars[0])
+	}
+	if ex := s.Exemplars[1]; ex == nil || ex.TraceID != "bbbb" || ex.Value != 0.07 {
+		t.Fatalf("bucket 1 exemplar = %+v, want latest (bbbb)", ex)
+	}
+	if ex := s.Exemplars[3]; ex == nil || ex.TraceID != "cccc" {
+		t.Fatalf("+Inf exemplar = %+v", ex)
+	}
+
+	// A histogram that never saw an exemplar snapshots with a nil slice, so
+	// existing renderings are byte-identical.
+	plain := NewHistogram(0.01)
+	plain.Observe(time.Millisecond)
+	if snap := plain.Snapshot(); snap.Exemplars != nil {
+		t.Fatalf("plain snapshot exemplars = %+v", snap.Exemplars)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	h := NewHistogram(0.001, 0.01, 0.1, 1)
+	for i := 0; i < 90; i++ {
+		h.Observe(500 * time.Microsecond) // bucket 0.001
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(50 * time.Millisecond) // bucket 0.1
+	}
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q != 0.001 {
+		t.Fatalf("p50 = %v", q)
+	}
+	if q := s.Quantile(0.95); q != 0.1 {
+		t.Fatalf("p95 = %v", q)
+	}
+	if q := (HistogramSnapshot{}).Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v", q)
+	}
+	// Everything in the +Inf bucket floors at the last bound.
+	over := NewHistogram(0.001)
+	over.Observe(time.Second)
+	if q := over.Snapshot().Quantile(0.5); q != 0.001 {
+		t.Fatalf("overflow quantile = %v", q)
+	}
+}
+
+// TestPromExemplarGolden pins the exact exposition of exemplar-carrying
+// buckets: the OpenMetrics-style `# {trace_id="..."} value timestamp`
+// suffix, and the unchanged classic line for buckets without one.
+func TestPromExemplarGolden(t *testing.T) {
+	snap := HistogramSnapshot{
+		Bounds: []float64{0.01, 0.1},
+		Counts: []int64{3, 1, 1},
+		Count:  5,
+		Sum:    0.75,
+		Exemplars: []*Exemplar{
+			nil,
+			{TraceID: "4bf92f3577b34da6a3ce929d0e0e4736", Value: 0.0671, Time: time.UnixMilli(1754600000123)},
+			{TraceID: "00f067aa0ba902b700f067aa0ba902b7", Value: 0.5, Time: time.UnixMilli(1754600001000)},
+		},
+	}
+	var b strings.Builder
+	pw := NewPromWriter(&b)
+	pw.Histogram("optd_http_request_duration_seconds", []Label{L("route", "optimize")}, snap)
+	if err := pw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`optd_http_request_duration_seconds_bucket{route="optimize",le="0.01"} 3`,
+		`optd_http_request_duration_seconds_bucket{route="optimize",le="0.1"} 4 # {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 0.0671 1754600000.123`,
+		`optd_http_request_duration_seconds_bucket{route="optimize",le="+Inf"} 5 # {trace_id="00f067aa0ba902b700f067aa0ba902b7"} 0.5 1754600001.000`,
+		`optd_http_request_duration_seconds_sum{route="optimize"} 0.75`,
+		`optd_http_request_duration_seconds_count{route="optimize"} 5`,
+		``,
+	}, "\n")
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestPromHistogramWithoutExemplarsUnchanged pins that histograms with no
+// exemplars render exactly as before the exemplar extension.
+func TestPromHistogramWithoutExemplarsUnchanged(t *testing.T) {
+	snap := HistogramSnapshot{Bounds: []float64{0.5}, Counts: []int64{2, 0}, Count: 2, Sum: 0.2}
+	var b strings.Builder
+	pw := NewPromWriter(&b)
+	pw.Histogram("x_seconds", nil, snap)
+	want := "x_seconds_bucket{le=\"0.5\"} 2\nx_seconds_bucket{le=\"+Inf\"} 2\nx_seconds_sum 0.2\nx_seconds_count 2\n"
+	if got := b.String(); got != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", got, want)
+	}
+}

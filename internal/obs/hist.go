@@ -27,14 +27,27 @@ var JobLatencyBuckets = []float64{
 	60, 150, 300, 600,
 }
 
+// Exemplar links one histogram bucket to a concrete stored trace: the
+// latest exemplified observation that landed in the bucket, with the trace
+// ID to look it up under /v1/traces. Exemplars are immutable once published
+// (ObserveWithExemplar swaps in a fresh one atomically).
+type Exemplar struct {
+	TraceID string
+	// Value is the exemplified observation in seconds.
+	Value float64
+	// Time is when the observation was recorded.
+	Time time.Time
+}
+
 // Histogram is a fixed-bucket latency histogram safe for concurrent use.
 // Observe is a binary search plus two atomic adds — no locks — so scrapes
 // rendering a snapshot never contend with the hot path recording into it.
 type Histogram struct {
-	bounds []float64 // ascending upper bounds, seconds; +Inf implicit
-	counts []atomic.Int64
-	sumNS  atomic.Int64
-	count  atomic.Int64
+	bounds    []float64 // ascending upper bounds, seconds; +Inf implicit
+	counts    []atomic.Int64
+	exemplars []atomic.Pointer[Exemplar]
+	sumNS     atomic.Int64
+	count     atomic.Int64
 }
 
 // NewHistogram builds a histogram over the given ascending upper bounds
@@ -44,16 +57,16 @@ func NewHistogram(bounds ...float64) *Histogram {
 		bounds = DefaultLatencyBuckets
 	}
 	h := &Histogram{
-		bounds: append([]float64(nil), bounds...),
-		counts: make([]atomic.Int64, len(bounds)+1),
+		bounds:    append([]float64(nil), bounds...),
+		counts:    make([]atomic.Int64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
 	}
 	return h
 }
 
-// Observe records one duration.
-func (h *Histogram) Observe(d time.Duration) {
-	sec := d.Seconds()
-	// Binary search for the first bound >= sec; the final slot is +Inf.
+// bucket locates the slot for an observation: binary search for the first
+// bound >= sec; the final slot is +Inf.
+func (h *Histogram) bucket(sec float64) int {
 	lo, hi := 0, len(h.bounds)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -63,7 +76,30 @@ func (h *Histogram) Observe(d time.Duration) {
 			lo = mid + 1
 		}
 	}
-	h.counts[lo].Add(1)
+	return lo
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	sec := d.Seconds()
+	h.counts[h.bucket(sec)].Add(1)
+	h.sumNS.Add(int64(d))
+	h.count.Add(1)
+}
+
+// ObserveWithExemplar records one duration and publishes it as the bucket's
+// exemplar. Callers pass only trace IDs that resolve in the trace store —
+// an exemplar pointing at a dropped trace is worse than none — so plain
+// Observe remains the path for unkept traffic.
+func (h *Histogram) ObserveWithExemplar(d time.Duration, traceID string) {
+	if traceID == "" {
+		h.Observe(d)
+		return
+	}
+	sec := d.Seconds()
+	i := h.bucket(sec)
+	h.counts[i].Add(1)
+	h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: sec, Time: time.Now()})
 	h.sumNS.Add(int64(d))
 	h.count.Add(1)
 }
@@ -81,6 +117,10 @@ type HistogramSnapshot struct {
 	Count int64
 	// Sum is the total observed time in seconds.
 	Sum float64
+	// Exemplars holds the latest exemplified observation per bucket (nil
+	// entries for buckets without one); len(Bounds)+1 entries when any
+	// exemplar exists, nil otherwise.
+	Exemplars []*Exemplar
 }
 
 // Snapshot copies the histogram state.
@@ -93,6 +133,35 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
+		if ex := h.exemplars[i].Load(); ex != nil {
+			if s.Exemplars == nil {
+				s.Exemplars = make([]*Exemplar, len(h.counts))
+			}
+			s.Exemplars[i] = ex
+		}
 	}
 	return s
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) in seconds from the bucket
+// counts: the upper bound of the first bucket whose cumulative count
+// reaches q of the total. Observations beyond the last bound estimate as
+// the last bound — a floor, which is the honest direction for "is this
+// slow?" checks. Returns 0 when the snapshot is empty.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count <= 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	rank := int64(q * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := int64(0)
+	for i, b := range s.Bounds {
+		cum += s.Counts[i]
+		if cum >= rank {
+			return b
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1]
 }

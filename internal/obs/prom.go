@@ -58,15 +58,32 @@ func (pw *PromWriter) IntSample(name string, labels []Label, value int64) {
 }
 
 // Histogram writes the cumulative _bucket series plus _sum and _count for
-// one labeled histogram.
+// one labeled histogram. Buckets with a snapshot exemplar carry it as an
+// OpenMetrics-style suffix —
+//
+//	name_bucket{...,le="0.1"} 5 # {trace_id="4bf9..."} 0.0671 1754600000.000
+//
+// — linking the bucket to a trace retrievable from /v1/traces/<id>.
 func (pw *PromWriter) Histogram(name string, labels []Label, s HistogramSnapshot) {
+	bucket := func(i int, le string, cum int64) {
+		lbls := append(append([]Label(nil), labels...), L("le", le))
+		if i < len(s.Exemplars) && s.Exemplars[i] != nil {
+			ex := s.Exemplars[i]
+			pw.printf("%s%s %d # {trace_id=\"%s\"} %s %.3f\n",
+				name+"_bucket", renderLabels(lbls), cum,
+				escapeLabel(ex.TraceID), formatFloat(ex.Value),
+				float64(ex.Time.UnixMilli())/1000)
+			return
+		}
+		pw.IntSample(name+"_bucket", lbls, cum)
+	}
 	cum := int64(0)
 	for i, b := range s.Bounds {
 		cum += s.Counts[i]
-		pw.IntSample(name+"_bucket", append(append([]Label(nil), labels...), L("le", formatFloat(b))), cum)
+		bucket(i, formatFloat(b), cum)
 	}
 	cum += s.Counts[len(s.Counts)-1]
-	pw.IntSample(name+"_bucket", append(append([]Label(nil), labels...), L("le", "+Inf")), cum)
+	bucket(len(s.Counts)-1, "+Inf", cum)
 	pw.Sample(name+"_sum", labels, s.Sum)
 	pw.IntSample(name+"_count", labels, s.Count)
 }

@@ -1,13 +1,16 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"repro/internal/advisor"
 	"repro/internal/jobs"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // Order directive values for OptimizeRequest.Order (and ?order=). Anything
@@ -61,8 +64,9 @@ func samePermutation(a, b []string) bool {
 // how auto- and default-ordered requests for the same program stay distinct
 // cache entries. The returned slice is the order to stamp into the response
 // (nil when the request carried no directive). A non-nil tracer gets one
-// "advisor" span per auto decision.
-func (s *Server) resolveOrder(req *OptimizeRequest, tracer *obs.Tracer) ([]string, error) {
+// "advisor" span per auto decision; a traced ctx additionally gets an
+// "advisor.choose" span in the distributed trace.
+func (s *Server) resolveOrder(ctx context.Context, req *OptimizeRequest, tracer *obs.Tracer) ([]string, error) {
 	directive := strings.TrimSpace(req.Order)
 	if directive == "" {
 		req.Order = ""
@@ -95,8 +99,10 @@ func (s *Server) resolveOrder(req *OptimizeRequest, tracer *obs.Tracer) ([]strin
 				"order=auto cannot be combined with inline specs")
 		}
 		span := tracer.Start("advisor", obs.String("directive", OrderAuto))
+		dsp, _ := trace.Start(ctx, "advisor.choose")
 		d, dur, cerr := s.advisor.Choose(req.Source, req.Opts)
 		s.metrics.AdvisorRetrieval.Observe(dur)
+		dsp.Set("neighbors", strconv.Itoa(d.Neighbors))
 		if cerr != nil || d.Fallback {
 			// Thin history (or a source the featurizer cannot parse — the
 			// pipeline will report that identically in a moment): run the
@@ -106,6 +112,8 @@ func (s *Server) resolveOrder(req *OptimizeRequest, tracer *obs.Tracer) ([]strin
 			span.Set("decision", "fallback")
 			span.Set("neighbors", int64(d.Neighbors))
 			span.End()
+			dsp.Set("decision", "fallback")
+			dsp.End()
 			return append([]string(nil), req.Opts...), nil
 		}
 		s.metrics.AdvisorAuto.Add(1)
@@ -114,6 +122,9 @@ func (s *Server) resolveOrder(req *OptimizeRequest, tracer *obs.Tracer) ([]strin
 		span.Set("neighbors", int64(d.Neighbors))
 		span.Set("order", strings.Join(d.Order, ","))
 		span.End()
+		dsp.Set("decision", "retrieved")
+		dsp.Set("order", strings.Join(d.Order, ","))
+		dsp.End()
 		return append([]string(nil), d.Order...), nil
 	default:
 		order, err := canonOpts(strings.Split(directive, ","))

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // Cluster routing. When Config.Peers is set, the heavy content-addressed
@@ -170,7 +171,10 @@ func (s *Server) forward(w http.ResponseWriter, r *http.Request, raw []byte, rt 
 }
 
 // forwardTo performs one proxied round-trip under the original request's
-// context (deadline propagation), measuring forward latency.
+// context (deadline propagation), measuring forward latency. The hop
+// carries this node's trace context and request ID, so the peer's span
+// fragment joins the same trace instead of rooting a fresh one and both
+// nodes log the same req_id.
 func (s *Server) forwardTo(r *http.Request, target string, raw []byte) (*http.Response, error) {
 	u := "http://" + target + r.URL.RequestURI()
 	req, err := http.NewRequestWithContext(r.Context(), r.Method, u, bytes.NewReader(raw))
@@ -179,9 +183,25 @@ func (s *Server) forwardTo(r *http.Request, target string, raw []byte) (*http.Re
 	}
 	req.Header = r.Header.Clone()
 	req.Header.Set(ForwardedByHeader, s.cluster.Self())
+	if id := trace.RequestIDFrom(r.Context()); id != "" {
+		req.Header.Set("X-Request-ID", id)
+	}
+	sp, spCtx := trace.Start(r.Context(), "forward")
+	sp.Set("peer", target)
+	// The hop's parent is the forward span itself, so the peer's fragment
+	// hangs under it in the assembled forest.
+	if tp := trace.Traceparent(spCtx); tp != "" {
+		req.Header.Set(trace.TraceparentHeader, tp)
+	}
 	t0 := time.Now()
 	resp, err := s.cluster.Client().Do(req)
 	s.metrics.ForwardLatency.Observe(time.Since(t0))
+	if err != nil {
+		sp.SetError(err.Error())
+	} else {
+		sp.SetStatus(resp.StatusCode)
+	}
+	sp.End()
 	return resp, err
 }
 

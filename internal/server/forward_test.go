@@ -54,6 +54,9 @@ func newClusterServer(t *testing.T, self string, peers []string) *Server {
 		// Slow probing: these tests exercise the forwarding path's own
 		// failure handling, not the prober.
 		ProbeInterval: time.Hour,
+		// Keep every trace so trace assertions never depend on the sampler's
+		// hash landing favorably.
+		TraceSampleN: 1,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -15,6 +16,7 @@ import (
 	"repro/internal/gospel"
 	"repro/internal/obs"
 	"repro/internal/specs"
+	"repro/internal/trace"
 	"repro/ir"
 	"repro/optlib"
 )
@@ -239,9 +241,13 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) error {
 	if q := r.URL.Query().Get("order"); q != "" {
 		req.Order = q
 	}
-	order, err := s.resolveOrder(&req, tracer)
+	order, err := s.resolveOrder(r.Context(), &req, tracer)
 	if err != nil {
 		return err
+	}
+	root := trace.SpanFrom(r.Context())
+	if len(order) > 0 {
+		root.Set("order", req.Order)
 	}
 
 	var key string
@@ -252,6 +258,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) error {
 			var resp OptimizeResponse
 			if err := json.Unmarshal(raw, &resp); err == nil {
 				resp.Cached = true
+				root.Set("cache", "hit")
 				setEngineHeader(w, resp.Engine)
 				setOrderHeader(w, resp.Order)
 				writeJSON(w, http.StatusOK, resp)
@@ -272,6 +279,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) error {
 			}
 			return s.classify(nerr.err, nerr.pass, nerr.apps)
 		}
+		root.Set("engine", nresp.Engine)
 		if s.cfg.testHook != nil {
 			if err := s.cfg.testHook(r.Context()); err != nil {
 				return s.classify(err, "testhook", 0)
@@ -306,17 +314,25 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) error {
 		}
 	}
 
+	root.Set("engine", EngineInterp)
 	t0 := time.Now()
+	psp, _ := trace.Start(r.Context(), "parse")
 	prog, err := frontend.Parse(req.Source)
+	psp.End()
 	if err != nil {
+		psp.SetError(err.Error())
 		return failf(http.StatusUnprocessableEntity, "parse_error", "%v", err)
 	}
 	parseUS := time.Since(t0).Microseconds()
 
 	for _, ps := range passes {
 		current = ps.name
+		sp, _ := trace.Start(r.Context(), "pass."+ps.name)
 		apps, err := ps.opt.ApplyAllCtx(r.Context(), prog)
+		sp.Set("applications", strconv.Itoa(len(apps)))
+		sp.End()
 		if err != nil {
+			sp.SetError(err.Error())
 			return s.classify(err, current, len(apps))
 		}
 	}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/frontend"
 	"repro/internal/jobs"
 	"repro/internal/obs"
+	"repro/internal/trace"
 	"repro/ir"
 	"repro/optlib"
 )
@@ -109,7 +110,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) error {
 	if q := r.URL.Query().Get("order"); q != "" {
 		req.Order = q
 	}
-	if _, err := s.resolveOrder(&req.OptimizeRequest, nil); err != nil {
+	if _, err := s.resolveOrder(r.Context(), &req.OptimizeRequest, nil); err != nil {
 		return err
 	}
 	prio, perr := jobs.ParsePriority(req.Priority)
@@ -138,13 +139,18 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) error {
 	// resubmission anywhere in the cluster routes to the same owner and
 	// dedups there.
 	key := req.jobKey()
+	// The submitter's trace context rides in the job record (through the
+	// WAL), so the attempt's spans — possibly on another day, after a crash —
+	// join the trace of the request that queued the work.
 	j, existing, err := s.jobs.Submit(jobs.SubmitRequest{
-		ID:         jobIDForKey(key),
-		Key:        key,
-		Payload:    payload,
-		Priority:   prio,
-		MaxRetries: retries,
-		Deadline:   deadline,
+		ID:          jobIDForKey(key),
+		Key:         key,
+		Payload:     payload,
+		Priority:    prio,
+		MaxRetries:  retries,
+		Deadline:    deadline,
+		TraceID:     trace.FragmentFrom(r.Context()).TraceID(),
+		TraceParent: trace.Traceparent(r.Context()),
 	})
 	switch {
 	case errors.Is(err, jobs.ErrClosed):
@@ -275,14 +281,54 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) error {
 	return nil
 }
 
-// runJob executes one job attempt: the same parse → optimize pipeline as
+// runJob executes one job attempt under its own trace fragment: the root
+// "job.run" span joins the submitter's trace through the context recorded
+// in the job's WAL record, a synthetic "job.queue" span reconstructs the
+// queue wait from the submit/start timestamps, and the attempt's outcome
+// feeds the tail sampler under the "jobs.run" route.
+func (s *Server) runJob(ctx context.Context, j *jobs.Job) (json.RawMessage, error) {
+	var frag *trace.Fragment
+	if s.traces != nil && j.TraceID != "" {
+		parent, _ := trace.ParseTraceparent(j.TraceParent)
+		node := ""
+		if s.cluster != nil {
+			node = s.cluster.Self()
+		}
+		frag = trace.NewFragment(parent, "job.run", node)
+		root := frag.Root()
+		root.Set("id", j.ID)
+		root.Set("attempt", strconv.Itoa(j.Attempts))
+		if !j.StartedAt.IsZero() && j.StartedAt.After(j.SubmittedAt) {
+			frag.AddSpan(root, "job.queue", j.SubmittedAt, j.StartedAt.Sub(j.SubmittedAt))
+		}
+		ctx = trace.ContextWithFragment(ctx, frag, root)
+	}
+	raw, err := s.runJobAttempt(ctx, j)
+	if frag != nil {
+		root := frag.Root()
+		switch {
+		case err == nil:
+			root.SetStatus(http.StatusOK)
+		case jobs.IsPermanent(err):
+			root.SetStatus(http.StatusUnprocessableEntity)
+			root.SetError(err.Error())
+		default:
+			root.SetStatus(http.StatusInternalServerError)
+			root.SetError(err.Error())
+		}
+		s.traces.Record("jobs.run", frag.Spans())
+	}
+	return raw, err
+}
+
+// runJobAttempt is the attempt body: the same parse → optimize pipeline as
 // POST /v1/optimize, sharing its content-addressed result cache, but driven
 // by the job manager's worker pool under the attempt context. Deterministic
 // failures (bad payload, parse errors, spec errors, iteration limit) are
 // marked Permanent so the scheduler fails them without burning retries;
 // context errors (attempt timeout, drain, cancel) bubble up untouched so
 // the manager can requeue or cancel.
-func (s *Server) runJob(ctx context.Context, j *jobs.Job) (json.RawMessage, error) {
+func (s *Server) runJobAttempt(ctx context.Context, j *jobs.Job) (json.RawMessage, error) {
 	var req JobSubmitRequest
 	if err := json.Unmarshal(j.Payload, &req); err != nil {
 		return nil, jobs.Permanent(fmt.Errorf("corrupt job payload: %w", err))
@@ -353,15 +399,22 @@ func (s *Server) runJob(ctx context.Context, j *jobs.Job) (json.RawMessage, erro
 	}
 
 	t0 := time.Now()
+	psp, _ := trace.Start(ctx, "parse")
 	prog, err := frontend.Parse(req.Source)
+	psp.End()
 	if err != nil {
+		psp.SetError(err.Error())
 		return nil, jobs.Permanent(fmt.Errorf("parse error: %w", err))
 	}
 	parseUS := time.Since(t0).Microseconds()
 
 	for _, ps := range passes {
+		sp, _ := trace.Start(ctx, "pass."+ps.name)
 		apps, err := ps.opt.ApplyAllCtx(ctx, prog)
+		sp.Set("applications", strconv.Itoa(len(apps)))
+		sp.End()
 		if err != nil {
+			sp.SetError(err.Error())
 			switch {
 			case errors.Is(err, optlib.ErrIterationLimit):
 				s.metrics.IterationLimitAborts.Add(1)

@@ -331,10 +331,12 @@ func TestRetryAfterOnOverload(t *testing.T) {
 		RequestTimeout: 200 * time.Millisecond,
 		testHook: func(ctx context.Context) error {
 			entered <- struct{}{}
-			select {
-			case <-hold:
-			case <-ctx.Done():
-			}
+			// Hold the slot until the test releases it. Waiting on ctx.Done
+			// here would free the slot at this request's deadline, racing the
+			// second request's (slightly later) deadline — it could then
+			// acquire the slot with almost no budget left and time out with a
+			// 504 instead of being refused with a 503.
+			<-hold
 			return nil
 		},
 	})

@@ -2,15 +2,19 @@ package server
 
 import (
 	"io"
+	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/codegen"
 	"repro/internal/jobs"
 	"repro/internal/nativecache"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // Metrics is the daemon's counter set, exposed on GET /metrics as JSON
@@ -66,6 +70,10 @@ type Metrics struct {
 	clusterSelf   string
 	clusterPeers  []string
 	clusterStatus func() []cluster.PeerStatus
+
+	// Trace-store counter source, installed by the server when tracing is
+	// enabled; nil otherwise (trace sections are omitted entirely).
+	traceStats func() trace.Stats
 
 	// Dependence-store and undo-log totals, aggregated across every pass run
 	// through PassObserved.
@@ -220,6 +228,12 @@ func (m *Metrics) setClusterStatus(self string, peers []string, status func() []
 	m.clusterStatus = status
 }
 
+// setTraceStats installs the trace-store counter source. Called once at
+// server construction, before any scrape can run.
+func (m *Metrics) setTraceStats(stats func() trace.Stats) {
+	m.traceStats = stats
+}
+
 // jobsObs adapts the counter set to the job manager's lifecycle callbacks.
 // The callbacks run under the manager lock, so everything here is a bare
 // atomic bump.
@@ -307,8 +321,11 @@ func (m *Metrics) CountRoute(route string) {
 }
 
 // RouteDone records one completed request's latency against its route.
-func (m *Metrics) RouteDone(route string, d time.Duration) {
-	m.routeStatFor(route).hist.Observe(d)
+// A non-empty traceID attaches an exemplar to the latency bucket — callers
+// pass one only for traces the tail sampler kept, so every exposed exemplar
+// is resolvable through /v1/traces.
+func (m *Metrics) RouteDone(route string, d time.Duration, traceID string) {
+	m.routeStatFor(route).hist.ObserveWithExemplar(d, traceID)
 }
 
 // PassDone records one completed optimization pass; it has the shape of
@@ -460,6 +477,22 @@ func (m *Metrics) Snapshot() map[string]any {
 				"default":  m.AdvisorDefault.Load(),
 				"explicit": m.AdvisorExplicit.Load(),
 			},
+		}
+	}
+	if m.traceStats != nil {
+		st := m.traceStats()
+		snap["trace"] = map[string]any{
+			"kept": map[string]any{
+				"error":   st.KeptError,
+				"slow":    st.KeptSlow,
+				"sticky":  st.KeptSticky,
+				"sampled": st.KeptSampled,
+			},
+			"dropped":     st.Dropped,
+			"evicted":     st.Evicted,
+			"fragments":   st.Fragments,
+			"spans":       st.Spans,
+			"spill_bytes": st.SpillBytes,
 		}
 	}
 	if m.clusterStatus != nil {
@@ -616,6 +649,31 @@ func (m *Metrics) WriteProm(w io.Writer) error {
 		pw.Header("optd_advisor_retrieval_seconds", "Advisor featurize-and-retrieve latency.", "histogram")
 		pw.Histogram("optd_advisor_retrieval_seconds", nil, m.AdvisorRetrieval.Snapshot())
 	}
+
+	if m.traceStats != nil {
+		st := m.traceStats()
+		pw.Header("optd_trace_fragments_total", "Trace fragments by tail-sampling decision.", "counter")
+		pw.IntSample("optd_trace_fragments_total", []obs.Label{obs.L("decision", "error")}, st.KeptError)
+		pw.IntSample("optd_trace_fragments_total", []obs.Label{obs.L("decision", "slow")}, st.KeptSlow)
+		pw.IntSample("optd_trace_fragments_total", []obs.Label{obs.L("decision", "sticky")}, st.KeptSticky)
+		pw.IntSample("optd_trace_fragments_total", []obs.Label{obs.L("decision", "sampled")}, st.KeptSampled)
+		pw.IntSample("optd_trace_fragments_total", []obs.Label{obs.L("decision", "dropped")}, st.Dropped)
+		pw.Header("optd_trace_evicted_total", "Trace fragments evicted from the ring.", "counter")
+		pw.IntSample("optd_trace_evicted_total", nil, st.Evicted)
+		pw.Header("optd_trace_fragments_stored", "Trace fragments currently retained.", "gauge")
+		pw.IntSample("optd_trace_fragments_stored", nil, st.Fragments)
+		pw.Header("optd_trace_spans_stored", "Spans currently retained across fragments.", "gauge")
+		pw.IntSample("optd_trace_spans_stored", nil, st.Spans)
+		pw.Header("optd_trace_spill_bytes", "Trace spill-log size on disk.", "gauge")
+		pw.IntSample("optd_trace_spill_bytes", nil, st.SpillBytes)
+	}
+
+	pw.Header("optd_build_info", "Build and configuration identity (value is always 1).", "gauge")
+	pw.IntSample("optd_build_info", []obs.Label{
+		obs.L("go_version", runtime.Version()),
+		obs.L("codegen_version", codegen.Version),
+		obs.L("vnodes", strconv.Itoa(cluster.DefaultVNodes)),
+	}, 1)
 
 	if m.clusterStatus != nil {
 		pw.Header("optd_cluster_peers", "Cluster membership size (including this node).", "gauge")

@@ -10,6 +10,7 @@ import (
 	"repro/internal/frontend"
 	"repro/internal/nativecache"
 	"repro/internal/specs"
+	"repro/internal/trace"
 	"repro/ir"
 	"repro/optlib"
 )
@@ -159,10 +160,22 @@ func (s *Server) tryNative(ctx context.Context, req *OptimizeRequest, wantTrace 
 		maxIter = s.cfg.MaxIterations
 	}
 	if art.InProcess() {
+		sp, ctx := trace.Start(ctx, "native.plugin")
 		resp, nerr := s.runNativePlugin(ctx, art, req.Source, passNames, maxIter)
+		if nerr != nil {
+			sp.SetError(nerr.err.Error())
+		}
+		sp.End()
 		return resp, nerr, true
 	}
+	// The subprocess hop carries the trace context in TRACEPARENT (set by
+	// RunPipeline from this span's context).
+	sp, ctx := trace.Start(ctx, "native.subprocess")
 	resp, nerr := s.runNativeSubprocess(ctx, art, req.Source, passNames, maxIter)
+	if nerr != nil {
+		sp.SetError(nerr.err.Error())
+	}
+	sp.End()
 	return resp, nerr, true
 }
 

@@ -13,8 +13,11 @@ import (
 )
 
 // promLine matches one Prometheus exposition sample:
-// name{label="v",...} value  — or an unlabeled name value.
-var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (-?[0-9.e+-]+|\+Inf|NaN)$`)
+// name{label="v",...} value  — or an unlabeled name value. Histogram
+// buckets may carry an OpenMetrics exemplar suffix
+// (# {trace_id="..."} value timestamp) when the bucket's trace was kept
+// by the tail sampler.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (-?[0-9.e+-]+|\+Inf|NaN)( # \{trace_id="[0-9a-f]+"\} [0-9.e+-]+ [0-9.]+)?$`)
 
 // TestMetricsPrometheus: Accept: text/plain negotiates the Prometheus
 // exposition; every non-comment line must be a well-formed sample, and the
@@ -212,7 +215,7 @@ func TestMetricsScrapeContention(t *testing.T) {
 					PatternChecks: 3, DepChecks: 2, ScalarLookups: 5,
 					IncrementalUpdates: 1,
 				})
-				m.RouteDone("optimize", time.Millisecond)
+				m.RouteDone("optimize", time.Millisecond, "")
 				m.CountRoute("optimize")
 			}
 		}(w)

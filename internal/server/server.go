@@ -33,6 +33,7 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/trace"
 )
 
 // Config tunes the server. The zero value selects production defaults.
@@ -116,6 +117,19 @@ type Config struct {
 	// only).
 	AdvisorNoSync bool
 
+	// TraceStore bounds the distributed-trace store's retained fragments on
+	// this node; 0 selects 1024, negative disables distributed tracing
+	// entirely (no store, no X-Optd-Trace-Id, no /v1/traces data).
+	TraceStore int
+	// TraceSampleN keeps 1 in N unremarkable traces; error and
+	// slow-percentile traces are always kept regardless. 0 selects 16, 1
+	// keeps everything (tests and smokes).
+	TraceSampleN int
+	// TraceDir spills kept trace fragments to a CRC-framed log under this
+	// directory, replayed on restart; empty keeps the trace window in
+	// memory only.
+	TraceDir string
+
 	// testHook, when non-nil, runs inside the optimize handler after
 	// admission and before the pipeline — a seam for shutdown/timeout
 	// tests. It receives the request context.
@@ -160,6 +174,7 @@ type Server struct {
 	cluster  *cluster.Cluster // nil on a single node
 	native   *native          // nil when serving interpreted only
 	advisor  *advisor.Advisor
+	traces   *trace.Store // nil when Config.TraceStore < 0
 	mux      *http.ServeMux
 
 	mu       sync.RWMutex // guards draining against in-flight accounting
@@ -182,6 +197,19 @@ func New(cfg Config) (*Server, error) {
 		metrics: newMetrics(),
 	}
 	s.sessions = newSessionStore(cfg.MaxSessions, cfg.SessionTTL, s.metrics)
+	if cfg.TraceStore >= 0 {
+		ts, err := trace.Open(trace.Config{
+			Capacity: cfg.TraceStore,
+			SampleN:  cfg.TraceSampleN,
+			Dir:      cfg.TraceDir,
+		})
+		if err != nil {
+			s.sessions.close()
+			return nil, fmt.Errorf("server: opening trace dir %q: %w", cfg.TraceDir, err)
+		}
+		s.traces = ts
+		s.metrics.setTraceStats(ts.Stats)
+	}
 	switch cfg.Engine {
 	case "", EngineInterp:
 	case EngineAuto, EngineCompiled:
@@ -189,6 +217,7 @@ func New(cfg Config) (*Server, error) {
 		if err != nil {
 			if cfg.Engine == EngineCompiled {
 				s.sessions.close()
+				_ = s.traces.Close()
 				return nil, fmt.Errorf("server: compiled engine unavailable: %w", err)
 			}
 			// auto degrades: serve interpreted, leave the cache off so every
@@ -200,6 +229,7 @@ func New(cfg Config) (*Server, error) {
 		}
 	default:
 		s.sessions.close()
+		_ = s.traces.Close()
 		return nil, fmt.Errorf("server: unknown engine %q (have %s, %s, %s)",
 			cfg.Engine, EngineInterp, EngineAuto, EngineCompiled)
 	}
@@ -213,6 +243,7 @@ func New(cfg Config) (*Server, error) {
 	})
 	if err != nil {
 		s.sessions.close()
+		_ = s.traces.Close()
 		s.native.close()
 		return nil, fmt.Errorf("server: opening advisor dir %q: %w", cfg.AdvisorDir, err)
 	}
@@ -229,6 +260,7 @@ func New(cfg Config) (*Server, error) {
 		})
 		if err != nil {
 			s.sessions.close()
+			_ = s.traces.Close()
 			s.native.close()
 			_ = s.advisor.Close()
 			return nil, err
@@ -253,6 +285,7 @@ func New(cfg Config) (*Server, error) {
 	})
 	if err != nil {
 		s.sessions.close()
+		_ = s.traces.Close()
 		s.native.close()
 		_ = s.advisor.Close()
 		if s.cluster != nil {
@@ -290,6 +323,10 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.wrap("healthz", false, s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.wrap("metrics", false, s.handleMetrics))
+	s.mux.HandleFunc("GET /v1/version", s.wrap("version", false, s.handleVersion))
+	// Trace queries. Neither admits: both only read the in-memory window.
+	s.mux.HandleFunc("GET /v1/traces", s.wrap("traces.list", false, s.handleTraceList))
+	s.mux.HandleFunc("GET /v1/traces/{id}", s.wrap("traces.get", false, s.handleTraceGet))
 	s.mux.HandleFunc("POST /v1/optimize", s.wrap("optimize", true, s.sharded(optimizeRouteKey, s.handleOptimize)))
 	s.mux.HandleFunc("POST /v1/points", s.wrap("points", true, s.handlePoints))
 	s.mux.HandleFunc("POST /v1/session", s.wrap("session.create", true, s.handleSessionCreate))
@@ -341,6 +378,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		close(done)
 	}()
 	defer s.sessions.close()
+	defer func() { _ = s.traces.Close() }()
 	// Waits for any background artifact build so temp dirs and cache files
 	// are quiescent when the caller tears the directory down.
 	defer s.native.close()
@@ -384,10 +422,26 @@ func (sr *statusRecorder) Write(b []byte) (int, error) {
 	return sr.ResponseWriter.Write(b)
 }
 
+// TraceIDHeader echoes the request's trace identity back to the client, so
+// a caller (or a smoke test) can immediately query /v1/traces/{id}.
+const TraceIDHeader = "X-Optd-Trace-Id"
+
+// tracedRoute excludes the observability plumbing itself from the trace
+// store: scrapes and trace queries would otherwise crowd the sample with
+// spans about reading spans.
+func tracedRoute(route string) bool {
+	switch route {
+	case "healthz", "metrics", "version", "traces.list", "traces.get":
+		return false
+	}
+	return true
+}
+
 // wrap is the common middleware: draining gate, in-flight accounting,
-// per-route metrics and latency histograms, request IDs, a request-scoped
-// structured logger, panic recovery, optional admission control and the
-// per-request timeout for heavy (admit=true) routes.
+// per-route metrics and latency histograms, request IDs, distributed-trace
+// ingress, a request-scoped structured logger, panic recovery, optional
+// admission control and the per-request timeout for heavy (admit=true)
+// routes.
 func (s *Server) wrap(route string, admit bool, h func(w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
 	return func(rw http.ResponseWriter, r *http.Request) {
 		if !s.begin() {
@@ -403,7 +457,13 @@ func (s *Server) wrap(route string, admit bool, h func(w http.ResponseWriter, r 
 		s.metrics.InFlight.Add(1)
 		defer s.metrics.InFlight.Add(-1)
 
-		reqID := fmt.Sprintf("%08x", s.reqSeq.Add(1))
+		// Honor a propagated request ID (one-hop forwards, replay sweeps) so
+		// every node a request touches logs the same identity; mint only at
+		// the true ingress. The length cap keeps hostile values out of logs.
+		reqID := strings.TrimSpace(r.Header.Get("X-Request-ID"))
+		if reqID == "" || len(reqID) > 64 {
+			reqID = fmt.Sprintf("%08x", s.reqSeq.Add(1))
+		}
 		rw.Header().Set("X-Request-ID", reqID)
 		if s.cluster != nil {
 			// Forwarded responses overwrite this with the executing node's
@@ -412,15 +472,42 @@ func (s *Server) wrap(route string, admit bool, h func(w http.ResponseWriter, r 
 			rw.Header().Set(ServedByHeader, s.cluster.Self())
 		}
 		logger := s.cfg.Logger.With(slog.String("req_id", reqID), slog.String("route", route))
+
+		// Trace ingress: join the caller's trace when a valid traceparent
+		// arrived (a forwarded hop, a replay sweep), mint a fresh trace ID
+		// otherwise. The keep decision happens at completion, in the tail
+		// sampler — every request is traced while in flight.
+		var frag *trace.Fragment
+		if s.traces != nil && tracedRoute(route) {
+			parent, _ := trace.ParseTraceparent(r.Header.Get(trace.TraceparentHeader))
+			node := ""
+			if s.cluster != nil {
+				node = s.cluster.Self()
+			}
+			frag = trace.NewFragment(parent, "server."+route, node)
+			rw.Header().Set(TraceIDHeader, frag.TraceID())
+			logger = logger.With(slog.String("trace_id", frag.TraceID()))
+		}
+
 		w := &statusRecorder{ResponseWriter: rw}
 		t0 := time.Now()
 		defer func() {
 			d := time.Since(t0)
-			s.metrics.RouteDone(route, d)
 			status := w.status
 			if status == 0 {
 				status = http.StatusOK
 			}
+			// Completed fragment → tail sampler. The latency exemplar is
+			// attached only when the trace was kept: an exemplar pointing at
+			// a dropped trace would be a dead link.
+			exemplar := ""
+			if frag != nil {
+				frag.Root().SetStatus(status)
+				if s.traces.Record(route, frag.Spans()) != trace.DecisionDropped {
+					exemplar = frag.TraceID()
+				}
+			}
+			s.metrics.RouteDone(route, d, exemplar)
 			logger.Info("request", slog.Int("status", status), slog.Int64("duration_us", d.Microseconds()))
 		}()
 
@@ -435,7 +522,12 @@ func (s *Server) wrap(route string, admit bool, h func(w http.ResponseWriter, r 
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
-		r = r.WithContext(obs.ContextWithLogger(ctx, logger))
+		ctx = obs.ContextWithLogger(ctx, logger)
+		ctx = trace.ContextWithRequestID(ctx, reqID)
+		if frag != nil {
+			ctx = trace.ContextWithFragment(ctx, frag, frag.Root())
+		}
+		r = r.WithContext(ctx)
 		if admit {
 			if err := s.limiter.Acquire(r.Context()); err != nil {
 				s.metrics.RejectedOverload.Add(1)

@@ -1,0 +1,143 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// Trace query API.
+//
+//	GET /v1/traces               — list locally retained fragments, filtered
+//	GET /v1/traces/{id}          — one trace's span forest, merged cluster-wide
+//	GET /v1/traces/{id}?local=1  — this node's spans only (the fan-out leg)
+//
+// Listing is local by design: each node's tail sampler keeps its own window
+// and the deterministic 1-in-N hash means a sampled trace is retained on
+// every node it touched, so any node's listing is a faithful sample. Fetch
+// by ID is where cross-node assembly matters — a forwarded request or a job
+// leaves fragments on several nodes — so the get handler fans out to every
+// up peer and merges the spans into one forest.
+
+// TraceResponse is the GET /v1/traces/{id} body: the flat span list,
+// reassembled into a forest by the client through parent links.
+type TraceResponse struct {
+	TraceID string        `json:"trace_id"`
+	Spans   []*trace.Span `json:"spans"`
+}
+
+// TraceListResponse is the GET /v1/traces body.
+type TraceListResponse struct {
+	Traces []trace.Summary `json:"traces"`
+}
+
+func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) error {
+	if s.traces == nil {
+		return failf(http.StatusNotFound, "tracing_disabled", "trace store is disabled (-trace-store < 0)")
+	}
+	q := r.URL.Query()
+	query := trace.Query{
+		Route:      q.Get("route"),
+		Engine:     q.Get("engine"),
+		Order:      q.Get("order"),
+		ErrorsOnly: q.Get("error") == "1",
+	}
+	if v := q.Get("status"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return failf(http.StatusBadRequest, "bad_param", "status: %v", err)
+		}
+		query.Status = n
+	}
+	if v := q.Get("min_duration_ms"); v != "" {
+		n, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return failf(http.StatusBadRequest, "bad_param", "min_duration_ms: %v", err)
+		}
+		query.MinDur = time.Duration(n * float64(time.Millisecond))
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return failf(http.StatusBadRequest, "bad_param", "limit must be a positive integer")
+		}
+		query.Limit = n
+	}
+	list := s.traces.List(query)
+	if list == nil {
+		list = []trace.Summary{}
+	}
+	writeJSON(w, http.StatusOK, TraceListResponse{Traces: list})
+	return nil
+}
+
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) error {
+	if s.traces == nil {
+		return failf(http.StatusNotFound, "tracing_disabled", "trace store is disabled (-trace-store < 0)")
+	}
+	id := r.PathValue("id")
+	spans := s.traces.Get(id)
+	if r.URL.Query().Get("local") != "1" {
+		spans = s.mergePeerSpans(r, id, spans)
+	}
+	if len(spans) == 0 {
+		return failf(http.StatusNotFound, "not_found", "no such trace %q on any reachable node", id)
+	}
+	writeJSON(w, http.StatusOK, TraceResponse{TraceID: id, Spans: spans})
+	return nil
+}
+
+// mergePeerSpans fans the trace fetch out to every up peer (local=1 stops
+// the recursion) and merges their fragments with ours, deduplicating by
+// span ID — the submitter and the owner may both hold a copy of a sticky
+// fragment. Peer errors degrade to a partial trace, never a failed request:
+// a trace query during a partition should show what this side knows.
+func (s *Server) mergePeerSpans(r *http.Request, id string, local []*trace.Span) []*trace.Span {
+	if s.cluster == nil {
+		return local
+	}
+	seen := make(map[string]bool, len(local))
+	for _, sp := range local {
+		seen[sp.SpanID] = true
+	}
+	out := local
+	for _, peer := range s.cluster.Peers() {
+		if peer == s.cluster.Self() || !s.cluster.Up(peer) {
+			continue
+		}
+		u := "http://" + peer + "/v1/traces/" + id + "?local=1"
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, u, nil)
+		if err != nil {
+			continue
+		}
+		resp, err := s.cluster.Client().Do(req)
+		if err != nil {
+			obs.LoggerFrom(r.Context()).Warn("trace fan-out failed", "peer", peer, "err", err)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			continue
+		}
+		var tr TraceResponse
+		err = json.NewDecoder(resp.Body).Decode(&tr)
+		resp.Body.Close()
+		if err != nil {
+			obs.LoggerFrom(r.Context()).Warn("trace fan-out decode failed", "peer", peer, "err", err)
+			continue
+		}
+		for _, sp := range tr.Spans {
+			if sp == nil || seen[sp.SpanID] {
+				continue
+			}
+			seen[sp.SpanID] = true
+			out = append(out, sp)
+		}
+	}
+	trace.SortSpans(out)
+	return out
+}

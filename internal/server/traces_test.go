@@ -1,0 +1,326 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/trace"
+)
+
+// getTrace fetches one assembled trace through a node's HTTP API.
+func getTrace(t *testing.T, base, id string) TraceResponse {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/traces/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/traces/%s = %d: %s", id, resp.StatusCode, raw)
+	}
+	var tr TraceResponse
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// spanNamed returns the first span with the given name, nil if absent.
+func spanNamed(spans []*trace.Span, name string) *trace.Span {
+	for _, sp := range spans {
+		if sp.Name == name {
+			return sp
+		}
+	}
+	return nil
+}
+
+// TestTraceForwardedOptimize: a request proxied from the non-owner to the
+// owner yields ONE trace whose span forest, fetched from either node, holds
+// spans from both — the ingress root and forward span on A, the serving
+// root (parented under A's forward span) and its children on B.
+func TestTraceForwardedOptimize(t *testing.T) {
+	addrA, addrB, _, srvB := twoNodeCluster(t)
+	body := optimizeBodyOwnedBy(t, []string{addrA, addrB}, addrB)
+
+	resp, err := http.Post("http://"+addrA+"/v1/optimize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("optimize = %d", resp.StatusCode)
+	}
+	traceID := resp.Header.Get(TraceIDHeader)
+	if traceID == "" {
+		t.Fatalf("response missing %s", TraceIDHeader)
+	}
+
+	// Fetching through A fans out to B and merges; through B, vice versa.
+	for _, base := range []string{"http://" + addrA, "http://" + addrB} {
+		tr := getTrace(t, base, traceID)
+		nodes := map[string]bool{}
+		for _, sp := range tr.Spans {
+			if sp.TraceID != traceID {
+				t.Fatalf("span %s carries trace %s, want %s", sp.Name, sp.TraceID, traceID)
+			}
+			nodes[sp.Node] = true
+		}
+		if !nodes[addrA] || !nodes[addrB] {
+			t.Fatalf("via %s: merged trace spans cover nodes %v, want both %s and %s",
+				base, nodes, addrA, addrB)
+		}
+		fwd := spanNamed(tr.Spans, "forward")
+		if fwd == nil || fwd.Node != addrA {
+			t.Fatalf("via %s: no forward span from A: %+v", base, fwd)
+		}
+		// B's serving root hangs under A's forward span: one connected tree.
+		var rootB *trace.Span
+		for _, sp := range tr.Spans {
+			if sp.Name == "server.optimize" && sp.Node == addrB {
+				rootB = sp
+			}
+		}
+		if rootB == nil {
+			t.Fatalf("via %s: owner produced no server.optimize root", base)
+		}
+		if rootB.ParentID != fwd.SpanID {
+			t.Fatalf("via %s: owner root parent = %s, want forward span %s", base, rootB.ParentID, fwd.SpanID)
+		}
+	}
+
+	// The same request ID was used on both nodes (propagated, not re-minted):
+	// B's trace store is reachable locally and the fragment roots agree.
+	if got := srvB.traces.Get(traceID); len(got) == 0 {
+		t.Fatal("owner retained no fragment for the forwarded trace")
+	}
+}
+
+// TestTraceJobLifecycle: a submitted job's attempt joins the submitter's
+// trace through the WAL-carried context — submit root, queue wait, run root
+// and per-pass spans all under one trace ID.
+func TestTraceJobLifecycle(t *testing.T) {
+	s := newTestServer(t, Config{TraceSampleN: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(JobSubmitRequest{
+		OptimizeRequest: OptimizeRequest{Source: deadSrc, Opts: []string{"DCE"}},
+	})
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", resp.StatusCode, raw)
+	}
+	traceID := resp.Header.Get(TraceIDHeader)
+	if traceID == "" {
+		t.Fatalf("submit response missing %s", TraceIDHeader)
+	}
+	var jv JobView
+	if err := json.Unmarshal(raw, &jv); err != nil {
+		t.Fatal(err)
+	}
+
+	wresp, err := http.Get(ts.URL + "/v1/jobs/" + jv.ID + "?wait=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, wresp.Body)
+	wresp.Body.Close()
+
+	tr := getTrace(t, ts.URL, traceID)
+	submit := spanNamed(tr.Spans, "server.jobs.submit")
+	run := spanNamed(tr.Spans, "job.run")
+	queue := spanNamed(tr.Spans, "job.queue")
+	pass := spanNamed(tr.Spans, "pass.DCE")
+	if submit == nil || run == nil || queue == nil || pass == nil {
+		names := make([]string, len(tr.Spans))
+		for i, sp := range tr.Spans {
+			names[i] = sp.Name
+		}
+		t.Fatalf("trace %s spans = %v, want submit+run+queue+pass", traceID, names)
+	}
+	// The attempt root is parented under the submit root: the job's whole
+	// life is one connected story even though it ran on another goroutine
+	// from a WAL record.
+	if run.ParentID != submit.SpanID {
+		t.Fatalf("job.run parent = %s, want submit root %s", run.ParentID, submit.SpanID)
+	}
+	if run.Attrs["id"] != jv.ID || run.Attrs["attempt"] != "1" {
+		t.Fatalf("job.run attrs = %v", run.Attrs)
+	}
+	if queue.DurationUS < 0 {
+		t.Fatalf("job.queue duration = %d", queue.DurationUS)
+	}
+}
+
+// TestTraceExemplarExposed: once a kept trace observed a latency, the
+// Prometheus exposition carries an OpenMetrics exemplar pointing at it.
+func TestTraceExemplarExposed(t *testing.T) {
+	s := newTestServer(t, Config{TraceSampleN: 1})
+	rec := doJSON(t, s, "POST", "/v1/optimize", OptimizeRequest{Source: deadSrc, Opts: []string{"DCE"}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("optimize = %d: %s", rec.Code, rec.Body.String())
+	}
+	traceID := rec.Header().Get(TraceIDHeader)
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	mrec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(mrec, req)
+	want := fmt.Sprintf("# {trace_id=%q}", traceID)
+	if !strings.Contains(mrec.Body.String(), want) {
+		t.Fatalf("prom exposition lacks exemplar %s", want)
+	}
+	// And the exemplar resolves: the trace is queryable.
+	lrec := doJSON(t, s, "GET", "/v1/traces/"+traceID, nil)
+	if lrec.Code != http.StatusOK {
+		t.Fatalf("exemplar trace not resolvable: %d", lrec.Code)
+	}
+}
+
+// TestTraceListFiltersHTTP drives the listing filters through the API.
+func TestTraceListFiltersHTTP(t *testing.T) {
+	s := newTestServer(t, Config{TraceSampleN: 1})
+	ok := doJSON(t, s, "POST", "/v1/optimize", OptimizeRequest{Source: deadSrc, Opts: []string{"DCE"}})
+	if ok.Code != http.StatusOK {
+		t.Fatalf("optimize = %d", ok.Code)
+	}
+	bad := doJSON(t, s, "POST", "/v1/optimize", OptimizeRequest{Source: "PROGRAM broken"})
+	if bad.Code == http.StatusOK {
+		t.Fatalf("broken request = %d, want error", bad.Code)
+	}
+
+	all := decodeAs[TraceListResponse](t, doJSON(t, s, "GET", "/v1/traces", nil))
+	if len(all.Traces) != 2 {
+		t.Fatalf("unfiltered = %d traces, want 2", len(all.Traces))
+	}
+	errs := decodeAs[TraceListResponse](t, doJSON(t, s, "GET", "/v1/traces?error=1", nil))
+	if len(errs.Traces) != 1 || errs.Traces[0].Status < 400 {
+		t.Fatalf("error filter = %+v", errs.Traces)
+	}
+	byRoute := decodeAs[TraceListResponse](t, doJSON(t, s, "GET", "/v1/traces?route=optimize&status=200", nil))
+	if len(byRoute.Traces) != 1 || byRoute.Traces[0].Engine != EngineInterp {
+		t.Fatalf("route+status filter = %+v", byRoute.Traces)
+	}
+	if rec := doJSON(t, s, "GET", "/v1/traces?limit=bogus", nil); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad limit = %d", rec.Code)
+	}
+}
+
+// TestTraceDisabled: TraceStore < 0 turns the subsystem off — no header, no
+// store, 404s from the query API, no trace section in metrics.
+func TestTraceDisabled(t *testing.T) {
+	s := newTestServer(t, Config{TraceStore: -1})
+	rec := doJSON(t, s, "POST", "/v1/optimize", OptimizeRequest{Source: deadSrc, Opts: []string{"DCE"}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("optimize = %d", rec.Code)
+	}
+	if got := rec.Header().Get(TraceIDHeader); got != "" {
+		t.Fatalf("%s = %q with tracing disabled", TraceIDHeader, got)
+	}
+	if lrec := doJSON(t, s, "GET", "/v1/traces", nil); lrec.Code != http.StatusNotFound {
+		t.Fatalf("traces list = %d, want 404", lrec.Code)
+	}
+	snap := decodeAs[map[string]any](t, doJSON(t, s, "GET", "/metrics", nil))
+	if _, ok := snap["trace"]; ok {
+		t.Fatal("metrics snapshot has a trace section with tracing disabled")
+	}
+}
+
+// TestVersionEndpoint pins the /v1/version shape.
+func TestVersionEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{})
+	v := decodeAs[VersionResponse](t, doJSON(t, s, "GET", "/v1/version", nil))
+	if v.Service != "optd" || v.Go == "" || v.Module == "" || v.CodegenVersion == "" {
+		t.Fatalf("version = %+v", v)
+	}
+	if v.VNodes != cluster.DefaultVNodes {
+		t.Fatalf("vnodes = %d, want %d", v.VNodes, cluster.DefaultVNodes)
+	}
+	if v.Engine != EngineInterp {
+		t.Fatalf("engine = %q", v.Engine)
+	}
+}
+
+// TestConcurrentScrapeAndTraceWrites: Prometheus scrapes (which read every
+// histogram, exemplars included) racing optimize traffic (which records
+// fragments and exemplars) and trace queries. Run under -race in CI.
+func TestConcurrentScrapeAndTraceWrites(t *testing.T) {
+	s := newTestServer(t, Config{TraceSampleN: 1, TraceStore: 64})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				rec := doJSON(t, s, "POST", "/v1/optimize",
+					OptimizeRequest{Source: sourceFor(g*100 + i), Opts: []string{"DCE"}, NoCache: true})
+				if rec.Code != http.StatusOK {
+					t.Errorf("optimize = %d", rec.Code)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				req := httptest.NewRequest("GET", "/metrics", nil)
+				req.Header.Set("Accept", "text/plain")
+				rec := httptest.NewRecorder()
+				s.Handler().ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					t.Errorf("scrape = %d", rec.Code)
+					return
+				}
+				doJSON(t, s, "GET", "/v1/traces?limit=100", nil)
+			}
+		}()
+	}
+	wg.Wait()
+	st := s.traces.Stats()
+	if st.Fragments > 64 {
+		t.Fatalf("trace store exceeded capacity: %d", st.Fragments)
+	}
+	if st.KeptSampled+st.KeptSticky+st.KeptSlow+st.KeptError == 0 {
+		t.Fatal("no fragments kept at sample 1")
+	}
+}
+
+// TestRequestIDPropagation: an incoming X-Request-ID is honored, an
+// oversized one is replaced.
+func TestRequestIDPropagation(t *testing.T) {
+	s := newTestServer(t, Config{})
+	req := httptest.NewRequest("GET", "/healthz", nil)
+	req.Header.Set("X-Request-ID", "caller-chosen-id")
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if got := rec.Header().Get("X-Request-ID"); got != "caller-chosen-id" {
+		t.Fatalf("X-Request-ID = %q, want caller's", got)
+	}
+
+	req = httptest.NewRequest("GET", "/healthz", nil)
+	req.Header.Set("X-Request-ID", strings.Repeat("x", 65))
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if got := rec.Header().Get("X-Request-ID"); len(got) != 8 {
+		t.Fatalf("oversized X-Request-ID passed through: %q", got)
+	}
+}

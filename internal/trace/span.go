@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one timed operation inside a trace. Unlike obs.Span (a build
+// helper for the inline ?trace=1 forest), this span carries cluster-wide
+// identity and is the unit the trace store persists and /v1/traces serves:
+// the JSON shape here is the wire shape.
+//
+// Like obs.Span, a span is built by one goroutine — created, annotated and
+// ended by the code doing the work — and becomes shared (hence read-only)
+// only when its fragment is recorded into the store.
+type Span struct {
+	TraceID  string `json:"trace_id"`
+	SpanID   string `json:"span_id"`
+	ParentID string `json:"parent_id,omitempty"`
+	Name     string `json:"name"`
+	// Node is the advertise address of the node that produced the span;
+	// empty on single-node deployments.
+	Node  string    `json:"node,omitempty"`
+	Start time.Time `json:"start"`
+	// DurationUS is set by End (or AddSpan); 0 means the span was cut short
+	// (the fragment was recorded before End ran — e.g. a panic path).
+	DurationUS int64             `json:"duration_us"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	// Status is the HTTP-shaped outcome of root spans (0 on inner spans).
+	Status int    `json:"status,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// Set records one attribute. Nil-safe: instrumentation on untraced paths
+// passes a nil span.
+func (s *Span) Set(key, value string) {
+	if s == nil {
+		return
+	}
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]string, 4)
+	}
+	s.Attrs[key] = value
+}
+
+// SetStatus records the span's HTTP-shaped outcome. Nil-safe.
+func (s *Span) SetStatus(status int) {
+	if s != nil {
+		s.Status = status
+	}
+}
+
+// SetError records a failure message. Nil-safe.
+func (s *Span) SetError(msg string) {
+	if s != nil {
+		s.Error = msg
+	}
+}
+
+// End stamps the span's duration. Nil-safe; a second End is a no-op.
+func (s *Span) End() {
+	if s == nil || s.DurationUS != 0 {
+		return
+	}
+	s.DurationUS = time.Since(s.Start).Microseconds()
+}
+
+// Fragment is the batch of spans one node contributes to a trace from one
+// locally-rooted unit of work: an HTTP request, a job attempt, a replay
+// submission. A cross-node trace is the union of fragments sharing a trace
+// ID; /v1/traces reassembles them through parent links. The tail sampler
+// decides keep-or-drop per completed fragment.
+type Fragment struct {
+	mu    sync.Mutex
+	node  string
+	root  *Span
+	spans []*Span
+}
+
+// NewFragment opens a fragment rooted at a new span named name. A valid
+// parent joins the fragment to an existing trace (the root's parent is the
+// caller's span on the initiating node); an invalid one mints a fresh trace
+// ID — this node is the ingress.
+func NewFragment(parent SpanContext, name, node string) *Fragment {
+	traceID, parentID := parent.TraceID, parent.SpanID
+	if !parent.Valid() {
+		traceID, parentID = NewTraceID(), ""
+	}
+	f := &Fragment{node: node}
+	f.root = &Span{
+		TraceID:  traceID,
+		SpanID:   NewSpanID(),
+		ParentID: parentID,
+		Name:     name,
+		Node:     node,
+		Start:    time.Now(),
+	}
+	f.spans = append(f.spans, f.root)
+	return f
+}
+
+// Root returns the fragment's root span. Nil-safe.
+func (f *Fragment) Root() *Span {
+	if f == nil {
+		return nil
+	}
+	return f.root
+}
+
+// TraceID returns the fragment's trace identity. Nil-safe ("" when nil).
+func (f *Fragment) TraceID() string {
+	if f == nil {
+		return ""
+	}
+	return f.root.TraceID
+}
+
+// StartSpan opens a child span under parent (the fragment root when parent
+// is nil). Nil-safe: a nil fragment returns a nil span.
+func (f *Fragment) StartSpan(parent *Span, name string) *Span {
+	if f == nil {
+		return nil
+	}
+	if parent == nil {
+		parent = f.root
+	}
+	sp := &Span{
+		TraceID:  f.root.TraceID,
+		SpanID:   NewSpanID(),
+		ParentID: parent.SpanID,
+		Name:     name,
+		Node:     f.node,
+		Start:    time.Now(),
+	}
+	f.mu.Lock()
+	f.spans = append(f.spans, sp)
+	f.mu.Unlock()
+	return sp
+}
+
+// AddSpan records an already-completed interval — e.g. a job's queue wait,
+// reconstructed from its submit and start timestamps. Nil-safe.
+func (f *Fragment) AddSpan(parent *Span, name string, start time.Time, d time.Duration) *Span {
+	sp := f.StartSpan(parent, name)
+	if sp == nil {
+		return nil
+	}
+	sp.Start = start
+	sp.DurationUS = d.Microseconds()
+	return sp
+}
+
+// Spans ends the root (if still open) and returns the fragment's span
+// batch. The store takes ownership: callers must not mutate spans after.
+func (f *Fragment) Spans() []*Span {
+	if f == nil {
+		return nil
+	}
+	f.root.End()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]*Span(nil), f.spans...)
+}

@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID()}
+	if !sc.Valid() {
+		t.Fatalf("minted context invalid: %+v", sc)
+	}
+	tp := sc.Traceparent()
+	if !strings.HasPrefix(tp, "00-") || !strings.HasSuffix(tp, "-01") {
+		t.Fatalf("traceparent shape: %q", tp)
+	}
+	got, ok := ParseTraceparent(tp)
+	if !ok || got != sc {
+		t.Fatalf("round trip = %+v ok=%v, want %+v", got, ok, sc)
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"00-abc-def-01",
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", // zero span id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",    // missing flags
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // forbidden version
+		"zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"00-4bf92f3577b34da6a3ce929d0e0e473X-00f067aa0ba902b7-01",
+	}
+	for _, s := range bad {
+		if _, ok := ParseTraceparent(s); ok {
+			t.Errorf("ParseTraceparent(%q) accepted", s)
+		}
+	}
+	// Future versions and extra fields parse (per spec).
+	if _, ok := ParseTraceparent("01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra"); !ok {
+		t.Error("future-version traceparent rejected")
+	}
+	// Uppercase hex is normalized.
+	sc, ok := ParseTraceparent("00-4BF92F3577B34DA6A3CE929D0E0E4736-00F067AA0BA902B7-01")
+	if !ok || sc.TraceID != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("uppercase normalize = %+v ok=%v", sc, ok)
+	}
+}
+
+func TestMintedIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID()
+		if len(id) != 32 || seen[id] {
+			t.Fatalf("trace id %q (dup=%v)", id, seen[id])
+		}
+		seen[id] = true
+	}
+}
+
+func TestFragmentJoinsParentTrace(t *testing.T) {
+	parent := SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID()}
+	f := NewFragment(parent, "server.optimize", "n1")
+	if f.TraceID() != parent.TraceID {
+		t.Fatalf("fragment trace = %s, want parent %s", f.TraceID(), parent.TraceID)
+	}
+	if f.Root().ParentID != parent.SpanID {
+		t.Fatalf("root parent = %s, want %s", f.Root().ParentID, parent.SpanID)
+	}
+
+	// Invalid parent: fresh trace, no parent link.
+	g := NewFragment(SpanContext{}, "server.optimize", "n1")
+	if g.TraceID() == "" || g.TraceID() == parent.TraceID || g.Root().ParentID != "" {
+		t.Fatalf("ingress fragment = %+v", g.Root())
+	}
+}
+
+func TestContextSpanNesting(t *testing.T) {
+	f := NewFragment(SpanContext{}, "root", "n1")
+	ctx := ContextWithFragment(context.Background(), f, f.Root())
+	if got := Traceparent(ctx); got != (SpanContext{TraceID: f.TraceID(), SpanID: f.Root().SpanID}).Traceparent() {
+		t.Fatalf("Traceparent(ctx) = %q", got)
+	}
+	child, cctx := Start(ctx, "pass.DCE")
+	child.Set("pass", "DCE")
+	grand, _ := Start(cctx, "match")
+	if child.ParentID != f.Root().SpanID || grand.ParentID != child.SpanID {
+		t.Fatalf("nesting: child.parent=%s grand.parent=%s", child.ParentID, grand.ParentID)
+	}
+	grand.End()
+	child.End()
+	spans := f.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(spans))
+	}
+	for _, sp := range spans {
+		if sp.TraceID != f.TraceID() || sp.DurationUS < 0 {
+			t.Fatalf("span %+v", sp)
+		}
+	}
+}
+
+func TestUntracedContextIsFree(t *testing.T) {
+	sp, ctx := Start(context.Background(), "anything")
+	if sp != nil || ctx != context.Background() {
+		t.Fatal("untraced Start allocated")
+	}
+	// All span methods are nil-safe.
+	sp.Set("k", "v")
+	sp.SetStatus(200)
+	sp.SetError("x")
+	sp.End()
+	if Traceparent(ctx) != "" {
+		t.Fatal("untraced Traceparent non-empty")
+	}
+}

@@ -13,9 +13,11 @@ OPT=${2:-/tmp/opt}
 A=127.0.0.1:8726
 B=127.0.0.1:8727
 
-"$OPTD" -addr "$A" -peers "$A,$B" -advertise "$A" &
+# -trace-sample 1 keeps every trace: the tracing assertions below must not
+# depend on the 1-in-N tail-sample lottery.
+"$OPTD" -addr "$A" -peers "$A,$B" -advertise "$A" -trace-sample 1 &
 PID_A=$!
-"$OPTD" -addr "$B" -peers "$A,$B" -advertise "$B" &
+"$OPTD" -addr "$B" -peers "$A,$B" -advertise "$B" -trace-sample 1 &
 PID_B=$!
 trap 'kill $PID_A $PID_B 2>/dev/null || true' EXIT
 
@@ -68,6 +70,27 @@ tr -d '\r' < /tmp/cluster-hdrs.txt | grep -qi "^x-optd-served-by: *$OWNER\$"
 FWD=$(curl -fsS -H 'Accept: text/plain' "http://$NONOWNER/metrics" \
   | sed -n 's/^optd_cluster_routed_total{decision="forwarded"} //p')
 test -n "$FWD" && [ "$FWD" -ge 1 ]
+
+# Distributed tracing across the forward: a request entering the non-owner
+# yields ONE trace ID whose span forest, queried from either node, contains
+# spans produced by BOTH nodes — the ingress root + forward client span on
+# the non-owner, the serving root + pass spans on the owner.
+TID=$(curl -fsS -D - -o /dev/null -X POST "http://$NONOWNER/v1/optimize" \
+  -H 'Content-Type: application/json' \
+  -d '{"source":"PROGRAM s\nINTEGER x\nx = 7\nPRINT x\nEND\n","opts":["CTP","DCE"],"no_cache":true}' \
+  | tr -d '\r' | sed -n 's/^[Xx]-[Oo]ptd-[Tt]race-[Ii]d: *//p' | head -1)
+test -n "$TID"
+for NODE in "$A" "$B"; do
+  curl -fsS "http://$NODE/v1/traces/$TID" > /tmp/cluster-trace.json
+  grep -q "\"node\":\"$A\"" /tmp/cluster-trace.json
+  grep -q "\"node\":\"$B\"" /tmp/cluster-trace.json
+done
+grep -q '"name":"forward"' /tmp/cluster-trace.json
+grep -q '"name":"server.optimize"' /tmp/cluster-trace.json
+# The opt client renders the same trace as a tree, showing both nodes.
+"$OPT" -traces "http://$NONOWNER" "$TID" | grep -q "@$OWNER"
+"$OPT" -traces "http://$NONOWNER" -trace-filter 'route=optimize&limit=5' | grep -q optimize
+echo "cluster-smoke: trace $TID spans both nodes"
 
 # SIGKILL the owner: the very next request through the survivor must fail
 # over at routing time (failed dial -> mark down -> ring successor = self).
