@@ -26,6 +26,7 @@ import (
 	"repro/internal/advisor"
 	"repro/internal/codegen"
 	"repro/internal/experiments"
+	"repro/internal/farm"
 	"repro/internal/gospel"
 	"repro/internal/interp"
 	"repro/internal/jobs"
@@ -441,6 +442,40 @@ func BenchmarkJobsThroughput(b *testing.B) {
 	b.StopTimer()
 	if err := srv.Shutdown(context.Background()); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// BenchmarkFarmThroughput prices the differential fuzzing oracle: each
+// iteration generates one corpus program from the aggregation profile and
+// sweeps it through the reference interpreter and the default variant
+// matrix over the full default pipeline — the per-program cost that sizes
+// a farm campaign. Healthy specs must stay divergence-free throughout.
+func BenchmarkFarmThroughput(b *testing.B) {
+	ch, err := farm.NewChecker(farm.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := farm.OpenStore("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	camp, err := farm.NewManager().Ensure("bench", farm.CampaignConfig{
+		Profile: "aggregation", Count: 1 << 30, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seed := int64(i) + 1
+		diverged, err := farm.ProcessSeed(context.Background(), ch, st, camp, farm.Hooks{}, seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if diverged {
+			b.Fatalf("healthy specs diverged at seed %d", seed)
+		}
 	}
 }
 

@@ -1,0 +1,209 @@
+package main
+
+// Fuzz mode: -fuzz N turns opt into a one-node differential fuzzing farm.
+// N programs are generated from (-fuzz-profile, -fuzz-seed + i), optimized
+// under every configured variant and compared against the reference
+// interpreter; any divergence is minimized and printed. With -submit the
+// campaign runs remotely through optd's /v1/farm API instead — the same
+// oracle, dispatched as low-priority cluster jobs — and the client polls
+// it to completion. Either way the process exits 1 when findings exist,
+// so a fuzz run is directly usable as a CI gate.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/farm"
+	"repro/internal/specs"
+)
+
+// fuzzSources resolves the spec registry and pass order for a fuzz run:
+// the built-in specs plus any -spec files, ordered by -opts (or the farm
+// default pipeline when neither -opts nor -spec is given), with inline
+// spec names appended — the same composition rule the server applies.
+func fuzzSources(optsFlag, specFiles string) (map[string]string, []string, []specText, error) {
+	sources := make(map[string]string, len(specs.Sources))
+	for name, src := range specs.Sources {
+		sources[name] = src
+	}
+	order := splitList(optsFlag)
+	var inline []specText
+	for _, file := range strings.Split(specFiles, ",") {
+		file = strings.TrimSpace(file)
+		if file == "" {
+			continue
+		}
+		text, err := os.ReadFile(file)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		name := stem(file)
+		if prev, ok := sources[name]; ok && prev != string(text) {
+			return nil, nil, nil, fmt.Errorf("spec %s shadows a different spec of the same name", name)
+		}
+		sources[name] = string(text)
+		inline = append(inline, specText{Name: name, Text: string(text)})
+	}
+	if len(order) == 0 && len(inline) == 0 {
+		order = farm.DefaultOrder()
+	}
+	for _, st := range inline {
+		order = append(order, st.Name)
+	}
+	return sources, order, inline, nil
+}
+
+// runFuzzLocal sweeps the campaign on an in-process worker pool and
+// returns the number of findings; the caller exits 1 when it is nonzero.
+func runFuzzLocal(count int, profile string, seed int64, optsFlag, specFiles string, maxIter, workers int) (int, error) {
+	sources, order, _, err := fuzzSources(optsFlag, specFiles)
+	if err != nil {
+		return 0, err
+	}
+	ch, err := farm.NewChecker(farm.Config{Sources: sources, Order: order, MaxIterations: maxIter})
+	if err != nil {
+		return 0, err
+	}
+	st, err := farm.OpenStore("") // memory-only; findings go to stdout
+	if err != nil {
+		return 0, err
+	}
+	defer st.Close()
+	camp, err := farm.NewManager().Ensure("local", farm.CampaignConfig{
+		Profile: profile, Count: count, Seed: seed,
+	})
+	if err != nil {
+		return 0, err
+	}
+	fmt.Fprintf(os.Stderr, "fuzz: %d program(s), profile %s, seed %d, order %s\n",
+		count, profile, seed, strings.Join(order, ","))
+	hooks := farm.Hooks{Finding: func(f farm.Finding) {
+		fmt.Fprintf(os.Stderr, "fuzz: FINDING seed %d: %s (%s vs %s)\n", f.Seed, f.Kind, f.Variant, f.Baseline)
+	}}
+	if err := farm.Run(context.Background(), ch, st, camp, workers, hooks); err != nil {
+		return 0, err
+	}
+	status := camp.Status()
+	fmt.Fprintf(os.Stderr, "fuzz: %d checked, %d divergent, %d errored, %d finding(s)\n",
+		status.Checked, status.Divergent, status.Errored, status.Findings)
+	printFindings(st.List("local"))
+	return status.Findings, nil
+}
+
+// printFindings renders each finding with its minimized reproducer (the
+// full generated source when minimization could not run).
+func printFindings(findings []farm.Finding) {
+	for i, f := range findings {
+		fmt.Printf("== finding %d: seed %d, %s, %s vs %s ==\n", i+1, f.Seed, f.Kind, f.Variant, f.Baseline)
+		fmt.Printf("detail: %s\n", f.Detail)
+		src := f.Minimized
+		if src == "" {
+			src = f.Source
+			fmt.Printf("reproducer (%d statements, not minimized):\n", f.OrigStmts)
+		} else {
+			fmt.Printf("reproducer (minimized %d -> %d statements):\n", f.OrigStmts, f.MinStmts)
+		}
+		fmt.Print(strings.TrimLeft(src, "\n"))
+	}
+}
+
+// farmStartRequest mirrors the server's FarmStartRequest wire shape.
+type farmStartRequest struct {
+	Profile string     `json:"profile,omitempty"`
+	Count   int        `json:"count"`
+	Seed    int64      `json:"seed,omitempty"`
+	Opts    []string   `json:"opts,omitempty"`
+	Specs   []specText `json:"specs,omitempty"`
+}
+
+// farmStartResponse mirrors the server's FarmStartResponse wire shape.
+type farmStartResponse struct {
+	farm.CampaignStatus
+	Order    []string `json:"order"`
+	Variants []string `json:"variants"`
+	Jobs     int      `json:"jobs"`
+}
+
+type farmFindingsResponse struct {
+	Findings []farm.Finding `json:"findings"`
+}
+
+// runFuzzRemote submits the campaign to a running optd via POST /v1/farm,
+// polls it to completion and prints the findings, returning their count.
+// Submission is idempotent: re-running the same command resumes the same
+// campaign instead of farming the corpus twice.
+func runFuzzRemote(base string, count int, profile string, seed int64, optsFlag, specFiles string) (int, error) {
+	_, _, inline, err := fuzzSources(optsFlag, specFiles)
+	if err != nil {
+		return 0, err
+	}
+	c := newJobClient(base)
+	raw, err := json.Marshal(farmStartRequest{
+		Profile: profile, Count: count, Seed: seed,
+		Opts: splitList(optsFlag), Specs: inline,
+	})
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.hc.Post(c.base+"/v1/farm", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return 0, apiErr("farm start", resp)
+	}
+	var start farmStartResponse
+	err = json.NewDecoder(resp.Body).Decode(&start)
+	resp.Body.Close()
+	if err != nil {
+		return 0, fmt.Errorf("farm start: decoding response: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "fuzz: campaign %s, %d job(s) queued, order %s, variants %s\n",
+		start.ID, start.Jobs, strings.Join(start.Order, ","), strings.Join(start.Variants, " "))
+
+	var status farm.CampaignStatus
+	for {
+		resp, err := c.hc.Get(c.base + "/v1/farm/" + start.ID + "?wait=1")
+		if err != nil {
+			return 0, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return 0, apiErr("farm wait", resp)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&status)
+		resp.Body.Close()
+		if err != nil {
+			return 0, fmt.Errorf("farm wait: decoding response: %w", err)
+		}
+		if status.State == "done" {
+			break
+		}
+		// The long poll returned early (server restart, proxy timeout);
+		// back off briefly before re-arming it.
+		time.Sleep(200 * time.Millisecond)
+	}
+	fmt.Fprintf(os.Stderr, "fuzz: %d checked, %d divergent, %d errored, %d finding(s)\n",
+		status.Checked, status.Divergent, status.Errored, status.Findings)
+
+	resp, err = c.hc.Get(c.base + "/v1/farm/" + start.ID + "/findings")
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, apiErr("farm findings", resp)
+	}
+	var found farmFindingsResponse
+	err = json.NewDecoder(resp.Body).Decode(&found)
+	resp.Body.Close()
+	if err != nil {
+		return 0, fmt.Errorf("farm findings: decoding response: %w", err)
+	}
+	printFindings(found.Findings)
+	return len(found.Findings), nil
+}

@@ -16,6 +16,8 @@
 //	opt -engine=compiled -opts DCE a.mf   # batch via a compiled artifact
 //	opt -traces URL                       # list optd's retained distributed traces
 //	opt -traces URL TRACE_ID              # print one trace's span tree (cluster-merged)
+//	opt -fuzz 500                         # differential-fuzz 500 generated programs locally
+//	opt -fuzz 500 -submit URL             # farm the same campaign through optd's job queue
 //
 // -engine selects how the batch pipeline executes: interp (default) runs
 // the interpreted closure engine; compiled builds — or reuses from the
@@ -42,6 +44,7 @@ import (
 	"repro"
 	"repro/dep"
 	"repro/internal/engine"
+	"repro/internal/farm"
 	"repro/internal/nativecache"
 	"repro/internal/obs"
 	"repro/internal/par"
@@ -71,9 +74,12 @@ func main() {
 		nativeDir   = flag.String("native-dir", "", "compiled-artifact cache directory (empty = the user cache dir)")
 		tracesURL   = flag.String("traces", "", "optd base URL: list its retained distributed traces, or print the span trees of the trace IDs given as arguments")
 		traceFilter = flag.String("trace-filter", "", "with -traces (list form), a raw query filter passed to /v1/traces, e.g. 'route=optimize&error=1&limit=10'")
+		fuzzN       = flag.Int("fuzz", 0, "differential-fuzz this many generated programs instead of optimizing files — locally, or through optd with -submit; exits 1 when findings are recorded")
+		fuzzProfile = flag.String("fuzz-profile", "aggregation", "with -fuzz, the corpus opportunity-mix profile")
+		fuzzSeed    = flag.Int64("fuzz-seed", 1, "with -fuzz, the base seed; program i is generated from seed+i")
 	)
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: opt [-opts LIST | -i | -points] [-run] [-input v,v,...] [-maxiter N] program.mf [more.mf ...]")
+		fmt.Fprintln(os.Stderr, "usage: opt [-opts LIST | -i | -points | -fuzz N] [-run] [-input v,v,...] [-maxiter N] program.mf [more.mf ...]")
 		flag.PrintDefaults()
 		fmt.Fprintln(os.Stderr, `
 Each optimization runs to fixpoint, bounded by -maxiter (optlib.Limits).
@@ -121,6 +127,44 @@ low for the program), and exits 1.`)
 		if _, ok := specs.Sources[name]; !ok {
 			fmt.Fprintf(os.Stderr, "opt: unknown optimization %q in -opts (have %s)\n",
 				name, strings.Join(specs.Names(), ", "))
+			os.Exit(2)
+		}
+	}
+	// Fuzz mode generates its own corpus and owns the program/engine
+	// choices: flags that name input programs, pick an engine or shape
+	// per-program output contradict it and must die here with exit 2, not
+	// be silently ignored mid-campaign.
+	if *fuzzN < 0 {
+		fmt.Fprintf(os.Stderr, "opt: -fuzz must be >= 0 (got %d)\n", *fuzzN)
+		os.Exit(2)
+	}
+	if *fuzzN > 0 {
+		if *interactive || *points || *run || *tracesURL != "" || flag.NArg() > 0 {
+			fmt.Fprintln(os.Stderr, "opt: -fuzz is incompatible with -i, -points, -run, -traces and program file arguments")
+			os.Exit(2)
+		}
+		if *orderFlag != "" {
+			fmt.Fprintln(os.Stderr, "opt: -fuzz is incompatible with -order (the campaign order is -opts plus -spec names)")
+			os.Exit(2)
+		}
+		if *engineFlag != "interp" {
+			fmt.Fprintln(os.Stderr, "opt: -fuzz is incompatible with -engine (the farm's variant matrix selects engines)")
+			os.Exit(2)
+		}
+		if *traceFile != "" || *minif || *inputs != "" || *waitJobs || *priority != "" {
+			fmt.Fprintln(os.Stderr, "opt: -fuzz is incompatible with -trace, -minif, -input, -wait and -priority")
+			os.Exit(2)
+		}
+		if _, ok := farm.Profiles[*fuzzProfile]; !ok {
+			fmt.Fprintf(os.Stderr, "opt: unknown -fuzz-profile %q (have %s)\n",
+				*fuzzProfile, strings.Join(farm.ProfileNames(), ", "))
+			os.Exit(2)
+		}
+	} else {
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if set["fuzz-profile"] || set["fuzz-seed"] {
+			fmt.Fprintln(os.Stderr, "opt: -fuzz-profile and -fuzz-seed are meaningless without -fuzz")
 			os.Exit(2)
 		}
 	}
@@ -184,6 +228,23 @@ low for the program), and exits 1.`)
 	if *traceFilter != "" {
 		fmt.Fprintln(os.Stderr, "opt: -trace-filter is meaningless without -traces")
 		os.Exit(2)
+	}
+
+	if *fuzzN > 0 {
+		var findings int
+		var err error
+		if *submitURL != "" {
+			findings, err = runFuzzRemote(*submitURL, *fuzzN, *fuzzProfile, *fuzzSeed, *optsFlag, *specFiles)
+		} else {
+			findings, err = runFuzzLocal(*fuzzN, *fuzzProfile, *fuzzSeed, *optsFlag, *specFiles, *maxIter, *workers)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if findings > 0 {
+			os.Exit(1)
+		}
+		return
 	}
 
 	if flag.NArg() < 1 || ((*interactive || *points) && flag.NArg() != 1) {

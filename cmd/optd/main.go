@@ -29,6 +29,10 @@
 //	                                   ?status=, ?error=1, ?min_duration_ms=, ?limit=)
 //	GET  /v1/traces/{id}               full span forest for one trace ID, merged from
 //	                                   every cluster peer (?local=1 restricts to this node)
+//	POST /v1/farm                      start a differential fuzzing campaign (202 + campaign ID)
+//	GET  /v1/farm                      list campaigns and the persisted finding count
+//	GET  /v1/farm/{id}                 campaign progress (?wait=1 long-polls to done)
+//	GET  /v1/farm/{id}/findings        minimized divergence findings for one campaign
 //
 // Jobs are durable when -jobs-dir is set: every state transition is
 // journaled to a write-ahead log, and a restart replays it — jobs caught
@@ -59,6 +63,13 @@
 // outcome store is durable under -advisor-dir; `optd -advisor-replay URL`
 // re-submits the standing example/proggen corpus as low-priority jobs
 // against a live instance to keep that history fresh, then exits.
+//
+// POST /v1/farm runs the differential fuzzing farm through the same job
+// queue: generated programs (content-addressed campaigns, idempotent
+// resubmission) are swept as low-priority jobs through the reference
+// interpreter and several optimizer configurations, and any divergence is
+// minimized and persisted — durably under -farm-dir — for
+// /v1/farm/{id}/findings.
 //
 // Every request is traced: the server joins a W3C-style Traceparent header
 // when one arrives (one-hop forwards, replay sweeps) and mints a fresh
@@ -133,6 +144,8 @@ func main() {
 		traceStore  = flag.Int("trace-store", 0, "retained trace fragments per node (0 = default, 1024; negative disables tracing)")
 		traceSample = flag.Int("trace-sample", 0, "tail-sample 1 in N unremarkable traces; errors and slow traces are always kept (0 = default, 16; 1 keeps everything)")
 		traceDir    = flag.String("trace-dir", "", "spill kept trace fragments to a CRC-framed log in this directory (empty = memory only)")
+
+		farmDir = flag.String("farm-dir", "", "fuzzing-farm finding-store directory (empty = findings are memory-only)")
 	)
 	flag.Parse()
 	if *workers < 0 {
@@ -226,6 +239,7 @@ func main() {
 		TraceStore:          *traceStore,
 		TraceSampleN:        *traceSample,
 		TraceDir:            *traceDir,
+		FarmDir:             *farmDir,
 	})
 	if err != nil {
 		logger.Error("server init failed", slog.Any("err", err))

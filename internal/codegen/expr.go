@@ -290,6 +290,12 @@ func (g *gen) callExpr(e gospel.Call) (emitted, error) {
 			return emitted{}, err
 		}
 		return emitted{fmt.Sprintf("optlib.OperandType(%s)", ov.src), cTypeLit}, nil
+	case "itype":
+		ov, err := g.expr(e.Args[0])
+		if err != nil {
+			return emitted{}, err
+		}
+		return emitted{fmt.Sprintf("optlib.IntTyped(p, %s)", ov.src), cBool}, nil
 	case "trip":
 		lv, err := g.expr(e.Args[0])
 		if err != nil {

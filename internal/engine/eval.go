@@ -8,6 +8,7 @@ import (
 	"repro/internal/cfg"
 	"repro/internal/gospel"
 	"repro/ir"
+	"repro/optlib"
 )
 
 // evalError marks a condition that cannot be evaluated (absent neighbour,
@@ -352,6 +353,15 @@ func (c *context) evalCall(env Env, e gospel.Call) (Value, error) {
 			return Value{}, errf("type() needs an operand")
 		}
 		return litVal(operandTypeName(ov.Op)), nil
+	case "itype":
+		ov, err := c.eval(env, e.Args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		if ov.Kind != VOperand {
+			return Value{}, errf("itype() needs an operand")
+		}
+		return boolVal(optlib.IntTyped(c.prog, ov.Op)), nil
 	case "trip":
 		lv, err := c.eval(env, e.Args[0])
 		if err != nil {

@@ -1,0 +1,279 @@
+package farm
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// CampaignConfig describes one burn-in sweep: Count programs drawn from a
+// profile starting at a base seed. The pair (Profile, Seed+i) fully
+// determines program i, so a campaign is re-runnable and its jobs are
+// idempotent.
+type CampaignConfig struct {
+	Profile  string `json:"profile"`
+	Count    int    `json:"count"`
+	Seed     int64  `json:"seed"`
+	MaxStmts int    `json:"max_stmts,omitempty"`
+}
+
+func (cfg CampaignConfig) validate() error {
+	if _, ok := Profiles[cfg.Profile]; !ok {
+		return fmt.Errorf("farm: unknown profile %q (have %v)", cfg.Profile, ProfileNames())
+	}
+	if cfg.Count < 1 {
+		return fmt.Errorf("farm: campaign count must be >= 1 (got %d)", cfg.Count)
+	}
+	return nil
+}
+
+// CampaignStatus is the wire/status view of a campaign's progress.
+type CampaignStatus struct {
+	ID       string `json:"id"`
+	Profile  string `json:"profile"`
+	Seed     int64  `json:"seed"`
+	MaxStmts int    `json:"max_stmts,omitempty"`
+	Count    int    `json:"count"`
+	// Checked counts processed programs (clean, divergent and errored);
+	// the campaign is done when Checked reaches Count.
+	Checked   int       `json:"checked"`
+	Divergent int       `json:"divergent"`
+	Errored   int       `json:"errored"`
+	Findings  int       `json:"findings"`
+	State     string    `json:"state"` // running, done
+	StartedAt time.Time `json:"started_at"`
+	// FinishedAt is set when the last program completes.
+	FinishedAt time.Time `json:"finished_at,omitzero"`
+}
+
+// Campaign tracks one sweep's progress. Counters are updated by whoever
+// executes the seeds — the local Run pool or optd's job workers.
+type Campaign struct {
+	ID  string
+	Cfg CampaignConfig
+
+	mu        sync.Mutex
+	checked   int
+	divergent int
+	errored   int
+	findings  int
+	started   time.Time
+	finished  time.Time
+}
+
+// note records one processed seed; the campaign finishes itself when the
+// processed count reaches Count.
+func (c *Campaign) note(divergent, errored bool, findings int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.checked++
+	if divergent {
+		c.divergent++
+	}
+	if errored {
+		c.errored++
+	}
+	c.findings += findings
+	if c.checked >= c.Cfg.Count && c.finished.IsZero() {
+		c.finished = time.Now()
+	}
+}
+
+// Done reports whether every seed has been processed.
+func (c *Campaign) Done() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.finished.IsZero()
+}
+
+// Status snapshots the campaign.
+func (c *Campaign) Status() CampaignStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := CampaignStatus{
+		ID: c.ID, Profile: c.Cfg.Profile, Seed: c.Cfg.Seed, MaxStmts: c.Cfg.MaxStmts,
+		Count: c.Cfg.Count, Checked: c.checked, Divergent: c.divergent,
+		Errored: c.errored, Findings: c.findings,
+		State: "running", StartedAt: c.started, FinishedAt: c.finished,
+	}
+	if !c.finished.IsZero() {
+		st.State = "done"
+	}
+	return st
+}
+
+// Manager is the campaign table: creation, lookup and listing. It holds
+// no execution machinery — optd drives campaigns through its job queue,
+// the CLI through Run.
+type Manager struct {
+	mu        sync.Mutex
+	campaigns map[string]*Campaign
+	order     []string // insertion order for stable listing
+}
+
+func NewManager() *Manager {
+	return &Manager{campaigns: map[string]*Campaign{}}
+}
+
+// Ensure returns the campaign with the given ID, creating it when absent
+// — the idempotent entry point both for fresh starts and for job-WAL
+// replay after a crash, where the first recovered job re-registers its
+// campaign from the payload's config.
+func (m *Manager) Ensure(id string, cfg CampaignConfig) (*Campaign, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.campaigns[id]; ok {
+		return c, nil
+	}
+	c := &Campaign{ID: id, Cfg: cfg, started: time.Now()}
+	m.campaigns[id] = c
+	m.order = append(m.order, id)
+	return c, nil
+}
+
+// Get returns a campaign by ID.
+func (m *Manager) Get(id string) (*Campaign, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.campaigns[id]
+	return c, ok
+}
+
+// List snapshots every campaign, oldest first.
+func (m *Manager) List() []CampaignStatus {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	table := m.campaigns
+	m.mu.Unlock()
+	out := make([]CampaignStatus, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, table[id].Status())
+	}
+	return out
+}
+
+// Hooks observe seed processing (optd wires its metrics here). Any field
+// may be nil. Callbacks run on worker goroutines.
+type Hooks struct {
+	// Program fires once per processed seed.
+	Program func()
+	// Divergent fires for every seed with at least one divergence.
+	Divergent func()
+	// Errored fires for every seed the oracle could not judge.
+	Errored func()
+	// Finding fires for every persisted finding.
+	Finding func(Finding)
+	// Minimized fires after each minimization attempt with its duration.
+	Minimized func(time.Duration)
+}
+
+// ProcessSeed checks one (profile, seed) pair of a campaign: generate,
+// run the oracle, and on divergence minimize and persist a finding. The
+// returned error is infrastructural (cancellation, store I/O) and means
+// the seed was NOT counted — a retrying executor re-runs it idempotently.
+// Oracle-level reference failures are counted as errored and do not fail
+// the call.
+func ProcessSeed(ctx context.Context, ch *Checker, st *Store, camp *Campaign, h Hooks, seed int64) (diverged bool, err error) {
+	src, divs, err := ch.CheckSeed(ctx, camp.Cfg.Profile, seed, camp.Cfg.MaxStmts)
+	if err != nil {
+		if ctx.Err() != nil {
+			return false, ctx.Err()
+		}
+		camp.note(false, true, 0)
+		if h.Errored != nil {
+			h.Errored()
+		}
+		if h.Program != nil {
+			h.Program()
+		}
+		return false, nil
+	}
+	if len(divs) == 0 {
+		camp.note(false, false, 0)
+		if h.Program != nil {
+			h.Program()
+		}
+		return false, nil
+	}
+	// One finding per program, for its primary divergence; the rest are
+	// summarized in the detail. The minimizer preserves the primary class.
+	d := divs[0]
+	if len(divs) > 1 {
+		d.Detail = fmt.Sprintf("%s (+%d more divergence(s))", d.Detail, len(divs)-1)
+	}
+	f := Finding{
+		Campaign: camp.ID, Profile: camp.Cfg.Profile, Seed: seed,
+		Kind: d.Kind, Variant: d.Variant, Baseline: d.Baseline, Detail: d.Detail,
+		Source: src, FoundAt: time.Now(),
+	}
+	t0 := time.Now()
+	if min, merr := ch.Minimize(ctx, src, divs[0]); merr == nil {
+		f.Minimized = min.Source
+		f.OrigStmts = min.OrigStmts
+		f.MinStmts = min.MinStmts
+	}
+	if h.Minimized != nil {
+		h.Minimized(time.Since(t0))
+	}
+	if err := st.Append(f); err != nil {
+		return true, err
+	}
+	camp.note(true, false, 1)
+	if h.Divergent != nil {
+		h.Divergent()
+	}
+	if h.Finding != nil {
+		h.Finding(f)
+	}
+	if h.Program != nil {
+		h.Program()
+	}
+	return true, nil
+}
+
+// Run executes a whole campaign on a local worker pool — the CLI's
+// one-node farm and the test harness. workers < 1 selects GOMAXPROCS.
+// The first infrastructural error cancels the sweep and is returned;
+// divergences are not errors (read them from the store).
+func Run(ctx context.Context, ch *Checker, st *Store, camp *Campaign, workers int, h Hooks) error {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	seeds := make(chan int64)
+	var wg sync.WaitGroup
+	var once sync.Once
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seed := range seeds {
+				if _, err := ProcessSeed(ctx, ch, st, camp, h, seed); err != nil {
+					once.Do(func() {
+						firstErr = err
+						cancel()
+					})
+					return
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < camp.Cfg.Count; i++ {
+		select {
+		case seeds <- camp.Cfg.Seed + int64(i):
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(seeds)
+	wg.Wait()
+	return firstErr
+}

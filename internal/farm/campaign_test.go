@@ -1,0 +1,154 @@
+package farm
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCleanCampaign(t *testing.T) {
+	ch, err := NewChecker(Config{})
+	if err != nil {
+		t.Fatalf("NewChecker: %v", err)
+	}
+	st, _ := OpenStore("")
+	defer st.Close()
+	m := NewManager()
+	camp, err := m.Ensure("clean", CampaignConfig{Profile: "aggregation", Count: 12, Seed: 100})
+	if err != nil {
+		t.Fatalf("Ensure: %v", err)
+	}
+	var programs atomic.Int64
+	h := Hooks{Program: func() { programs.Add(1) }}
+	if err := Run(context.Background(), ch, st, camp, 4, h); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	status := camp.Status()
+	if status.State != "done" || status.Checked != 12 {
+		t.Fatalf("status = %+v, want done with 12 checked", status)
+	}
+	if status.Findings != 0 || status.Divergent != 0 || status.Errored != 0 {
+		t.Fatalf("clean corpus produced findings: %+v\n%v", status, st.List(""))
+	}
+	if programs.Load() != 12 {
+		t.Errorf("Program hook fired %d times, want 12", programs.Load())
+	}
+}
+
+// TestSeededMiscompileFarmE2E is the full loop the farm exists for: seed a
+// deliberately wrong spec, sweep a campaign, and verify the farm catches
+// it, persists a durable minimized finding, and reproduces it from the
+// recorded (profile, seed) pair.
+func TestSeededMiscompileFarmE2E(t *testing.T) {
+	ch := seededChecker(t)
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager()
+	camp, err := m.Ensure("seeded", CampaignConfig{Profile: "aggregation", Count: 8, Seed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Run(context.Background(), ch, st, camp, 0, Hooks{}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	status := camp.Status()
+	if status.State != "done" {
+		t.Fatalf("campaign not done: %+v", status)
+	}
+	if status.Findings == 0 {
+		t.Fatal("seeded miscompile produced no findings")
+	}
+	if status.Findings != st.Len() {
+		t.Fatalf("campaign counted %d findings, store has %d", status.Findings, st.Len())
+	}
+	st.Close()
+
+	// Findings survive restart and carry a minimized reproducer that still
+	// reproduces from the recorded (profile, seed).
+	st, err = OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	findings := st.List("seeded")
+	if len(findings) != status.Findings {
+		t.Fatalf("replayed %d findings, want %d", len(findings), status.Findings)
+	}
+	f := findings[0]
+	if f.Minimized == "" {
+		t.Fatalf("finding has no minimized reproducer: %+v", f)
+	}
+	if 4*f.MinStmts > f.OrigStmts {
+		t.Errorf("minimized to %d/%d statements, want <= 25%%", f.MinStmts, f.OrigStmts)
+	}
+	src, divs, err := ch.CheckSeed(context.Background(), f.Profile, f.Seed, camp.Cfg.MaxStmts)
+	if err != nil {
+		t.Fatalf("reproducing from (profile, seed): %v", err)
+	}
+	if src != f.Source {
+		t.Error("recorded source does not match regeneration from (profile, seed)")
+	}
+	found := false
+	for _, d := range divs {
+		if d.Kind == f.Kind && d.Variant == f.Variant && d.Baseline == f.Baseline {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("recorded divergence class did not reproduce: %v", divs)
+	}
+}
+
+func TestManagerEnsureIsIdempotent(t *testing.T) {
+	m := NewManager()
+	cfg := CampaignConfig{Profile: "default", Count: 5, Seed: 1}
+	a, err := m.Ensure("x", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Ensure("x", CampaignConfig{Profile: "mixed", Count: 99, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Ensure minted a second campaign for the same ID")
+	}
+	if got, ok := m.Get("x"); !ok || got != a {
+		t.Error("Get did not return the campaign")
+	}
+	if list := m.List(); len(list) != 1 || list[0].ID != "x" {
+		t.Errorf("List = %+v", list)
+	}
+	if _, err := m.Ensure("bad", CampaignConfig{Profile: "nope", Count: 1}); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	if _, err := m.Ensure("bad2", CampaignConfig{Profile: "default", Count: 0}); err == nil {
+		t.Error("zero count accepted")
+	}
+}
+
+func BenchmarkFarmThroughput(b *testing.B) {
+	ch, err := NewChecker(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, _ := OpenStore("")
+	defer st.Close()
+	m := NewManager()
+	camp, _ := m.Ensure("bench", CampaignConfig{Profile: "aggregation", Count: 1 << 30, Seed: 0})
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var seed int64
+		for pb.Next() {
+			seed++
+			if _, err := ProcessSeed(ctx, ch, st, camp, Hooks{}, seed); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,49 @@
+package farm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/proggen"
+	"repro/ir"
+)
+
+// Profiles registers the named opportunity-mix profiles a campaign can
+// select. A nil profile is proggen's legacy stream (byte-for-byte the
+// programs the advisor's history and the recorded corpora were built on);
+// the others reweight the statement mix toward specific optimization
+// families. Findings are recorded as (profile, seed) pairs, so entries
+// must never change meaning — add a new name instead.
+var Profiles = map[string]*proggen.Profile{
+	// default is the legacy generator stream, untouched.
+	"default": nil,
+	// mixed is the balanced mix: every statement kind, including short
+	// accumulator runs, at moderate weight.
+	"mixed": {Loop: 14, If: 8, ScalarAssign: 18, ConstDef: 15, ArrayAssign: 30, AccumRun: 15},
+	// aggregation is heavy on same-destination accumulator runs — the
+	// opportunity shape the AGG/AGM/AGS family rewrites — so those passes
+	// fire on most programs instead of almost never.
+	"aggregation": {Loop: 10, If: 6, ScalarAssign: 12, ConstDef: 12, ArrayAssign: 20, AccumRun: 40},
+}
+
+// ProfileNames returns the registered profile names, sorted.
+func ProfileNames() []string {
+	out := make([]string, 0, len(Profiles))
+	for n := range Profiles {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SourceFor renders corpus program (profile, seed) as MiniF source. It is
+// a pure function of its arguments — the reproduction contract every
+// finding depends on. maxStmts 0 selects the generator default.
+func SourceFor(profile string, seed int64, maxStmts int) (string, error) {
+	p, ok := Profiles[profile]
+	if !ok {
+		return "", fmt.Errorf("farm: unknown profile %q (have %v)", profile, ProfileNames())
+	}
+	prog := proggen.Generate(seed, proggen.Config{MaxStmts: maxStmts, Profile: p})
+	return ir.ToMiniF(prog), nil
+}

@@ -1,0 +1,161 @@
+package farm
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/frontend"
+	"repro/ir"
+)
+
+// MinimizeResult is a shrunk reproducer: the smallest program the
+// minimizer reached that still exhibits the original divergence class.
+type MinimizeResult struct {
+	// Source is the minimized program as MiniF.
+	Source string
+	// OrigStmts and MinStmts count IR statements before and after.
+	OrigStmts, MinStmts int
+	// Steps counts accepted shrink steps.
+	Steps int
+}
+
+// Minimize shrinks a failing program while preserving its divergence
+// class (Kind, Variant, Baseline). Two reducers run to joint fixpoint:
+// statement-subset deletion (single statements, or whole DO..ENDDO /
+// IF..ENDIF spans at any depth, largest first) and loop-range reduction
+// (clamping a loop's Final to its Init, one trip). A candidate is
+// accepted only when it still Validates and the oracle still reports the
+// same divergence class, so every intermediate program is a valid,
+// terminating reproducer. Context cancellation stops the search and
+// returns the best program reached so far.
+func (c *Checker) Minimize(ctx context.Context, source string, want Divergence) (*MinimizeResult, error) {
+	prog, err := frontend.Parse(source)
+	if err != nil {
+		return nil, fmt.Errorf("farm: minimize parse: %w", err)
+	}
+	if !c.stillDiverges(ctx, source, want) {
+		return nil, fmt.Errorf("farm: divergence %q does not reproduce from the given source", want.Kind)
+	}
+	res := &MinimizeResult{OrigStmts: prog.Len()}
+	cur := prog
+	for changed := true; changed && ctx.Err() == nil; {
+		changed = false
+		// Deletion pass, largest spans first: removing a whole loop or
+		// conditional early saves re-checking its body statement by
+		// statement.
+		spans := deletionSpans(cur)
+		sort.Slice(spans, func(i, j int) bool {
+			return spans[i][1]-spans[i][0] > spans[j][1]-spans[j][0]
+		})
+		for _, sp := range spans {
+			if ctx.Err() != nil {
+				break
+			}
+			cand := cur.Clone()
+			deleteRange(cand, sp[0], sp[1])
+			if cand.Validate() != nil {
+				continue
+			}
+			if c.stillDiverges(ctx, ir.ToMiniF(cand), want) {
+				cur = cand
+				res.Steps++
+				changed = true
+				break
+			}
+		}
+		if changed {
+			continue
+		}
+		// Loop-range reduction: a surviving loop may only need one trip to
+		// exhibit the bug.
+		for i := 0; i < cur.Len(); i++ {
+			if ctx.Err() != nil {
+				break
+			}
+			s := cur.At(i)
+			if s.Kind != ir.SDoHead || s.Final.Equal(s.Init) {
+				continue
+			}
+			cand := cur.Clone()
+			cs := cand.At(i)
+			cs.Final = cs.Init.Clone()
+			if cand.Validate() != nil {
+				continue
+			}
+			if c.stillDiverges(ctx, ir.ToMiniF(cand), want) {
+				cur = cand
+				res.Steps++
+				changed = true
+				break
+			}
+		}
+	}
+	res.Source = ir.ToMiniF(cur)
+	res.MinStmts = cur.Len()
+	return res, nil
+}
+
+// stillDiverges re-runs the oracle on a candidate and reports whether the
+// wanted divergence class is among the results. Any infrastructure error
+// (including cancellation) rejects the candidate.
+func (c *Checker) stillDiverges(ctx context.Context, source string, want Divergence) bool {
+	divs, err := c.CheckSource(ctx, source)
+	if err != nil {
+		return false
+	}
+	for _, d := range divs {
+		if sameClass(d, want) {
+			return true
+		}
+	}
+	return false
+}
+
+// deletionSpans enumerates the removable units of a program as inclusive
+// index ranges: every simple statement alone, and every DO..ENDDO or
+// IF..ELSE..ENDIF as a whole span, at every nesting depth. Deleting any
+// single span keeps the bracket structure balanced.
+func deletionSpans(p *ir.Program) [][2]int {
+	var spans [][2]int
+	for i := 0; i < p.Len(); i++ {
+		switch p.At(i).Kind {
+		case ir.SAssign, ir.SPrint, ir.SRead:
+			spans = append(spans, [2]int{i, i})
+		case ir.SDoHead:
+			spans = append(spans, [2]int{i, matchingEnd(p, i, ir.SDoHead, ir.SDoEnd)})
+		case ir.SIf:
+			spans = append(spans, [2]int{i, matchingEnd(p, i, ir.SIf, ir.SEndIf)})
+		}
+	}
+	return spans
+}
+
+// matchingEnd returns the index of the close bracket matching the open
+// bracket at start (depth-aware). Validated programs always have one.
+func matchingEnd(p *ir.Program, start int, open, close ir.StmtKind) int {
+	depth := 0
+	for j := start; j < p.Len(); j++ {
+		switch p.At(j).Kind {
+		case open:
+			depth++
+		case close:
+			depth--
+			if depth == 0 {
+				return j
+			}
+		}
+	}
+	return p.Len() - 1
+}
+
+// deleteRange removes statements [start, end] (inclusive) from p.
+func deleteRange(p *ir.Program, start, end int) {
+	doomed := make([]*ir.Stmt, 0, end-start+1)
+	for j := start; j <= end && j < p.Len(); j++ {
+		doomed = append(doomed, p.At(j))
+	}
+	for _, s := range doomed {
+		p.Delete(s)
+	}
+}

@@ -1,0 +1,136 @@
+package farm
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/frontend"
+	"repro/internal/interp"
+	"repro/internal/proggen"
+	"repro/ir"
+)
+
+// TestMinimizeShrinksSeededMiscompile is the shrink contract on a real
+// finding: the minimized program is valid, terminates, exhibits the same
+// divergence class, and is at most a quarter of the original.
+func TestMinimizeShrinksSeededMiscompile(t *testing.T) {
+	ch := seededChecker(t)
+	ctx := context.Background()
+	shrunk := 0
+	for seed := int64(0); seed < 5; seed++ {
+		src, divs, err := ch.CheckSeed(ctx, "aggregation", seed, 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(divs) == 0 {
+			continue
+		}
+		min, err := ch.Minimize(ctx, src, divs[0])
+		if err != nil {
+			t.Fatalf("seed %d: Minimize: %v", seed, err)
+		}
+		p, err := frontend.Parse(min.Source)
+		if err != nil {
+			t.Fatalf("seed %d: minimized source does not parse: %v\n%s", seed, err, min.Source)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: minimized program invalid: %v", seed, err)
+		}
+		if _, err := interp.Run(p.Clone(), nil, interp.Config{}); err != nil {
+			t.Fatalf("seed %d: minimized reference run failed: %v", seed, err)
+		}
+		if !ch.stillDiverges(ctx, min.Source, divs[0]) {
+			t.Fatalf("seed %d: minimized program lost the divergence\n%s", seed, min.Source)
+		}
+		if min.MinStmts > min.OrigStmts {
+			t.Fatalf("seed %d: minimizer grew the program (%d -> %d)", seed, min.OrigStmts, min.MinStmts)
+		}
+		// The acceptance bar: a seeded constant-definition deletion must
+		// shrink to a handful of statements.
+		if 4*min.MinStmts > min.OrigStmts {
+			t.Errorf("seed %d: minimized to %d/%d statements, want <= 25%%\n%s",
+				seed, min.MinStmts, min.OrigStmts, min.Source)
+		}
+		shrunk++
+	}
+	if shrunk == 0 {
+		t.Fatal("no seed diverged; seeded miscompile test is vacuous")
+	}
+}
+
+// TestMinimizeRejectsNonReproducer: handing the minimizer a clean program
+// is an error, not a silent empty result.
+func TestMinimizeRejectsNonReproducer(t *testing.T) {
+	ch := seededChecker(t)
+	// A program with no constant scalar definition: KIL never fires.
+	src := "PROGRAM p\nINTEGER m\nREAD m\nPRINT m\nEND"
+	want := Divergence{Kind: KindOutput, Variant: "interp:default", Baseline: "reference"}
+	if _, err := ch.Minimize(context.Background(), src, want); err == nil {
+		t.Error("Minimize accepted a program that does not diverge")
+	}
+}
+
+// TestDeletionSpansShrinkInvariant property-tests the shrink machinery
+// over generated corpora: deleting any enumerated span either fails
+// validation (and would be rejected) or yields a structurally valid,
+// terminating program — the invariant every accepted shrink step rests
+// on. Loop-range reduction is checked the same way.
+func TestDeletionSpansShrinkInvariant(t *testing.T) {
+	profile := &proggen.Profile{Loop: 20, If: 10, ScalarAssign: 12, ConstDef: 12, ArrayAssign: 20, AccumRun: 26}
+	for seed := int64(0); seed < 30; seed++ {
+		p := proggen.Generate(seed, proggen.Config{Profile: profile})
+		for _, sp := range deletionSpans(p) {
+			cand := p.Clone()
+			deleteRange(cand, sp[0], sp[1])
+			if cand.Validate() != nil {
+				continue // the minimizer rejects these; nothing to assert
+			}
+			if _, err := interp.Run(cand.Clone(), nil, interp.Config{}); err != nil {
+				t.Fatalf("seed %d: span %v: deleted program does not run: %v\n%s",
+					seed, sp, err, ir.ToMiniF(cand))
+			}
+			// Round-trip: an accepted candidate must re-parse, since the
+			// oracle re-checks it from rendered source.
+			if _, err := frontend.Parse(ir.ToMiniF(cand)); err != nil {
+				t.Fatalf("seed %d: span %v: deleted program does not re-parse: %v", seed, sp, err)
+			}
+		}
+		for i := 0; i < p.Len(); i++ {
+			if p.At(i).Kind != ir.SDoHead {
+				continue
+			}
+			cand := p.Clone()
+			cs := cand.At(i)
+			cs.Final = cs.Init.Clone()
+			if cand.Validate() != nil {
+				continue
+			}
+			if _, err := interp.Run(cand.Clone(), nil, interp.Config{}); err != nil {
+				t.Fatalf("seed %d: loop clamp at %d: program does not run: %v", seed, i, err)
+			}
+		}
+	}
+}
+
+// TestDeletionSpansBalanced pins the span enumeration itself: every span
+// starting at a DO or IF ends exactly on its matching close bracket.
+func TestDeletionSpansBalanced(t *testing.T) {
+	p := proggen.Generate(3, proggen.Config{Profile: &proggen.Profile{Loop: 40, If: 30, ScalarAssign: 30}})
+	for _, sp := range deletionSpans(p) {
+		open := p.At(sp[0]).Kind
+		switch open {
+		case ir.SDoHead:
+			if p.At(sp[1]).Kind != ir.SDoEnd {
+				t.Fatalf("DO span [%d,%d] ends on %v", sp[0], sp[1], p.At(sp[1]).Kind)
+			}
+		case ir.SIf:
+			if p.At(sp[1]).Kind != ir.SEndIf {
+				t.Fatalf("IF span [%d,%d] ends on %v", sp[0], sp[1], p.At(sp[1]).Kind)
+			}
+		default:
+			if sp[0] != sp[1] {
+				t.Fatalf("simple statement span [%d,%d] is not a single statement", sp[0], sp[1])
+			}
+		}
+	}
+}

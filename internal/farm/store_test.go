@@ -1,0 +1,116 @@
+package farm
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func testFinding(seed int64) Finding {
+	return Finding{
+		Campaign: "c1", Profile: "aggregation", Seed: seed,
+		Kind: KindOutput, Variant: "interp:default", Baseline: "reference",
+		Detail: "output[0] = 1, reference printed 2",
+		Source: "PROGRAM p\nINTEGER m\nm = 1\nPRINT m\nEND\n", OrigStmts: 2, MinStmts: 2,
+		FoundAt: time.Now().UTC().Truncate(time.Second),
+	}
+}
+
+func TestStoreRoundTripAndTornTail(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	for seed := int64(0); seed < 3; seed++ {
+		if err := st.Append(testFinding(seed)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Simulate a crash mid-append: garbage where a frame header should be.
+	path := filepath.Join(dir, "findings.log")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st, err = OpenStore(dir)
+	if err != nil {
+		t.Fatalf("reopen after torn tail: %v", err)
+	}
+	if st.Len() != 3 {
+		t.Fatalf("replayed %d findings, want 3", st.Len())
+	}
+	// The tail was truncated; appends extend a clean log.
+	if err := st.Append(testFinding(9)); err != nil {
+		t.Fatalf("append after truncate: %v", err)
+	}
+	st.Close()
+
+	st, err = OpenStore(dir)
+	if err != nil {
+		t.Fatalf("final reopen: %v", err)
+	}
+	defer st.Close()
+	got := st.List("c1")
+	if len(got) != 4 {
+		t.Fatalf("replayed %d findings, want 4", len(got))
+	}
+	if got[3].Seed != 9 || got[0].Seed != 0 {
+		t.Errorf("replay order broken: %+v", got)
+	}
+	if got[0].Source == "" || got[0].Detail == "" {
+		t.Errorf("replayed finding lost fields: %+v", got[0])
+	}
+}
+
+func TestStoreDedupsRetriedFindings(t *testing.T) {
+	st, err := OpenStore("") // memory-only
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	f := testFinding(7)
+	for i := 0; i < 3; i++ {
+		if err := st.Append(f); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if st.Len() != 1 {
+		t.Fatalf("Len = %d after retried appends, want 1", st.Len())
+	}
+	// A different divergence class of the same seed is a new finding.
+	f2 := f
+	f2.Kind = KindCensus
+	if err := st.Append(f2); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", st.Len())
+	}
+}
+
+func TestStoreListFiltersByCampaign(t *testing.T) {
+	st, _ := OpenStore("")
+	defer st.Close()
+	a := testFinding(1)
+	b := testFinding(2)
+	b.Campaign = "c2"
+	st.Append(a)
+	st.Append(b)
+	if got := st.List("c2"); len(got) != 1 || got[0].Campaign != "c2" {
+		t.Fatalf("List(c2) = %+v", got)
+	}
+	if got := st.List(""); len(got) != 2 {
+		t.Fatalf("List(all) = %d findings, want 2", len(got))
+	}
+}

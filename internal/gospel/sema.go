@@ -454,6 +454,18 @@ func (c *checker) typeOfCall(e Call) SymType {
 		}
 		c.wantType(e.Args[0], TyOperand)
 		return TyTypeLit
+	case "itype":
+		// itype(op) — true when op is integer-typed: an integer constant,
+		// or a scalar/array declared INTEGER. Implementation extension in
+		// the carried()/eval()/trip() tradition: the aggregation family
+		// needs it because float arithmetic is not associative, so only
+		// integer chains may be collapsed under a bit-exact oracle.
+		if argc != 1 {
+			c.errorf(e.Line, "itype takes one operand")
+			return TyBool
+		}
+		c.wantType(e.Args[0], TyOperand)
+		return TyBool
 	case "eval":
 		if argc != 1 {
 			c.errorf(e.Line, "eval takes one expression")

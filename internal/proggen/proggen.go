@@ -28,6 +28,61 @@ type Config struct {
 	MaxStmts int
 	// MaxDepth bounds loop nesting (default 3).
 	MaxDepth int
+	// Profile, when non-nil, selects a weighted statement mix instead of
+	// the built-in one. nil preserves the exact legacy random stream: a
+	// given seed generates byte-for-byte the same program it always has,
+	// which existing corpora and golden tests rely on.
+	Profile *Profile
+}
+
+// Profile weights the statement mix so a caller can tilt generated
+// programs toward particular optimization opportunities (the farm's
+// opportunity-mix campaigns). Weights are relative and non-negative;
+// negative weights are treated as zero, and an all-zero profile falls
+// back to the built-in mix. Every structural guarantee of the package
+// (validity, bounded nesting, in-bounds subscripts, termination) holds
+// for every profile.
+type Profile struct {
+	// Loop and If weight control structure; they only apply above the
+	// nesting floor, where their weight is folded into ScalarAssign —
+	// mirroring the built-in mix at MaxDepth.
+	Loop int
+	If   int
+	// ScalarAssign weights "x := a op b" over scalars/constants.
+	ScalarAssign int
+	// ConstDef weights "scalar := constant" (CTP/CFO fodder).
+	ConstDef int
+	// ArrayAssign weights array stores with safe subscripts.
+	ArrayAssign int
+	// AccumRun weights short chains of "m := m op c" updates on one
+	// integer scalar — the straight-line aggregation (AGG/AGM/AGS)
+	// opportunity shape. One run emits 2–4 statements.
+	AccumRun int
+}
+
+// DefaultProfile mirrors the built-in statement mix (it does not
+// reproduce the legacy random stream — only a nil Profile does that).
+func DefaultProfile() *Profile {
+	return &Profile{Loop: 14, If: 8, ScalarAssign: 18, ConstDef: 15, ArrayAssign: 45}
+}
+
+func (p *Profile) clamped(atDepth bool) (loop, ifw, scalar, constw, array, accum int) {
+	pos := func(w int) int {
+		if w < 0 {
+			return 0
+		}
+		return w
+	}
+	loop, ifw = pos(p.Loop), pos(p.If)
+	scalar, constw, array, accum = pos(p.ScalarAssign), pos(p.ConstDef), pos(p.ArrayAssign), pos(p.AccumRun)
+	if atDepth {
+		scalar += loop + ifw
+		loop, ifw = 0, 0
+	}
+	if loop+ifw+scalar+constw+array+accum == 0 {
+		scalar = 1
+	}
+	return
 }
 
 func (c Config) withDefaults() Config {
@@ -124,6 +179,10 @@ func (g *gen) stmts(depth int) {
 }
 
 func (g *gen) stmt(depth int) {
+	if g.cfg.Profile != nil {
+		g.profiledStmt(depth)
+		return
+	}
 	g.budget--
 	roll := g.r.Intn(100)
 	switch {
@@ -137,6 +196,55 @@ func (g *gen) stmt(depth int) {
 		g.constDef()
 	default:
 		g.arrayAssign(depth)
+	}
+}
+
+// profiledStmt is stmt under a caller-supplied weighted mix. It consumes
+// the random stream differently from the legacy path by construction, so
+// it is only reachable when Config.Profile is set.
+func (g *gen) profiledStmt(depth int) {
+	loop, ifw, scalar, constw, array, accum := g.cfg.Profile.clamped(depth >= g.cfg.MaxDepth)
+	roll := g.r.Intn(loop + ifw + scalar + constw + array + accum)
+	switch {
+	case roll < loop:
+		g.budget--
+		g.loop(depth)
+	case roll < loop+ifw:
+		g.budget--
+		g.ifStmt(depth)
+	case roll < loop+ifw+scalar:
+		g.budget--
+		g.scalarAssign()
+	case roll < loop+ifw+scalar+constw:
+		g.budget--
+		g.constDef()
+	case roll < loop+ifw+scalar+constw+array:
+		g.budget--
+		g.arrayAssign(depth)
+	default:
+		g.accumRun()
+	}
+}
+
+// accumRun emits a short chain of "s := s op c" updates on one integer
+// scalar: adjacent same-op updates of the same accumulator, the shape the
+// straight-line aggregation specs collapse. "n" is a live loop bound
+// elsewhere, so runs only touch the free integer scalars; integer
+// arithmetic keeps the chain exactly associative (floats are not), so a
+// differential oracle comparing outputs byte-for-byte stays sound.
+func (g *gen) accumRun() {
+	s := []string{"m", "p"}[g.r.Intn(2)]
+	op := []ir.Opcode{ir.OpAdd, ir.OpAdd, ir.OpSub, ir.OpMul}[g.r.Intn(4)]
+	k := 2 + g.r.Intn(3)
+	for i := 0; i < k; i++ {
+		g.budget--
+		var c int64
+		if op == ir.OpMul {
+			c = int64(g.r.Intn(3) + 2)
+		} else {
+			c = int64(g.r.Intn(9) + 1)
+		}
+		g.b.Assign(ir.VarOp(s), ir.VarOp(s), op, ir.IntOp(c))
 	}
 }
 

@@ -1,0 +1,184 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/farm"
+)
+
+// farmWrongSpec is the seeded miscompile for the HTTP-level e2e: it
+// deletes every constant definition of a scalar, unconditionally, so
+// nearly every generated program changes behavior.
+const farmWrongSpec = `
+TYPE
+  Stmt: Si;
+PRECOND
+  Code_Pattern
+    any Si: Si.kind == assign AND Si.opc == assign AND type(Si.opr_1) == var AND type(Si.opr_2) == const;
+ACTION
+  delete(Si);
+`
+
+// TestFarmSeededMiscompileHTTP is the farm's acceptance loop through the
+// public API: inject a deliberately wrong spec via POST /v1/farm, let the
+// job queue sweep the campaign, and verify the farm catches it, persists
+// minimized findings, dedups a resubmission, and serves the findings again
+// after a restart from the durable store alone.
+func TestFarmSeededMiscompileHTTP(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, Config{FarmDir: dir, JobsWorkers: 4, TraceSampleN: 1})
+
+	start := FarmStartRequest{
+		Profile: "aggregation",
+		Count:   6,
+		Specs:   []SpecText{{Name: "KIL", Text: farmWrongSpec}},
+	}
+	rec := doJSON(t, s, "POST", "/v1/farm", start)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("farm start = %d: %s", rec.Code, rec.Body.String())
+	}
+	resp := decodeAs[FarmStartResponse](t, rec)
+	if resp.ID == "" || resp.Jobs != 6 {
+		t.Fatalf("start response = %+v, want an ID and 6 queued jobs", resp)
+	}
+	// Inline specs with no opts: the pipeline is exactly the inline spec.
+	if len(resp.Order) != 1 || resp.Order[0] != "KIL" {
+		t.Fatalf("order = %v, want [KIL]", resp.Order)
+	}
+	if len(resp.Variants) < 2 {
+		t.Fatalf("variants = %v, want at least two configurations", resp.Variants)
+	}
+
+	rec = doJSON(t, s, "GET", "/v1/farm/"+resp.ID+"?wait=1", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("farm get = %d: %s", rec.Code, rec.Body.String())
+	}
+	status := decodeAs[farm.CampaignStatus](t, rec)
+	if status.State != "done" || status.Checked != 6 {
+		t.Fatalf("campaign = %+v, want done with 6 checked", status)
+	}
+	if status.Findings == 0 {
+		t.Fatal("seeded miscompile produced no findings")
+	}
+
+	rec = doJSON(t, s, "GET", "/v1/farm/"+resp.ID+"/findings", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("findings = %d: %s", rec.Code, rec.Body.String())
+	}
+	found := decodeAs[FarmFindingsResponse](t, rec)
+	if len(found.Findings) != status.Findings {
+		t.Fatalf("served %d findings, campaign counted %d", len(found.Findings), status.Findings)
+	}
+	f := found.Findings[0]
+	if f.Campaign != resp.ID || f.Minimized == "" {
+		t.Fatalf("finding = %+v, want campaign ID and a minimized reproducer", f)
+	}
+	if 4*f.MinStmts > f.OrigStmts {
+		t.Errorf("minimized to %d/%d statements, want <= 25%%", f.MinStmts, f.OrigStmts)
+	}
+
+	// Resubmitting the identical campaign dedups onto the finished jobs.
+	rec = doJSON(t, s, "POST", "/v1/farm", start)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("farm resubmit = %d: %s", rec.Code, rec.Body.String())
+	}
+	again := decodeAs[FarmStartResponse](t, rec)
+	if again.ID != resp.ID || again.Jobs != 0 {
+		t.Fatalf("resubmission = %+v, want same campaign with 0 new jobs", again)
+	}
+
+	// The campaign shows up in the listing and the farm metric sections.
+	list := decodeAs[FarmListResponse](t, doJSON(t, s, "GET", "/v1/farm", nil))
+	if len(list.Campaigns) != 1 || list.Campaigns[0].ID != resp.ID || list.Findings == 0 {
+		t.Fatalf("farm list = %+v", list)
+	}
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	mrec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(mrec, req)
+	prom := mrec.Body.String()
+	for _, want := range []string{"optd_farm_programs_total 6", "optd_farm_findings_total", "optd_farm_campaigns 1"} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("prometheus output missing %q", want)
+		}
+	}
+
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	// Findings outlive the process: a fresh server over the same FarmDir
+	// serves them from the replayed store, no campaign table needed.
+	s2 := newTestServer(t, Config{FarmDir: dir})
+	defer func() { _ = s2.Shutdown(context.Background()) }()
+	rec = doJSON(t, s2, "GET", "/v1/farm/"+resp.ID+"/findings", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("findings after restart = %d: %s", rec.Code, rec.Body.String())
+	}
+	replayed := decodeAs[FarmFindingsResponse](t, rec)
+	if len(replayed.Findings) != len(found.Findings) {
+		t.Fatalf("replayed %d findings, want %d", len(replayed.Findings), len(found.Findings))
+	}
+}
+
+// TestFarmCleanCampaign sweeps the default pipeline over a small corpus
+// and expects zero findings — the CI smoke's contract, at test scale.
+func TestFarmCleanCampaign(t *testing.T) {
+	s := newTestServer(t, Config{JobsWorkers: 4})
+	defer func() { _ = s.Shutdown(context.Background()) }()
+
+	rec := doJSON(t, s, "POST", "/v1/farm", FarmStartRequest{Profile: "aggregation", Count: 4})
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("farm start = %d: %s", rec.Code, rec.Body.String())
+	}
+	resp := decodeAs[FarmStartResponse](t, rec)
+	if len(resp.Order) != len(farm.DefaultOrder()) {
+		t.Fatalf("order = %v, want the full default pipeline", resp.Order)
+	}
+	rec = doJSON(t, s, "GET", "/v1/farm/"+resp.ID+"?wait=1", nil)
+	status := decodeAs[farm.CampaignStatus](t, rec)
+	if status.State != "done" || status.Checked != 4 {
+		t.Fatalf("campaign = %+v, want done with 4 checked", status)
+	}
+	if status.Findings != 0 || status.Divergent != 0 || status.Errored != 0 {
+		findings := decodeAs[FarmFindingsResponse](t, doJSON(t, s, "GET", "/v1/farm/"+resp.ID+"/findings", nil))
+		t.Fatalf("clean sweep produced findings: %+v\n%+v", status, findings)
+	}
+}
+
+func TestFarmStartValidation(t *testing.T) {
+	s := newTestServer(t, Config{})
+	defer func() { _ = s.Shutdown(context.Background()) }()
+
+	cases := []struct {
+		name string
+		body any
+		code int
+	}{
+		{"unknown profile", FarmStartRequest{Profile: "nope", Count: 1}, http.StatusBadRequest},
+		{"zero count", FarmStartRequest{Count: 0}, http.StatusBadRequest},
+		{"oversized count", FarmStartRequest{Count: maxFarmCount + 1}, http.StatusBadRequest},
+		{"unknown opt", FarmStartRequest{Count: 1, Opts: []string{"NOPE"}}, http.StatusBadRequest},
+		{"nameless spec", FarmStartRequest{Count: 1, Specs: []SpecText{{Text: farmWrongSpec}}}, http.StatusBadRequest},
+		{"unparseable spec", FarmStartRequest{Count: 1,
+			Specs: []SpecText{{Name: "BAD", Text: "TYPE\n  Stmt: Si;\nPRECOND\n  Code_Pattern\n    any Si: Si.nonsense == 1;\nACTION\n  delete(Si);\n"}}},
+			http.StatusUnprocessableEntity},
+		{"bad json", `{"count":`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		rec := doJSON(t, s, "POST", "/v1/farm", c.body)
+		if rec.Code != c.code {
+			t.Errorf("%s: status = %d, want %d: %s", c.name, rec.Code, c.code, rec.Body.String())
+		}
+	}
+	if rec := doJSON(t, s, "GET", "/v1/farm/nosuch", nil); rec.Code != http.StatusNotFound {
+		t.Errorf("missing campaign = %d, want 404", rec.Code)
+	}
+	if rec := doJSON(t, s, "GET", "/v1/farm/nosuch/findings", nil); rec.Code != http.StatusNotFound {
+		t.Errorf("missing campaign findings = %d, want 404", rec.Code)
+	}
+}

@@ -329,6 +329,14 @@ func (s *Server) runJob(ctx context.Context, j *jobs.Job) (json.RawMessage, erro
 // context errors (attempt timeout, drain, cancel) bubble up untouched so
 // the manager can requeue or cancel.
 func (s *Server) runJobAttempt(ctx context.Context, j *jobs.Job) (json.RawMessage, error) {
+	// A top-level "farm" key marks a fuzzing-campaign seed job; everything
+	// else is an optimize payload.
+	var probe struct {
+		Farm *farmJobSpec `json:"farm"`
+	}
+	if err := json.Unmarshal(j.Payload, &probe); err == nil && probe.Farm != nil {
+		return s.runFarmJob(ctx, probe.Farm)
+	}
 	var req JobSubmitRequest
 	if err := json.Unmarshal(j.Payload, &req); err != nil {
 		return nil, jobs.Permanent(fmt.Errorf("corrupt job payload: %w", err))

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/codegen"
+	"repro/internal/farm"
 	"repro/internal/jobs"
 	"repro/internal/nativecache"
 	"repro/internal/obs"
@@ -121,6 +122,22 @@ type Metrics struct {
 	AdvisorRetrieval    *obs.Histogram
 	advisorOn           atomic.Bool
 
+	// Fuzzing-farm telemetry. farmOn gates the JSON/Prometheus sections
+	// (set when the first campaign registers, so servers that never fuzz
+	// keep their exact pre-farm output). FarmPrograms counts checked corpus
+	// programs, FarmDivergent programs with at least one divergence,
+	// FarmErrored programs the oracle could not judge, FarmFindings
+	// persisted findings; FarmMinimizeSeconds observes reproducer
+	// minimization. The campaign gauges come from the live campaign table
+	// at scrape time.
+	FarmPrograms        atomic.Int64
+	FarmDivergent       atomic.Int64
+	FarmErrored         atomic.Int64
+	FarmFindings        atomic.Int64
+	FarmMinimizeSeconds *obs.Histogram
+	farmOn              atomic.Bool
+	farmCampaigns       func() []farm.CampaignStatus
+
 	nativeMu     sync.RWMutex
 	nativeLoaded map[string]string // spec → artifact mode, the per-spec loaded gauge
 
@@ -171,7 +188,30 @@ func newMetrics() *Metrics {
 		// Retrieval is a parse plus a linear scan of a few thousand small
 		// vectors: sub-millisecond typically, single-digit ms worst case.
 		AdvisorRetrieval: obs.NewHistogram(0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1),
+		// Minimization re-checks the oracle per shrink step: tens of ms on
+		// small reproducers, seconds on large divergent programs.
+		FarmMinimizeSeconds: obs.NewHistogram(0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10),
 	}
+}
+
+// setFarmCampaigns installs the campaign-table snapshot source. Called
+// once at server construction, before any scrape can run.
+func (m *Metrics) setFarmCampaigns(list func() []farm.CampaignStatus) {
+	m.farmCampaigns = list
+}
+
+// farmCampaignCounts snapshots the campaign table as (total, running).
+func (m *Metrics) farmCampaignCounts() (total, running int64) {
+	if m.farmCampaigns == nil {
+		return 0, 0
+	}
+	for _, st := range m.farmCampaigns() {
+		total++
+		if st.State == "running" {
+			running++
+		}
+	}
+	return total, running
 }
 
 // nativeObs adapts the counter set to the artifact cache's telemetry hooks.
@@ -479,6 +519,17 @@ func (m *Metrics) Snapshot() map[string]any {
 			},
 		}
 	}
+	if m.farmOn.Load() {
+		total, running := m.farmCampaignCounts()
+		snap["farm"] = map[string]any{
+			"campaigns": total,
+			"active":    running,
+			"programs":  m.FarmPrograms.Load(),
+			"divergent": m.FarmDivergent.Load(),
+			"errors":    m.FarmErrored.Load(),
+			"findings":  m.FarmFindings.Load(),
+		}
+	}
 	if m.traceStats != nil {
 		st := m.traceStats()
 		snap["trace"] = map[string]any{
@@ -648,6 +699,24 @@ func (m *Metrics) WriteProm(w io.Writer) error {
 		pw.IntSample("optd_advisor_decisions_total", []obs.Label{obs.L("decision", "explicit")}, m.AdvisorExplicit.Load())
 		pw.Header("optd_advisor_retrieval_seconds", "Advisor featurize-and-retrieve latency.", "histogram")
 		pw.Histogram("optd_advisor_retrieval_seconds", nil, m.AdvisorRetrieval.Snapshot())
+	}
+
+	if m.farmOn.Load() {
+		total, running := m.farmCampaignCounts()
+		pw.Header("optd_farm_campaigns", "Fuzzing campaigns registered on this node.", "gauge")
+		pw.IntSample("optd_farm_campaigns", nil, total)
+		pw.Header("optd_farm_campaigns_active", "Fuzzing campaigns still sweeping.", "gauge")
+		pw.IntSample("optd_farm_campaigns_active", nil, running)
+		pw.Header("optd_farm_programs_total", "Corpus programs checked by the differential oracle.", "counter")
+		pw.IntSample("optd_farm_programs_total", nil, m.FarmPrograms.Load())
+		pw.Header("optd_farm_divergent_total", "Corpus programs with at least one divergence.", "counter")
+		pw.IntSample("optd_farm_divergent_total", nil, m.FarmDivergent.Load())
+		pw.Header("optd_farm_errors_total", "Corpus programs the oracle could not judge.", "counter")
+		pw.IntSample("optd_farm_errors_total", nil, m.FarmErrored.Load())
+		pw.Header("optd_farm_findings_total", "Findings persisted to the farm store.", "counter")
+		pw.IntSample("optd_farm_findings_total", nil, m.FarmFindings.Load())
+		pw.Header("optd_farm_minimize_seconds", "Reproducer minimization latency.", "histogram")
+		pw.Histogram("optd_farm_minimize_seconds", nil, m.FarmMinimizeSeconds.Snapshot())
 	}
 
 	if m.traceStats != nil {

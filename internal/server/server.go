@@ -130,6 +130,11 @@ type Config struct {
 	// memory only.
 	TraceDir string
 
+	// FarmDir holds the fuzzing farm's durable finding log; empty keeps
+	// findings in memory only (lost on restart). The farm itself is always
+	// mounted: campaigns run as low-priority jobs on the shared job queue.
+	FarmDir string
+
 	// testHook, when non-nil, runs inside the optimize handler after
 	// admission and before the pipeline — a seam for shutdown/timeout
 	// tests. It receives the request context.
@@ -175,6 +180,7 @@ type Server struct {
 	native   *native          // nil when serving interpreted only
 	advisor  *advisor.Advisor
 	traces   *trace.Store // nil when Config.TraceStore < 0
+	farm     *farmState
 	mux      *http.ServeMux
 
 	mu       sync.RWMutex // guards draining against in-flight accounting
@@ -249,6 +255,16 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.advisor = adv
 	s.metrics.advisorOn.Store(true)
+	fs, err := newFarmState(cfg.FarmDir)
+	if err != nil {
+		s.sessions.close()
+		_ = s.traces.Close()
+		s.native.close()
+		_ = s.advisor.Close()
+		return nil, fmt.Errorf("server: opening farm dir %q: %w", cfg.FarmDir, err)
+	}
+	s.farm = fs
+	s.metrics.setFarmCampaigns(fs.mgr.List)
 	if len(cfg.Peers) > 0 {
 		cl, err := cluster.New(cluster.Config{
 			Self:            cfg.Advertise,
@@ -263,6 +279,7 @@ func New(cfg Config) (*Server, error) {
 			_ = s.traces.Close()
 			s.native.close()
 			_ = s.advisor.Close()
+			_ = s.farm.close()
 			return nil, err
 		}
 		s.cluster = cl
@@ -288,6 +305,7 @@ func New(cfg Config) (*Server, error) {
 		_ = s.traces.Close()
 		s.native.close()
 		_ = s.advisor.Close()
+		_ = s.farm.close()
 		if s.cluster != nil {
 			s.cluster.Close()
 		}
@@ -349,6 +367,14 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.wrap("jobs.get", false, s.handleJobGet))
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.wrap("jobs.result", false, s.handleJobResult))
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.wrap("jobs.cancel", false, s.handleJobCancel))
+	// Fuzzing farm. Campaign starts route to the campaign's
+	// content-address owner like job submission; status and findings
+	// answer with a one-hop 307. Execution is bounded by the job manager's
+	// worker pool, so none of these admit through the request limiter.
+	s.mux.HandleFunc("POST /v1/farm", s.wrap("farm.start", false, s.sharded(s.farmRouteKey, s.handleFarmStart)))
+	s.mux.HandleFunc("GET /v1/farm", s.wrap("farm.list", false, s.handleFarmList))
+	s.mux.HandleFunc("GET /v1/farm/{id}", s.wrap("farm.get", false, s.handleFarmGet))
+	s.mux.HandleFunc("GET /v1/farm/{id}/findings", s.wrap("farm.findings", false, s.handleFarmFindings))
 }
 
 // begin registers a request for draining accounting, refusing it when the
@@ -393,6 +419,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	if jerr := s.jobs.Close(ctx); err == nil {
 		err = jerr
+	}
+	// After the job workers drain: no attempt can append a finding, so the
+	// farm's log closes cleanly.
+	if ferr := s.farm.close(); err == nil {
+		err = ferr
 	}
 	// After the job workers drain: the advisor stops its harvest worker
 	// (ingesting what was already queued) and closes the outcome log.

@@ -1,0 +1,198 @@
+package specs
+
+import (
+	"testing"
+
+	"repro/internal/proggen"
+	"repro/ir"
+)
+
+// The aggregation family (AGG/AGM/AGS) is the first post-paper spec set;
+// these tests pin its algebra: integer chains collapse, float chains are
+// refused (bit-exact soundness), and the straight-line member respects
+// intervening readers, writers and control structure.
+
+func TestAGGCollapsesAdjacentAddChain(t *testing.T) {
+	p, n := apply(t, "AGG", `
+PROGRAM p
+INTEGER m
+m = 1
+m = m + 2
+m = m + 3
+m = m + 4
+PRINT m
+END`)
+	if n != 2 {
+		t.Fatalf("applications = %d, want 2\n%s", n, p)
+	}
+	if got := ir.FormatStmt(p.At(1)); got != "m := m + 9" {
+		t.Errorf("collapsed = %q, want \"m := m + 9\"", got)
+	}
+	if out := run(t, p).Output; len(out) != 1 || out[0].AsInt() != 10 {
+		t.Errorf("output = %v, want [10]", out)
+	}
+}
+
+func TestAGGCollapsesSubChain(t *testing.T) {
+	p, n := apply(t, "AGG", `
+PROGRAM p
+INTEGER m
+m = 20
+m = m - 3
+m = m - 4
+PRINT m
+END`)
+	if n != 1 {
+		t.Fatalf("applications = %d, want 1", n)
+	}
+	if out := run(t, p).Output; len(out) != 1 || out[0].AsInt() != 13 {
+		t.Errorf("output = %v, want [13]", out)
+	}
+}
+
+func TestAGGRefusesFloatChain(t *testing.T) {
+	// (x+0.5)+0.5 != x+1.0 at large magnitudes: float addition is not
+	// associative, so the itype() guard must keep AGG off REAL chains.
+	_, n := apply(t, "AGG", `
+PROGRAM p
+REAL x
+x = 1.5
+x = x + 0.5
+x = x + 0.5
+PRINT x
+END`)
+	if n != 0 {
+		t.Fatalf("AGG collapsed a float chain (%d applications)", n)
+	}
+}
+
+func TestAGGRefusesMixedOps(t *testing.T) {
+	_, n := apply(t, "AGG", `
+PROGRAM p
+INTEGER m
+m = 1
+m = m + 2
+m = m - 3
+PRINT m
+END`)
+	if n != 0 {
+		t.Fatalf("AGG mixed add into sub (%d applications)", n)
+	}
+}
+
+func TestAGGRespectsInterveningReader(t *testing.T) {
+	// p observes the intermediate value, so the chain must survive.
+	prog, n := apply(t, "AGG", `
+PROGRAM p
+INTEGER m, q
+m = 1
+m = m + 2
+q = m
+m = m + 3
+PRINT m, q
+END`)
+	if n != 0 {
+		t.Fatalf("AGG erased an observed intermediate (%d applications)\n%s", n, prog)
+	}
+}
+
+func TestAGMCollapsesMulChain(t *testing.T) {
+	p, n := apply(t, "AGM", `
+PROGRAM p
+INTEGER m
+m = 2
+m = m * 3
+m = m * 5
+PRINT m
+END`)
+	if n != 1 {
+		t.Fatalf("applications = %d, want 1", n)
+	}
+	if out := run(t, p).Output; len(out) != 1 || out[0].AsInt() != 30 {
+		t.Errorf("output = %v, want [30]", out)
+	}
+}
+
+func TestAGSCollapsesAcrossGap(t *testing.T) {
+	p, n := apply(t, "AGS", `
+PROGRAM p
+INTEGER m
+REAL x
+m = 1
+m = m + 2
+x = 1.5
+m = m + 3
+PRINT m, x
+END`)
+	if n != 1 {
+		t.Fatalf("applications = %d, want 1\n%s", n, p)
+	}
+	out := run(t, p).Output
+	if len(out) != 2 || out[0].AsInt() != 6 {
+		t.Errorf("output = %v, want m=6", out)
+	}
+}
+
+func TestAGSBlockedByControlStructure(t *testing.T) {
+	// The second update runs conditionally; collapsing would change the
+	// else path. The path's control-kind witness must block it.
+	_, n := apply(t, "AGS", `
+PROGRAM p
+INTEGER m, q
+q = 1
+m = 1
+m = m + 2
+IF (q < 3) THEN
+m = m + 3
+ENDIF
+PRINT m
+END`)
+	if n != 0 {
+		t.Fatalf("AGS collapsed across control structure (%d applications)", n)
+	}
+}
+
+func TestAGSBlockedByInterveningWriter(t *testing.T) {
+	_, n := apply(t, "AGS", `
+PROGRAM p
+INTEGER m
+m = 1
+m = m + 2
+m = 7
+m = m + 3
+PRINT m
+END`)
+	if n != 0 {
+		t.Fatalf("AGS collapsed across a redefinition (%d applications)", n)
+	}
+}
+
+// TestAggregationPreservesSemanticsOnCorpus runs the whole family over an
+// accumulator-heavy proggen corpus and checks outputs are bit-identical
+// before and after — the same invariant the farm's oracle enforces at
+// scale.
+func TestAggregationPreservesSemanticsOnCorpus(t *testing.T) {
+	profile := &proggen.Profile{Loop: 10, If: 6, ScalarAssign: 12, ConstDef: 12, ArrayAssign: 20, AccumRun: 40}
+	for seed := int64(0); seed < 40; seed++ {
+		p := proggen.Generate(seed, proggen.Config{Profile: profile})
+		want := run(t, p).Output
+		for _, name := range Aggregation {
+			o := MustCompile(name)
+			if _, err := o.ApplyAll(p); err != nil {
+				t.Fatalf("seed %d: %s: %v", seed, name, err)
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatalf("seed %d: %s broke structure: %v", seed, name, err)
+			}
+		}
+		got := run(t, p).Output
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: output length %d != %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("seed %d: output[%d] = %v, want %v", seed, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -406,6 +406,97 @@ ACTION
   modify(L1.step, 1);
 `
 
+// AGG is additive aggregation, the first member of the post-paper
+// straight-line aggregation family (after Gossen et al., arXiv 1912.11281):
+// two adjacent updates of the same accumulator by the same additive opcode
+// collapse into one, "m := m + c1; m := m + c2" becoming "m := m + (c1+c2)"
+// (and likewise for sub, since x-c1-c2 = x-(c1+c2)). The itype() guard
+// restricts the family to integer operands: integer addition is associative
+// (including on wraparound), float addition is not, and the farm's
+// differential oracle compares outputs bit-for-bit. The depend clause makes
+// the intermediate value unobservable — Si's definition flows only into Sj.
+const AGG = `
+TYPE
+  Stmt: Si, Sj, Sm;
+PRECOND
+  Code_Pattern
+    any Si: Si.kind == assign AND ((Si.opc == add) OR (Si.opc == sub))
+      AND type(Si.opr_1) == var AND itype(Si.opr_1)
+      AND (Si.opr_2 == Si.opr_1)
+      AND type(Si.opr_3) == const AND itype(Si.opr_3);
+  Depend
+    /* the immediately following statement applies the same update to the
+       same accumulator */
+    any Sj: (Sj == Si.next) AND (Sj.kind == assign) AND (Sj.opc == Si.opc)
+      AND (Sj.opr_1 == Si.opr_1) AND (Sj.opr_2 == Si.opr_1)
+      AND type(Sj.opr_3) == const AND itype(Sj.opr_3);
+    /* the intermediate value is unobservable */
+    no Sm: flow_dep(Si, Sm) AND (Sm != Sj);
+ACTION
+  modify(Sj.opr_3, eval(Si.opr_3 + Sj.opr_3));
+  delete(Si);
+`
+
+// AGM is multiplicative aggregation: AGG's shape over mul, collapsing
+// "m := m * c1; m := m * c2" into "m := m * (c1*c2)". Integer
+// multiplication is associative even under wraparound; division is
+// deliberately excluded from the family (truncation and division-by-zero
+// folding break the algebra).
+const AGM = `
+TYPE
+  Stmt: Si, Sj, Sm;
+PRECOND
+  Code_Pattern
+    any Si: Si.kind == assign AND (Si.opc == mul)
+      AND type(Si.opr_1) == var AND itype(Si.opr_1)
+      AND (Si.opr_2 == Si.opr_1)
+      AND type(Si.opr_3) == const AND itype(Si.opr_3);
+  Depend
+    any Sj: (Sj == Si.next) AND (Sj.kind == assign) AND (Sj.opc == mul)
+      AND (Sj.opr_1 == Si.opr_1) AND (Sj.opr_2 == Si.opr_1)
+      AND type(Sj.opr_3) == const AND itype(Sj.opr_3);
+    no Sm: flow_dep(Si, Sm) AND (Sm != Sj);
+ACTION
+  modify(Sj.opr_3, eval(Si.opr_3 * Sj.opr_3));
+  delete(Si);
+`
+
+// AGS is aggressive (straight-line) aggregation: the AGG collapse across a
+// gap of unrelated statements. The partner update is reachable through
+// straight-line code (the RAE path idiom), nothing on the path touches the
+// accumulator, no control structure intervenes (so Si dominates Sj and both
+// run under the same conditions), and the intermediate value is otherwise
+// unobservable. Subsumes AGG's adjacent case; kept separate so campaigns
+// can run the cheap always-on member without the path search.
+const AGS = `
+TYPE
+  Stmt: Si, Sj, Sm;
+PRECOND
+  Code_Pattern
+    any Si: Si.kind == assign AND ((Si.opc == add) OR (Si.opc == sub))
+      AND type(Si.opr_1) == var AND itype(Si.opr_1)
+      AND (Si.opr_2 == Si.opr_1)
+      AND type(Si.opr_3) == const AND itype(Si.opr_3);
+  Depend
+    /* a later same-op update of the same accumulator, reachable through
+       straight-line code */
+    any Sj: (Sj != Si) AND (Si < Sj) AND (Sj.kind == assign)
+      AND (Sj.opc == Si.opc)
+      AND (Sj.opr_1 == Si.opr_1) AND (Sj.opr_2 == Si.opr_1)
+      AND type(Sj.opr_3) == const AND itype(Sj.opr_3)
+      AND ((Sj == Si.next) OR mem(Sj.prev, path(Si, Sj)));
+    /* nothing between touches the accumulator and no control structure
+       intervenes */
+    no Sm: mem(Sm, path(Si, Sj)),
+      anti_dep(Si, Sm) OR out_dep(Si, Sm)
+      OR (Sm.kind == if) OR (Sm.kind == else) OR (Sm.kind == endif)
+      OR (Sm.kind == do) OR (Sm.kind == enddo);
+    no Sm: flow_dep(Si, Sm) AND (Sm != Sj);
+ACTION
+  modify(Sj.opr_3, eval(Si.opr_3 + Sj.opr_3));
+  delete(Si);
+`
+
 // Sources maps optimization names to their GOSpeL text. Names follow the
 // paper's abbreviations.
 var Sources = map[string]string{
@@ -427,10 +518,17 @@ var Sources = map[string]string{
 	"RAE":            RAE,
 	"LRV":            LRV,
 	"NRM":            NRM,
+	"AGG":            AGG,
+	"AGM":            AGM,
+	"AGS":            AGS,
 }
 
 // Extended lists the literature optimizations beyond the paper's ten.
-var Extended = []string{"CFO", "SRD", "IDE", "RAE", "LRV", "NRM"}
+var Extended = []string{"CFO", "SRD", "IDE", "RAE", "LRV", "NRM", "AGG", "AGM", "AGS"}
+
+// Aggregation lists the post-paper straight-line aggregation family
+// (Gossen et al., arXiv 1912.11281) in cheap-to-aggressive order.
+var Aggregation = []string{"AGG", "AGM", "AGS"}
 
 // Ten lists the paper's ten optimizations in the order of Section 4.
 var Ten = []string{"CPP", "CTP", "DCE", "ICM", "INX", "CRC", "BMP", "PAR", "LUR", "FUS"}

@@ -123,6 +123,22 @@ func Opr(s *ir.Stmt, i int) ir.Operand {
 // OperandEq is structural operand equality.
 func OperandEq(a, b ir.Operand) bool { return a.Equal(b) }
 
+// IntTyped reports whether the operand is integer-typed: an integer
+// constant, or a scalar/array reference declared INTEGER in p. The absent
+// operand and undeclared names are not integer-typed. This backs the
+// GOSpeL itype() predicate, which guards transformations (the aggregation
+// family) that are only value-preserving under associative arithmetic.
+func IntTyped(p *ir.Program, o ir.Operand) bool {
+	switch o.Kind {
+	case ir.Const:
+		return !o.Val.IsFloat
+	case ir.Var, ir.ArrayRef:
+		d, ok := p.DeclOf(o.Name)
+		return ok && !d.IsFloat
+	}
+	return false
+}
+
 // --- dependence helpers (the dep routine's search modes) ---
 
 // Vec builds a direction vector from "<", ">", "=", "*", "<=", ">=", "!=".

@@ -17,14 +17,14 @@
 #                                    # on an identical pipeline
 #
 # Environment:
-#   BENCH    regexp of benchmarks to run  (default: DriverFixpoint|ServerOptimize|JobsThroughput|ClusterForward)
+#   BENCH    regexp of benchmarks to run  (default: DriverFixpoint|ServerOptimize|JobsThroughput|ClusterForward|FarmThroughput)
 #   COUNT    -count for statistical runs  (default: 6)
 #   OUT      output file                  (default: bench-new.txt)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-BENCH=${BENCH:-'DriverFixpoint|ServerOptimize|JobsThroughput|ClusterForward'}
+BENCH=${BENCH:-'DriverFixpoint|ServerOptimize|JobsThroughput|ClusterForward|FarmThroughput'}
 COUNT=${COUNT:-6}
 OUT=${OUT:-bench-new.txt}
 BASELINE=
