@@ -1,6 +1,7 @@
 package dep
 
 import (
+	"repro/internal/par"
 	"repro/ir"
 )
 
@@ -28,8 +29,43 @@ type access struct {
 // A non-nil filter restricts the pass to the named arrays (the incremental
 // updater's dirty-name set); nil analyzes every array.
 func (g *Graph) arrayDeps(lt *loopTable, filter map[string]bool) {
-	p := g.Prog
-	accesses := collectAccesses(p)
+	byName, names := g.collectArrayGroups(filter)
+	if g.workers > 1 && len(names) > 1 {
+		// Fan the per-array pair tests out over the pool: one array's tests
+		// never look at another array's accesses, so sharding the name list
+		// and buffering each shard's edges produces the same edge set; the
+		// canonical sort in normalize erases the insertion order.
+		shards := g.workers
+		if shards > len(names) {
+			shards = len(names)
+		}
+		bufs := par.Map(shards, g.workers, func(sh int) []Dependence {
+			var buf []Dependence
+			emit := func(d Dependence) { buf = append(buf, d) }
+			for i := sh; i < len(names); i += shards {
+				g.pairTests(byName[names[i]], lt, emit)
+			}
+			return buf
+		})
+		for _, buf := range bufs {
+			for _, d := range buf {
+				g.add(d)
+			}
+		}
+		return
+	}
+	// Deterministic order: the dependence list's order feeds candidate
+	// enumeration and therefore the cost experiments.
+	for _, name := range names {
+		g.pairTests(byName[name], lt, g.add)
+	}
+}
+
+// collectArrayGroups gathers every array access, records the array-name
+// census (g.arrays), and returns the filtered per-array access groups
+// with a deterministic name order.
+func (g *Graph) collectArrayGroups(filter map[string]bool) (map[string][]access, []string) {
+	accesses := collectAccesses(g.Prog)
 	byName := make(map[string][]access)
 	var names []string
 	if g.arrays == nil {
@@ -47,18 +83,19 @@ func (g *Graph) arrayDeps(lt *loopTable, filter map[string]bool) {
 		}
 		byName[ac.op.Name] = append(byName[ac.op.Name], ac)
 	}
-	// Deterministic order: the dependence list's order feeds candidate
-	// enumeration and therefore the cost experiments.
-	for _, name := range names {
-		group := byName[name]
-		for _, src := range group {
-			for _, dst := range group {
-				kind, ok := pairKind(src, dst)
-				if !ok {
-					continue
-				}
-				g.testPair(kind, src, dst, lt)
+	return byName, names
+}
+
+// pairTests runs the subscript tests over every ordered pair of one
+// array's accesses, emitting the resulting dependences.
+func (g *Graph) pairTests(group []access, lt *loopTable, emit func(Dependence)) {
+	for _, src := range group {
+		for _, dst := range group {
+			kind, ok := pairKind(src, dst)
+			if !ok {
+				continue
 			}
+			g.testPair(kind, src, dst, lt, emit)
 		}
 	}
 }
@@ -100,7 +137,7 @@ func collectAccesses(p *ir.Program) []access {
 
 // testPair runs the subscript tests for one ordered access pair and emits
 // the resulting dependences.
-func (g *Graph) testPair(kind Kind, src, dst access, lt *loopTable) {
+func (g *Graph) testPair(kind Kind, src, dst access, lt *loopTable, emit func(Dependence)) {
 	p := g.Prog
 	common := lt.common(p.Index(src.stmt), p.Index(dst.stmt))
 	n := len(common)
@@ -137,7 +174,7 @@ func (g *Graph) testPair(kind Kind, src, dst access, lt *loopTable) {
 	}
 	sameStore := src.stmt == dst.stmt && src.pos == dst.pos
 	if allEq && srcIdx < dstIdx && !sameStore {
-		g.add(Dependence{
+		emit(Dependence{
 			Kind: kind, Src: src.stmt, Dst: dst.stmt, Var: src.op.Name,
 			Vec: eqVector(n), SrcPos: src.pos, DstPos: dst.pos,
 		})
@@ -166,7 +203,7 @@ func (g *Graph) testPair(kind Kind, src, dst access, lt *loopTable) {
 				vec[j] = dirs[j]
 			}
 		}
-		g.add(Dependence{
+		emit(Dependence{
 			Kind: kind, Src: src.stmt, Dst: dst.stmt, Var: src.op.Name,
 			Vec: vec, SrcPos: src.pos, DstPos: dst.pos,
 			Carried: true, Level: k + 1,

@@ -213,10 +213,22 @@ type Graph struct {
 	// arrays names every array accessed by the program, so lookup counters
 	// can classify data edges as scalar or array. Filled by arrayDeps.
 	arrays map[string]bool
+
+	// scratch is the spare edge buffer normalize ping-pongs with Deps, so
+	// the per-application canonicalization does not allocate a fresh slice
+	// every time.
+	scratch []Dependence
 	// stats counts this graph's query and maintenance traffic. Plain (not
 	// atomic) counters: a Graph, like a Program, is not safe for concurrent
 	// use, and each fixpoint pass owns its graph.
 	stats Stats
+
+	// workers, when > 1, lets the heavy phases of Compute/Update — the
+	// per-name dataflow re-analysis and the pairwise array subscript
+	// tests — fan out over the par pool. The edge SET is identical either
+	// way and normalize imposes a total canonical order, so the resulting
+	// graph is byte-identical to a sequential build. Set via SetWorkers.
+	workers int
 }
 
 // Stats counts a graph's query and maintenance traffic. Lookups count the
@@ -258,6 +270,28 @@ func (s Stats) Sub(o Stats) Stats {
 // Stats returns the graph's traffic counters (monotonic over the graph's
 // lifetime; recomputations do not reset them).
 func (g *Graph) Stats() Stats { return g.stats }
+
+// AddStats folds a delta (typically a worker shadow's traffic) into the
+// graph's counters.
+func (g *Graph) AddStats(s Stats) { g.stats = g.stats.Add(s) }
+
+// SetWorkers sets how many goroutines Compute/Update may use for the
+// dependence derivation itself (n <= 1 keeps everything sequential). The
+// graph stays single-owner: parallelism is internal to one maintenance
+// call and the result is identical to the sequential build.
+func (g *Graph) SetWorkers(n int) { g.workers = n }
+
+// Shadow returns a read-only view of the graph for a concurrent search
+// worker: it shares the edge slices and query index (immutable while no
+// mutation runs) but carries private, zeroed stats so workers never race on
+// the counters. The caller merges each shadow's Stats back with AddStats
+// once the parallel section ends. Shadows must not be used across a
+// program mutation or an Update/Compute on the parent.
+func (g *Graph) Shadow() *Graph {
+	s := *g
+	s.stats = Stats{}
+	return &s
+}
 
 // countLookup classifies one examined candidate edge.
 func (g *Graph) countLookup(d *Dependence) {
@@ -323,12 +357,25 @@ func (g *Graph) recompute() {
 
 func (g *Graph) resetMaps() {
 	n := g.Prog.Len() + 1
-	g.from = make([][]int32, n)
-	g.to = make([][]int32, n)
+	// Reuse the adjacency backing and the index map's buckets when
+	// possible: resetMaps runs once per incremental update, and the
+	// allocations otherwise dominate its cost.
+	if cap(g.from) >= n && cap(g.to) >= n && g.index != nil {
+		g.from = g.from[:n]
+		g.to = g.to[:n]
+		for i := 0; i < n; i++ {
+			g.from[i] = g.from[i][:0]
+			g.to[i] = g.to[i][:0]
+		}
+		clear(g.index)
+	} else {
+		g.from = make([][]int32, n)
+		g.to = make([][]int32, n)
+		g.index = make(map[uint64][]int32, len(g.Deps))
+	}
 	for k := range g.byKind {
 		g.byKind[k] = g.byKind[k][:0]
 	}
-	g.index = make(map[uint64][]int32, len(g.Deps))
 }
 
 func (g *Graph) add(d Dependence) {
@@ -364,7 +411,58 @@ func (g *Graph) link(idx int, d Dependence) {
 // normalize, so an incrementally maintained graph is identical — edge order
 // included — to a freshly computed one, which keeps candidate enumeration
 // deterministic and makes the differential tests exact.
-func (g *Graph) normalize() {
+func (g *Graph) normalize() { g.normalizeFrom(0) }
+
+// normalizeFrom is normalize knowing the first n edges are already in
+// canonical relative order: it sorts only the suffix and merges the two
+// runs. Update passes the kept-edge count — the expensive full sort then
+// runs only over the handful of freshly derived edges. normalizeFrom(0)
+// is a plain full sort.
+func (g *Graph) normalizeFrom(n int) {
+	m := len(g.Deps)
+	if n > m {
+		n = m
+	}
+	// The comparator is a total order on distinct edges (add() dedups exact
+	// duplicates), so sorting an index permutation and permuting once is
+	// equivalent to a stable sort of the edge structs — and much cheaper:
+	// the sort swaps ints instead of 100-byte structs through reflection.
+	idx := make([]int32, m-n)
+	for i := range idx {
+		idx[i] = int32(n + i)
+	}
+	sort.Slice(idx, func(x, y int) bool {
+		return g.less(&g.Deps[idx[x]], &g.Deps[idx[y]])
+	})
+	if cap(g.scratch) < m {
+		g.scratch = make([]Dependence, 0, m+m/2)
+	}
+	out := g.scratch[:0]
+	i, j := 0, 0
+	for i < n && j < len(idx) {
+		if g.less(&g.Deps[idx[j]], &g.Deps[i]) {
+			out = append(out, g.Deps[idx[j]])
+			j++
+		} else {
+			out = append(out, g.Deps[i])
+			i++
+		}
+	}
+	out = append(out, g.Deps[i:n]...)
+	for ; j < len(idx); j++ {
+		out = append(out, g.Deps[idx[j]])
+	}
+	g.scratch = g.Deps[:0]
+	g.Deps = out
+	g.resetMaps()
+	for i, d := range g.Deps {
+		g.link(i, d)
+	}
+}
+
+// less is the canonical edge order: a strict total order on the distinct
+// edges add() admits, anchored at statement positions (Entry first).
+func (g *Graph) less(a, b *Dependence) bool {
 	p := g.Prog
 	pos := func(s *ir.Stmt) int {
 		if s == g.Entry {
@@ -372,46 +470,39 @@ func (g *Graph) normalize() {
 		}
 		return p.Index(s)
 	}
-	sort.SliceStable(g.Deps, func(i, j int) bool {
-		a, b := &g.Deps[i], &g.Deps[j]
-		if a.Kind != b.Kind {
-			return a.Kind < b.Kind
-		}
-		if ai, bi := pos(a.Src), pos(b.Src); ai != bi {
-			return ai < bi
-		}
-		if ai, bi := pos(a.Dst), pos(b.Dst); ai != bi {
-			return ai < bi
-		}
-		if a.Var != b.Var {
-			return a.Var < b.Var
-		}
-		if a.SrcPos != b.SrcPos {
-			return a.SrcPos < b.SrcPos
-		}
-		if a.DstPos != b.DstPos {
-			return a.DstPos < b.DstPos
-		}
-		if a.Level != b.Level {
-			return a.Level < b.Level
-		}
-		if a.Carried != b.Carried {
-			return !a.Carried
-		}
-		if len(a.Vec) != len(b.Vec) {
-			return len(a.Vec) < len(b.Vec)
-		}
-		for k := range a.Vec {
-			if a.Vec[k] != b.Vec[k] {
-				return a.Vec[k] < b.Vec[k]
-			}
-		}
-		return false
-	})
-	g.resetMaps()
-	for i, d := range g.Deps {
-		g.link(i, d)
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
 	}
+	if ai, bi := pos(a.Src), pos(b.Src); ai != bi {
+		return ai < bi
+	}
+	if ai, bi := pos(a.Dst), pos(b.Dst); ai != bi {
+		return ai < bi
+	}
+	if a.Var != b.Var {
+		return a.Var < b.Var
+	}
+	if a.SrcPos != b.SrcPos {
+		return a.SrcPos < b.SrcPos
+	}
+	if a.DstPos != b.DstPos {
+		return a.DstPos < b.DstPos
+	}
+	if a.Level != b.Level {
+		return a.Level < b.Level
+	}
+	if a.Carried != b.Carried {
+		return !a.Carried
+	}
+	if len(a.Vec) != len(b.Vec) {
+		return len(a.Vec) < len(b.Vec)
+	}
+	for k := range a.Vec {
+		if a.Vec[k] != b.Vec[k] {
+			return a.Vec[k] < b.Vec[k]
+		}
+	}
+	return false
 }
 
 func vecEqual(a, b Vector) bool {

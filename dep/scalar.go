@@ -2,6 +2,7 @@ package dep
 
 import (
 	"repro/internal/dataflow"
+	"repro/internal/par"
 )
 
 // scalarDepsFrom derives flow, anti and output dependences between scalar
@@ -12,12 +13,40 @@ import (
 // name-restricted (dataflow.AnalyzeNames): only dependences among its
 // collected defs/uses are produced, which is how incremental updates rebuild
 // just the dirty names.
+//
+// With workers > 1 the pair loops fan out over the pool: the analysis is
+// shared read-only, each shard strides the outer access index and buffers
+// its edges privately, and the buffers merge through g.add in shard order.
+// Every edge is emitted in exactly one outer iteration, so the shards emit
+// disjoint edge sets and normalize erases the merge order.
 func (g *Graph) scalarDepsFrom(a *dataflow.Analysis, lt *loopTable) {
+	if g.workers > 1 {
+		shards := g.workers
+		bufs := par.Map(shards, g.workers, func(sh int) []Dependence {
+			var buf []Dependence
+			g.scalarDepsShard(a, lt, sh, shards, func(d Dependence) { buf = append(buf, d) })
+			return buf
+		})
+		for _, buf := range bufs {
+			for _, d := range buf {
+				g.add(d)
+			}
+		}
+		return
+	}
+	g.scalarDepsShard(a, lt, 0, 1, g.add)
+}
+
+// scalarDepsShard emits shard sh of shards of the scalar dependences: the
+// pair loops skip outer indices not congruent to sh, and the entry-edge
+// pass runs in shard 0. It only reads the graph (Prog, Entry), never
+// mutates it, so shards may run concurrently over one shared analysis.
+func (g *Graph) scalarDepsShard(a *dataflow.Analysis, lt *loopTable, sh, shards int, emit func(Dependence)) {
 	p := g.Prog
 
 	// Flow dependences: def d at s reaching scalar use u at t.
 	for ui, u := range a.Uses {
-		if u.IsArray {
+		if ui%shards != sh || u.IsArray {
 			continue
 		}
 		t := p.At(u.StmtIdx)
@@ -31,7 +60,7 @@ func (g *Graph) scalarDepsFrom(a *dataflow.Analysis, lt *loopTable) {
 			}
 			common := lt.common(d.StmtIdx, u.StmtIdx)
 			if a.ReachInF[u.StmtIdx].Has(di) && d.StmtIdx < u.StmtIdx {
-				g.add(Dependence{
+				emit(Dependence{
 					Kind: Flow, Src: s, Dst: t, Var: d.Name,
 					Vec: eqVector(len(common)), SrcPos: 1, DstPos: u.Pos,
 				})
@@ -43,7 +72,7 @@ func (g *Graph) scalarDepsFrom(a *dataflow.Analysis, lt *loopTable) {
 				endIdx := p.Index(l.End)
 				headIdx := p.Index(l.Head)
 				if a.ReachInF[endIdx].Has(di) && a.ExposedUses[headIdx].Has(ui) {
-					g.add(Dependence{
+					emit(Dependence{
 						Kind: Flow, Src: s, Dst: t, Var: d.Name,
 						Vec: carriedVector(len(common), k), SrcPos: 1, DstPos: u.Pos,
 						Carried: true, Level: k + 1,
@@ -55,7 +84,7 @@ func (g *Graph) scalarDepsFrom(a *dataflow.Analysis, lt *loopTable) {
 
 	// Anti dependences: scalar use u at s reaching a scalar def at t.
 	for di, d := range a.Defs {
-		if d.IsArray {
+		if di%shards != sh || d.IsArray {
 			continue
 		}
 		t := p.At(d.StmtIdx)
@@ -69,7 +98,7 @@ func (g *Graph) scalarDepsFrom(a *dataflow.Analysis, lt *loopTable) {
 			}
 			common := lt.common(u.StmtIdx, d.StmtIdx)
 			if a.UseReachInF[d.StmtIdx].Has(ui) && u.StmtIdx < d.StmtIdx {
-				g.add(Dependence{
+				emit(Dependence{
 					Kind: Anti, Src: s, Dst: t, Var: d.Name,
 					Vec: eqVector(len(common)), SrcPos: u.Pos, DstPos: 1,
 				})
@@ -81,7 +110,7 @@ func (g *Graph) scalarDepsFrom(a *dataflow.Analysis, lt *loopTable) {
 				endIdx := p.Index(l.End)
 				headIdx := p.Index(l.Head)
 				if a.UseReachInF[endIdx].Has(ui) && a.ExposedDefs[headIdx].Has(di) {
-					g.add(Dependence{
+					emit(Dependence{
 						Kind: Anti, Src: s, Dst: t, Var: d.Name,
 						Vec: carriedVector(len(common), k), SrcPos: u.Pos, DstPos: 1,
 						Carried: true, Level: k + 1,
@@ -93,7 +122,7 @@ func (g *Graph) scalarDepsFrom(a *dataflow.Analysis, lt *loopTable) {
 
 	// Output dependences: scalar def at s reaching a scalar redefinition at t.
 	for dj, e := range a.Defs {
-		if e.IsArray {
+		if dj%shards != sh || e.IsArray {
 			continue
 		}
 		t := p.At(e.StmtIdx)
@@ -107,7 +136,7 @@ func (g *Graph) scalarDepsFrom(a *dataflow.Analysis, lt *loopTable) {
 			}
 			common := lt.common(d.StmtIdx, e.StmtIdx)
 			if a.ReachInF[e.StmtIdx].Has(di) && d.StmtIdx < e.StmtIdx {
-				g.add(Dependence{
+				emit(Dependence{
 					Kind: Output, Src: s, Dst: t, Var: d.Name,
 					Vec: eqVector(len(common)), SrcPos: 1, DstPos: 1,
 				})
@@ -119,7 +148,7 @@ func (g *Graph) scalarDepsFrom(a *dataflow.Analysis, lt *loopTable) {
 				endIdx := p.Index(l.End)
 				headIdx := p.Index(l.Head)
 				if a.ReachInF[endIdx].Has(di) && a.ExposedDefs[headIdx].Has(dj) {
-					g.add(Dependence{
+					emit(Dependence{
 						Kind: Output, Src: s, Dst: t, Var: d.Name,
 						Vec: carriedVector(len(common), k), SrcPos: 1, DstPos: 1,
 						Carried: true, Level: k + 1,
@@ -134,10 +163,10 @@ func (g *Graph) scalarDepsFrom(a *dataflow.Analysis, lt *loopTable) {
 	// "definition" that propagation-style optimizations must respect.
 	a.UpwardExposed.ForEach(func(ui int) {
 		u := a.Uses[ui]
-		if u.IsArray {
+		if ui%shards != sh || u.IsArray {
 			return
 		}
-		g.add(Dependence{
+		emit(Dependence{
 			Kind: Flow, Src: g.Entry, Dst: p.At(u.StmtIdx), Var: u.Name,
 			SrcPos: 0, DstPos: u.Pos,
 		})
@@ -148,7 +177,7 @@ func (g *Graph) scalarDepsFrom(a *dataflow.Analysis, lt *loopTable) {
 	// i+1 conflict. The general loops above cover distinct statements; the
 	// self-output case (di == dj) needs its own pass.
 	for di, d := range a.Defs {
-		if d.IsArray {
+		if di%shards != sh || d.IsArray {
 			continue
 		}
 		s := p.At(d.StmtIdx)
@@ -157,7 +186,7 @@ func (g *Graph) scalarDepsFrom(a *dataflow.Analysis, lt *loopTable) {
 			endIdx := p.Index(l.End)
 			headIdx := p.Index(l.Head)
 			if a.ReachInF[endIdx].Has(di) && a.ExposedDefs[headIdx].Has(di) {
-				g.add(Dependence{
+				emit(Dependence{
 					Kind: Output, Src: s, Dst: s, Var: d.Name,
 					Vec: carriedVector(len(common), k), SrcPos: 1, DstPos: 1,
 					Carried: true, Level: k + 1,

@@ -45,6 +45,7 @@ func (g *Graph) Update(changes []ir.Change) bool {
 	p := g.Prog
 	dirty := make(map[string]bool)
 	touched := make(map[*ir.Stmt]bool)
+	moved := false
 	for _, c := range changes {
 		if structuralChange(c) {
 			g.stats.StructuralRebuilds++
@@ -61,6 +62,9 @@ func (g *Graph) Update(changes []ir.Change) bool {
 		case ir.ChangeInsert, ir.ChangeMove, ir.ChangeDelete:
 			addStmtNames(dirty, c.Stmt)
 			touched[c.Stmt] = true
+			if c.Kind == ir.ChangeMove {
+				moved = true
+			}
 		}
 	}
 
@@ -84,6 +88,14 @@ func (g *Graph) Update(changes []ir.Change) bool {
 		kept = append(kept, d)
 	}
 	g.Deps = kept
+	// The kept edges are a subsequence of the previous canonical order.
+	// Inserts and deletes shift positions but keep the survivors' relative
+	// order, so the prefix stays sorted and normalize can merge instead of
+	// re-sorting — unless a move reordered statements.
+	sortedPrefix := len(kept)
+	if moved {
+		sortedPrefix = 0
+	}
 	g.resetMaps()
 	for i, d := range g.Deps {
 		g.link(i, d)
@@ -107,7 +119,7 @@ func (g *Graph) Update(changes []ir.Change) bool {
 			g.add(Dependence{Kind: Control, Src: head, Dst: s})
 		}
 	}
-	g.normalize()
+	g.normalizeFrom(sortedPrefix)
 	g.stats.IncrementalUpdates++
 	return true
 }

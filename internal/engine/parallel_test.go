@@ -1,0 +1,171 @@
+package engine_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/farm"
+	"repro/internal/frontend"
+	"repro/internal/specs"
+	"repro/ir"
+)
+
+// regionPipeline mixes region-eligible passes (CTP, CFO, DCE, PAR) with
+// whole-program ones (FUS), so a differential run exercises both the
+// per-region fixpoint and the sharded-search fallback.
+var regionPipeline = []string{"CTP", "CFO", "DCE", "FUS", "PAR"}
+
+// runSeq applies the pipeline with the plain sequential driver.
+func runSeq(t *testing.T, template *ir.Program, pipeline []string) string {
+	t.Helper()
+	p := template.Clone()
+	for _, name := range pipeline {
+		if _, err := specs.MustCompile(name).ApplyAll(p); err != nil {
+			t.Fatalf("sequential %s: %v", name, err)
+		}
+	}
+	return p.String()
+}
+
+// runRegions applies the pipeline through ApplyAllRegions at the given
+// worker count.
+func runRegions(t *testing.T, template *ir.Program, pipeline []string, workers int) string {
+	t.Helper()
+	p := template.Clone()
+	for _, name := range pipeline {
+		if _, _, err := specs.MustCompile(name).ApplyAllRegions(context.Background(), p, workers); err != nil {
+			t.Fatalf("workers=%d %s: %v", workers, name, err)
+		}
+	}
+	return p.String()
+}
+
+// diffWorkers checks the region path is byte-identical to the sequential
+// driver at every worker count.
+func diffWorkers(t *testing.T, template *ir.Program, pipeline []string) {
+	t.Helper()
+	want := runSeq(t, template, pipeline)
+	for _, w := range []int{1, 2, 8} {
+		if got := runRegions(t, template, pipeline, w); got != want {
+			t.Errorf("workers=%d diverges from sequential\n--- sequential ---\n%s--- workers=%d ---\n%s",
+				w, want, w, got)
+		}
+	}
+}
+
+// TestRegionParallelMatchesSequentialExamples runs the mixed pipeline over
+// every example program and requires byte-identical output at workers
+// 1, 2 and 8. Large examples are skipped in -short mode so the race lane
+// (-race -count=3) stays fast.
+func TestRegionParallelMatchesSequentialExamples(t *testing.T) {
+	t.Parallel()
+	dir := filepath.Join("..", "..", "examples", "programs")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".mf") {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			p, err := frontend.Parse(string(raw))
+			if err != nil {
+				t.Fatalf("parse %s: %v", name, err)
+			}
+			if testing.Short() && p.Len() > 60 {
+				t.Skipf("%d statements, skipped in -short", p.Len())
+			}
+			diffWorkers(t, p, regionPipeline)
+		})
+	}
+}
+
+// TestRegionParallelMatchesSequentialFarmCorpus runs the differential over
+// the farm's aggregation corpus, whose programs are built to trigger the
+// order-sensitive aggregation specs — all region-INELIGIBLE, so this
+// exercises the sharded-search path plus the partition/fallback plumbing.
+func TestRegionParallelMatchesSequentialFarmCorpus(t *testing.T) {
+	t.Parallel()
+	pipeline := []string{"CTP", "DCE", "AGG", "AGS"}
+	seeds := 8
+	if testing.Short() {
+		seeds = 3
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		src, err := farm.SourceFor("aggregation", seed, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := frontend.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v", seed, err)
+		}
+		diffWorkers(t, p, pipeline)
+	}
+}
+
+// TestRegionParallelRepeatedRunsStable re-runs one parallel configuration
+// several times: scheduling must never leak into the output.
+func TestRegionParallelRepeatedRunsStable(t *testing.T) {
+	t.Parallel()
+	src, err := farm.SourceFor("mixed", 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := frontend.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runRegions(t, p, regionPipeline, 8)
+	for i := 0; i < 4; i++ {
+		if got := runRegions(t, p, regionPipeline, 8); got != want {
+			t.Fatalf("run %d differs from run 0", i+1)
+		}
+	}
+}
+
+// TestRegionReportSurfacesPartition checks the report distinguishes the
+// per-region path from the sharded fallback on a program that splits.
+func TestRegionReportSurfacesPartition(t *testing.T) {
+	t.Parallel()
+	p := frontend.MustParse(`
+PROGRAM split
+INTEGER a, b, c, d
+a = 5
+b = a + 1
+PRINT b
+c = 7
+d = c + 2
+PRINT d
+END`)
+	o := specs.MustCompile("CTP")
+	_, rep, err := o.ApplyAllRegions(context.Background(), p.Clone(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Workers != 4 {
+		t.Errorf("report workers = %d, want 4", rep.Workers)
+	}
+	if rep.Sharded || rep.Regions < 2 {
+		t.Errorf("CTP on a splittable program should take the region path: %+v", rep)
+	}
+	var fus engine.RegionReport
+	_, fus, err = specs.MustCompile("FUS").ApplyAllRegions(context.Background(), p.Clone(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fus.Sharded {
+		t.Errorf("FUS is region-ineligible and should report the sharded path: %+v", fus)
+	}
+}

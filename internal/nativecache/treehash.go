@@ -21,7 +21,10 @@ var libraryDirs = []string{
 	"internal/cfg",
 	"internal/dataflow",
 	"internal/frontend",
+	"internal/gospel",
 	"internal/handopt",
+	"internal/par",
+	"internal/region",
 	"ir",
 	"optlib",
 }

@@ -1,0 +1,111 @@
+package region
+
+import (
+	"repro/internal/par"
+	"repro/ir"
+)
+
+// idStride separates the fresh-ID ranges handed to concurrent regions.
+// Statements created during a region's fixpoint draw IDs from
+// parent.NextID() + regionIndex*idStride, so two regions can never mint
+// the same ID and the IDs a region mints do not depend on which region
+// ran first — signatures and seen-sets stay deterministic across worker
+// counts.
+const idStride = 1 << 20
+
+// RunFunc runs one region's fixpoint on its private sub-program and
+// returns the number of applications performed. The sub-program carries
+// the parent's statement IDs, its own journal, and a fresh-ID range
+// disjoint from every other region's.
+type RunFunc func(idx int, sub *ir.Program) (int, error)
+
+// Outcome reports what Execute did.
+type Outcome struct {
+	Regions  int  // regions executed
+	Apps     int  // total applications across all regions
+	Fallback bool // budget exhausted: parent untouched, caller must rerun sequentially
+}
+
+// Execute runs one fixpoint per region concurrently and splices the
+// results back into p in region-index order.
+//
+// Each region is deep-copied into a private sub-program (original
+// statement IDs preserved, declarations shared by value), run is invoked
+// on the par pool, and — only after every region has finished — the
+// changed regions replace their spans in p through p's journaled
+// mutators, first region first, statements in their within-region order.
+// The merge is therefore a pure function of the per-region results:
+// worker count and goroutine scheduling cannot reorder it. Unchanged
+// regions (zero applications) are not touched at all, so their statement
+// pointers — and any dependence edges over them — survive the merge.
+//
+// budget caps the summed application count: when the regions together
+// perform budget or more applications, Execute leaves p completely
+// untouched and reports Fallback, because only a sequential whole-program
+// run can decide which application the cap cuts off. Likewise any region
+// error leaves p untouched; the first one (in region order) is returned.
+func Execute(p *ir.Program, pt Partition, workers, budget int, run RunFunc) (Outcome, error) {
+	n := len(pt.Regions)
+	out := Outcome{Regions: n}
+	if n == 0 {
+		return out, nil
+	}
+	stmts := p.Stmts()
+	subs := make([]*ir.Program, n)
+	for i, r := range pt.Regions {
+		sub := ir.NewProgram(p.Name)
+		sub.Decls = append([]ir.Decl{}, p.Decls...)
+		for k := r.Start; k < r.End; k++ {
+			c := ir.CloneStmt(stmts[k])
+			c.ID = stmts[k].ID
+			sub.Append(c)
+		}
+		sub.SetNextID(p.NextID() + i*idStride)
+		subs[i] = sub
+	}
+
+	type result struct {
+		apps int
+		err  error
+	}
+	results := par.Map(n, workers, func(i int) result {
+		apps, err := run(i, subs[i])
+		return result{apps: apps, err: err}
+	})
+	for _, r := range results {
+		if r.err != nil {
+			return out, r.err
+		}
+		out.Apps += r.apps
+	}
+	if budget > 0 && out.Apps >= budget {
+		out.Fallback = true
+		return out, nil
+	}
+
+	// Splice changed regions back, tracking how earlier replacements shift
+	// later spans. Region statements are re-cloned into the parent so the
+	// sub-programs stay self-consistent (a *Stmt belongs to one program).
+	off := 0
+	maxNext := p.NextID()
+	for i, r := range pt.Regions {
+		if nid := subs[i].NextID(); nid > maxNext {
+			maxNext = nid
+		}
+		if results[i].apps == 0 {
+			continue
+		}
+		cur := p.Stmts()
+		for k := r.End - 1 + off; k >= r.Start+off; k-- {
+			p.Delete(cur[k])
+		}
+		for j, ss := range subs[i].Stmts() {
+			c := ir.CloneStmt(ss)
+			c.ID = ss.ID
+			p.InsertAt(r.Start+off+j, c)
+		}
+		off += len(subs[i].Stmts()) - (r.End - r.Start)
+	}
+	p.SetNextID(maxNext)
+	return out, nil
+}

@@ -475,6 +475,14 @@ type Limits struct {
 	// OnEvent, when non-nil, observes every fixpoint iteration. It is
 	// called synchronously from the loop; keep it cheap.
 	OnEvent func(FixpointEvent)
+	// Parallel sets the region-parallel worker count. Values above 1 let
+	// the pipeline run dependence-disjoint regions of the program
+	// concurrently for passes marked ParallelSafe, and fan the heavy
+	// dependence-maintenance phases out over the same pool for every pass.
+	// The optimized output is byte-identical at every worker count; 0 and 1
+	// select the plain sequential loop. Per-iteration OnEvent callbacks are
+	// suppressed while regions run concurrently.
+	Parallel int
 }
 
 // Fixpoint runs the Fig. 5 loop to fixpoint: search, apply, refresh
@@ -508,6 +516,7 @@ func FixpointCtx(ctx context.Context, p *ir.Program, apply ApplyFunc, lim Limits
 		defer log.Detach()
 	}
 	g := dep.Compute(p)
+	g.SetWorkers(lim.Parallel)
 	n := 0
 	for i := 0; i < max; i++ {
 		if err := ctx.Err(); err != nil {

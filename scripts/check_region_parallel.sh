@@ -1,0 +1,34 @@
+#!/bin/sh
+# Lint: every region test must call t.Parallel().
+#
+# The CI stress lane runs `go test -race -count=3 -run 'Region' ./...` to
+# surface scheduling-order bugs in the region-parallel journal merge; a
+# region test that forgets t.Parallel() silently serializes that lane and
+# stops the race detector from seeing interleavings. Covered tests are
+# every top-level Test function in internal/region plus any Test function
+# whose name mentions Region (the same set the -run filter selects).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+find . -name '*_test.go' -not -path './.git/*' -print0 | xargs -0 awk '
+  function flush() {
+    if (name != "" && !has) {
+      printf "%s: %s missing t.Parallel()\n", file, name
+      bad = 1
+    }
+    name = ""
+  }
+  FNR == 1 { flush(); inregion = (FILENAME ~ /internal\/region\//) }
+  /^func /  { flush() }
+  /^func Test[A-Za-z0-9_]*\(t \*testing\.T\)/ {
+    n = $2; sub(/\(.*/, "", n)
+    if (inregion || n ~ /Region/) { name = n; has = 0; file = FILENAME }
+  }
+  /t\.Parallel\(\)/ { if (name != "") has = 1 }
+  END {
+    flush()
+    if (bad) exit 1
+    print "region tests: all call t.Parallel()"
+  }
+'
